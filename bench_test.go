@@ -1,0 +1,352 @@
+package dohpool
+
+// Benchmark harness: one benchmark per experiment artefact (E1–E9, see
+// DESIGN.md §4) plus micro-benchmarks for the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benchmarks measure the per-operation cost of the pipeline each
+// experiment exercises; the full statistical regeneration lives in
+// cmd/experiments.
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dohpool/internal/analysis"
+	"dohpool/internal/attack"
+	"dohpool/internal/chronos"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+	"dohpool/internal/transport"
+)
+
+func benchCtx(b *testing.B) context.Context {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	b.Cleanup(cancel)
+	return ctx
+}
+
+func benchTestbed(b *testing.B, cfg testbed.Config) *testbed.Testbed {
+	b.Helper()
+	tb, err := testbed.Start(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = tb.Close() })
+	return tb
+}
+
+func benchGenerator(b *testing.B, tb *testbed.Testbed, opts testbed.GeneratorOptions) *core.Generator {
+	b.Helper()
+	gen, err := tb.Generator(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen
+}
+
+// BenchmarkE1Pipeline measures one full Figure 1 pool generation: 3 DoH
+// exchanges over TLS, recursive resolution, truncation and combination.
+func BenchmarkE1Pipeline(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{})
+	gen := benchGenerator(b, tb, testbed.GeneratorOptions{})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Fraction measures a full fraction-bound check: pool
+// generation with one compromised resolver plus the fraction computation.
+func BenchmarkE2Fraction(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{
+		Adversary: testbed.AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 0),
+	})
+	gen := benchGenerator(b, tb, testbed.GeneratorOptions{})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := core.Fraction(pool.Addrs, attack.IsAttackerAddr); f != 1.0/3 {
+			b.Fatalf("fraction = %v", f)
+		}
+	}
+}
+
+// BenchmarkE3Probability measures the analytical machinery of Section
+// III-b: required count, paper formula, exact binomial tail and one
+// simulated plan, across the full (N, p) sweep of experiment E3.
+func BenchmarkE3Probability(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
+			for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+				m, err := analysis.RequiredResolverCount(n, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := analysis.PaperSuccessProbability(p, n, 0.5); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := analysis.BinomialTail(n, m, p); err != nil {
+					b.Fatal(err)
+				}
+				_ = attack.BernoulliPlan(n, p, rng).CountCompromised()
+			}
+		}
+	}
+}
+
+// BenchmarkE4OffPath measures one pool generation while an off-path
+// attacker races every resolver path.
+func BenchmarkE4OffPath(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{
+		Adversary:            testbed.AdversaryOffPath,
+		OffPathProb:          0.3,
+		Plan:                 attack.FixedPlan(3, 0, 1, 2),
+		DisableResolverCache: true,
+	})
+	gen := benchGenerator(b, tb, testbed.GeneratorOptions{})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Truncation measures pool generation under the response-
+// inflation attack (the attacker's answer carries 100 records that
+// truncation must discard).
+func BenchmarkE5Truncation(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{
+		Adversary: testbed.AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 0),
+		Payload:   attack.PayloadInflate,
+	})
+	gen := benchGenerator(b, tb, testbed.GeneratorOptions{})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pool.TruncateLength != 4 {
+			b.Fatalf("K = %d", pool.TruncateLength)
+		}
+	}
+}
+
+// BenchmarkE6Duplicates measures the duplicate-preserving combination
+// against the deduplicating ablation on a large synthetic pool.
+func BenchmarkE6Duplicates(b *testing.B) {
+	lists := make([][]netip.Addr, 15)
+	for i := range lists {
+		lists[i] = make([]netip.Addr, 64)
+		for j := range lists[i] {
+			lists[i][j] = netip.AddrFrom4([4]byte{192, 0, 2, byte(j % 32)})
+		}
+	}
+	b.Run("combine-keep-duplicates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool, err := core.GeneratePool(lists)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pool) == 0 {
+				b.Fatal("empty pool")
+			}
+		}
+	})
+	b.Run("dedupe-ablation", func(b *testing.B) {
+		pool, err := core.GeneratePool(lists)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := core.Dedupe(pool); len(got) == 0 {
+				b.Fatal("empty dedupe")
+			}
+		}
+	})
+}
+
+// BenchmarkE7Chronos measures one Chronos poll (6 SNTP exchanges plus
+// crop/agreement evaluation) over a DoH-generated pool.
+func BenchmarkE7Chronos(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{PoolSize: 9})
+	fleet, err := testbed.StartNTPFleet(testbed.NTPFleetConfig{BenignAddrs: tb.BenignAddrs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = fleet.Close() })
+	gen := benchGenerator(b, tb, testbed.GeneratorOptions{})
+	ctx := benchCtx(b)
+	pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := chronos.New(chronos.Config{Pool: pool.Addrs, Sampler: fleet, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Poll(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Majority measures the majority vote over synthetic answer
+// lists of realistic size.
+func BenchmarkE8Majority(b *testing.B) {
+	lists := make([][]netip.Addr, 15)
+	for i := range lists {
+		lists[i] = make([]netip.Addr, 16)
+		for j := range lists[i] {
+			lists[i][j] = netip.AddrFrom4([4]byte{192, 0, 2, byte((i + j) % 24)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.MajorityFilter(lists); len(got) == 0 {
+			b.Fatal("empty majority")
+		}
+	}
+}
+
+// BenchmarkE9Overhead sweeps pool-generation latency over N resolvers,
+// concurrent vs sequential (ablation A3), plus the plain-DNS baseline.
+func BenchmarkE9Overhead(b *testing.B) {
+	b.Run("plain-dns-baseline", func(b *testing.B) {
+		tb := benchTestbed(b, testbed.Config{})
+		udp := &transport.UDP{}
+		ctx := benchCtx(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := udp.Exchange(ctx, q, tb.Auth[0].Addr()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 3, 5, 9} {
+		for _, mode := range []struct {
+			name string
+			seq  bool
+		}{{"concurrent", false}, {"sequential", true}} {
+			if n == 1 && mode.seq {
+				continue
+			}
+			b.Run("N="+itoa(n)+"/"+mode.name, func(b *testing.B) {
+				tb := benchTestbed(b, testbed.Config{Resolvers: n})
+				gen := benchGenerator(b, tb, testbed.GeneratorOptions{Sequential: mode.seq})
+				ctx := benchCtx(b)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- micro-benchmarks on the hot paths --------------------------------
+
+// BenchmarkWireEncode measures DNS message encoding with compression.
+func BenchmarkWireEncode(b *testing.B) {
+	msg := &dnswire.Message{Header: dnswire.Header{ID: 1, Response: true}}
+	msg.Questions = []dnswire.Question{{Name: "pool.ntp.org.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+	for i := 0; i < 8; i++ {
+		msg.Answers = append(msg.Answers, dnswire.AddressRecord(
+			"pool.ntp.org.", netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}), 150))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode measures DNS message decoding.
+func BenchmarkWireDecode(b *testing.B) {
+	msg := &dnswire.Message{Header: dnswire.Header{ID: 1, Response: true}}
+	msg.Questions = []dnswire.Question{{Name: "pool.ntp.org.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+	for i := 0; i < 8; i++ {
+		msg.Answers = append(msg.Answers, dnswire.AddressRecord(
+			"pool.ntp.org.", netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}), 150))
+	}
+	wire, err := msg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratePool measures the pure Algorithm 1 core.
+func BenchmarkGeneratePool(b *testing.B) {
+	lists := make([][]netip.Addr, 15)
+	for i := range lists {
+		lists[i] = make([]netip.Addr, 4+i%3)
+		for j := range lists[i] {
+			lists[i][j] = netip.AddrFrom4([4]byte{192, 0, 2, byte(i*8 + j)})
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GeneratePool(lists); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoHExchange measures one RFC 8484 exchange over TLS loopback.
+func BenchmarkDoHExchange(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{Resolvers: 1})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Client.Query(ctx, tb.Endpoints[0].URL, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,113 @@
+// Command dohpoold is the deployable form of the paper's proposal: a
+// standard-compatible DNS resolver daemon whose every answer is a secure
+// server pool generated through distributed DoH resolvers (Algorithm 1).
+// Legacy applications point their stub resolver at it and need no changes.
+//
+// Usage:
+//
+//	dohpoold -listen 127.0.0.1:5353 \
+//	  -resolver https://dns.google/dns-query \
+//	  -resolver https://cloudflare-dns.com/dns-query \
+//	  -resolver https://dns.quad9.net/dns-query
+//
+// Flags:
+//
+//	-listen     UDP address for the plain-DNS front-end
+//	-resolver   DoH endpoint URL (repeat ≥ 3 times)
+//	-quorum     resolvers that must answer (0 = all)
+//	-majority   answer only majority-confirmed addresses
+//	-timeout    per-resolver query timeout
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dohpool"
+	"dohpool/internal/testpki"
+)
+
+// resolverList collects repeated -resolver flags.
+type resolverList []string
+
+func (r *resolverList) String() string { return fmt.Sprint(*r) }
+
+func (r *resolverList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dohpoold:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dohpoold", flag.ContinueOnError)
+	var resolvers resolverList
+	var (
+		listen   = fs.String("listen", "127.0.0.1:5353", "UDP listen address for the DNS front-end")
+		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
+		majority = fs.Bool("majority", false, "answer only majority-confirmed addresses")
+		timeout  = fs.Duration("timeout", 4*time.Second, "per-resolver query timeout")
+	)
+	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
+	fs.Var(&resolvers, "resolver", "DoH endpoint URL (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(resolvers) == 0 {
+		return fmt.Errorf("at least one -resolver is required (the security analysis wants >= 3)")
+	}
+	if len(resolvers) < 3 {
+		fmt.Fprintf(os.Stderr, "warning: only %d resolver(s); the paper's analysis assumes >= 3\n", len(resolvers))
+	}
+
+	cfg := dohpool.Config{
+		MinResolvers: *quorum,
+		WithMajority: *majority,
+		QueryTimeout: *timeout,
+	}
+	if *caFile != "" {
+		pemBytes, err := os.ReadFile(*caFile)
+		if err != nil {
+			return fmt.Errorf("read -ca file: %w", err)
+		}
+		pool, err := testpki.PoolFromPEM(pemBytes)
+		if err != nil {
+			return fmt.Errorf("parse -ca file: %w", err)
+		}
+		cfg.TLSConfig = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	}
+	for i, url := range resolvers {
+		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{
+			Name: fmt.Sprintf("resolver-%d", i),
+			URL:  url,
+		})
+	}
+	client, err := dohpool.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	frontend, err := client.Serve(*listen)
+	if err != nil {
+		return err
+	}
+	defer frontend.Close()
+	fmt.Printf("dohpoold: serving consensus-backed DNS on %s via %d DoH resolvers\n",
+		frontend.Addr(), client.ResolverCount())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("dohpoold: shutting down after %d served queries\n", frontend.Served())
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresResolvers(t *testing.T) {
+	err := run(nil)
+	if err == nil {
+		t.Fatal("run without resolvers succeeded")
+	}
+	if !strings.Contains(err.Error(), "-resolver") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestResolverListAccumulates(t *testing.T) {
+	var rl resolverList
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if err := rl.Set(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rl) != 3 {
+		t.Fatalf("len = %d", len(rl))
+	}
+}

@@ -1,0 +1,121 @@
+// Command dohquery performs one secure pool lookup through a set of DoH
+// resolvers and prints the combined pool: a dig-like one-shot interface
+// to Algorithm 1.
+//
+// Usage:
+//
+//	dohquery -resolver https://dns.google/dns-query \
+//	         -resolver https://cloudflare-dns.com/dns-query \
+//	         -resolver https://dns.quad9.net/dns-query \
+//	         pool.ntp.org
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dohpool"
+	"dohpool/internal/testpki"
+)
+
+type resolverList []string
+
+func (r *resolverList) String() string { return fmt.Sprint(*r) }
+
+func (r *resolverList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dohquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dohquery", flag.ContinueOnError)
+	var resolvers resolverList
+	var (
+		ipv6     = fs.Bool("6", false, "query AAAA instead of A")
+		majority = fs.Bool("majority", false, "also print the majority-filtered set")
+		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "overall lookup timeout")
+		useGET   = fs.Bool("get", false, "use RFC 8484 GET instead of POST")
+	)
+	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
+	fs.Var(&resolvers, "resolver", "DoH endpoint URL (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dohquery [flags] <domain>")
+	}
+	domain := fs.Arg(0)
+	if len(resolvers) == 0 {
+		return fmt.Errorf("at least one -resolver is required")
+	}
+
+	cfg := dohpool.Config{
+		MinResolvers: *quorum,
+		WithMajority: *majority,
+		UseGET:       *useGET,
+	}
+	if *caFile != "" {
+		pemBytes, err := os.ReadFile(*caFile)
+		if err != nil {
+			return fmt.Errorf("read -ca file: %w", err)
+		}
+		pool, err := testpki.PoolFromPEM(pemBytes)
+		if err != nil {
+			return fmt.Errorf("parse -ca file: %w", err)
+		}
+		cfg.TLSConfig = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	}
+	for i, url := range resolvers {
+		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{
+			Name: fmt.Sprintf("resolver-%d", i),
+			URL:  url,
+		})
+	}
+	client, err := dohpool.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	lookup := client.LookupPool
+	if *ipv6 {
+		lookup = client.LookupPoolIPv6
+	}
+	pool, err := lookup(ctx, domain)
+	if err != nil {
+		return err
+	}
+
+	for _, pr := range pool.PerResolver {
+		if pr.Err != nil {
+			fmt.Printf(";; %-12s FAILED: %v\n", pr.Resolver.Name, pr.Err)
+			continue
+		}
+		fmt.Printf(";; %-12s %2d answers in %v\n",
+			pr.Resolver.Name, len(pr.Addrs), pr.RTT.Round(time.Millisecond))
+	}
+	fmt.Printf(";; truncate length K = %d, pool size = %d\n", pool.TruncateLength, len(pool.Addrs))
+	for _, a := range pool.Addrs {
+		fmt.Println(a)
+	}
+	if *majority {
+		fmt.Printf(";; majority-confirmed (%d):\n", len(pool.Majority))
+		for _, a := range pool.Majority {
+			fmt.Println(a)
+		}
+	}
+	return nil
+}

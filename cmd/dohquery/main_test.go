@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dohpool/internal/testbed"
+)
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no domain", []string{"-resolver", "https://x/dns-query"}, "usage"},
+		{"two domains", []string{"-resolver", "https://x/dns-query", "a.test", "b.test"}, "usage"},
+		{"no resolver", []string{"pool.ntp.org"}, "-resolver"},
+		{"bad flag", []string{"-bogus"}, "not defined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil {
+				t.Fatal("run succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestResolverListFlag(t *testing.T) {
+	var rl resolverList
+	if err := rl.Set("https://a/dns-query"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Set("https://b/dns-query"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rl) != 2 {
+		t.Fatalf("list = %v", rl)
+	}
+	if rl.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunAgainstDeadResolverFails(t *testing.T) {
+	err := run([]string{
+		"-resolver", "https://127.0.0.1:1/dns-query",
+		"-timeout", "300ms",
+		"pool.ntp.test",
+	})
+	if err == nil {
+		t.Fatal("lookup against dead resolver succeeded")
+	}
+}
+
+func TestRunAgainstTestbedWithCA(t *testing.T) {
+	tb, err := testbed.Start(testbed.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tb.Close() })
+
+	caPath := filepath.Join(t.TempDir(), "ca.pem")
+	if err := os.WriteFile(caPath, tb.CA.CertPEM(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{"-ca", caPath, "-majority"}
+	for _, ep := range tb.Endpoints {
+		args = append(args, "-resolver", ep.URL)
+	}
+	args = append(args, tb.Domain())
+	if err := run(args); err != nil {
+		t.Fatalf("dohquery against testbed: %v", err)
+	}
+}
+
+func TestRunRejectsBadCAFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "junk.pem")
+	if err := os.WriteFile(bad, []byte("not a cert"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-ca", bad, "-resolver", "https://x/dns-query", "d.test"})
+	if err == nil || !strings.Contains(err.Error(), "parse -ca") {
+		t.Fatalf("err = %v", err)
+	}
+	err = run([]string{"-ca", "/no/such/file", "-resolver", "https://x/dns-query", "d.test"})
+	if err == nil || !strings.Contains(err.Error(), "read -ca") {
+		t.Fatalf("err = %v", err)
+	}
+}

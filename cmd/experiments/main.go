@@ -1,0 +1,86 @@
+// Command experiments regenerates every evaluation artefact of the paper
+// (see DESIGN.md's experiment index) against the loopback testbed and
+// prints the resulting tables.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run E3,E5      # run a subset
+//	experiments -trials 5000    # more Monte-Carlo precision
+//	experiments -markdown       # emit EXPERIMENTS.md-ready markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dohpool/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList        = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials         = fs.Int("trials", 2000, "Monte-Carlo trials per data point")
+		pipelineTrials = fs.Int("pipeline-trials", 300, "Monte-Carlo trials over the real testbed")
+		seed           = fs.Int64("seed", 20201019, "random seed")
+		markdown       = fs.Bool("markdown", false, "emit markdown tables")
+		csv            = fs.Bool("csv", false, "emit CSV tables (for plotting)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runList, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	opts := experiments.Options{
+		Trials:         *trials,
+		PipelineTrials: *pipelineTrials,
+		Seed:           *seed,
+	}
+
+	failures := 0
+	for _, runner := range experiments.All() {
+		if len(want) > 0 && !want[runner.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := runner.Run(opts)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if table != nil {
+			switch {
+			case *csv:
+				fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+			case *markdown:
+				fmt.Println(table.Markdown())
+			default:
+				fmt.Println(table.Render())
+			}
+		}
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "%s FAILED (%v): %v\n\n", runner.ID, elapsed, err)
+			continue
+		}
+		fmt.Printf("%s ok (%v)\n\n", runner.ID, elapsed)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E1 is fast and exercises the whole printing path.
+	if err := run([]string{"-run", "E1", "-trials", "50", "-pipeline-trials", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdownMode(t *testing.T) {
+	if err := run([]string{"-run", "e5", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	// Unknown ids select nothing; that is not an error.
+	if err := run([]string{"-run", "E99"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-trials", "NaN"}); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+}

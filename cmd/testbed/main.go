@@ -1,0 +1,124 @@
+// Command testbed starts the complete Figure 1 deployment on loopback —
+// authoritative pool nameservers, N DoH resolvers with individual TLS
+// identities, and optionally a configured adversary — then prints the
+// endpoints so dohquery/dohpoold (or your own client) can be pointed at
+// it. It runs until interrupted.
+//
+// Usage:
+//
+//	testbed -resolvers 5 -adversary resolver -compromised 0,1
+//
+// Note: the testbed uses a private CA, so external clients must skip
+// verification or be handed the CA; the in-repo tools connect through the
+// library which trusts it automatically when run from examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	var (
+		resolvers   = fs.Int("resolvers", 3, "number of DoH resolvers (N)")
+		authServers = fs.Int("auth", 3, "number of authoritative nameservers")
+		poolSize    = fs.Int("pool", 8, "benign addresses in the pool RRset")
+		maxAnswers  = fs.Int("max-answers", 4, "answers per query (pool.ntp.org style)")
+		adversary   = fs.String("adversary", "none", "none | resolver | onpath | offpath")
+		compromised = fs.String("compromised", "", "comma-separated compromised resolver indices")
+		offPathProb = fs.Float64("offpath-prob", 0.5, "off-path per-query success probability")
+		payload     = fs.String("payload", "replace", "replace | inflate | empty")
+		caOut       = fs.String("ca-out", "", "write the testbed CA certificate (PEM) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := testbed.Config{
+		Resolvers:   *resolvers,
+		AuthServers: *authServers,
+		PoolSize:    *poolSize,
+		MaxAnswers:  *maxAnswers,
+		OffPathProb: *offPathProb,
+	}
+	switch *adversary {
+	case "none":
+		cfg.Adversary = testbed.AdversaryNone
+	case "resolver":
+		cfg.Adversary = testbed.AdversaryResolver
+	case "onpath":
+		cfg.Adversary = testbed.AdversaryOnPath
+	case "offpath":
+		cfg.Adversary = testbed.AdversaryOffPath
+	default:
+		return fmt.Errorf("unknown adversary %q", *adversary)
+	}
+	switch *payload {
+	case "replace":
+		cfg.Payload = attack.PayloadReplace
+	case "inflate":
+		cfg.Payload = attack.PayloadInflate
+	case "empty":
+		cfg.Payload = attack.PayloadEmpty
+	default:
+		return fmt.Errorf("unknown payload %q", *payload)
+	}
+	if *compromised != "" {
+		var idx []int
+		for _, s := range strings.Split(*compromised, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -compromised entry %q: %v", s, err)
+			}
+			idx = append(idx, i)
+		}
+		cfg.Plan = attack.FixedPlan(*resolvers, idx...)
+	}
+
+	tb, err := testbed.Start(cfg)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	if *caOut != "" {
+		if err := os.WriteFile(*caOut, tb.CA.CertPEM(), 0o644); err != nil {
+			return fmt.Errorf("write -ca-out: %w", err)
+		}
+		fmt.Printf("testbed: CA certificate written to %s (pass via dohquery -ca)\n", *caOut)
+	}
+	fmt.Printf("testbed: pool domain %s (%d addresses, %d per answer)\n",
+		tb.Domain(), *poolSize, *maxAnswers)
+	for i, srv := range tb.Auth {
+		fmt.Printf("  authoritative[%d]  %s (udp+tcp)\n", i, srv.Addr())
+	}
+	for i, ep := range tb.Endpoints {
+		marker := ""
+		if cfg.Plan.Compromised(i) {
+			marker = "  [" + *adversary + " adversary]"
+		}
+		fmt.Printf("  doh resolver[%d]   %s%s\n", i, ep.URL, marker)
+	}
+	fmt.Println("testbed: running — interrupt to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}

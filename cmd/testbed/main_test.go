@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad adversary", []string{"-adversary", "martian"}, "unknown adversary"},
+		{"bad payload", []string{"-payload", "glitter"}, "unknown payload"},
+		{"bad compromised", []string{"-compromised", "zero,one"}, "bad -compromised"},
+		{"bad flag", []string{"-frobnicate"}, "not defined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil {
+				t.Fatal("run succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}

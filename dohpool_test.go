@@ -1,0 +1,230 @@
+package dohpool
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+	"dohpool/internal/transport"
+)
+
+// startTB boots a Figure 1 testbed and returns a public Client over it.
+func startTB(t *testing.T, cfg testbed.Config, clientCfg Config) (*testbed.Testbed, *Client) {
+	t.Helper()
+	tb, err := testbed.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tb.Close() })
+
+	clientCfg.TLSConfig = tb.CA.ClientTLS()
+	if clientCfg.Resolvers == nil {
+		for _, ep := range tb.Endpoints {
+			clientCfg.Resolvers = append(clientCfg.Resolvers, Resolver{Name: ep.Name, URL: ep.URL})
+		}
+	}
+	client, err := New(clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, client
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoResolvers) {
+		t.Errorf("empty config: %v", err)
+	}
+	if _, err := New(Config{Resolvers: []Resolver{{Name: "x"}}}); err == nil {
+		t.Error("resolver without URL accepted")
+	}
+}
+
+func TestLookupPoolEndToEnd(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{})
+	if client.ResolverCount() != 3 {
+		t.Fatalf("N = %d", client.ResolverCount())
+	}
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TruncateLength != 4 || len(pool.Addrs) != 12 {
+		t.Fatalf("K=%d |pool|=%d, want 4/12", pool.TruncateLength, len(pool.Addrs))
+	}
+	if len(pool.PerResolver) != 3 {
+		t.Fatalf("PerResolver = %d", len(pool.PerResolver))
+	}
+	for _, pr := range pool.PerResolver {
+		if pr.Err != nil {
+			t.Errorf("resolver %s: %v", pr.Resolver.Name, pr.Err)
+		}
+		if pr.RTT <= 0 {
+			t.Errorf("resolver %s: RTT %v", pr.Resolver.Name, pr.RTT)
+		}
+	}
+}
+
+func TestLookupPoolWithMajority(t *testing.T) {
+	tb, client := startTB(t,
+		testbed.Config{
+			Adversary: testbed.AdversaryResolver,
+			Plan:      attack.FixedPlan(3, 0),
+		},
+		Config{WithMajority: true})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range pool.Majority {
+		if attack.IsAttackerAddr(a) {
+			t.Fatalf("attacker address %v passed majority filter", a)
+		}
+	}
+	if len(pool.Majority) == 0 {
+		t.Fatal("majority filter removed everything")
+	}
+}
+
+func TestPoolIsACopy(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned pool must not corrupt later lookups.
+	for i := range pool.Addrs {
+		pool.Addrs[i] = attack.AttackerAddr(0)
+	}
+	pool2, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range pool2.Addrs {
+		if attack.IsAttackerAddr(a) {
+			t.Fatal("pools share storage")
+		}
+	}
+}
+
+func TestServeFrontend(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{})
+	fe, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	// A legacy stub resolver (plain UDP DNS) queries the frontend.
+	query, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&transport.UDP{}).Exchange(testCtx(t), query, fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.AnswerAddrs()); got != 12 {
+		t.Fatalf("frontend answered %d addrs, want the 12-entry pool", got)
+	}
+	if fe.Served() != 1 {
+		t.Errorf("Served = %d", fe.Served())
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := net.ResolveUDPAddr("udp", fe.Addr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuorumSurfacedThroughFacade(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{})
+	// Kill one DoH server, strict quorum must fail with ErrQuorum.
+	if err := tb.DoH[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.LookupPool(testCtx(t), tb.Domain())
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum", err)
+	}
+}
+
+func TestEmptyAnswerSurfacedThroughFacade(t *testing.T) {
+	tb, client := startTB(t,
+		testbed.Config{
+			Adversary: testbed.AdversaryResolver,
+			Plan:      attack.FixedPlan(3, 1),
+			Payload:   attack.PayloadEmpty,
+		}, Config{})
+	_, err := client.LookupPool(testCtx(t), tb.Domain())
+	if !errors.Is(err, ErrEmptyAnswer) {
+		t.Fatalf("err = %v, want ErrEmptyAnswer", err)
+	}
+}
+
+func TestDualStackFacade(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{DualStack: DualStackIndividual})
+	// The testbed zone has no AAAA records; dual-stack must fall back to
+	// the v4 pool.
+	pool, err := client.LookupPoolDualStack(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 12 {
+		t.Fatalf("dual-stack pool = %d", len(pool.Addrs))
+	}
+	// Direct IPv6 lookup fails (empty answers → ErrEmptyAnswer).
+	if _, err := client.LookupPoolIPv6(testCtx(t), tb.Domain()); !errors.Is(err, ErrEmptyAnswer) {
+		t.Fatalf("v6 lookup: %v", err)
+	}
+}
+
+func TestGETMethodWorks(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{UseGET: true})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 12 {
+		t.Fatalf("pool = %d", len(pool.Addrs))
+	}
+}
+
+func TestRecommendResolverCount(t *testing.T) {
+	n, err := RecommendResolverCount(0.1, 0.5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("N = %d, want 9", n)
+	}
+	if _, err := RecommendResolverCount(0.6, 0.5, 0.01); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+func TestPaddingThroughFacade(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{UsePadding: true})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 12 {
+		t.Fatalf("padded lookup pool = %d", len(pool.Addrs))
+	}
+}

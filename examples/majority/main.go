@@ -1,0 +1,107 @@
+// Majority filter: pool generation for applications WITHOUT built-in
+// tolerance of malicious servers.
+//
+// Chronos can digest a pool with a bad minority, so plain Algorithm 1
+// suffices for it. Applications that must trust every address (the
+// paper's Section II mentions classic majority voting for this case) can
+// enable the majority filter: an address enters the final answer only if
+// more than half of the DoH resolvers returned it.
+//
+// The example runs N=5 resolvers with two fully compromised; the forged
+// addresses appear in the combined pool (bounded at 2/5 by truncation)
+// but are eliminated from the majority-confirmed set. It also starts the
+// backward-compatible DNS front-end and queries it with a plain stub
+// resolver, demonstrating the zero-change integration path.
+//
+// Run with: go run ./examples/majority
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dohpool"
+	"dohpool/internal/attack"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+	"dohpool/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tb, err := testbed.Start(testbed.Config{
+		Resolvers: 5,
+		Adversary: testbed.AdversaryResolver,
+		Plan:      attack.FixedPlan(5, 1, 3), // resolvers 1 and 3 compromised
+		// Return the full RRset per query: with pool.ntp.org-style
+		// rotation the benign vote would split across subsets (the A4
+		// availability trade-off shown in experiment E8).
+		MaxAnswers: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	cfg := dohpool.Config{
+		TLSConfig:    tb.CA.ClientTLS(),
+		WithMajority: true,
+	}
+	for _, ep := range tb.Endpoints {
+		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})
+	}
+	client, err := dohpool.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pool, err := client.LookupPool(ctx, tb.Domain())
+	if err != nil {
+		return err
+	}
+
+	forged := 0
+	for _, a := range pool.Addrs {
+		if attack.IsAttackerAddr(a) {
+			forged++
+		}
+	}
+	fmt.Printf("combined pool: %d entries, %d forged (fraction %.2f — the attacker's resolver share)\n",
+		len(pool.Addrs), forged, float64(forged)/float64(len(pool.Addrs)))
+
+	fmt.Printf("majority-confirmed set (%d entries):\n", len(pool.Majority))
+	for _, a := range pool.Majority {
+		marker := ""
+		if attack.IsAttackerAddr(a) {
+			marker = "  <-- FORGED (must never happen)"
+		}
+		fmt.Printf("  %v%s\n", a, marker)
+	}
+
+	// Legacy integration: a plain stub resolver queries the front-end.
+	frontend, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer frontend.Close()
+	query, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		return err
+	}
+	resp, err := (&transport.UDP{}).Exchange(ctx, query, frontend.Addr())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlegacy stub query to DNS front-end %s answered %d majority-confirmed addresses\n",
+		frontend.Addr(), len(resp.AnswerAddrs()))
+	return nil
+}

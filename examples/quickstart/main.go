@@ -1,0 +1,63 @@
+// Quickstart: generate a consensus-backed server pool with Algorithm 1.
+//
+// The example boots a self-contained Figure 1 testbed on loopback (three
+// authoritative pool nameservers, three DoH resolvers) so it runs without
+// network access, then uses the public dohpool API exactly as a real
+// deployment would use dns.google / cloudflare-dns.com / dns.quad9.net.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dohpool"
+	"dohpool/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Boot a local stand-in for the public DoH resolver ecosystem.
+	tb, err := testbed.Start(testbed.Config{})
+	if err != nil {
+		return fmt.Errorf("start testbed: %w", err)
+	}
+	defer tb.Close()
+
+	// The public API: three distributed DoH resolvers, strict quorum.
+	cfg := dohpool.Config{TLSConfig: tb.CA.ClientTLS()}
+	for _, ep := range tb.Endpoints {
+		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})
+	}
+	client, err := dohpool.New(cfg)
+	if err != nil {
+		return fmt.Errorf("build client: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pool, err := client.LookupPool(ctx, tb.Domain())
+	if err != nil {
+		return fmt.Errorf("lookup pool: %w", err)
+	}
+
+	fmt.Printf("queried %d DoH resolvers for %s\n", client.ResolverCount(), tb.Domain())
+	for _, pr := range pool.PerResolver {
+		fmt.Printf("  %-12s %d answers in %v\n",
+			pr.Resolver.Name, len(pr.Addrs), pr.RTT.Round(time.Millisecond))
+	}
+	fmt.Printf("truncate length K = %d (shortest list)\n", pool.TruncateLength)
+	fmt.Printf("combined pool (%d entries, duplicates count individually):\n", len(pool.Addrs))
+	for i, addr := range pool.Addrs {
+		fmt.Printf("  [resolver %d] %v\n", i/pool.TruncateLength, addr)
+	}
+	return nil
+}

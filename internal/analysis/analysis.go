@@ -1,0 +1,205 @@
+// Package analysis reproduces the paper's Section III security analysis:
+// the fraction bound x ≥ y (III-a) and the attack-success probability
+// p^⌈xN⌉ for independently attackable resolvers (III-b), together with
+// the exact binomial tail and Monte-Carlo estimation helpers used to
+// validate the analytical claims against the real pipeline.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Argument errors.
+var (
+	// ErrBadProbability reports a probability outside [0, 1].
+	ErrBadProbability = errors.New("probability outside [0,1]")
+	// ErrBadFraction reports a fraction outside (0, 1].
+	ErrBadFraction = errors.New("fraction outside (0,1]")
+	// ErrBadCount reports a non-positive count.
+	ErrBadCount = errors.New("count must be positive")
+)
+
+// RequiredResolverFraction returns x, the minimum fraction of DoH
+// resolvers an attacker must control to own a fraction y of the generated
+// pool. Section III-a: every resolver contributes exactly K of the N·K
+// pool entries, so yK ≤ xK forces x ≥ y.
+func RequiredResolverFraction(y float64) (float64, error) {
+	if y <= 0 || y > 1 {
+		return 0, fmt.Errorf("y = %v: %w", y, ErrBadFraction)
+	}
+	return y, nil
+}
+
+// RequiredResolverCount returns M = ⌈xN⌉, the number of resolvers the
+// attacker must compromise out of N to reach pool fraction x.
+func RequiredResolverCount(n int, x float64) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrBadCount)
+	}
+	if x <= 0 || x > 1 {
+		return 0, fmt.Errorf("x = %v: %w", x, ErrBadFraction)
+	}
+	m := int(math.Ceil(x * float64(n)))
+	if m < 1 {
+		m = 1
+	}
+	return m, nil
+}
+
+// PaperSuccessProbability is the paper's headline formula: the attacker
+// succeeds with probability p^M, M = ⌈xN⌉ — the probability that all M
+// targeted resolvers fall. This models an attacker who needs M specific
+// successes and treats additional compromises as irrelevant; it is the
+// quantity Section III-b reports (e.g. N=3, x≥2/3 ⇒ p²).
+func PaperSuccessProbability(p float64, n int, x float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	m, err := RequiredResolverCount(n, x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Pow(p, float64(m)), nil
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p), computed in log
+// space for numerical stability at large n.
+func BinomialPMF(n, k int, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	if n < 0 || k < 0 || k > n {
+		return 0, nil
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if p == 1 {
+		if k == n {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	logC := logChoose(n, k)
+	logP := logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logP), nil
+}
+
+// BinomialTail returns P(X ≥ m) for X ~ Binomial(n, p): the exact
+// probability that an attacker compromising each of n resolvers
+// independently with probability p ends up controlling at least m of
+// them. This is the rigorous counterpart of PaperSuccessProbability when
+// the attacker attacks *all* resolvers rather than a targeted subset.
+func BinomialTail(n, m int, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrBadCount)
+	}
+	if m <= 0 {
+		return 1, nil
+	}
+	if m > n {
+		return 0, nil
+	}
+	total := 0.0
+	for k := m; k <= n; k++ {
+		pmf, err := BinomialPMF(n, k, p)
+		if err != nil {
+			return 0, err
+		}
+		total += pmf
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return lgN - lgK - lgNK
+}
+
+// SecurityGainBits expresses the paper's "asymptotic advantage like
+// increasing a key size": the negative log2 of the attack probability.
+// Doubling N (at fixed x, p) adds proportionally many bits.
+func SecurityGainBits(p float64, n int, x float64) (float64, error) {
+	prob, err := PaperSuccessProbability(p, n, x)
+	if err != nil {
+		return 0, err
+	}
+	if prob == 0 {
+		return math.Inf(1), nil
+	}
+	return -math.Log2(prob), nil
+}
+
+// Estimate is a Monte-Carlo estimate with its Wilson 95% confidence
+// interval.
+type Estimate struct {
+	Successes int
+	Trials    int
+	Rate      float64
+	Low       float64 // Wilson interval lower bound
+	High      float64 // Wilson interval upper bound
+}
+
+// String renders the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", e.Rate, e.Low, e.High, e.Successes, e.Trials)
+}
+
+// NewEstimate computes the rate and Wilson 95% interval for successes out
+// of trials.
+func NewEstimate(successes, trials int) (Estimate, error) {
+	if trials <= 0 {
+		return Estimate{}, fmt.Errorf("trials = %d: %w", trials, ErrBadCount)
+	}
+	if successes < 0 || successes > trials {
+		return Estimate{}, fmt.Errorf("successes = %d of %d: %w", successes, trials, ErrBadCount)
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the normal
+	n := float64(trials)
+	pHat := float64(successes) / n
+	denom := 1 + z*z/n
+	centre := pHat + z*z/(2*n)
+	margin := z * math.Sqrt(pHat*(1-pHat)/n+z*z/(4*n*n))
+	low := (centre - margin) / denom
+	high := (centre + margin) / denom
+	if low < 0 {
+		low = 0
+	}
+	if high > 1 {
+		high = 1
+	}
+	return Estimate{Successes: successes, Trials: trials, Rate: pHat, Low: low, High: high}, nil
+}
+
+// MonteCarlo runs trial() the given number of times and estimates the
+// success probability. trial errors abort the run.
+func MonteCarlo(trials int, trial func(i int) (bool, error)) (Estimate, error) {
+	if trials <= 0 {
+		return Estimate{}, fmt.Errorf("trials = %d: %w", trials, ErrBadCount)
+	}
+	successes := 0
+	for i := 0; i < trials; i++ {
+		ok, err := trial(i)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if ok {
+			successes++
+		}
+	}
+	return NewEstimate(successes, trials)
+}

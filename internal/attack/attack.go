@@ -1,0 +1,328 @@
+// Package attack implements the adversary models of the paper's threat
+// analysis (Section III) and of the companion attack paper "The Impact of
+// DNS Insecurity on Time" [1]:
+//
+//   - a fully compromised DoH resolver (the attacker controls the
+//     resolver or its operator),
+//   - an on-path man-in-the-middle controlling some of the paths between
+//     a resolver and the authoritative servers,
+//   - an off-path attacker racing genuine responses with blind spoofing,
+//     succeeding per attempt with a configurable probability,
+//   - the response-inflation payload used against Chronos (more addresses
+//     than usual, to overwhelm the pool) and the empty-answer payload
+//     (truncation-driven DoS).
+//
+// All adversaries are wrappers around the transport.Exchanger or
+// doh.QueryResponder interposition points, so the very same client/
+// resolver/server binaries run attacked and unattacked.
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
+	"dohpool/internal/transport"
+)
+
+// AttackerNet is the prefix all forged addresses are drawn from
+// (198.18.0.0/15, the RFC 2544 benchmarking range). Experiments count
+// attacker-controlled pool entries by membership in this prefix.
+var AttackerNet = netip.MustParsePrefix("198.18.0.0/15")
+
+// IsAttackerAddr reports whether addr belongs to the attacker.
+func IsAttackerAddr(addr netip.Addr) bool {
+	return addr.Is4() && AttackerNet.Contains(addr)
+}
+
+// AttackerAddr returns the i-th attacker-controlled IPv4 address.
+func AttackerAddr(i int) netip.Addr {
+	// 198.18.0.0/15 gives 2^17 host addresses; keep i within range.
+	i = i % (1 << 16)
+	base := AttackerNet.Addr().As4()
+	base[2] = byte(i >> 8)
+	base[3] = byte(i)
+	return netip.AddrFrom4(base)
+}
+
+// AttackerAddrs returns n distinct attacker-controlled addresses.
+func AttackerAddrs(n int) []netip.Addr {
+	addrs := make([]netip.Addr, n)
+	for i := range addrs {
+		addrs[i] = AttackerAddr(i)
+	}
+	return addrs
+}
+
+// Payload selects what a successful attacker injects.
+type Payload int
+
+// Injection payloads.
+const (
+	// PayloadReplace substitutes attacker addresses for the genuine
+	// answer, matching its length — the classic poisoning goal.
+	PayloadReplace Payload = iota + 1
+	// PayloadInflate injects many more addresses than a genuine response
+	// carries, the attack that overwhelmed Chronos' pool in [1].
+	PayloadInflate
+	// PayloadEmpty injects a NOERROR answer with zero records, the DoS
+	// counterpart of truncation discussed in the paper's footnote 2.
+	PayloadEmpty
+)
+
+// String returns the payload name.
+func (p Payload) String() string {
+	switch p {
+	case PayloadReplace:
+		return "replace"
+	case PayloadInflate:
+		return "inflate"
+	case PayloadEmpty:
+		return "empty"
+	default:
+		return fmt.Sprintf("payload(%d)", int(p))
+	}
+}
+
+// InflateCount is how many records PayloadInflate injects.
+const InflateCount = 100
+
+// Forger builds forged responses for a target domain.
+type Forger struct {
+	// Target is the domain under attack; queries for other names pass
+	// through untouched.
+	Target string
+	// Payload selects the injection strategy.
+	Payload Payload
+	// TTL stamps forged records (default 300).
+	TTL uint32
+
+	mu   sync.Mutex
+	next int // cursor into the attacker address space
+}
+
+// NewForger builds a Forger for the target domain.
+func NewForger(target string, payload Payload) *Forger {
+	return &Forger{Target: dnswire.CanonicalName(target), Payload: payload, TTL: 300}
+}
+
+// Matches reports whether the query is for the attack target.
+func (f *Forger) Matches(query *dnswire.Message) bool {
+	if len(query.Questions) == 0 {
+		return false
+	}
+	q := query.Questions[0]
+	if q.Type != dnswire.TypeA && q.Type != dnswire.TypeAAAA {
+		return false
+	}
+	return dnswire.IsSubdomain(q.Name, f.Target)
+}
+
+// Forge builds the forged response to query. genuineLen is the length of
+// the genuine answer when known (PayloadReplace mimics it; pass 0 to use a
+// plausible default of 4, pool.ntp.org's answer size).
+func (f *Forger) Forge(query *dnswire.Message, genuineLen int) *dnswire.Message {
+	resp := dnswire.NewResponse(query)
+	resp.Header.RecursionAvailable = true
+	count := 0
+	switch f.Payload {
+	case PayloadReplace:
+		count = genuineLen
+		if count <= 0 {
+			count = 4
+		}
+	case PayloadInflate:
+		count = InflateCount
+	case PayloadEmpty:
+		count = 0
+	}
+	name := query.Questions[0].Name
+	f.mu.Lock()
+	start := f.next
+	f.next += count
+	f.mu.Unlock()
+	for i := 0; i < count; i++ {
+		resp.Answers = append(resp.Answers,
+			dnswire.AddressRecord(name, AttackerAddr(start+i), f.TTL))
+	}
+	return resp
+}
+
+// CompromisedResolver wraps a DoH responder so that queries for the target
+// domain receive forged answers: the model of a resolver the attacker
+// fully controls. Implements doh.QueryResponder.
+type CompromisedResolver struct {
+	inner  doh.QueryResponder
+	forger *Forger
+
+	forged atomic.Uint64
+}
+
+var _ doh.QueryResponder = (*CompromisedResolver)(nil)
+
+// Compromise wraps inner so queries matching forger are answered by the
+// attacker.
+func Compromise(inner doh.QueryResponder, forger *Forger) *CompromisedResolver {
+	return &CompromisedResolver{inner: inner, forger: forger}
+}
+
+// Forged returns how many responses were forged.
+func (c *CompromisedResolver) Forged() uint64 { return c.forged.Load() }
+
+// Respond implements doh.QueryResponder.
+func (c *CompromisedResolver) Respond(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	if !c.forger.Matches(query) {
+		return c.inner.Respond(ctx, query)
+	}
+	genuineLen := 0
+	if genuine, err := c.inner.Respond(ctx, query); err == nil {
+		genuineLen = len(genuine.AnswerAddrs())
+	}
+	c.forged.Add(1)
+	return c.forger.Forge(query, genuineLen), nil
+}
+
+// OnPath wraps a resolver→authoritative transport with a man-in-the-middle
+// who rewrites responses for the target domain. This models the paper's
+// "attacker controls some of the links" adversary: it sits on this one
+// path and no other. Implements transport.Exchanger.
+type OnPath struct {
+	inner  transport.Exchanger
+	forger *Forger
+
+	intercepted atomic.Uint64
+}
+
+var _ transport.Exchanger = (*OnPath)(nil)
+
+// NewOnPath builds an on-path MitM over inner.
+func NewOnPath(inner transport.Exchanger, forger *Forger) *OnPath {
+	return &OnPath{inner: inner, forger: forger}
+}
+
+// Intercepted returns how many exchanges were rewritten.
+func (o *OnPath) Intercepted() uint64 { return o.intercepted.Load() }
+
+// Exchange implements transport.Exchanger.
+func (o *OnPath) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	if !o.forger.Matches(query) {
+		return o.inner.Exchange(ctx, query, server)
+	}
+	genuineLen := 0
+	if genuine, err := o.inner.Exchange(ctx, query, server); err == nil {
+		genuineLen = len(genuine.AnswerAddrs())
+	}
+	o.intercepted.Add(1)
+	// The MitM sees the query, so ID and question match trivially.
+	return o.forger.Forge(query, genuineLen), nil
+}
+
+// OffPath wraps a transport with a blind spoofing attacker racing the
+// genuine response. Each attacked exchange independently succeeds with
+// probability SuccessProb — the per-resolver p_attack of Section III-b.
+// A failed race delivers the genuine response (the resolver discarded the
+// mismatching spoof). Implements transport.Exchanger.
+type OffPath struct {
+	inner  transport.Exchanger
+	forger *Forger
+	prob   float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts  atomic.Uint64
+	successes atomic.Uint64
+}
+
+var _ transport.Exchanger = (*OffPath)(nil)
+
+// NewOffPath builds an off-path attacker over inner with the given
+// per-exchange success probability and RNG seed (deterministic
+// experiments).
+func NewOffPath(inner transport.Exchanger, forger *Forger, successProb float64, seed int64) *OffPath {
+	return &OffPath{
+		inner:  inner,
+		forger: forger,
+		prob:   successProb,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Attempts returns how many attacked exchanges occurred.
+func (o *OffPath) Attempts() uint64 { return o.attempts.Load() }
+
+// Successes returns how many races the attacker won.
+func (o *OffPath) Successes() uint64 { return o.successes.Load() }
+
+// Exchange implements transport.Exchanger.
+func (o *OffPath) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	if !o.forger.Matches(query) {
+		return o.inner.Exchange(ctx, query, server)
+	}
+	o.attempts.Add(1)
+	o.mu.Lock()
+	won := o.rng.Float64() < o.prob
+	o.mu.Unlock()
+	genuine, err := o.inner.Exchange(ctx, query, server)
+	if !won {
+		return genuine, err
+	}
+	o.successes.Add(1)
+	genuineLen := 0
+	if err == nil {
+		genuineLen = len(genuine.AnswerAddrs())
+	}
+	return o.forger.Forge(query, genuineLen), nil
+}
+
+// Plan decides, for N resolvers, which are compromised: either an exact
+// set (deterministic experiments) or independent Bernoulli draws with
+// probability p (Monte-Carlo trials).
+type Plan struct {
+	compromised []bool
+}
+
+// FixedPlan marks exactly the given resolver indices as compromised.
+func FixedPlan(n int, compromised ...int) Plan {
+	p := Plan{compromised: make([]bool, n)}
+	for _, i := range compromised {
+		if i >= 0 && i < n {
+			p.compromised[i] = true
+		}
+	}
+	return p
+}
+
+// BernoulliPlan draws each of n resolvers independently with probability
+// prob using rng.
+func BernoulliPlan(n int, prob float64, rng *rand.Rand) Plan {
+	p := Plan{compromised: make([]bool, n)}
+	for i := range p.compromised {
+		p.compromised[i] = rng.Float64() < prob
+	}
+	return p
+}
+
+// Compromised reports whether resolver i is compromised under the plan.
+func (p Plan) Compromised(i int) bool {
+	return i >= 0 && i < len(p.compromised) && p.compromised[i]
+}
+
+// CountCompromised returns the number of compromised resolvers.
+func (p Plan) CountCompromised() int {
+	n := 0
+	for _, c := range p.compromised {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// N returns the plan size.
+func (p Plan) N() int { return len(p.compromised) }

@@ -1,0 +1,279 @@
+package attack
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
+	"dohpool/internal/transport"
+)
+
+// genuineResponder answers A queries with n clean addresses.
+func genuineResponder(n int) doh.QueryResponder {
+	return doh.ResponderFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		for i := 0; i < n; i++ {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(
+				q.Questions[0].Name, netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}), 60))
+		}
+		return resp, nil
+	})
+}
+
+// genuineTransport answers A queries with n clean addresses regardless of
+// server address.
+func genuineTransport(n int) transport.Exchanger {
+	return transport.Func(func(_ context.Context, q *dnswire.Message, _ string) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		for i := 0; i < n; i++ {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(
+				q.Questions[0].Name, netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}), 60))
+		}
+		return resp, nil
+	})
+}
+
+func mustQuery(t *testing.T, name string) *dnswire.Message {
+	t.Helper()
+	q, err := dnswire.NewQuery(name, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestAttackerAddrSpace(t *testing.T) {
+	seen := make(map[netip.Addr]bool)
+	for i := 0; i < 1000; i++ {
+		a := AttackerAddr(i)
+		if !IsAttackerAddr(a) {
+			t.Fatalf("AttackerAddr(%d) = %v outside AttackerNet", i, a)
+		}
+		if seen[a] {
+			t.Fatalf("AttackerAddr(%d) = %v repeats", i, a)
+		}
+		seen[a] = true
+	}
+	if IsAttackerAddr(netip.MustParseAddr("192.0.2.1")) {
+		t.Error("clean address classified as attacker")
+	}
+	if got := len(AttackerAddrs(5)); got != 5 {
+		t.Errorf("AttackerAddrs(5) len = %d", got)
+	}
+}
+
+func TestForgerMatches(t *testing.T) {
+	f := NewForger("pool.ntp.test.", PayloadReplace)
+	if !f.Matches(mustQuery(t, "pool.ntp.test.")) {
+		t.Error("exact name not matched")
+	}
+	if !f.Matches(mustQuery(t, "sub.pool.ntp.test.")) {
+		t.Error("subdomain not matched")
+	}
+	if f.Matches(mustQuery(t, "other.test.")) {
+		t.Error("unrelated name matched")
+	}
+	txt, err := dnswire.NewQuery("pool.ntp.test.", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Matches(txt) {
+		t.Error("non-address query matched")
+	}
+}
+
+func TestForgePayloads(t *testing.T) {
+	q := mustQuery(t, "pool.ntp.test.")
+	tests := []struct {
+		payload    Payload
+		genuineLen int
+		wantCount  int
+	}{
+		{PayloadReplace, 4, 4},
+		{PayloadReplace, 0, 4}, // default
+		{PayloadReplace, 7, 7},
+		{PayloadInflate, 4, InflateCount},
+		{PayloadEmpty, 4, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.payload.String(), func(t *testing.T) {
+			f := NewForger("pool.ntp.test.", tt.payload)
+			resp := f.Forge(q, tt.genuineLen)
+			addrs := resp.AnswerAddrs()
+			if len(addrs) != tt.wantCount {
+				t.Fatalf("forged %d addrs, want %d", len(addrs), tt.wantCount)
+			}
+			for _, a := range addrs {
+				if !IsAttackerAddr(a) {
+					t.Fatalf("forged addr %v not attacker-controlled", a)
+				}
+			}
+			if resp.Header.ID != q.Header.ID {
+				t.Error("forged response has wrong transaction ID")
+			}
+		})
+	}
+}
+
+func TestCompromisedResolver(t *testing.T) {
+	forger := NewForger("pool.ntp.test.", PayloadReplace)
+	comp := Compromise(genuineResponder(4), forger)
+	ctx := context.Background()
+
+	resp, err := comp.Respond(ctx, mustQuery(t, "pool.ntp.test."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != 4 {
+		t.Fatalf("forged answer has %d addrs, want 4 (mimic genuine)", len(addrs))
+	}
+	for _, a := range addrs {
+		if !IsAttackerAddr(a) {
+			t.Fatalf("addr %v not attacker-controlled", a)
+		}
+	}
+	// Unrelated queries pass through clean.
+	resp2, err := comp.Respond(ctx, mustQuery(t, "clean.test."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range resp2.AnswerAddrs() {
+		if IsAttackerAddr(a) {
+			t.Fatal("pass-through query was forged")
+		}
+	}
+	if comp.Forged() != 1 {
+		t.Errorf("Forged = %d", comp.Forged())
+	}
+}
+
+func TestOnPathInterceptsOnlyTarget(t *testing.T) {
+	forger := NewForger("pool.ntp.test.", PayloadReplace)
+	mitm := NewOnPath(genuineTransport(4), forger)
+	ctx := context.Background()
+
+	resp, err := mitm.Exchange(ctx, mustQuery(t, "pool.ntp.test."), "auth:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range resp.AnswerAddrs() {
+		if !IsAttackerAddr(a) {
+			t.Fatal("MitM failed to rewrite")
+		}
+	}
+	resp2, err := mitm.Exchange(ctx, mustQuery(t, "other.test."), "auth:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range resp2.AnswerAddrs() {
+		if IsAttackerAddr(a) {
+			t.Fatal("MitM rewrote unrelated traffic")
+		}
+	}
+	if mitm.Intercepted() != 1 {
+		t.Errorf("Intercepted = %d", mitm.Intercepted())
+	}
+}
+
+func TestOffPathSuccessRate(t *testing.T) {
+	const trials = 4000
+	const p = 0.3
+	forger := NewForger("pool.ntp.test.", PayloadReplace)
+	off := NewOffPath(genuineTransport(4), forger, p, 42)
+	ctx := context.Background()
+
+	wins := 0
+	for i := 0; i < trials; i++ {
+		resp, err := off.Exchange(ctx, mustQuery(t, "pool.ntp.test."), "auth:53")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := resp.AnswerAddrs()
+		if len(addrs) == 0 {
+			t.Fatal("no answer")
+		}
+		if IsAttackerAddr(addrs[0]) {
+			wins++
+		}
+	}
+	got := float64(wins) / trials
+	if math.Abs(got-p) > 0.03 {
+		t.Fatalf("empirical success rate %.3f, want ~%.2f", got, p)
+	}
+	if off.Attempts() != trials {
+		t.Errorf("Attempts = %d", off.Attempts())
+	}
+	if off.Successes() != uint64(wins) {
+		t.Errorf("Successes = %d, counted %d", off.Successes(), wins)
+	}
+}
+
+func TestOffPathZeroAndOneProbabilities(t *testing.T) {
+	ctx := context.Background()
+	forger := NewForger("pool.ntp.test.", PayloadReplace)
+
+	never := NewOffPath(genuineTransport(4), forger, 0, 1)
+	resp, err := never.Exchange(ctx, mustQuery(t, "pool.ntp.test."), "auth:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsAttackerAddr(resp.AnswerAddrs()[0]) {
+		t.Fatal("p=0 attacker won")
+	}
+
+	always := NewOffPath(genuineTransport(4), forger, 1, 1)
+	resp, err = always.Exchange(ctx, mustQuery(t, "pool.ntp.test."), "auth:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsAttackerAddr(resp.AnswerAddrs()[0]) {
+		t.Fatal("p=1 attacker lost")
+	}
+}
+
+func TestPlans(t *testing.T) {
+	p := FixedPlan(5, 1, 3)
+	if p.N() != 5 || p.CountCompromised() != 2 {
+		t.Fatalf("FixedPlan: N=%d count=%d", p.N(), p.CountCompromised())
+	}
+	if !p.Compromised(1) || !p.Compromised(3) || p.Compromised(0) {
+		t.Fatal("FixedPlan membership wrong")
+	}
+	if p.Compromised(-1) || p.Compromised(99) {
+		t.Fatal("out-of-range index reported compromised")
+	}
+	// Ignore out-of-range indices on construction.
+	q := FixedPlan(3, 7, -2, 0)
+	if q.CountCompromised() != 1 {
+		t.Fatalf("FixedPlan with junk indices: count=%d", q.CountCompromised())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += BernoulliPlan(10, 0.25, rng).CountCompromised()
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-2.5) > 0.15 {
+		t.Fatalf("Bernoulli mean compromised = %.2f, want ~2.5", mean)
+	}
+}
+
+func TestForgerAddressesAdvance(t *testing.T) {
+	// Successive forgeries draw fresh attacker addresses so duplicates
+	// across resolvers are the attacker's deliberate choice, not an
+	// artefact.
+	f := NewForger("pool.ntp.test.", PayloadReplace)
+	q := mustQuery(t, "pool.ntp.test.")
+	a := f.Forge(q, 2).AnswerAddrs()
+	b := f.Forge(q, 2).AnswerAddrs()
+	if a[0] == b[0] {
+		t.Fatal("forger reuses addresses across forgeries")
+	}
+}

@@ -1,0 +1,31 @@
+package attack
+
+import (
+	"fmt"
+
+	"dohpool/internal/dnscache"
+	"dohpool/internal/dnswire"
+)
+
+// PoisonCache plants a forged address RRset for (domain, typ) directly
+// into a resolver's cache, modelling an off-path attack that has already
+// succeeded once (a Kaminsky-style race won at some earlier time): from
+// that moment every client of that resolver receives the attacker's
+// answer until the poisoned entry's TTL expires. The count of injected
+// addresses mimics a genuine answer so the poisoning is not trivially
+// detectable by length.
+func PoisonCache(cache *dnscache.Cache, forger *Forger, domain string, typ dnswire.Type, count int, ttl uint32) error {
+	if typ != dnswire.TypeA && typ != dnswire.TypeAAAA {
+		return fmt.Errorf("poison cache: type %v is not an address type", typ)
+	}
+	query, err := dnswire.NewQuery(domain, typ)
+	if err != nil {
+		return fmt.Errorf("poison cache: %w", err)
+	}
+	forged := forger.Forge(query, count)
+	for i := range forged.Answers {
+		forged.Answers[i].TTL = ttl
+	}
+	cache.Put(query.Questions[0], forged, ttl)
+	return nil
+}

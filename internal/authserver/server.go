@@ -1,0 +1,229 @@
+// Package authserver implements an authoritative DNS nameserver serving a
+// single zone over UDP and TCP on the loopback testbed. Instances of this
+// server play the role of the NTP-pool nameservers (c.ntpns.org,
+// d.ntpns.org, e.ntpns.org) in the paper's Figure 1: they receive the
+// non-recursive queries of step 3 and return the rotating pool answers of
+// step 4.
+package authserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+	"dohpool/internal/zone"
+)
+
+// ErrClosed is returned by methods on a server that has been shut down.
+var ErrClosed = errors.New("authoritative server closed")
+
+// Stats holds cumulative server counters.
+type Stats struct {
+	UDPQueries uint64
+	TCPQueries uint64
+	NXDomain   uint64
+	FormErr    uint64
+	Refused    uint64
+}
+
+// Server is an authoritative nameserver bound to one UDP and one TCP
+// socket. Create with Listen, stop with Close.
+type Server struct {
+	zone *zone.Zone
+
+	udpConn *net.UDPConn
+	tcpLn   net.Listener
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	udpQueries atomic.Uint64
+	tcpQueries atomic.Uint64
+	nxdomain   atomic.Uint64
+	formerr    atomic.Uint64
+	refused    atomic.Uint64
+}
+
+// Listen starts an authoritative server for z on addr ("127.0.0.1:0" for
+// an ephemeral testbed port). The same port number is used for UDP and
+// TCP.
+func Listen(addr string, z *zone.Zone) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", addr, err)
+	}
+	udpConn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen udp %s: %w", addr, err)
+	}
+	tcpLn, err := net.Listen("tcp", udpConn.LocalAddr().String())
+	if err != nil {
+		udpConn.Close()
+		return nil, fmt.Errorf("listen tcp %s: %w", udpConn.LocalAddr(), err)
+	}
+	s := &Server{zone: z, udpConn: udpConn, tcpLn: tcpLn}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the host:port the server listens on.
+func (s *Server) Addr() string { return s.udpConn.LocalAddr().String() }
+
+// Zone returns the zone this server is authoritative for.
+func (s *Server) Zone() *zone.Zone { return s.zone }
+
+// Close shuts both listeners down and waits for the serving goroutines.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return ErrClosed
+	}
+	s.udpConn.Close()
+	s.tcpLn.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UDPQueries: s.udpQueries.Load(),
+		TCPQueries: s.tcpQueries.Load(),
+		NXDomain:   s.nxdomain.Load(),
+		FormErr:    s.formerr.Load(),
+		Refused:    s.refused.Load(),
+	}
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, dnswire.MaxMessageSize)
+	for {
+		n, client, err := s.udpConn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		s.udpQueries.Add(1)
+		resp := s.handle(buf[:n], dnswire.MaxUDPSize)
+		if resp == nil {
+			continue
+		}
+		if wire, err := resp.Encode(); err == nil {
+			_, _ = s.udpConn.WriteToUDP(wire, client)
+		}
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			for {
+				query, err := transport.ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				s.tcpQueries.Add(1)
+				resp := s.handleDecoded(query, 0)
+				if resp == nil {
+					return
+				}
+				if err := transport.WriteTCPMessage(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// handle decodes one query and produces the response, or nil to drop.
+// maxSize > 0 enables truncation for UDP.
+func (s *Server) handle(wire []byte, maxSize int) *dnswire.Message {
+	query, err := dnswire.Decode(wire)
+	if err != nil {
+		s.formerr.Add(1)
+		return nil // undecodable: drop silently
+	}
+	if maxSize > 0 {
+		if size, ok := query.EDNSSize(); ok && int(size) > maxSize {
+			maxSize = int(size)
+		}
+	}
+	return s.handleDecoded(query, maxSize)
+}
+
+// handleDecoded answers a decoded query. maxSize == 0 disables truncation.
+func (s *Server) handleDecoded(query *dnswire.Message, maxSize int) *dnswire.Message {
+	if query.Header.Response || query.Header.Opcode != dnswire.OpcodeQuery {
+		s.formerr.Add(1)
+		return dnswire.NewErrorResponse(query, dnswire.RCodeFormErr)
+	}
+	if len(query.Questions) != 1 {
+		s.formerr.Add(1)
+		return dnswire.NewErrorResponse(query, dnswire.RCodeFormErr)
+	}
+	q := query.Questions[0]
+
+	resp := dnswire.NewResponse(query)
+	resp.Header.Authoritative = true
+	// Authoritative servers do not offer recursion.
+	resp.Header.RecursionAvailable = false
+
+	res, err := s.zone.Lookup(q.Name, q.Type)
+	switch {
+	case err == nil && len(res.Referral) > 0:
+		// Delegation: not authoritative for the child; hand out the cut's
+		// NS RRset and glue (RFC 1034 §4.3.2).
+		resp.Header.Authoritative = false
+		resp.Authority = res.Referral
+		resp.Additional = append(resp.Additional, res.Glue...)
+	case err == nil:
+		resp.Answers = res.Records
+	case errors.Is(err, zone.ErrNXDomain):
+		s.nxdomain.Add(1)
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		s.attachSOA(resp)
+	case errors.Is(err, zone.ErrNoData):
+		// NODATA: NOERROR with empty answer and the SOA in authority.
+		s.attachSOA(resp)
+	case errors.Is(err, zone.ErrOutOfZone):
+		s.refused.Add(1)
+		resp.Header.RCode = dnswire.RCodeRefused
+	default:
+		resp.Header.RCode = dnswire.RCodeServFail
+	}
+
+	if maxSize > 0 {
+		if wire, err := resp.Encode(); err == nil && len(wire) > maxSize {
+			resp.Answers = nil
+			resp.Authority = nil
+			resp.Additional = nil
+			resp.Header.Truncated = true
+		}
+	}
+	return resp
+}
+
+func (s *Server) attachSOA(resp *dnswire.Message) {
+	if soa, ok := s.zone.SOA(); ok {
+		resp.Authority = append(resp.Authority, soa)
+	}
+}

@@ -1,0 +1,247 @@
+package authserver
+
+import (
+	"context"
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+	"dohpool/internal/zone"
+)
+
+func testZone(t *testing.T, opts ...zone.Option) *zone.Zone {
+	t.Helper()
+	z := zone.New("ntppool.test.", opts...)
+	if err := z.Add(dnswire.Record{
+		Name: "ntppool.test.", Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SOARecord{MName: "ns1.ntppool.test.", RName: "hostmaster.ntppool.test.",
+			Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		ip := netip.MustParseAddr("192.0.2." + strconv.Itoa(i))
+		if err := z.AddAddress("pool.ntppool.test.", ip, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return z
+}
+
+func startServer(t *testing.T, z *zone.Zone) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func exchange(t *testing.T, ex transport.Exchanger, server, name string, typ dnswire.Type) *dnswire.Message {
+	t.Helper()
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := ex.Exchange(ctx, query, server)
+	if err != nil {
+		t.Fatalf("exchange %s %v: %v", name, typ, err)
+	}
+	return resp
+}
+
+func TestUDPQuery(t *testing.T) {
+	s := startServer(t, testZone(t))
+	resp := exchange(t, &transport.UDP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if !resp.Header.Authoritative {
+		t.Error("AA bit clear")
+	}
+	if resp.Header.RecursionAvailable {
+		t.Error("RA bit set on authoritative answer")
+	}
+	if got := len(resp.AnswerAddrs()); got != 4 {
+		t.Fatalf("%d answers, want 4", got)
+	}
+	if st := s.Stats(); st.UDPQueries != 1 {
+		t.Errorf("UDPQueries = %d", st.UDPQueries)
+	}
+}
+
+func TestTCPQuery(t *testing.T) {
+	s := startServer(t, testZone(t))
+	resp := exchange(t, &transport.TCP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeA)
+	if got := len(resp.AnswerAddrs()); got != 4 {
+		t.Fatalf("%d answers, want 4", got)
+	}
+	if st := s.Stats(); st.TCPQueries != 1 {
+		t.Errorf("TCPQueries = %d", st.TCPQueries)
+	}
+}
+
+func TestNXDomainCarriesSOA(t *testing.T) {
+	s := startServer(t, testZone(t))
+	resp := exchange(t, &transport.UDP{}, s.Addr(), "missing.ntppool.test.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v", resp.Authority)
+	}
+}
+
+func TestNoDataIsNoErrorEmpty(t *testing.T) {
+	s := startServer(t, testZone(t))
+	resp := exchange(t, &transport.UDP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeAAAA)
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v", resp.Authority)
+	}
+}
+
+func TestOutOfZoneRefused(t *testing.T) {
+	s := startServer(t, testZone(t))
+	resp := exchange(t, &transport.UDP{}, s.Addr(), "elsewhere.example.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeRefused {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestRotationAcrossQueries(t *testing.T) {
+	s := startServer(t, testZone(t, zone.WithRotation(zone.RotateRoundRobin)))
+	first := exchange(t, &transport.UDP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeA)
+	second := exchange(t, &transport.UDP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeA)
+	a, b := first.AnswerAddrs(), second.AnswerAddrs()
+	if a[0] == b[0] {
+		t.Errorf("no rotation: both start with %v", a[0])
+	}
+}
+
+func TestTruncationAndTCPFallback(t *testing.T) {
+	z := testZone(t)
+	// 60 A records make the UDP response exceed 512 bytes without EDNS.
+	for i := 10; i < 70; i++ {
+		ip := netip.MustParseAddr("203.0.113." + strconv.Itoa(i%250))
+		if err := z.AddAddress("big.ntppool.test.", ip, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := startServer(t, z)
+
+	// Plain UDP query without EDNS must come back truncated and empty.
+	query, err := dnswire.NewQuery("big.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.Additional = nil // strip EDNS
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := (&transport.UDP{}).Exchange(ctx, query, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Truncated {
+		t.Fatal("TC bit clear on oversized answer")
+	}
+	if len(resp.Answers) != 0 {
+		t.Fatalf("truncated response carries %d answers", len(resp.Answers))
+	}
+
+	// Auto transport must fall back to TCP and get everything.
+	query2, err := dnswire.NewQuery("big.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query2.Additional = nil
+	resp2, err := (&transport.Auto{}).Exchange(ctx, query2, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp2.AnswerAddrs()); got != 60 {
+		t.Fatalf("TCP fallback returned %d answers, want 60", got)
+	}
+}
+
+func TestEDNSAvoidsTruncation(t *testing.T) {
+	z := testZone(t)
+	for i := 10; i < 40; i++ {
+		ip := netip.MustParseAddr("203.0.113." + strconv.Itoa(i))
+		if err := z.AddAddress("mid.ntppool.test.", ip, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := startServer(t, z)
+	// With the default EDNS size of 1232 the ~500-byte answer fits.
+	resp := exchange(t, &transport.UDP{}, s.Addr(), "mid.ntppool.test.", dnswire.TypeA)
+	if resp.Header.Truncated {
+		t.Fatal("truncated despite EDNS")
+	}
+	if got := len(resp.AnswerAddrs()); got != 30 {
+		t.Fatalf("%d answers, want 30", got)
+	}
+}
+
+func TestMultipleQuestionsRejected(t *testing.T) {
+	s := startServer(t, testZone(t))
+	query, err := dnswire.NewQuery("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.Questions = append(query.Questions, dnswire.Question{
+		Name: "other.ntppool.test.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := (&transport.UDP{}).Exchange(ctx, query, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("rcode = %v, want FORMERR", resp.Header.RCode)
+	}
+}
+
+func TestCloseIsIdempotentAndStopsServing(t *testing.T) {
+	s := startServer(t, testZone(t))
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	query, err := dnswire.NewQuery("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := (&transport.UDP{}).Exchange(ctx, query, addr); err == nil {
+		t.Fatal("exchange succeeded against closed server")
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	s := startServer(t, testZone(t))
+	// Two sequential queries over separate exchanges both succeed; the
+	// server handles multiple connections.
+	for i := 0; i < 3; i++ {
+		resp := exchange(t, &transport.TCP{}, s.Addr(), "pool.ntppool.test.", dnswire.TypeA)
+		if len(resp.AnswerAddrs()) != 4 {
+			t.Fatalf("query %d: wrong answers", i)
+		}
+	}
+}

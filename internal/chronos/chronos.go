@@ -1,0 +1,275 @@
+// Package chronos implements the Chronos NTP client algorithm of Deutsch,
+// Rotem Schiff, Dolev and Schapira (NDSS 2018), the mechanism the paper
+// deploys "in tandem" with distributed-DoH pool generation. Chronos
+// samples a random subset of the server pool, crops outlier time samples,
+// and only accepts an update when the surviving samples agree — so a
+// minority of malicious servers inside the pool cannot shift the clock.
+//
+// The paper's division of labour: distributed DoH guarantees the *pool*
+// has an honest majority at the DNS layer; Chronos turns an
+// honest-majority pool into a trustworthy *clock* at the NTP layer.
+package chronos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Chronos errors.
+var (
+	// ErrEmptyPool reports a poll against an empty pool.
+	ErrEmptyPool = errors.New("chronos pool is empty")
+	// ErrNoSamples reports that no sampled server answered.
+	ErrNoSamples = errors.New("no ntp samples gathered")
+	// ErrPanicFailed reports that even the panic routine could not gather
+	// agreeing samples.
+	ErrPanicFailed = errors.New("panic routine failed to converge")
+)
+
+// Defaults per the Chronos paper's recommended operating point.
+const (
+	// DefaultSampleSize is m, the servers sampled per poll.
+	DefaultSampleSize = 6
+	// DefaultOmega is ω, the allowed spread among surviving samples.
+	DefaultOmega = 100 * time.Millisecond
+	// DefaultDriftBound bounds |avg offset| before a sample set is deemed
+	// suspicious (the ERR+drift term of the Chronos condition).
+	DefaultDriftBound = 30 * time.Second
+	// DefaultMaxRetries is K, resampling attempts before panic.
+	DefaultMaxRetries = 3
+)
+
+// Sampler obtains one time-offset sample from one pool server. The
+// testbed backs this with the SNTP client plus an address directory.
+type Sampler interface {
+	Sample(ctx context.Context, server netip.Addr) (time.Duration, error)
+}
+
+// SamplerFunc adapts a function to Sampler.
+type SamplerFunc func(ctx context.Context, server netip.Addr) (time.Duration, error)
+
+// Sample implements Sampler.
+func (f SamplerFunc) Sample(ctx context.Context, server netip.Addr) (time.Duration, error) {
+	return f(ctx, server)
+}
+
+var _ Sampler = SamplerFunc(nil)
+
+// Config configures a Chronos client.
+type Config struct {
+	// Pool is the NTP server pool (from Algorithm 1; duplicates allowed
+	// and meaningful).
+	Pool []netip.Addr
+	// Sampler gathers offset samples.
+	Sampler Sampler
+	// SampleSize is m (default DefaultSampleSize, capped at |Pool|).
+	SampleSize int
+	// CropPerSide is d, samples cropped from each end (default m/3).
+	CropPerSide int
+	// Omega is the agreement bound ω.
+	Omega time.Duration
+	// DriftBound bounds the accepted |average offset|.
+	DriftBound time.Duration
+	// MaxRetries is K, resample attempts before the panic routine.
+	MaxRetries int
+	// Seed makes sampling deterministic (0 draws a random seed).
+	Seed int64
+}
+
+// Client is a Chronos NTP client.
+type Client struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, ErrEmptyPool
+	}
+	if cfg.Sampler == nil {
+		return nil, errors.New("chronos needs a Sampler")
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = DefaultSampleSize
+	}
+	if cfg.SampleSize > len(cfg.Pool) {
+		cfg.SampleSize = len(cfg.Pool)
+	}
+	if cfg.CropPerSide < 0 {
+		return nil, fmt.Errorf("crop %d must be >= 0", cfg.CropPerSide)
+	}
+	if cfg.CropPerSide == 0 {
+		cfg.CropPerSide = cfg.SampleSize / 3
+	}
+	if 2*cfg.CropPerSide >= cfg.SampleSize {
+		return nil, fmt.Errorf("crop %d per side leaves no samples of %d", cfg.CropPerSide, cfg.SampleSize)
+	}
+	if cfg.Omega <= 0 {
+		cfg.Omega = DefaultOmega
+	}
+	if cfg.DriftBound <= 0 {
+		cfg.DriftBound = DefaultDriftBound
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample is one per-server measurement.
+type Sample struct {
+	Server netip.Addr
+	Offset time.Duration
+	Err    error
+}
+
+// PollResult is the outcome of one Chronos poll.
+type PollResult struct {
+	// Offset is the accepted clock offset.
+	Offset time.Duration
+	// Panicked reports whether the panic routine was needed.
+	Panicked bool
+	// Retries counts failed sampling rounds before acceptance.
+	Retries int
+	// Samples holds the final round's raw measurements.
+	Samples []Sample
+}
+
+// Poll runs the Chronos algorithm once: sample m random pool servers,
+// crop d from each end, accept if the survivors agree within ω and their
+// average is within the drift bound; otherwise resample up to K times and
+// finally fall back to the panic routine (query the whole pool).
+func (c *Client) Poll(ctx context.Context) (PollResult, error) {
+	var result PollResult
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		servers := c.drawSample()
+		samples := c.gather(ctx, servers)
+		result.Samples = samples
+		offset, ok := c.evaluate(samples, c.cfg.CropPerSide)
+		if ok {
+			result.Offset = offset
+			result.Retries = attempt
+			return result, nil
+		}
+		result.Retries = attempt + 1
+	}
+
+	// Panic routine: sample every server in the pool, crop a third per
+	// side, accept the average unconditionally on spread (the Chronos
+	// guarantee: with < 1/3 malicious servers the cropped average is
+	// safe) but still require samples.
+	samples := c.gather(ctx, c.cfg.Pool)
+	result.Samples = samples
+	result.Panicked = true
+	good := successful(samples)
+	if len(good) == 0 {
+		return result, ErrNoSamples
+	}
+	crop := len(good) / 3
+	if 2*crop >= len(good) {
+		crop = (len(good) - 1) / 2
+	}
+	offset, ok := average(good, crop)
+	if !ok {
+		return result, ErrPanicFailed
+	}
+	result.Offset = offset
+	return result, nil
+}
+
+// drawSample selects m pool members uniformly without replacement of
+// *positions* (the same address may appear twice if the pool lists it
+// twice — duplicates are individual servers per the paper's Section IV).
+func (c *Client) drawSample() []netip.Addr {
+	m := c.cfg.SampleSize
+	idx := c.rng.Perm(len(c.cfg.Pool))[:m]
+	servers := make([]netip.Addr, m)
+	for i, j := range idx {
+		servers[i] = c.cfg.Pool[j]
+	}
+	return servers
+}
+
+// gather queries every server, collecting samples (errors included).
+func (c *Client) gather(ctx context.Context, servers []netip.Addr) []Sample {
+	samples := make([]Sample, len(servers))
+	for i, s := range servers {
+		offset, err := c.cfg.Sampler.Sample(ctx, s)
+		samples[i] = Sample{Server: s, Offset: offset, Err: err}
+	}
+	return samples
+}
+
+// evaluate applies the Chronos acceptance test to one round of samples.
+func (c *Client) evaluate(samples []Sample, crop int) (time.Duration, bool) {
+	good := successful(samples)
+	// Failed samples reduce confidence; insist on a full round.
+	if len(good) < len(samples) || len(good) == 0 {
+		return 0, false
+	}
+	offsets := sortedOffsets(good)
+	survivors := offsets[crop : len(offsets)-crop]
+	if len(survivors) == 0 {
+		return 0, false
+	}
+	// Condition 1: survivors agree within ω.
+	if survivors[len(survivors)-1]-survivors[0] > c.cfg.Omega {
+		return 0, false
+	}
+	// Condition 2: the implied clock shift is sane.
+	avg := mean(survivors)
+	if avg > c.cfg.DriftBound || avg < -c.cfg.DriftBound {
+		return 0, false
+	}
+	return avg, true
+}
+
+func successful(samples []Sample) []Sample {
+	good := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if s.Err == nil {
+			good = append(good, s)
+		}
+	}
+	return good
+}
+
+func sortedOffsets(samples []Sample) []time.Duration {
+	offsets := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		offsets[i] = s.Offset
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return offsets
+}
+
+// average crops and averages successful samples; ok is false when
+// cropping eats everything.
+func average(samples []Sample, crop int) (time.Duration, bool) {
+	offsets := sortedOffsets(samples)
+	if 2*crop >= len(offsets) {
+		return 0, false
+	}
+	return mean(offsets[crop : len(offsets)-crop]), true
+}
+
+func mean(offsets []time.Duration) time.Duration {
+	if len(offsets) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, o := range offsets {
+		total += o
+	}
+	return total / time.Duration(len(offsets))
+}

@@ -1,0 +1,388 @@
+package chronos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// poolAddr returns a synthetic benign (192.0.2.x) or malicious
+// (198.18.0.x) address.
+func benignAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})
+}
+
+func maliciousAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{198, 18, 0, byte(i + 1)})
+}
+
+// simSampler answers with jittered truth for benign servers and a fixed
+// shift for malicious ones (the Chronos adversary).
+type simSampler struct {
+	shift  time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+	fail   map[netip.Addr]bool
+	calls  int
+}
+
+func newSimSampler(shift time.Duration) *simSampler {
+	return &simSampler{
+		shift:  shift,
+		jitter: 2 * time.Millisecond,
+		rng:    rand.New(rand.NewSource(1)),
+		fail:   make(map[netip.Addr]bool),
+	}
+}
+
+func (s *simSampler) Sample(_ context.Context, server netip.Addr) (time.Duration, error) {
+	s.calls++
+	if s.fail[server] {
+		return 0, errors.New("server unreachable")
+	}
+	j := time.Duration(s.rng.Int63n(int64(2*s.jitter))) - s.jitter
+	if server.As4()[0] == 198 { // attacker prefix
+		return s.shift + j, nil
+	}
+	return j, nil
+}
+
+// makePool builds a pool with the given benign and malicious counts.
+func makePool(benign, malicious int) []netip.Addr {
+	pool := make([]netip.Addr, 0, benign+malicious)
+	for i := 0; i < benign; i++ {
+		pool = append(pool, benignAddr(i))
+	}
+	for i := 0; i < malicious; i++ {
+		pool = append(pool, maliciousAddr(i))
+	}
+	return pool
+}
+
+func TestConfigValidation(t *testing.T) {
+	sampler := newSimSampler(0)
+	if _, err := New(Config{Sampler: sampler}); !errors.Is(err, ErrEmptyPool) {
+		t.Errorf("empty pool: %v", err)
+	}
+	if _, err := New(Config{Pool: makePool(3, 0)}); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if _, err := New(Config{Pool: makePool(9, 0), Sampler: sampler, SampleSize: 4, CropPerSide: 2}); err == nil {
+		t.Error("crop eating all samples accepted")
+	}
+	if _, err := New(Config{Pool: makePool(9, 0), Sampler: sampler, CropPerSide: -1}); err == nil {
+		t.Error("negative crop accepted")
+	}
+}
+
+func TestBenignPoolAccepts(t *testing.T) {
+	sampler := newSimSampler(0)
+	c, err := New(Config{Pool: makePool(12, 0), Sampler: sampler, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Panicked {
+		t.Error("benign pool triggered panic")
+	}
+	if res.Retries != 0 {
+		t.Errorf("retries = %d", res.Retries)
+	}
+	if res.Offset < -10*time.Millisecond || res.Offset > 10*time.Millisecond {
+		t.Errorf("offset = %v, want ~0", res.Offset)
+	}
+}
+
+// The Chronos guarantee reproduced: with less than a third of the pool
+// malicious (shifted by 10 minutes), the accepted offset stays tiny over
+// many polls — cropping plus the agreement test filter the liars out.
+func TestMinorityAttackerCannotShiftClock(t *testing.T) {
+	sampler := newSimSampler(600 * time.Second)
+	pool := makePool(9, 3) // 25% malicious
+	c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		res, err := c.Poll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Offset < -50*time.Millisecond || res.Offset > 50*time.Millisecond {
+			t.Fatalf("poll %d: accepted offset %v under minority attack", i, res.Offset)
+		}
+	}
+}
+
+// The converse: a malicious *majority* (what a successful DNS attack
+// produces) shifts the Chronos clock — demonstrating why the DNS layer
+// needs the paper's mechanism.
+func TestMajorityAttackerShiftsClock(t *testing.T) {
+	const shift = 600 * time.Second
+	sampler := newSimSampler(shift)
+	pool := makePool(2, 10) // 83% malicious
+	c, err := New(Config{
+		Pool: pool, Sampler: sampler, SampleSize: 6, Seed: 3,
+		// Attacker-chosen shift within the drift bound evades cond. 2.
+		DriftBound: 2 * shift,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := false
+	for i := 0; i < 20 && !shifted; i++ {
+		res, err := c.Poll(context.Background())
+		if err != nil {
+			continue
+		}
+		if res.Offset > shift/2 {
+			shifted = true
+		}
+	}
+	if !shifted {
+		t.Fatal("malicious majority never captured the clock — attack model broken")
+	}
+}
+
+func TestDriftBoundRejectsHugeShift(t *testing.T) {
+	// All-malicious pool with an enormous shift: condition 2 keeps
+	// rejecting rounds; panic routine then averages the (all-lying)
+	// samples — but the accepted offset is flagged via Panicked so the
+	// caller can alert.
+	sampler := newSimSampler(3600 * time.Second)
+	pool := makePool(0, 9)
+	c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 6, Seed: 5,
+		DriftBound: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Panicked {
+		t.Fatal("huge uniform shift accepted without panic")
+	}
+	if res.Retries != DefaultMaxRetries+1 {
+		t.Errorf("retries = %d, want %d", res.Retries, DefaultMaxRetries+1)
+	}
+}
+
+func TestDisagreeingSamplesForceRetry(t *testing.T) {
+	// Malicious servers answer with scattered shifts wider than ω, so any
+	// sample containing enough of them fails condition 1.
+	scatter := SamplerFunc(func(_ context.Context, server netip.Addr) (time.Duration, error) {
+		if server.As4()[0] == 198 {
+			return time.Duration(server.As4()[3]) * time.Minute, nil
+		}
+		return 0, nil
+	})
+	pool := makePool(4, 8)
+	c, err := New(Config{Pool: pool, Sampler: scatter, SampleSize: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 && !res.Panicked {
+		t.Skip("lucky draw — all-benign sample on first try")
+	}
+}
+
+func TestFailedServersForceRetryThenPanic(t *testing.T) {
+	sampler := newSimSampler(0)
+	pool := makePool(9, 0)
+	for i := 0; i < 9; i++ {
+		sampler.fail[benignAddr(i)] = true
+	}
+	c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Poll(context.Background())
+	if !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestPartialFailuresStillConverge(t *testing.T) {
+	sampler := newSimSampler(0)
+	pool := makePool(12, 0)
+	// Two dead servers: rounds containing them fail, but retries find
+	// clean rounds (or panic succeeds on the survivors).
+	sampler.fail[benignAddr(0)] = true
+	sampler.fail[benignAddr(1)] = true
+	c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offset < -20*time.Millisecond || res.Offset > 20*time.Millisecond {
+		t.Errorf("offset = %v", res.Offset)
+	}
+}
+
+func TestSampleSizeCappedAtPool(t *testing.T) {
+	sampler := newSimSampler(0)
+	c, err := New(Config{Pool: makePool(3, 0), Sampler: sampler, SampleSize: 50, CropPerSide: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 3 {
+		t.Errorf("sampled %d servers from pool of 3", len(res.Samples))
+	}
+}
+
+func TestDuplicatePoolEntriesAreSampledIndividually(t *testing.T) {
+	// A pool of one address repeated: sampling must still work, treating
+	// each occurrence as a server (paper §IV requirement).
+	pool := make([]netip.Addr, 6)
+	for i := range pool {
+		pool[i] = benignAddr(0)
+	}
+	sampler := newSimSampler(0)
+	c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 4 {
+		t.Errorf("samples = %d", len(res.Samples))
+	}
+}
+
+// Monte-Carlo flavoured check: success probability of the attacker grows
+// with its pool share, crossing over around the crop threshold.
+func TestAttackSuccessGrowsWithPoolShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const shift = 120 * time.Second
+	captureRate := func(malicious int) float64 {
+		captured := 0
+		const polls = 60
+		for trial := 0; trial < polls; trial++ {
+			sampler := newSimSampler(shift)
+			pool := makePool(12-malicious, malicious)
+			c, err := New(Config{Pool: pool, Sampler: sampler, SampleSize: 6,
+				Seed: int64(trial + 1), DriftBound: 10 * shift})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Poll(context.Background())
+			if err != nil {
+				continue
+			}
+			if res.Offset > shift/2 {
+				captured++
+			}
+		}
+		return float64(captured) / polls
+	}
+	low := captureRate(2)   // 17% malicious
+	high := captureRate(10) // 83% malicious
+	if low > 0.05 {
+		t.Errorf("17%% malicious captured clock at rate %.2f", low)
+	}
+	if high < 0.5 {
+		t.Errorf("83%% malicious captured clock only at rate %.2f", high)
+	}
+}
+
+func TestSamplerFuncAdapter(t *testing.T) {
+	called := false
+	f := SamplerFunc(func(context.Context, netip.Addr) (time.Duration, error) {
+		called = true
+		return 5 * time.Millisecond, nil
+	})
+	got, err := f.Sample(context.Background(), benignAddr(0))
+	if err != nil || got != 5*time.Millisecond || !called {
+		t.Fatalf("adapter broken: %v %v %t", got, err, called)
+	}
+}
+
+func ExampleClient_Poll() {
+	sampler := SamplerFunc(func(_ context.Context, _ netip.Addr) (time.Duration, error) {
+		return 1 * time.Millisecond, nil
+	})
+	pool := makePool(9, 0)
+	c, err := New(Config{Pool: pool, Sampler: sampler, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("offset=%v panicked=%t\n", res.Offset, res.Panicked)
+	// Output: offset=1ms panicked=false
+}
+
+// Condition 2 (the drift bound) is the defence E10 relies on: a uniform
+// shift larger than the bound is rejected in sampling rounds even though
+// the samples agree perfectly with each other.
+func TestDriftBoundRejectsAgreeingButShiftedRounds(t *testing.T) {
+	const shift = 120 * time.Second
+	uniform := SamplerFunc(func(context.Context, netip.Addr) (time.Duration, error) {
+		return shift, nil // all servers agree on a 2-minute lie
+	})
+	c, err := New(Config{
+		Pool:       makePool(0, 9),
+		Sampler:    uniform,
+		SampleSize: 6,
+		Seed:       4,
+		DriftBound: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Panicked {
+		t.Fatal("agreeing-but-shifted rounds accepted without panic — condition 2 broken")
+	}
+	// Conversely, a shift inside the bound passes condition 2.
+	small := SamplerFunc(func(context.Context, netip.Addr) (time.Duration, error) {
+		return 10 * time.Second, nil
+	})
+	c2, err := New(Config{
+		Pool:       makePool(9, 0),
+		Sampler:    small,
+		SampleSize: 6,
+		Seed:       4,
+		DriftBound: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Panicked || res2.Offset != 10*time.Second {
+		t.Fatalf("in-bound shift rejected: %+v", res2)
+	}
+}

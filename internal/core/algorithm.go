@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: secure server pool
+// generation over a set of distributed DoH resolvers (Algorithm 1), the
+// optional majority filter, dual-stack policies, and a standard-compatible
+// DNS front-end so unmodified applications can use the mechanism.
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"sort"
+)
+
+// Algorithm errors.
+var (
+	// ErrNoResults reports that no resolver produced a usable answer.
+	ErrNoResults = errors.New("no resolver produced results")
+	// ErrEmptyAnswer reports that the shortest answer list was empty, so
+	// truncation yields an empty pool (the DoS case of footnote 2).
+	ErrEmptyAnswer = errors.New("shortest answer list is empty (truncation DoS)")
+)
+
+// TruncateLength returns min over the list lengths — Algorithm 1's
+// truncatelength. A nil/empty input yields 0.
+func TruncateLength(lists [][]netip.Addr) int {
+	if len(lists) == 0 {
+		return 0
+	}
+	min := len(lists[0])
+	for _, l := range lists[1:] {
+		if len(l) < min {
+			min = len(l)
+		}
+	}
+	return min
+}
+
+// Truncate returns copies of the lists cut to length k, preserving order.
+func Truncate(lists [][]netip.Addr, k int) [][]netip.Addr {
+	out := make([][]netip.Addr, len(lists))
+	for i, l := range lists {
+		if len(l) > k {
+			l = l[:k]
+		}
+		out[i] = append([]netip.Addr(nil), l...)
+	}
+	return out
+}
+
+// Combine concatenates the per-resolver lists into one pool. Duplicates
+// are preserved deliberately: the paper's Section IV requires applications
+// to treat repeated addresses as individual servers, otherwise an attacker
+// controlling a minority of resolvers can reach a pool majority whenever
+// the benign resolvers return overlapping sets.
+func Combine(lists [][]netip.Addr) []netip.Addr {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	pool := make([]netip.Addr, 0, total)
+	for _, l := range lists {
+		pool = append(pool, l...)
+	}
+	return pool
+}
+
+// GeneratePool is the pure heart of Algorithm 1: truncate every answer
+// list to the length of the shortest and concatenate. It returns
+// ErrNoResults for empty input and ErrEmptyAnswer when the shortest list
+// is empty.
+func GeneratePool(lists [][]netip.Addr) ([]netip.Addr, error) {
+	if len(lists) == 0 {
+		return nil, ErrNoResults
+	}
+	k := TruncateLength(lists)
+	if k == 0 {
+		return nil, ErrEmptyAnswer
+	}
+	return Combine(Truncate(lists, k)), nil
+}
+
+// Dedupe returns the pool with duplicates removed, preserving first-seen
+// order. It exists for the A2 ablation — the INSECURE behaviour the paper
+// warns against — and for presenting results.
+func Dedupe(pool []netip.Addr) []netip.Addr {
+	seen := make(map[netip.Addr]bool, len(pool))
+	out := make([]netip.Addr, 0, len(pool))
+	for _, a := range pool {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// MajorityFilter keeps only addresses returned by strictly more than
+// half of the resolvers (presence per resolver, not multiplicity),
+// implementing the paper's "classic majority-vote on each of the returned
+// addresses". The returned slice is ordered by descending vote count,
+// ties broken by address ordering, for determinism.
+func MajorityFilter(lists [][]netip.Addr) []netip.Addr {
+	return VoteFilter(lists, len(lists)/2+1)
+}
+
+// VoteFilter keeps addresses appearing in at least threshold of the lists.
+func VoteFilter(lists [][]netip.Addr, threshold int) []netip.Addr {
+	votes := make(map[netip.Addr]int)
+	for _, l := range lists {
+		perResolver := make(map[netip.Addr]bool, len(l))
+		for _, a := range l {
+			if !perResolver[a] {
+				perResolver[a] = true
+				votes[a]++
+			}
+		}
+	}
+	out := make([]netip.Addr, 0, len(votes))
+	for a, v := range votes {
+		if v >= threshold {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := votes[out[i]], votes[out[j]]
+		if vi != vj {
+			return vi > vj
+		}
+		return out[i].Less(out[j])
+	})
+	return out
+}
+
+// Fraction returns the fraction of pool members matching pred (e.g. the
+// attacker-controlled fraction). An empty pool yields 0.
+func Fraction(pool []netip.Addr, pred func(netip.Addr) bool) float64 {
+	if len(pool) == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range pool {
+		if pred(a) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pool))
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func addrs(ss ...string) []netip.Addr {
+	out := make([]netip.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ip(s)
+	}
+	return out
+}
+
+func TestTruncateLength(t *testing.T) {
+	tests := []struct {
+		name  string
+		lists [][]netip.Addr
+		want  int
+	}{
+		{"empty", nil, 0},
+		{"single", [][]netip.Addr{addrs("192.0.2.1", "192.0.2.2")}, 2},
+		{"mixed", [][]netip.Addr{
+			addrs("192.0.2.1", "192.0.2.2", "192.0.2.3"),
+			addrs("192.0.2.4"),
+			addrs("192.0.2.5", "192.0.2.6"),
+		}, 1},
+		{"with empty list", [][]netip.Addr{addrs("192.0.2.1"), nil}, 0},
+	}
+	for _, tt := range tests {
+		if got := TruncateLength(tt.lists); got != tt.want {
+			t.Errorf("%s: TruncateLength = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestGeneratePoolBasic(t *testing.T) {
+	lists := [][]netip.Addr{
+		addrs("192.0.2.1", "192.0.2.2"),
+		addrs("192.0.2.3", "192.0.2.4", "192.0.2.5"),
+		addrs("192.0.2.6", "192.0.2.7"),
+	}
+	pool, err := GeneratePool(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := addrs("192.0.2.1", "192.0.2.2", "192.0.2.3", "192.0.2.4", "192.0.2.6", "192.0.2.7")
+	if !reflect.DeepEqual(pool, want) {
+		t.Fatalf("pool = %v, want %v", pool, want)
+	}
+}
+
+func TestGeneratePoolErrors(t *testing.T) {
+	if _, err := GeneratePool(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("empty input: %v", err)
+	}
+	lists := [][]netip.Addr{addrs("192.0.2.1"), nil}
+	if _, err := GeneratePool(lists); !errors.Is(err, ErrEmptyAnswer) {
+		t.Errorf("empty shortest list: %v", err)
+	}
+}
+
+func TestGeneratePoolPreservesDuplicates(t *testing.T) {
+	lists := [][]netip.Addr{
+		addrs("192.0.2.1"),
+		addrs("192.0.2.1"),
+		addrs("192.0.2.1"),
+	}
+	pool, err := GeneratePool(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 3 {
+		t.Fatalf("pool = %v: duplicates must count as individual servers (paper §IV)", pool)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	pool := addrs("192.0.2.1", "192.0.2.2", "192.0.2.1", "192.0.2.3", "192.0.2.2")
+	got := Dedupe(pool)
+	want := addrs("192.0.2.1", "192.0.2.2", "192.0.2.3")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dedupe = %v, want %v", got, want)
+	}
+}
+
+func TestMajorityFilter(t *testing.T) {
+	lists := [][]netip.Addr{
+		addrs("192.0.2.1", "192.0.2.2", "198.18.0.1"),
+		addrs("192.0.2.1", "192.0.2.3"),
+		addrs("192.0.2.1", "192.0.2.2"),
+	}
+	got := MajorityFilter(lists)
+	// .1 appears in 3 lists, .2 in 2 (> 3/2), .3 and attacker addr in 1.
+	want := addrs("192.0.2.1", "192.0.2.2")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MajorityFilter = %v, want %v", got, want)
+	}
+}
+
+func TestMajorityFilterIgnoresMultiplicityWithinOneResolver(t *testing.T) {
+	// One resolver repeating an address 10 times must not fake votes.
+	lists := [][]netip.Addr{
+		addrs("198.18.0.9", "198.18.0.9", "198.18.0.9", "198.18.0.9"),
+		addrs("192.0.2.1"),
+		addrs("192.0.2.1"),
+	}
+	got := MajorityFilter(lists)
+	want := addrs("192.0.2.1")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MajorityFilter = %v, want %v (vote stuffing must fail)", got, want)
+	}
+}
+
+func TestVoteFilterThresholds(t *testing.T) {
+	lists := [][]netip.Addr{
+		addrs("192.0.2.1", "192.0.2.2"),
+		addrs("192.0.2.1"),
+		addrs("192.0.2.1", "192.0.2.2"),
+		addrs("192.0.2.3"),
+	}
+	if got := VoteFilter(lists, 1); len(got) != 3 {
+		t.Errorf("threshold 1: %v", got)
+	}
+	if got := VoteFilter(lists, 3); !reflect.DeepEqual(got, addrs("192.0.2.1")) {
+		t.Errorf("threshold 3: %v", got)
+	}
+	if got := VoteFilter(lists, 5); len(got) != 0 {
+		t.Errorf("threshold 5: %v", got)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	attacker := func(a netip.Addr) bool { return a == ip("198.18.0.1") }
+	if got := Fraction(nil, attacker); got != 0 {
+		t.Errorf("empty pool fraction = %f", got)
+	}
+	pool := addrs("198.18.0.1", "192.0.2.1", "192.0.2.2", "198.18.0.1")
+	if got := Fraction(pool, attacker); got != 0.5 {
+		t.Errorf("fraction = %f, want 0.5", got)
+	}
+}
+
+// --- Property-based tests on the core invariants ------------------------
+
+// listsFromBytes derives deterministic address lists from fuzz input.
+func listsFromBytes(shape []uint8) [][]netip.Addr {
+	if len(shape) > 12 {
+		shape = shape[:12]
+	}
+	lists := make([][]netip.Addr, 0, len(shape))
+	for i, n := range shape {
+		l := make([]netip.Addr, 0, int(n%9))
+		for j := 0; j < int(n%9); j++ {
+			l = append(l, netip.AddrFrom4([4]byte{10, byte(i), byte(j), 1}))
+		}
+		lists = append(lists, l)
+	}
+	return lists
+}
+
+// Property: every resolver contributes exactly K = min length entries, so
+// the pool size is always N·K and per-resolver influence is bounded by
+// 1/N — the paper's Section III-a invariant.
+func TestPropertyEqualContribution(t *testing.T) {
+	f := func(shape []uint8) bool {
+		lists := listsFromBytes(shape)
+		pool, err := GeneratePool(lists)
+		if err != nil {
+			// Acceptable failure modes only.
+			return errors.Is(err, ErrNoResults) || errors.Is(err, ErrEmptyAnswer)
+		}
+		k := TruncateLength(lists)
+		if len(pool) != k*len(lists) {
+			return false
+		}
+		// Count per-source prefix (10.i.x.x encodes the source list).
+		counts := make(map[byte]int)
+		for _, a := range pool {
+			counts[a.As4()[1]]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncation is idempotent and never grows a list.
+func TestPropertyTruncate(t *testing.T) {
+	f := func(shape []uint8, kRaw uint8) bool {
+		lists := listsFromBytes(shape)
+		k := int(kRaw % 12)
+		once := Truncate(lists, k)
+		twice := Truncate(once, k)
+		if !reflect.DeepEqual(once, twice) {
+			return false
+		}
+		for i, l := range once {
+			if len(l) > k || len(l) > len(lists[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the majority filter never admits an address seen by fewer
+// than a strict majority of resolvers.
+func TestPropertyMajoritySoundness(t *testing.T) {
+	f := func(shape []uint8) bool {
+		lists := listsFromBytes(shape)
+		if len(lists) == 0 {
+			return true
+		}
+		kept := MajorityFilter(lists)
+		for _, a := range kept {
+			votes := 0
+			for _, l := range lists {
+				for _, x := range l {
+					if x == a {
+						votes++
+						break
+					}
+				}
+			}
+			if votes <= len(lists)/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Combine preserves total length and order; Dedupe output is
+// duplicate-free and a subset of input.
+func TestPropertyCombineDedupe(t *testing.T) {
+	f := func(shape []uint8) bool {
+		lists := listsFromBytes(shape)
+		combined := Combine(lists)
+		total := 0
+		for _, l := range lists {
+			total += len(l)
+		}
+		if len(combined) != total {
+			return false
+		}
+		dd := Dedupe(combined)
+		seen := map[netip.Addr]bool{}
+		for _, a := range dd {
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		inInput := map[netip.Addr]bool{}
+		for _, a := range combined {
+			inInput[a] = true
+		}
+		for _, a := range dd {
+			if !inInput[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Section III-a reproduced on the pure algorithm): if an
+// attacker fully controls m of n resolvers (and the benign lists carry no
+// attacker addresses), the attacker's pool fraction is exactly m/n —
+// never more, regardless of how many addresses the attacker injects.
+func TestPropertyAttackerFractionBound(t *testing.T) {
+	f := func(nRaw, mRaw, inflate uint8) bool {
+		n := int(nRaw%7) + 1
+		m := int(mRaw) % (n + 1)
+		benignLen := 4
+		lists := make([][]netip.Addr, 0, n)
+		for i := 0; i < n; i++ {
+			if i < m {
+				// Attacker list, possibly inflated.
+				l := make([]netip.Addr, benignLen+int(inflate%50))
+				for j := range l {
+					l[j] = netip.AddrFrom4([4]byte{198, 18, byte(i), byte(j)})
+				}
+				lists = append(lists, l)
+			} else {
+				l := make([]netip.Addr, benignLen)
+				for j := range l {
+					l[j] = netip.AddrFrom4([4]byte{192, 0, 2, byte(i*10 + j)})
+				}
+				lists = append(lists, l)
+			}
+		}
+		pool, err := GeneratePool(lists)
+		if err != nil {
+			return false
+		}
+		attackerFrac := Fraction(pool, func(a netip.Addr) bool {
+			b := a.As4()
+			return b[0] == 198 && b[1] == 18
+		})
+		want := float64(m) / float64(n)
+		return attackerFrac == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+)
+
+// staticQuerier answers every resolver URL with a fixed per-URL list.
+type staticQuerier struct {
+	lists map[string][]netip.Addr
+	fail  bool
+}
+
+func (s *staticQuerier) Query(_ context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	if s.fail {
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp, nil
+	}
+	for _, a := range s.lists[url] {
+		if (typ == dnswire.TypeA) == a.Is4() {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, 60))
+		}
+	}
+	return resp, nil
+}
+
+func frontendUnderTest(t *testing.T, q Querier, withMajority bool) *Frontend {
+	t.Helper()
+	gen, err := NewGenerator(Config{
+		Resolvers: []Endpoint{
+			{Name: "r0", URL: "u0"},
+			{Name: "r1", URL: "u1"},
+			{Name: "r2", URL: "u2"},
+		},
+		Querier:      q,
+		WithMajority: withMajority,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend("127.0.0.1:0", gen, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+	return fe
+}
+
+func frontendQuery(t *testing.T, addr, name string, typ dnswire.Type) *dnswire.Message {
+	t.Helper()
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	resp, err := (&transport.UDP{}).Exchange(ctx, query, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFrontendAnswersWithPool(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{
+		"u0": addrs("192.0.2.1", "192.0.2.2"),
+		"u1": addrs("192.0.2.3", "192.0.2.4"),
+		"u2": addrs("192.0.2.5", "192.0.2.6"),
+	}}
+	fe := frontendUnderTest(t, q, false)
+	resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if got := len(resp.AnswerAddrs()); got != 6 {
+		t.Fatalf("answers = %d, want 6", got)
+	}
+	if !resp.Header.RecursionAvailable {
+		t.Error("RA clear")
+	}
+	if fe.Served() != 1 {
+		t.Errorf("Served = %d", fe.Served())
+	}
+}
+
+func TestFrontendMajorityMode(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{
+		"u0": addrs("192.0.2.1", "198.18.0.1"),
+		"u1": addrs("192.0.2.1", "192.0.2.2"),
+		"u2": addrs("192.0.2.1", "192.0.2.2"),
+	}}
+	fe := frontendUnderTest(t, q, true)
+	resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+	got := resp.AnswerAddrs()
+	if len(got) != 2 {
+		t.Fatalf("majority answers = %v", got)
+	}
+	for _, a := range got {
+		if a == ip("198.18.0.1") {
+			t.Fatal("minority address served")
+		}
+	}
+}
+
+func TestFrontendRejectsNonAddressQueries(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{}}
+	fe := frontendUnderTest(t, q, false)
+	resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeTXT)
+	if resp.Header.RCode != dnswire.RCodeNotImp {
+		t.Fatalf("rcode = %v, want NOTIMP (pool generation is address-only, §II)", resp.Header.RCode)
+	}
+	if fe.Failures() != 1 {
+		t.Errorf("Failures = %d", fe.Failures())
+	}
+}
+
+func TestFrontendServFailOnGeneratorError(t *testing.T) {
+	q := &staticQuerier{fail: true}
+	fe := frontendUnderTest(t, q, false)
+	resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestFrontendFormErrOnJunk(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{"u0": addrs("192.0.2.1")}}
+	fe := frontendUnderTest(t, q, false)
+
+	// A response-flagged message must be rejected as FORMERR.
+	query, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.Header.Response = true
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resp, err := (&transport.UDP{}).Exchange(ctx, query, fe.Addr())
+	// The frontend answers with FORMERR; Validate passes since ID and
+	// question echo.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeFormErr {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestFrontendTCP(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{
+		"u0": addrs("192.0.2.1", "192.0.2.2"),
+		"u1": addrs("192.0.2.3", "192.0.2.4"),
+		"u2": addrs("192.0.2.5", "192.0.2.6"),
+	}}
+	fe := frontendUnderTest(t, q, false)
+	query, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	resp, err := (&transport.TCP{}).Exchange(ctx, query, fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.AnswerAddrs()); got != 6 {
+		t.Fatalf("TCP answers = %d", got)
+	}
+}
+
+func TestFrontendTruncatesOversizedUDP(t *testing.T) {
+	// 120 addresses per resolver → ~120*3 answer records, far over 512
+	// bytes. A no-EDNS UDP client must get TC and succeed over TCP via
+	// the Auto transport.
+	big := make(map[string][]netip.Addr)
+	for r := 0; r < 3; r++ {
+		url := "u" + string(rune('0'+r))
+		for i := 0; i < 120; i++ {
+			big[url] = append(big[url], netip.AddrFrom4([4]byte{10, byte(r), byte(i), 1}))
+		}
+	}
+	fe := frontendUnderTest(t, &staticQuerier{lists: big}, false)
+
+	query, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.Additional = nil // no EDNS → 512-byte limit
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	udpResp, err := (&transport.UDP{}).Exchange(ctx, query, fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !udpResp.Header.Truncated {
+		t.Fatal("oversized UDP answer not truncated")
+	}
+
+	query2, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query2.Additional = nil
+	autoResp, err := (&transport.Auto{}).Exchange(ctx, query2, fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(autoResp.AnswerAddrs()); got != 360 {
+		t.Fatalf("TCP fallback answers = %d, want 360", got)
+	}
+}
+
+func TestFrontendCloseIdempotency(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{}}
+	gen, err := NewGenerator(Config{
+		Resolvers: []Endpoint{{Name: "r0", URL: "u0"}},
+		Querier:   q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend("127.0.0.1:0", gen, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Close(); err != ErrFrontendClosed {
+		t.Fatalf("second close = %v", err)
+	}
+}

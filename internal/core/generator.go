@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+// Generator errors.
+var (
+	// ErrNoResolvers reports a generator configured without resolvers.
+	ErrNoResolvers = errors.New("no DoH resolvers configured")
+	// ErrQuorum reports that fewer resolvers answered than the configured
+	// minimum — proceeding would silently weaken the consensus guarantee.
+	ErrQuorum = errors.New("not enough resolvers answered")
+)
+
+// Endpoint identifies one DoH resolver.
+type Endpoint struct {
+	// Name is a human-readable label ("dns.google", "resolver-2", …).
+	Name string
+	// URL is the RFC 8484 endpoint, e.g. "https://127.0.0.1:4431/dns-query".
+	URL string
+}
+
+// Querier performs one DoH lookup; doh.Client satisfies it.
+type Querier interface {
+	Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error)
+}
+
+// DualStackPolicy selects how A and AAAA lookups combine (the paper's
+// footnote 1: the honest-majority property can be required for the union
+// or for each family individually).
+type DualStackPolicy int
+
+// Dual-stack policies.
+const (
+	// DualStackindividual runs Algorithm 1 per address family and
+	// concatenates the two pools; each family individually carries the
+	// honest-majority guarantee.
+	DualStackIndividual DualStackPolicy = iota + 1
+	// DualStackUnion merges each resolver's A and AAAA answers into one
+	// list before truncation; the guarantee holds for the union.
+	DualStackUnion
+)
+
+// ResolverResult records one resolver's contribution to a pool.
+type ResolverResult struct {
+	Endpoint Endpoint
+	// Addrs is the untruncated answer list.
+	Addrs []netip.Addr
+	// Err is non-nil when the resolver failed or answered unusably.
+	Err error
+	// RTT is the exchange duration.
+	RTT time.Duration
+}
+
+// Pool is the outcome of one Algorithm 1 run.
+type Pool struct {
+	// Addrs is the combined pool: N truncated lists concatenated,
+	// duplicates preserved.
+	Addrs []netip.Addr
+	// TruncateLength is K, the per-resolver contribution size.
+	TruncateLength int
+	// Results holds every resolver's raw contribution (including
+	// failures) for diagnostics and experiments.
+	Results []ResolverResult
+	// Majority, when the majority filter is enabled, holds the addresses
+	// confirmed by more than half of the answering resolvers.
+	Majority []netip.Addr
+}
+
+// Responding returns how many resolvers contributed to the pool.
+func (p *Pool) Responding() int {
+	n := 0
+	for _, r := range p.Results {
+		if r.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Config configures a Generator.
+type Config struct {
+	// Resolvers is the list of distributed DoH resolvers (≥ 1; the
+	// security analysis wants ≥ 3).
+	Resolvers []Endpoint
+	// Querier executes DoH lookups.
+	Querier Querier
+	// MinResolvers is the quorum: fewer successful answers than this
+	// fails pool generation. 0 means all resolvers must answer.
+	MinResolvers int
+	// Sequential disables the concurrent fan-out (A3 ablation).
+	Sequential bool
+	// WithMajority additionally computes the majority-filtered address
+	// set (for applications without Chronos-style tolerance).
+	WithMajority bool
+	// DualStack selects the A/AAAA combination policy for LookupDualStack.
+	// Defaults to DualStackIndividual.
+	DualStack DualStackPolicy
+	// QueryTimeout bounds each individual resolver exchange. Zero uses
+	// the querier's own default.
+	QueryTimeout time.Duration
+}
+
+// Generator runs Algorithm 1 against a fixed resolver set.
+type Generator struct {
+	cfg Config
+}
+
+// NewGenerator validates cfg and builds a Generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if len(cfg.Resolvers) == 0 {
+		return nil, ErrNoResolvers
+	}
+	if cfg.Querier == nil {
+		return nil, errors.New("generator needs a Querier")
+	}
+	if cfg.MinResolvers == 0 {
+		cfg.MinResolvers = len(cfg.Resolvers)
+	}
+	if cfg.MinResolvers < 0 || cfg.MinResolvers > len(cfg.Resolvers) {
+		return nil, fmt.Errorf("quorum %d out of range for %d resolvers",
+			cfg.MinResolvers, len(cfg.Resolvers))
+	}
+	if cfg.DualStack == 0 {
+		cfg.DualStack = DualStackIndividual
+	}
+	return &Generator{cfg: cfg}, nil
+}
+
+// ResolverCount returns N, the number of configured resolvers.
+func (g *Generator) ResolverCount() int { return len(g.cfg.Resolvers) }
+
+// Lookup runs Algorithm 1 for (domain, typ): query every resolver,
+// truncate all answer lists to the shortest, concatenate.
+func (g *Generator) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*Pool, error) {
+	results := g.queryAll(ctx, domain, typ)
+	return g.assemble(results)
+}
+
+// LookupDualStack runs Algorithm 1 for both A and AAAA per the configured
+// dual-stack policy.
+func (g *Generator) LookupDualStack(ctx context.Context, domain string) (*Pool, error) {
+	v4 := g.queryAll(ctx, domain, dnswire.TypeA)
+	v6 := g.queryAll(ctx, domain, dnswire.TypeAAAA)
+
+	switch g.cfg.DualStack {
+	case DualStackUnion:
+		merged := make([]ResolverResult, len(v4))
+		for i := range v4 {
+			merged[i] = v4[i]
+			if v4[i].Err != nil {
+				// Family missing entirely: fall back to the other.
+				merged[i] = v6[i]
+				continue
+			}
+			if v6[i].Err == nil {
+				merged[i].Addrs = append(append([]netip.Addr(nil), v4[i].Addrs...), v6[i].Addrs...)
+				if v6[i].RTT > merged[i].RTT {
+					merged[i].RTT = v6[i].RTT
+				}
+			}
+		}
+		return g.assemble(merged)
+	default: // DualStackIndividual
+		p4, err4 := g.assemble(v4)
+		p6, err6 := g.assemble(v6)
+		switch {
+		case err4 == nil && err6 == nil:
+			combined := &Pool{
+				Addrs:          append(append([]netip.Addr(nil), p4.Addrs...), p6.Addrs...),
+				TruncateLength: p4.TruncateLength + p6.TruncateLength,
+				Results:        append(append([]ResolverResult(nil), p4.Results...), p6.Results...),
+			}
+			if g.cfg.WithMajority {
+				combined.Majority = append(append([]netip.Addr(nil), p4.Majority...), p6.Majority...)
+			}
+			return combined, nil
+		case err4 == nil:
+			return p4, nil
+		case err6 == nil:
+			return p6, nil
+		default:
+			return nil, fmt.Errorf("dual-stack lookup: v4: %v; v6: %w", err4, err6)
+		}
+	}
+}
+
+// queryAll fans the query out to every resolver (concurrently unless
+// Sequential) and collects per-resolver results.
+func (g *Generator) queryAll(ctx context.Context, domain string, typ dnswire.Type) []ResolverResult {
+	results := make([]ResolverResult, len(g.cfg.Resolvers))
+	queryOne := func(i int) {
+		ep := g.cfg.Resolvers[i]
+		qctx := ctx
+		var cancel context.CancelFunc
+		if g.cfg.QueryTimeout > 0 {
+			qctx, cancel = context.WithTimeout(ctx, g.cfg.QueryTimeout)
+			defer cancel()
+		}
+		start := time.Now()
+		resp, err := g.cfg.Querier.Query(qctx, ep.URL, domain, typ)
+		rtt := time.Since(start)
+		if err != nil {
+			results[i] = ResolverResult{Endpoint: ep, Err: err, RTT: rtt}
+			return
+		}
+		if resp.Header.RCode != dnswire.RCodeSuccess {
+			results[i] = ResolverResult{
+				Endpoint: ep,
+				Err:      fmt.Errorf("resolver %s answered %v", ep.Name, resp.Header.RCode),
+				RTT:      rtt,
+			}
+			return
+		}
+		results[i] = ResolverResult{Endpoint: ep, Addrs: resp.AnswerAddrs(), RTT: rtt}
+	}
+
+	if g.cfg.Sequential {
+		for i := range results {
+			queryOne(i)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queryOne(i)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// assemble applies truncation and combination (Algorithm 1's second half)
+// to the collected results, enforcing the quorum.
+func (g *Generator) assemble(results []ResolverResult) (*Pool, error) {
+	lists := make([][]netip.Addr, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil {
+			lists = append(lists, r.Addrs)
+		}
+	}
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("%w: %w", ErrNoResults, firstError(results))
+	}
+	if len(lists) < g.cfg.MinResolvers {
+		return nil, fmt.Errorf("%d of %d needed: %w (first failure: %v)",
+			len(lists), g.cfg.MinResolvers, ErrQuorum, firstError(results))
+	}
+
+	pool := &Pool{Results: results}
+	pool.TruncateLength = TruncateLength(lists)
+	if pool.TruncateLength == 0 {
+		return nil, ErrEmptyAnswer
+	}
+	pool.Addrs = Combine(Truncate(lists, pool.TruncateLength))
+	if g.cfg.WithMajority {
+		pool.Majority = MajorityFilter(lists)
+	}
+	return pool, nil
+}
+
+func firstError(results []ResolverResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

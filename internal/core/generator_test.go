@@ -1,0 +1,373 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+// fakeQuerier maps resolver URL → answer lists (per type), with optional
+// per-URL errors and call counting.
+type fakeQuerier struct {
+	mu      sync.Mutex
+	answers map[string]map[dnswire.Type][]netip.Addr
+	errs    map[string]error
+	rcodes  map[string]dnswire.RCode
+	calls   map[string]int
+	delay   time.Duration
+}
+
+func newFakeQuerier() *fakeQuerier {
+	return &fakeQuerier{
+		answers: make(map[string]map[dnswire.Type][]netip.Addr),
+		errs:    make(map[string]error),
+		rcodes:  make(map[string]dnswire.RCode),
+		calls:   make(map[string]int),
+	}
+}
+
+func (f *fakeQuerier) set(url string, typ dnswire.Type, list []netip.Addr) {
+	if f.answers[url] == nil {
+		f.answers[url] = make(map[dnswire.Type][]netip.Addr)
+	}
+	f.answers[url][typ] = list
+}
+
+func (f *fakeQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	f.mu.Lock()
+	f.calls[url]++
+	f.mu.Unlock()
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := f.errs[url]; err != nil {
+		return nil, err
+	}
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	if rc, ok := f.rcodes[url]; ok {
+		resp.Header.RCode = rc
+		return resp, nil
+	}
+	for _, a := range f.answers[url][typ] {
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, 60))
+	}
+	return resp, nil
+}
+
+func endpoints(n int) []Endpoint {
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = Endpoint{Name: fmt.Sprintf("r%d", i), URL: fmt.Sprintf("https://r%d/dns-query", i)}
+	}
+	return eps
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Querier: newFakeQuerier()}); !errors.Is(err, ErrNoResolvers) {
+		t.Errorf("no resolvers: %v", err)
+	}
+	if _, err := NewGenerator(Config{Resolvers: endpoints(3)}); err == nil {
+		t.Error("nil querier accepted")
+	}
+	if _, err := NewGenerator(Config{Resolvers: endpoints(3), Querier: newFakeQuerier(), MinResolvers: 5}); err == nil {
+		t.Error("quorum > N accepted")
+	}
+}
+
+func TestLookupCombinesAndTruncates(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(3)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1", "192.0.2.2", "192.0.2.3"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.4", "192.0.2.5"))
+	fq.set(eps[2].URL, dnswire.TypeA, addrs("192.0.2.6", "192.0.2.7", "192.0.2.8", "192.0.2.9"))
+
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(context.Background(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TruncateLength != 2 {
+		t.Errorf("K = %d, want 2", pool.TruncateLength)
+	}
+	if len(pool.Addrs) != 6 {
+		t.Errorf("pool size = %d, want N*K = 6", len(pool.Addrs))
+	}
+	if pool.Responding() != 3 {
+		t.Errorf("responding = %d", pool.Responding())
+	}
+	// Per-resolver contribution ordering is preserved.
+	if pool.Addrs[0] != ip("192.0.2.1") || pool.Addrs[2] != ip("192.0.2.4") || pool.Addrs[4] != ip("192.0.2.6") {
+		t.Errorf("pool order = %v", pool.Addrs)
+	}
+}
+
+func TestLookupQuorum(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(3)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.2"))
+	fq.errs[eps[2].URL] = errors.New("resolver down")
+
+	// Default quorum = all: must fail.
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("strict quorum: %v", err)
+	}
+
+	// Quorum 2: succeeds with the two live resolvers.
+	gen2, err := NewGenerator(Config{Resolvers: eps, Querier: fq, MinResolvers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen2.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 2 {
+		t.Errorf("pool = %v", pool.Addrs)
+	}
+	// The failed resolver's result is recorded for diagnostics.
+	var sawErr bool
+	for _, r := range pool.Results {
+		if r.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("failed resolver missing from Results")
+	}
+}
+
+func TestLookupAllFailed(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(2)
+	fq.errs[eps[0].URL] = errors.New("down 0")
+	fq.errs[eps[1].URL] = errors.New("down 1")
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, MinResolvers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrNoResults) {
+		t.Fatalf("err = %v, want ErrNoResults", err)
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Errorf("error does not carry cause: %v", err)
+	}
+}
+
+func TestLookupServFailCountsAsFailure(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(2)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1"))
+	fq.rcodes[eps[1].URL] = dnswire.RCodeServFail
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, MinResolvers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Responding() != 1 {
+		t.Errorf("responding = %d, want 1", pool.Responding())
+	}
+}
+
+func TestLookupEmptyAnswerDoS(t *testing.T) {
+	// One resolver answering NOERROR/empty triggers the truncation DoS
+	// the paper accepts as a trade-off (footnote 2).
+	fq := newFakeQuerier()
+	eps := endpoints(3)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.2"))
+	fq.set(eps[2].URL, dnswire.TypeA, nil)
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrEmptyAnswer) {
+		t.Fatalf("err = %v, want ErrEmptyAnswer", err)
+	}
+}
+
+func TestLookupWithMajority(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(3)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1", "198.18.0.1"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.1", "192.0.2.2"))
+	fq.set(eps[2].URL, dnswire.TypeA, addrs("192.0.2.2", "192.0.2.1"))
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, WithMajority: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Majority) != 2 {
+		t.Fatalf("majority = %v", pool.Majority)
+	}
+	for _, a := range pool.Majority {
+		if a == ip("198.18.0.1") {
+			t.Fatal("minority-injected address passed the majority filter")
+		}
+	}
+}
+
+func TestSequentialVsConcurrent(t *testing.T) {
+	fq := newFakeQuerier()
+	fq.delay = 50 * time.Millisecond
+	eps := endpoints(4)
+	for _, ep := range eps {
+		fq.set(ep.URL, dnswire.TypeA, addrs("192.0.2.1"))
+	}
+
+	conc, err := NewGenerator(Config{Resolvers: eps, Querier: fq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := conc.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	concDur := time.Since(start)
+
+	seq, err := NewGenerator(Config{Resolvers: eps, Querier: fq, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := seq.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	seqDur := time.Since(start)
+
+	if concDur >= seqDur {
+		t.Errorf("concurrent (%v) not faster than sequential (%v)", concDur, seqDur)
+	}
+	if seqDur < 4*fq.delay {
+		t.Errorf("sequential finished in %v, expected >= %v", seqDur, 4*fq.delay)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	fq := newFakeQuerier()
+	fq.delay = 200 * time.Millisecond
+	eps := endpoints(1)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1"))
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, QueryTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("slow resolver did not time out")
+	}
+}
+
+func TestDualStackIndividual(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(2)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1", "192.0.2.2"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.3"))
+	fq.set(eps[0].URL, dnswire.TypeAAAA, addrs("2001:db8::1"))
+	fq.set(eps[1].URL, dnswire.TypeAAAA, addrs("2001:db8::2", "2001:db8::3"))
+
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, DualStack: DualStackIndividual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.LookupDualStack(context.Background(), "pool.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v4: K=1 → 2 addrs; v6: K=1 → 2 addrs.
+	if len(pool.Addrs) != 4 {
+		t.Fatalf("pool = %v", pool.Addrs)
+	}
+	if pool.TruncateLength != 2 {
+		t.Errorf("combined K = %d, want 1+1", pool.TruncateLength)
+	}
+}
+
+func TestDualStackUnion(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(2)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1", "192.0.2.2"))
+	fq.set(eps[1].URL, dnswire.TypeA, addrs("192.0.2.3"))
+	fq.set(eps[0].URL, dnswire.TypeAAAA, addrs("2001:db8::1"))
+	fq.set(eps[1].URL, dnswire.TypeAAAA, addrs("2001:db8::2", "2001:db8::3"))
+
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, DualStack: DualStackUnion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.LookupDualStack(context.Background(), "pool.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unions: r0 has 3 addrs, r1 has 3 addrs → K=3, pool=6.
+	if pool.TruncateLength != 3 || len(pool.Addrs) != 6 {
+		t.Fatalf("K=%d pool=%v", pool.TruncateLength, pool.Addrs)
+	}
+}
+
+func TestDualStackV6OnlyFallback(t *testing.T) {
+	fq := newFakeQuerier()
+	eps := endpoints(2)
+	// No A answers at all (empty lists → ErrEmptyAnswer for v4).
+	fq.set(eps[0].URL, dnswire.TypeAAAA, addrs("2001:db8::1"))
+	fq.set(eps[1].URL, dnswire.TypeAAAA, addrs("2001:db8::2"))
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq, DualStack: DualStackIndividual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.LookupDualStack(context.Background(), "pool.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 2 {
+		t.Fatalf("pool = %v", pool.Addrs)
+	}
+}
+
+func TestRTTRecorded(t *testing.T) {
+	fq := newFakeQuerier()
+	fq.delay = 10 * time.Millisecond
+	eps := endpoints(1)
+	fq.set(eps[0].URL, dnswire.TypeA, addrs("192.0.2.1"))
+	gen, err := NewGenerator(Config{Resolvers: eps, Querier: fq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Results[0].RTT < 10*time.Millisecond {
+		t.Errorf("RTT = %v", pool.Results[0].RTT)
+	}
+}

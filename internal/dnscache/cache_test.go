@@ -1,0 +1,192 @@
+package dnscache
+
+import (
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func question(name string) dnswire.Question {
+	return dnswire.Question{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET}
+}
+
+func response(name string, ttl uint32, ips ...string) *dnswire.Message {
+	m := &dnswire.Message{Header: dnswire.Header{ID: 1, Response: true}}
+	m.Questions = []dnswire.Question{question(name)}
+	for _, ip := range ips {
+		m.Answers = append(m.Answers, dnswire.AddressRecord(name, netip.MustParseAddr(ip), ttl))
+	}
+	return m
+}
+
+func TestPutGet(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 300, "192.0.2.1"), 60)
+
+	got, ok := c.Get(q)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(got.Answers) != 1 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 0 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 10, "192.0.2.1"), 60)
+
+	clk.advance(9 * time.Second)
+	if _, ok := c.Get(q); !ok {
+		t.Fatal("expired before TTL")
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get(q); ok {
+		t.Fatal("survived past TTL")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry not evicted, Len = %d", c.Len())
+	}
+}
+
+func TestTTLDecrement(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 100, "192.0.2.1"), 60)
+
+	clk.advance(40 * time.Second)
+	got, ok := c.Get(q)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if ttl := got.Answers[0].TTL; ttl != 60 {
+		t.Fatalf("decremented TTL = %d, want 60", ttl)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 100, "192.0.2.1"), 60)
+
+	first, _ := c.Get(q)
+	first.Answers = nil
+	second, ok := c.Get(q)
+	if !ok || len(second.Answers) != 1 {
+		t.Fatal("cache entry mutated through returned copy")
+	}
+}
+
+func TestPutCopies(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	msg := response("pool.test.", 100, "192.0.2.1")
+	c.Put(q, msg, 60)
+	msg.Answers = nil
+
+	got, ok := c.Get(q)
+	if !ok || len(got.Answers) != 1 {
+		t.Fatal("cache shares storage with caller's message")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now), WithCapacity(3))
+	for i := 0; i < 3; i++ {
+		name := "n" + strconv.Itoa(i) + ".test."
+		c.Put(question(name), response(name, 300, "192.0.2.1"), 60)
+	}
+	// Touch n0 so n1 becomes the LRU victim.
+	if _, ok := c.Get(question("n0.test.")); !ok {
+		t.Fatal("n0 missing")
+	}
+	c.Put(question("n3.test."), response("n3.test.", 300, "192.0.2.1"), 60)
+
+	if _, ok := c.Get(question("n1.test.")); ok {
+		t.Error("LRU victim n1 still cached")
+	}
+	for _, name := range []string{"n0.test.", "n2.test.", "n3.test."} {
+		if _, ok := c.Get(question(name)); !ok {
+			t.Errorf("%s evicted unexpectedly", name)
+		}
+	}
+}
+
+func TestZeroTTLUncacheable(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 0, "192.0.2.1"), 0)
+	if _, ok := c.Get(q); ok {
+		t.Fatal("zero-TTL response was cached")
+	}
+}
+
+func TestNegativeCachingUsesMinTTL(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("missing.test.")
+	neg := &dnswire.Message{Header: dnswire.Header{Response: true, RCode: dnswire.RCodeNXDomain}}
+	neg.Questions = []dnswire.Question{q}
+	c.Put(q, neg, 30)
+
+	if _, ok := c.Get(q); !ok {
+		t.Fatal("negative response not cached")
+	}
+	clk.advance(31 * time.Second)
+	if _, ok := c.Get(q); ok {
+		t.Fatal("negative entry outlived minTTL")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	c.Put(question("a.test."), response("a.test.", 300, "192.0.2.1"), 60)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Flush = %d", c.Len())
+	}
+	if _, ok := c.Get(question("a.test.")); ok {
+		t.Fatal("entry survived Flush")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	clk := newFakeClock()
+	c := New(WithClock(clk.now))
+	q := question("pool.test.")
+	c.Put(q, response("pool.test.", 300, "192.0.2.1"), 60)
+	c.Put(q, response("pool.test.", 300, "192.0.2.9"), 60)
+	got, ok := c.Get(q)
+	if !ok {
+		t.Fatal("miss")
+	}
+	addrs := got.AnswerAddrs()
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.9") {
+		t.Fatalf("addrs = %v, want the overwritten value", addrs)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", c.Len())
+	}
+}

@@ -1,0 +1,152 @@
+package dnswire
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// NewQuery builds a recursive query for (name, type) in class IN with a
+// cryptographically random transaction ID and an EDNS0 OPT record
+// advertising DefaultEDNSSize.
+func NewQuery(name string, typ Type) (*Message, error) {
+	id, err := RandomID()
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	m := &Message{
+		Header: Header{
+			ID:               id,
+			Opcode:           OpcodeQuery,
+			RecursionDesired: true,
+		},
+		Questions: []Question{{
+			Name:  CanonicalName(name),
+			Type:  typ,
+			Class: ClassINET,
+		}},
+	}
+	m.SetEDNS(DefaultEDNSSize)
+	return m, nil
+}
+
+// RandomID draws a transaction ID from crypto/rand. Predictable IDs are
+// exactly the weakness off-path DNS attackers exploit, so even the testbed
+// uses strong IDs.
+func RandomID() (uint16, error) {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("random id: %w", err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+// SetEDNS appends (or replaces) the EDNS0 OPT pseudo-record advertising
+// the given UDP payload size (RFC 6891 §6.1.2: size is carried in the
+// CLASS field, extended RCODE and flags in the TTL field).
+func (m *Message) SetEDNS(udpSize uint16) {
+	kept := m.Additional[:0]
+	for _, r := range m.Additional {
+		if r.Type != TypeOPT {
+			kept = append(kept, r)
+		}
+	}
+	m.Additional = append(kept, Record{
+		Name:  ".",
+		Type:  TypeOPT,
+		Class: Class(udpSize),
+		TTL:   0,
+		Data:  &OPTRecord{},
+	})
+}
+
+// EDNSSize returns the advertised EDNS0 UDP payload size, or (0, false)
+// if the message carries no OPT record.
+func (m *Message) EDNSSize() (uint16, bool) {
+	for _, r := range m.Additional {
+		if r.Type == TypeOPT {
+			return uint16(r.Class), true
+		}
+	}
+	return 0, false
+}
+
+// NewResponse builds a response skeleton for the given query: same ID and
+// question, QR set, recursion bits mirrored.
+func NewResponse(query *Message) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+	}
+	resp.Questions = append(resp.Questions, query.Questions...)
+	return resp
+}
+
+// NewErrorResponse builds a response carrying only an RCode.
+func NewErrorResponse(query *Message, rcode RCode) *Message {
+	resp := NewResponse(query)
+	resp.Header.RCode = rcode
+	return resp
+}
+
+// AddressRecord builds an A or AAAA record for addr with the given owner
+// name and TTL, choosing the type from the address family.
+func AddressRecord(name string, addr netip.Addr, ttl uint32) Record {
+	addr = addr.Unmap()
+	r := Record{
+		Name:  CanonicalName(name),
+		Class: ClassINET,
+		TTL:   ttl,
+	}
+	if addr.Is4() {
+		r.Type = TypeA
+		r.Data = &ARecord{Addr: addr}
+	} else {
+		r.Type = TypeAAAA
+		r.Data = &AAAARecord{Addr: addr}
+	}
+	return r
+}
+
+// AnswerAddrs extracts every A/AAAA address from the answer section, in
+// order, following no CNAME indirection (callers resolve CNAMEs first).
+func (m *Message) AnswerAddrs() []netip.Addr {
+	addrs := make([]netip.Addr, 0, len(m.Answers))
+	for _, r := range m.Answers {
+		switch d := r.Data.(type) {
+		case *ARecord:
+			addrs = append(addrs, d.Addr)
+		case *AAAARecord:
+			addrs = append(addrs, d.Addr)
+		}
+	}
+	return addrs
+}
+
+// Question returns the first question, or a zero Question if none.
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// MinAnswerTTL returns the smallest TTL across answer records, or def when
+// the answer section is empty.
+func (m *Message) MinAnswerTTL(def uint32) uint32 {
+	min := def
+	for i, r := range m.Answers {
+		if i == 0 || r.TTL < min {
+			min = r.TTL
+		}
+	}
+	return min
+}

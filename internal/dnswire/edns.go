@@ -1,0 +1,138 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EDNS option codes used by this implementation.
+const (
+	// EDNSOptionPadding is the Padding option of RFC 7830. RFC 8467
+	// recommends padding DoH queries to 128-octet and responses to
+	// 468-octet blocks so message sizes do not leak query identity
+	// through the encrypted channel.
+	EDNSOptionPadding uint16 = 12
+)
+
+// RFC 8467 recommended padding block sizes.
+const (
+	QueryPaddingBlock    = 128
+	ResponsePaddingBlock = 468
+)
+
+// ErrBadEDNSOption reports malformed option bytes in an OPT record.
+var ErrBadEDNSOption = errors.New("malformed edns option")
+
+// EDNSOption is one {code, data} option inside an OPT pseudo-record
+// (RFC 6891 §6.1.2).
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// EncodeEDNSOptions serialises options into OPT rdata bytes.
+func EncodeEDNSOptions(opts []EDNSOption) []byte {
+	size := 0
+	for _, o := range opts {
+		size += 4 + len(o.Data)
+	}
+	buf := make([]byte, 0, size)
+	for _, o := range opts {
+		buf = appendUint16(buf, o.Code)
+		buf = appendUint16(buf, uint16(len(o.Data)))
+		buf = append(buf, o.Data...)
+	}
+	return buf
+}
+
+// DecodeEDNSOptions parses OPT rdata bytes into options.
+func DecodeEDNSOptions(data []byte) ([]EDNSOption, error) {
+	var opts []EDNSOption
+	pos := 0
+	for pos < len(data) {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("option header at %d: %w", pos, ErrBadEDNSOption)
+		}
+		code := readUint16(data, pos)
+		length := int(readUint16(data, pos+2))
+		pos += 4
+		if pos+length > len(data) {
+			return nil, fmt.Errorf("option %d data at %d: %w", code, pos, ErrBadEDNSOption)
+		}
+		opts = append(opts, EDNSOption{
+			Code: code,
+			Data: append([]byte(nil), data[pos:pos+length]...),
+		})
+		pos += length
+	}
+	return opts, nil
+}
+
+// EDNSOptions returns the decoded options of the message's OPT record, or
+// nil when there is none.
+func (m *Message) EDNSOptions() ([]EDNSOption, error) {
+	for _, r := range m.Additional {
+		if r.Type != TypeOPT {
+			continue
+		}
+		opt, ok := r.Data.(*OPTRecord)
+		if !ok {
+			return nil, ErrBadEDNSOption
+		}
+		return DecodeEDNSOptions(opt.Options)
+	}
+	return nil, nil
+}
+
+// PadTo appends (or extends) an RFC 7830 Padding option so the encoded
+// message length becomes the smallest multiple of block that fits it. The
+// message must already carry an OPT record (call SetEDNS first). Messages
+// whose padded size would exceed the wire limit are left unpadded.
+func (m *Message) PadTo(block int) error {
+	if block <= 0 {
+		return fmt.Errorf("pad block %d must be positive", block)
+	}
+	var opt *OPTRecord
+	for _, r := range m.Additional {
+		if r.Type == TypeOPT {
+			if o, ok := r.Data.(*OPTRecord); ok {
+				opt = o
+			}
+		}
+	}
+	if opt == nil {
+		return errors.New("pad: message has no OPT record (call SetEDNS first)")
+	}
+
+	// Strip any existing padding so PadTo is idempotent.
+	opts, err := DecodeEDNSOptions(opt.Options)
+	if err != nil {
+		return err
+	}
+	kept := opts[:0]
+	for _, o := range opts {
+		if o.Code != EDNSOptionPadding {
+			kept = append(kept, o)
+		}
+	}
+	opt.Options = EncodeEDNSOptions(kept)
+
+	wire, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	unpadded := len(wire)
+	// The padding option itself costs 4 octets of header.
+	target := ((unpadded + 4 + block - 1) / block) * block
+	padLen := target - unpadded - 4
+	if padLen < 0 {
+		padLen = 0
+	}
+	if target > MaxMessageSize {
+		return nil // cannot pad without overflowing; send unpadded
+	}
+	opt.Options = append(opt.Options, EncodeEDNSOptions([]EDNSOption{
+		{Code: EDNSOptionPadding, Data: make([]byte, padLen)},
+	})...)
+	return nil
+}

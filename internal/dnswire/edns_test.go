@@ -1,0 +1,148 @@
+package dnswire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEDNSOptionsRoundTrip(t *testing.T) {
+	opts := []EDNSOption{
+		{Code: 10, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}, // cookie-ish
+		{Code: EDNSOptionPadding, Data: make([]byte, 16)},
+		{Code: 999, Data: nil},
+	}
+	wire := EncodeEDNSOptions(opts)
+	got, err := DecodeEDNSOptions(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(opts) {
+		t.Fatalf("decoded %d options", len(got))
+	}
+	for i := range opts {
+		if got[i].Code != opts[i].Code || len(got[i].Data) != len(opts[i].Data) {
+			t.Errorf("option %d: %+v != %+v", i, got[i], opts[i])
+		}
+	}
+}
+
+func TestDecodeEDNSOptionsRejectsTruncation(t *testing.T) {
+	cases := [][]byte{
+		{0x00},                   // half a code
+		{0x00, 0x0C, 0x00},       // half a length
+		{0x00, 0x0C, 0x00, 0x05}, // claims 5 data bytes, has none
+	}
+	for i, data := range cases {
+		if _, err := DecodeEDNSOptions(data); !errors.Is(err, ErrBadEDNSOption) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	q, err := NewQuery("pool.ntp.org.", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PadTo(QueryPaddingBlock); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire)%QueryPaddingBlock != 0 {
+		t.Fatalf("padded size %d not a multiple of %d", len(wire), QueryPaddingBlock)
+	}
+	// The message must still decode and carry the padding option.
+	decoded, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := decoded.EDNSOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range opts {
+		if o.Code == EDNSOptionPadding {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("padding option missing after decode")
+	}
+}
+
+func TestPadToIsIdempotent(t *testing.T) {
+	q, err := NewQuery("a.very.long.name.under.pool.ntp.org.", TypeAAAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PadTo(QueryPaddingBlock); err != nil {
+		t.Fatal(err)
+	}
+	first, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PadTo(QueryPaddingBlock); err != nil {
+		t.Fatal(err)
+	}
+	second, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("repadding changed size: %d -> %d", len(first), len(second))
+	}
+}
+
+func TestPadToRequiresOPT(t *testing.T) {
+	m := &Message{Header: Header{ID: 1}}
+	if err := m.PadTo(128); err == nil {
+		t.Fatal("padding without OPT accepted")
+	}
+	q, err := NewQuery("x.test.", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PadTo(0); err == nil {
+		t.Fatal("block 0 accepted")
+	}
+}
+
+// Property: for any name, padding to 128 always produces a multiple of
+// 128 and never corrupts the message.
+func TestPadToProperty(t *testing.T) {
+	f := func(labelByte uint8, typ bool) bool {
+		label := "x"
+		for i := 0; i < int(labelByte%40); i++ {
+			label += "a"
+		}
+		qt := TypeA
+		if typ {
+			qt = TypeAAAA
+		}
+		q, err := NewQuery(label+".pool.test.", qt)
+		if err != nil {
+			return false
+		}
+		if err := q.PadTo(QueryPaddingBlock); err != nil {
+			return false
+		}
+		wire, err := q.Encode()
+		if err != nil {
+			return false
+		}
+		if len(wire)%QueryPaddingBlock != 0 {
+			return false
+		}
+		_, err = Decode(wire)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the message decoder: arbitrary input must never
+// panic, and anything that decodes must re-encode and decode again to an
+// equivalent message (idempotent canonicalisation).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real query and a real response.
+	q, err := NewQuery("pool.ntp.org.", TypeA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qWire, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qWire)
+
+	resp := NewResponse(q)
+	resp.Answers = append(resp.Answers, Record{
+		Name: "pool.ntp.org.", Type: TypeTXT, Class: ClassINET, TTL: 60,
+		Data: &TXTRecord{Strings: []string{"seed"}},
+	})
+	rWire, err := resp.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rWire)
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		reencoded, err := msg.Encode()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g. counts
+			// of unsupported shapes); acceptable as long as no panic.
+			return
+		}
+		again, err := Decode(reencoded)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		// Canonical stability: encoding the re-decoded message must
+		// reproduce the same bytes.
+		third, err := again.Encode()
+		if err != nil {
+			t.Fatalf("third encode failed: %v", err)
+		}
+		if !bytes.Equal(reencoded, third) {
+			t.Fatalf("encoding not canonical:\n1: %x\n2: %x", reencoded, third)
+		}
+	})
+}
+
+// FuzzDecodeName exercises the compression-pointer handling specifically.
+func FuzzDecodeName(f *testing.F) {
+	wire, err := appendName(nil, "a.b.example.org.", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire, 0)
+	f.Add([]byte{0xC0, 0x00}, 0)
+	f.Add([]byte{1, 'a', 0xC0, 0x00}, 2)
+
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 {
+			off = -off
+		}
+		name, n, err := decodeName(data, off%maxInt(len(data)+1, 1))
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("decodeName consumed out-of-range offset %d of %d", n, len(data))
+		}
+		if err := ValidateName(name); err != nil {
+			t.Fatalf("decodeName produced invalid name %q: %v", name, err)
+		}
+	})
+}
+
+// FuzzEDNSOptions round-trips option bytes.
+func FuzzEDNSOptions(f *testing.F) {
+	f.Add(EncodeEDNSOptions([]EDNSOption{{Code: 12, Data: make([]byte, 8)}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts, err := DecodeEDNSOptions(data)
+		if err != nil {
+			return
+		}
+		re := EncodeEDNSOptions(opts)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("options not canonical: %x -> %x", data, re)
+		}
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Message-level errors.
+var (
+	ErrTruncatedMessage = errors.New("truncated message")
+	ErrMessageTooLarge  = errors.New("message exceeds 65535 octets")
+	ErrTooManyRecords   = errors.New("unreasonable record count")
+)
+
+// Header holds the fixed 12-octet DNS message header (RFC 1035 §4.1.1),
+// with the flag bits unpacked into booleans.
+type Header struct {
+	ID                 uint16
+	Response           bool   // QR
+	Opcode             Opcode // 4 bits
+	Authoritative      bool   // AA
+	Truncated          bool   // TC
+	RecursionDesired   bool   // RD
+	RecursionAvailable bool   // RA
+	AuthenticData      bool   // AD (RFC 4035)
+	CheckingDisabled   bool   // CD (RFC 4035)
+	RCode              RCode  // 4 bits
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like presentation form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", CanonicalName(q.Name), q.Class, q.Type)
+}
+
+// Key returns a canonical cache key for the question.
+func (q Question) Key() string {
+	return CanonicalName(q.Name) + "|" + q.Class.String() + "|" + q.Type.String()
+}
+
+// Record is a decoded resource record.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file-like presentation form.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s",
+		CanonicalName(r.Name), r.TTL, r.Class, r.Type, r.Data.String())
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// Copy returns a deep-enough copy of the message: the section slices are
+// fresh, record structs are copied by value, and RData payloads are shared
+// (they are treated as immutable throughout this repository).
+func (m *Message) Copy() *Message {
+	c := &Message{Header: m.Header}
+	c.Questions = append([]Question(nil), m.Questions...)
+	c.Answers = append([]Record(nil), m.Answers...)
+	c.Authority = append([]Record(nil), m.Authority...)
+	c.Additional = append([]Record(nil), m.Additional...)
+	return c
+}
+
+// String renders a dig-like multi-line summary, useful in logs and tests.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id=%d opcode=%s rcode=%s qr=%t aa=%t tc=%t rd=%t ra=%t\n",
+		m.Header.ID, m.Header.Opcode, m.Header.RCode,
+		m.Header.Response, m.Header.Authoritative, m.Header.Truncated,
+		m.Header.RecursionDesired, m.Header.RecursionAvailable)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for _, r := range m.Answers {
+		fmt.Fprintf(&sb, "answer: %s\n", r)
+	}
+	for _, r := range m.Authority {
+		fmt.Fprintf(&sb, "authority: %s\n", r)
+	}
+	for _, r := range m.Additional {
+		fmt.Fprintf(&sb, "additional: %s\n", r)
+	}
+	return sb.String()
+}
+
+// Encode serialises the message into wire format with name compression.
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 0, 512)
+	cmap := make(compressionMap, 8)
+
+	buf = appendUint16(buf, m.Header.ID)
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	if m.Header.AuthenticData {
+		flags |= 1 << 5
+	}
+	if m.Header.CheckingDisabled {
+		flags |= 1 << 4
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+	buf = appendUint16(buf, flags)
+	buf = appendUint16(buf, uint16(len(m.Questions)))
+	buf = appendUint16(buf, uint16(len(m.Answers)))
+	buf = appendUint16(buf, uint16(len(m.Authority)))
+	buf = appendUint16(buf, uint16(len(m.Additional)))
+
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, cmap); err != nil {
+			return nil, fmt.Errorf("encode question %q: %w", q.Name, err)
+		}
+		buf = appendUint16(buf, uint16(q.Type))
+		buf = appendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, r := range section {
+			if buf, err = appendRecord(buf, r, cmap); err != nil {
+				return nil, fmt.Errorf("encode record %q %s: %w", r.Name, r.Type, err)
+			}
+		}
+	}
+	if len(buf) > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	return buf, nil
+}
+
+// appendRecord appends one resource record, including the RDLENGTH prefix.
+func appendRecord(buf []byte, r Record, cmap compressionMap) ([]byte, error) {
+	if r.Data == nil {
+		return buf, fmt.Errorf("record %q has nil rdata: %w", r.Name, ErrBadRData)
+	}
+	var err error
+	if buf, err = appendName(buf, r.Name, cmap); err != nil {
+		return buf, err
+	}
+	buf = appendUint16(buf, uint16(r.Type))
+	buf = appendUint16(buf, uint16(r.Class))
+	buf = appendUint32(buf, r.TTL)
+	lenOff := len(buf)
+	buf = appendUint16(buf, 0) // placeholder for RDLENGTH
+
+	// Only these types may use compression inside RDATA; everything else
+	// gets a nil map so names are emitted verbatim.
+	var rdataMap compressionMap
+	switch r.Type {
+	case TypeNS, TypeCNAME, TypePTR, TypeSOA, TypeMX:
+		rdataMap = cmap
+	}
+	buf, err = r.Data.appendTo(buf, rdataMap)
+	if err != nil {
+		return buf, err
+	}
+	rdLen := len(buf) - lenOff - 2
+	if rdLen > 0xFFFF {
+		return buf, ErrRDataTooLong
+	}
+	buf[lenOff] = byte(rdLen >> 8)
+	buf[lenOff+1] = byte(rdLen)
+	return buf, nil
+}
+
+// Decode parses a complete DNS message from wire format.
+func Decode(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, fmt.Errorf("message of %d octets: %w", len(msg), ErrTruncatedMessage)
+	}
+	m := &Message{}
+	m.Header.ID = readUint16(msg, 0)
+	flags := readUint16(msg, 2)
+	m.Header.Response = flags&(1<<15) != 0
+	m.Header.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Header.Authoritative = flags&(1<<10) != 0
+	m.Header.Truncated = flags&(1<<9) != 0
+	m.Header.RecursionDesired = flags&(1<<8) != 0
+	m.Header.RecursionAvailable = flags&(1<<7) != 0
+	m.Header.AuthenticData = flags&(1<<5) != 0
+	m.Header.CheckingDisabled = flags&(1<<4) != 0
+	m.Header.RCode = RCode(flags & 0xF)
+
+	qd := int(readUint16(msg, 4))
+	an := int(readUint16(msg, 6))
+	ns := int(readUint16(msg, 8))
+	ar := int(readUint16(msg, 10))
+	// A 12-octet-header message cannot hold more records than bytes;
+	// reject absurd counts before allocating.
+	if qd+an+ns+ar > len(msg) {
+		return nil, ErrTooManyRecords
+	}
+
+	off := 12
+	var err error
+	m.Questions = make([]Question, 0, qd)
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = decodeName(msg, off)
+		if err != nil {
+			return nil, fmt.Errorf("decode question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, fmt.Errorf("question %d fixed fields: %w", i, ErrTruncatedMessage)
+		}
+		q.Type = Type(readUint16(msg, off))
+		q.Class = Class(readUint16(msg, off+2))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+
+	decodeSection := func(count int, section string) ([]Record, error) {
+		records := make([]Record, 0, count)
+		for i := 0; i < count; i++ {
+			var r Record
+			r.Name, off, err = decodeName(msg, off)
+			if err != nil {
+				return nil, fmt.Errorf("decode %s record %d: %w", section, i, err)
+			}
+			if off+10 > len(msg) {
+				return nil, fmt.Errorf("%s record %d fixed fields: %w", section, i, ErrTruncatedMessage)
+			}
+			r.Type = Type(readUint16(msg, off))
+			r.Class = Class(readUint16(msg, off+2))
+			r.TTL = readUint32(msg, off+4)
+			rdLen := int(readUint16(msg, off+8))
+			off += 10
+			if off+rdLen > len(msg) {
+				return nil, fmt.Errorf("%s record %d rdata: %w", section, i, ErrTruncatedMessage)
+			}
+			r.Data, err = decodeRData(msg, off, rdLen, r.Type)
+			if err != nil {
+				return nil, fmt.Errorf("decode %s record %d rdata: %w", section, i, err)
+			}
+			off += rdLen
+			records = append(records, r)
+		}
+		return records, nil
+	}
+
+	if m.Answers, err = decodeSection(an, "answer"); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = decodeSection(ns, "authority"); err != nil {
+		return nil, err
+	}
+	if m.Additional, err = decodeSection(ar, "additional"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,344 @@
+package dnswire
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustQuery(t *testing.T, name string, typ Type) *Message {
+	t.Helper()
+	q, err := NewQuery(name, typ)
+	if err != nil {
+		t.Fatalf("NewQuery(%q, %v): %v", name, typ, err)
+	}
+	return q
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := mustQuery(t, "pool.ntp.org", TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Header.ID != q.Header.ID {
+		t.Errorf("ID = %d, want %d", got.Header.ID, q.Header.ID)
+	}
+	if !got.Header.RecursionDesired {
+		t.Error("RD bit lost")
+	}
+	if got.Header.Response {
+		t.Error("QR bit set on query")
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("%d questions, want 1", len(got.Questions))
+	}
+	if got.Questions[0].Name != "pool.ntp.org." {
+		t.Errorf("question name %q", got.Questions[0].Name)
+	}
+	if size, ok := got.EDNSSize(); !ok || size != DefaultEDNSSize {
+		t.Errorf("EDNSSize = %d,%t, want %d,true", size, ok, DefaultEDNSSize)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := mustQuery(t, "pool.ntp.org", TypeA)
+	resp := NewResponse(q)
+	resp.Header.RecursionAvailable = true
+	resp.Header.Authoritative = true
+	for _, ip := range []string{"192.0.2.1", "192.0.2.2", "192.0.2.3"} {
+		resp.Answers = append(resp.Answers,
+			AddressRecord("pool.ntp.org", netip.MustParseAddr(ip), 150))
+	}
+	resp.Authority = append(resp.Authority, Record{
+		Name: "ntp.org.", Type: TypeNS, Class: ClassINET, TTL: 3600,
+		Data: &NSRecord{Host: "c.ntpns.org."},
+	})
+	resp.Additional = append(resp.Additional,
+		AddressRecord("c.ntpns.org", netip.MustParseAddr("198.51.100.5"), 3600))
+
+	wire, err := resp.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Header.Response || !got.Header.Authoritative || !got.Header.RecursionAvailable {
+		t.Errorf("flags lost: %+v", got.Header)
+	}
+	if len(got.Answers) != 3 || len(got.Authority) != 1 || len(got.Additional) != 1 {
+		t.Fatalf("sections %d/%d/%d, want 3/1/1",
+			len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	addrs := got.AnswerAddrs()
+	want := []netip.Addr{
+		netip.MustParseAddr("192.0.2.1"),
+		netip.MustParseAddr("192.0.2.2"),
+		netip.MustParseAddr("192.0.2.3"),
+	}
+	if !reflect.DeepEqual(addrs, want) {
+		t.Errorf("AnswerAddrs = %v, want %v", addrs, want)
+	}
+	ns, ok := got.Authority[0].Data.(*NSRecord)
+	if !ok || ns.Host != "c.ntpns.org." {
+		t.Errorf("authority rdata = %v", got.Authority[0].Data)
+	}
+}
+
+func TestRDataRoundTrip(t *testing.T) {
+	records := []Record{
+		{Name: "a.example.", Type: TypeA, Class: ClassINET, TTL: 60,
+			Data: &ARecord{Addr: netip.MustParseAddr("203.0.113.9")}},
+		{Name: "a.example.", Type: TypeAAAA, Class: ClassINET, TTL: 60,
+			Data: &AAAARecord{Addr: netip.MustParseAddr("2001:db8::9")}},
+		{Name: "example.", Type: TypeNS, Class: ClassINET, TTL: 60,
+			Data: &NSRecord{Host: "ns1.example."}},
+		{Name: "www.example.", Type: TypeCNAME, Class: ClassINET, TTL: 60,
+			Data: &CNAMERecord{Target: "a.example."}},
+		{Name: "example.", Type: TypeSOA, Class: ClassINET, TTL: 60,
+			Data: &SOARecord{MName: "ns1.example.", RName: "hostmaster.example.",
+				Serial: 2020101901, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}},
+		{Name: "example.", Type: TypeTXT, Class: ClassINET, TTL: 60,
+			Data: &TXTRecord{Strings: []string{"hello", "world"}}},
+		{Name: "example.", Type: TypeMX, Class: ClassINET, TTL: 60,
+			Data: &MXRecord{Preference: 10, Host: "mail.example."}},
+		{Name: "9.113.0.203.in-addr.arpa.", Type: TypePTR, Class: ClassINET, TTL: 60,
+			Data: &PTRRecord{Target: "a.example."}},
+		{Name: "example.", Type: Type(999), Class: ClassINET, TTL: 60,
+			Data: &OpaqueRecord{RType: Type(999), Data: []byte{1, 2, 3, 4}}},
+	}
+	for _, rec := range records {
+		t.Run(rec.Type.String(), func(t *testing.T) {
+			m := &Message{
+				Header:  Header{ID: 7, Response: true},
+				Answers: []Record{rec},
+			}
+			wire, err := m.Encode()
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, err := Decode(wire)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if len(got.Answers) != 1 {
+				t.Fatalf("%d answers", len(got.Answers))
+			}
+			if got.Answers[0].String() != rec.String() {
+				t.Errorf("round trip:\n got %s\nwant %s", got.Answers[0], rec)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {0, 1, 2},
+		"counts lie":   {0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	for name, wire := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(wire); err == nil {
+				t.Error("Decode accepted garbage")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsOverflowingRData(t *testing.T) {
+	q := mustQuery(t, "x.example", TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim one answer but provide none.
+	wire[7] = 1
+	if _, err := Decode(wire); !errors.Is(err, ErrTruncatedMessage) && err == nil {
+		t.Fatalf("Decode = %v, want truncation error", err)
+	}
+}
+
+func TestAddressRecordPicksFamily(t *testing.T) {
+	r4 := AddressRecord("x.example", netip.MustParseAddr("192.0.2.7"), 30)
+	if r4.Type != TypeA {
+		t.Errorf("v4 type = %v", r4.Type)
+	}
+	r6 := AddressRecord("x.example", netip.MustParseAddr("2001:db8::7"), 30)
+	if r6.Type != TypeAAAA {
+		t.Errorf("v6 type = %v", r6.Type)
+	}
+	// 4-in-6 mapped should unmap to A.
+	rm := AddressRecord("x.example", netip.MustParseAddr("::ffff:192.0.2.7"), 30)
+	if rm.Type != TypeA {
+		t.Errorf("mapped type = %v", rm.Type)
+	}
+}
+
+func TestMinAnswerTTL(t *testing.T) {
+	m := &Message{}
+	if got := m.MinAnswerTTL(77); got != 77 {
+		t.Errorf("empty MinAnswerTTL = %d, want default 77", got)
+	}
+	m.Answers = []Record{
+		AddressRecord("x.example", netip.MustParseAddr("192.0.2.1"), 300),
+		AddressRecord("x.example", netip.MustParseAddr("192.0.2.2"), 60),
+		AddressRecord("x.example", netip.MustParseAddr("192.0.2.3"), 900),
+	}
+	if got := m.MinAnswerTTL(77); got != 60 {
+		t.Errorf("MinAnswerTTL = %d, want 60", got)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	m := &Message{
+		Header:  Header{ID: 9},
+		Answers: []Record{AddressRecord("x.example", netip.MustParseAddr("192.0.2.1"), 30)},
+	}
+	c := m.Copy()
+	c.Answers = append(c.Answers, AddressRecord("x.example", netip.MustParseAddr("192.0.2.2"), 30))
+	c.Header.ID = 10
+	if len(m.Answers) != 1 || m.Header.ID != 9 {
+		t.Error("Copy shares state with original")
+	}
+}
+
+// TestDecodeNeverPanics feeds random bytes to the decoder; it must reject
+// or accept them but never panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeAddressesProperty checks that any set of IPv4 answers
+// survives an encode/decode round trip in order.
+func TestEncodeDecodeAddressesProperty(t *testing.T) {
+	f := func(octets [][4]byte) bool {
+		if len(octets) > 100 {
+			octets = octets[:100]
+		}
+		m := &Message{Header: Header{ID: 42, Response: true}}
+		m.Questions = []Question{{Name: "pool.example.", Type: TypeA, Class: ClassINET}}
+		want := make([]netip.Addr, 0, len(octets))
+		for _, o := range octets {
+			addr := netip.AddrFrom4(o)
+			want = append(want, addr)
+			m.Answers = append(m.Answers, AddressRecord("pool.example.", addr, 60))
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.AnswerAddrs(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionRoundTripProperty: messages with many records sharing
+// suffixes must decode identically despite compression.
+func TestCompressionRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		m := &Message{Header: Header{ID: 1, Response: true}}
+		for i := 0; i < count; i++ {
+			m.Answers = append(m.Answers, Record{
+				Name: "srv.pool.ntp.example.", Type: TypeNS, Class: ClassINET, TTL: 60,
+				Data: &NSRecord{Host: "ns.pool.ntp.example."},
+			})
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		if len(got.Answers) != count {
+			return false
+		}
+		for _, r := range got.Answers {
+			ns, ok := r.Data.(*NSRecord)
+			if !ok || ns.Host != "ns.pool.ntp.example." || r.Name != "srv.pool.ntp.example." {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIDsVary(t *testing.T) {
+	seen := make(map[uint16]bool)
+	for i := 0; i < 64; i++ {
+		id, err := RandomID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[id] = true
+	}
+	// With 64 draws from 65536 values, collisions are possible but seeing
+	// fewer than 8 distinct values would indicate a broken generator.
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct IDs in 64 draws", len(seen))
+	}
+}
+
+func TestTypeAndClassStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" {
+		t.Error("type mnemonics broken")
+	}
+	if Type(4711).String() != "TYPE4711" {
+		t.Errorf("unknown type = %q", Type(4711).String())
+	}
+	if ClassINET.String() != "IN" {
+		t.Error("class mnemonic broken")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" {
+		t.Error("rcode mnemonic broken")
+	}
+	if got, ok := ParseType("AAAA"); !ok || got != TypeAAAA {
+		t.Errorf("ParseType(AAAA) = %v,%t", got, ok)
+	}
+	if _, ok := ParseType("NOPE"); ok {
+		t.Error("ParseType accepted junk")
+	}
+}
+
+func TestQuestionKey(t *testing.T) {
+	a := Question{Name: "Pool.NTP.org", Type: TypeA, Class: ClassINET}
+	b := Question{Name: "pool.ntp.org.", Type: TypeA, Class: ClassINET}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Question{Name: "pool.ntp.org.", Type: TypeAAAA, Class: ClassINET}
+	if a.Key() == c.Key() {
+		t.Error("A and AAAA share a key")
+	}
+}

@@ -1,0 +1,218 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalName(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"", "."},
+		{".", "."},
+		{"example.org", "example.org."},
+		{"example.org.", "example.org."},
+		{"EXAMPLE.ORG", "example.org."},
+		{"  pool.NTP.org  ", "pool.ntp.org."},
+	}
+	for _, tt := range tests {
+		if got := CanonicalName(tt.give); got != tt.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	tests := []struct {
+		give string
+		want []string
+	}{
+		{".", nil},
+		{"org.", []string{"org"}},
+		{"pool.ntp.org.", []string{"pool", "ntp", "org"}},
+	}
+	for _, tt := range tests {
+		got := SplitLabels(tt.give)
+		if len(got) != len(tt.want) {
+			t.Fatalf("SplitLabels(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("SplitLabels(%q)[%d] = %q, want %q", tt.give, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	tests := []struct {
+		child, parent string
+		want          bool
+	}{
+		{"a.example.org", "example.org", true},
+		{"example.org", "example.org", true},
+		{"example.org", "a.example.org", false},
+		{"badexample.org", "example.org", false},
+		{"anything.at.all", ".", true},
+		{"A.EXAMPLE.org", "example.ORG.", true},
+	}
+	for _, tt := range tests {
+		if got := IsSubdomain(tt.child, tt.parent); got != tt.want {
+			t.Errorf("IsSubdomain(%q, %q) = %t, want %t", tt.child, tt.parent, got, tt.want)
+		}
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	longLabel := strings.Repeat("a", 64)
+	okLabel := strings.Repeat("a", 63)
+	longName := strings.Repeat("abcdefg.", 32) // 256 octets in wire form
+
+	tests := []struct {
+		name    string
+		give    string
+		wantErr error
+	}{
+		{"root", ".", nil},
+		{"simple", "example.org", nil},
+		{"max label", okLabel + ".org", nil},
+		{"label too long", longLabel + ".org", ErrLabelTooLong},
+		{"name too long", longName, ErrNameTooLong},
+		{"empty label", "a..b", ErrEmptyLabel},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ValidateName(tt.give)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("ValidateName(%q) = %v, want nil", tt.give, err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("ValidateName(%q) = %v, want %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	names := []string{
+		".",
+		"org.",
+		"example.org.",
+		"a.b.c.d.e.f.example.org.",
+		strings.Repeat("x", 63) + ".org.",
+	}
+	for _, name := range names {
+		buf, err := appendName(nil, name, nil)
+		if err != nil {
+			t.Fatalf("appendName(%q): %v", name, err)
+		}
+		got, n, err := decodeName(buf, 0)
+		if err != nil {
+			t.Fatalf("decodeName(%q wire): %v", name, err)
+		}
+		if got != name {
+			t.Errorf("round trip %q = %q", name, got)
+		}
+		if n != len(buf) {
+			t.Errorf("decodeName(%q) consumed %d of %d bytes", name, n, len(buf))
+		}
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	cmap := make(compressionMap)
+	buf, err := appendName(nil, "pool.ntp.org.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(buf)
+	buf, err = appendName(buf, "a.pool.ntp.org.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should be "a" label (2 bytes) + 2-byte pointer.
+	if got := len(buf) - full; got != 4 {
+		t.Fatalf("compressed suffix occupies %d bytes, want 4", got)
+	}
+	name, _, err := decodeName(buf, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "a.pool.ntp.org." {
+		t.Fatalf("decoded %q, want a.pool.ntp.org.", name)
+	}
+}
+
+func TestDecodeNameRejectsForwardPointer(t *testing.T) {
+	// Pointer at offset 0 pointing to offset 0 (self-loop).
+	buf := []byte{0xC0, 0x00}
+	if _, _, err := decodeName(buf, 0); !errors.Is(err, ErrBadPointer) {
+		t.Fatalf("err = %v, want ErrBadPointer", err)
+	}
+}
+
+func TestDecodeNameRejectsTruncation(t *testing.T) {
+	cases := [][]byte{
+		{},       // nothing at all
+		{5, 'a'}, // label overruns
+		{0xC0},   // half a pointer
+		{3, 'a', 'b'} /* label claims 3 bytes, has 2 */}
+	for i, buf := range cases {
+		if _, _, err := decodeName(buf, 0); err == nil {
+			t.Errorf("case %d: decodeName accepted truncated input", i)
+		}
+	}
+}
+
+func TestDecodeNameLowercases(t *testing.T) {
+	buf := []byte{3, 'O', 'r', 'G', 0}
+	name, _, err := decodeName(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "org." {
+		t.Fatalf("decoded %q, want org.", name)
+	}
+}
+
+func TestDecodeNameRejectsOverlongAssembled(t *testing.T) {
+	// Build a wire name of 5 labels x 63 bytes = over 255 octets, without
+	// compression, and make sure assembly is rejected.
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = append(buf, 63)
+		buf = append(buf, []byte(strings.Repeat("a", 63))...)
+	}
+	buf = append(buf, 0)
+	if _, _, err := decodeName(buf, 0); !errors.Is(err, ErrNameTooLong) {
+		t.Fatalf("err = %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestDecodeNameRejectsNonHostnameBytes(t *testing.T) {
+	// Labels carrying '.' or control bytes would be ambiguous in the
+	// presentation-form internal representation; the decoder rejects
+	// them (found by FuzzDecodeName).
+	cases := [][]byte{
+		{3, '.', '0', '0', 0}, // dot inside a label
+		{2, 'a', 0x07, 0},     // control byte
+		{2, 'a', ' ', 0},      // space
+		{2, 'a', 0xFF, 0},     // high byte
+	}
+	for i, wire := range cases {
+		if _, _, err := decodeName(wire, 0); !errors.Is(err, ErrBadLabelByte) {
+			t.Errorf("case %d: err = %v, want ErrBadLabelByte", i, err)
+		}
+	}
+	// Ordinary hostname bytes still pass, including '-' and '_'.
+	ok := []byte{4, 'a', '-', '_', '9', 0}
+	if _, _, err := decodeName(ok, 0); err != nil {
+		t.Errorf("hostname-safe label rejected: %v", err)
+	}
+}

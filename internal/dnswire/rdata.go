@@ -1,0 +1,370 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData errors.
+var (
+	ErrBadRData     = errors.New("malformed rdata")
+	ErrRDataTooLong = errors.New("rdata exceeds 65535 octets")
+)
+
+// RData is the typed payload of a resource record. Implementations encode
+// themselves into wire format and render a presentation string.
+type RData interface {
+	// Type returns the record type this payload belongs to.
+	Type() Type
+	// appendTo appends the wire encoding (without the RDLENGTH prefix).
+	// cmap is non-nil only for types whose RDATA may be compressed
+	// (NS, CNAME, PTR, SOA, MX per RFC 1035 / RFC 3597 §4).
+	appendTo(buf []byte, cmap compressionMap) ([]byte, error)
+	// String renders the presentation form of the payload.
+	String() string
+}
+
+// Compile-time interface checks.
+var (
+	_ RData = (*ARecord)(nil)
+	_ RData = (*AAAARecord)(nil)
+	_ RData = (*NSRecord)(nil)
+	_ RData = (*CNAMERecord)(nil)
+	_ RData = (*SOARecord)(nil)
+	_ RData = (*TXTRecord)(nil)
+	_ RData = (*MXRecord)(nil)
+	_ RData = (*PTRRecord)(nil)
+	_ RData = (*OPTRecord)(nil)
+	_ RData = (*OpaqueRecord)(nil)
+)
+
+// ARecord is an IPv4 address record (RFC 1035 §3.4.1).
+type ARecord struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (r *ARecord) Type() Type { return TypeA }
+
+func (r *ARecord) appendTo(buf []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is4() {
+		return buf, fmt.Errorf("A record with non-IPv4 address %v: %w", r.Addr, ErrBadRData)
+	}
+	a4 := r.Addr.As4()
+	return append(buf, a4[:]...), nil
+}
+
+// String implements RData.
+func (r *ARecord) String() string { return r.Addr.String() }
+
+// AAAARecord is an IPv6 address record (RFC 3596).
+type AAAARecord struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (r *AAAARecord) Type() Type { return TypeAAAA }
+
+func (r *AAAARecord) appendTo(buf []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is6() || r.Addr.Is4In6() {
+		return buf, fmt.Errorf("AAAA record with non-IPv6 address %v: %w", r.Addr, ErrBadRData)
+	}
+	a16 := r.Addr.As16()
+	return append(buf, a16[:]...), nil
+}
+
+// String implements RData.
+func (r *AAAARecord) String() string { return r.Addr.String() }
+
+// NSRecord is an authoritative-nameserver record (RFC 1035 §3.3.11).
+type NSRecord struct {
+	Host string
+}
+
+// Type implements RData.
+func (r *NSRecord) Type() Type { return TypeNS }
+
+func (r *NSRecord) appendTo(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(buf, r.Host, cmap)
+}
+
+// String implements RData.
+func (r *NSRecord) String() string { return CanonicalName(r.Host) }
+
+// CNAMERecord is a canonical-name alias record (RFC 1035 §3.3.1).
+type CNAMERecord struct {
+	Target string
+}
+
+// Type implements RData.
+func (r *CNAMERecord) Type() Type { return TypeCNAME }
+
+func (r *CNAMERecord) appendTo(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(buf, r.Target, cmap)
+}
+
+// String implements RData.
+func (r *CNAMERecord) String() string { return CanonicalName(r.Target) }
+
+// PTRRecord is a pointer record (RFC 1035 §3.3.12).
+type PTRRecord struct {
+	Target string
+}
+
+// Type implements RData.
+func (r *PTRRecord) Type() Type { return TypePTR }
+
+func (r *PTRRecord) appendTo(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(buf, r.Target, cmap)
+}
+
+// String implements RData.
+func (r *PTRRecord) String() string { return CanonicalName(r.Target) }
+
+// SOARecord is a start-of-authority record (RFC 1035 §3.3.13).
+type SOARecord struct {
+	MName   string // primary nameserver
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32 // negative-caching TTL (RFC 2308)
+}
+
+// Type implements RData.
+func (r *SOARecord) Type() Type { return TypeSOA }
+
+func (r *SOARecord) appendTo(buf []byte, cmap compressionMap) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, r.MName, cmap); err != nil {
+		return buf, err
+	}
+	if buf, err = appendName(buf, r.RName, cmap); err != nil {
+		return buf, err
+	}
+	for _, v := range [...]uint32{r.Serial, r.Refresh, r.Retry, r.Expire, r.Minimum} {
+		buf = appendUint32(buf, v)
+	}
+	return buf, nil
+}
+
+// String implements RData.
+func (r *SOARecord) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		CanonicalName(r.MName), CanonicalName(r.RName),
+		r.Serial, r.Refresh, r.Retry, r.Expire, r.Minimum)
+}
+
+// TXTRecord is a text record carrying one or more character strings
+// (RFC 1035 §3.3.14).
+type TXTRecord struct {
+	Strings []string
+}
+
+// Type implements RData.
+func (r *TXTRecord) Type() Type { return TypeTXT }
+
+func (r *TXTRecord) appendTo(buf []byte, _ compressionMap) ([]byte, error) {
+	if len(r.Strings) == 0 {
+		// A TXT record must carry at least one (possibly empty) string.
+		return append(buf, 0), nil
+	}
+	for _, s := range r.Strings {
+		if len(s) > 255 {
+			return buf, fmt.Errorf("txt string of %d octets: %w", len(s), ErrBadRData)
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// String implements RData.
+func (r *TXTRecord) String() string {
+	parts := make([]string, len(r.Strings))
+	for i, s := range r.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// MXRecord is a mail-exchange record (RFC 1035 §3.3.9).
+type MXRecord struct {
+	Preference uint16
+	Host       string
+}
+
+// Type implements RData.
+func (r *MXRecord) Type() Type { return TypeMX }
+
+func (r *MXRecord) appendTo(buf []byte, cmap compressionMap) ([]byte, error) {
+	buf = appendUint16(buf, r.Preference)
+	return appendName(buf, r.Host, cmap)
+}
+
+// String implements RData.
+func (r *MXRecord) String() string {
+	return fmt.Sprintf("%d %s", r.Preference, CanonicalName(r.Host))
+}
+
+// OPTRecord is the EDNS0 pseudo-record (RFC 6891). Its fixed RR fields are
+// reinterpreted by the Message codec; this payload carries only the raw
+// option bytes.
+type OPTRecord struct {
+	Options []byte
+}
+
+// Type implements RData.
+func (r *OPTRecord) Type() Type { return TypeOPT }
+
+func (r *OPTRecord) appendTo(buf []byte, _ compressionMap) ([]byte, error) {
+	return append(buf, r.Options...), nil
+}
+
+// String implements RData.
+func (r *OPTRecord) String() string { return fmt.Sprintf("OPT %d octets", len(r.Options)) }
+
+// OpaqueRecord carries the RDATA of a record type this package does not
+// interpret, preserved byte-for-byte (RFC 3597 behaviour).
+type OpaqueRecord struct {
+	RType Type
+	Data  []byte
+}
+
+// Type implements RData.
+func (r *OpaqueRecord) Type() Type { return r.RType }
+
+func (r *OpaqueRecord) appendTo(buf []byte, _ compressionMap) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+// String implements RData.
+func (r *OpaqueRecord) String() string {
+	return fmt.Sprintf("\\# %d %x", len(r.Data), r.Data)
+}
+
+// decodeRData decodes the RDATA of a record of the given type occupying
+// msg[off:off+length]. The full message is required because RDATA of some
+// types may contain compressed names.
+func decodeRData(msg []byte, off, length int, typ Type) (RData, error) {
+	end := off + length
+	if end > len(msg) {
+		return nil, fmt.Errorf("rdata extends past message: %w", ErrBadRData)
+	}
+	switch typ {
+	case TypeA:
+		if length != 4 {
+			return nil, fmt.Errorf("A rdata length %d: %w", length, ErrBadRData)
+		}
+		var a4 [4]byte
+		copy(a4[:], msg[off:end])
+		return &ARecord{Addr: netip.AddrFrom4(a4)}, nil
+	case TypeAAAA:
+		if length != 16 {
+			return nil, fmt.Errorf("AAAA rdata length %d: %w", length, ErrBadRData)
+		}
+		var a16 [16]byte
+		copy(a16[:], msg[off:end])
+		return &AAAARecord{Addr: netip.AddrFrom16(a16)}, nil
+	case TypeNS:
+		host, n, err := decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("NS rdata trailing bytes: %w", ErrBadRData)
+		}
+		return &NSRecord{Host: host}, nil
+	case TypeCNAME:
+		target, n, err := decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("CNAME rdata trailing bytes: %w", ErrBadRData)
+		}
+		return &CNAMERecord{Target: target}, nil
+	case TypePTR:
+		target, n, err := decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("PTR rdata trailing bytes: %w", ErrBadRData)
+		}
+		return &PTRRecord{Target: target}, nil
+	case TypeSOA:
+		mname, n, err := decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		rname, n, err := decodeName(msg, n)
+		if err != nil {
+			return nil, err
+		}
+		if end-n != 20 {
+			return nil, fmt.Errorf("SOA fixed fields length %d: %w", end-n, ErrBadRData)
+		}
+		return &SOARecord{
+			MName:   mname,
+			RName:   rname,
+			Serial:  readUint32(msg, n),
+			Refresh: readUint32(msg, n+4),
+			Retry:   readUint32(msg, n+8),
+			Expire:  readUint32(msg, n+12),
+			Minimum: readUint32(msg, n+16),
+		}, nil
+	case TypeTXT:
+		var strs []string
+		pos := off
+		for pos < end {
+			l := int(msg[pos])
+			pos++
+			if pos+l > end {
+				return nil, fmt.Errorf("TXT string overruns rdata: %w", ErrBadRData)
+			}
+			strs = append(strs, string(msg[pos:pos+l]))
+			pos += l
+		}
+		return &TXTRecord{Strings: strs}, nil
+	case TypeMX:
+		if length < 3 {
+			return nil, fmt.Errorf("MX rdata length %d: %w", length, ErrBadRData)
+		}
+		host, n, err := decodeName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("MX rdata trailing bytes: %w", ErrBadRData)
+		}
+		return &MXRecord{Preference: readUint16(msg, off), Host: host}, nil
+	case TypeOPT:
+		opts := make([]byte, length)
+		copy(opts, msg[off:end])
+		return &OPTRecord{Options: opts}, nil
+	default:
+		data := make([]byte, length)
+		copy(data, msg[off:end])
+		return &OpaqueRecord{RType: typ, Data: data}, nil
+	}
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readUint16(b []byte, off int) uint16 {
+	return uint16(b[off])<<8 | uint16(b[off+1])
+}
+
+func readUint32(b []byte, off int) uint32 {
+	return uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+}

@@ -1,0 +1,165 @@
+// Package dnswire implements the DNS message wire format of RFC 1035 with
+// the EDNS0 extensions of RFC 6891. It provides encoding and decoding of
+// complete messages, including domain-name compression, and typed resource
+// record data for the record types used by the secure pool-generation
+// system (A, AAAA, NS, CNAME, SOA, TXT, MX, PTR, OPT).
+//
+// The package is self-contained and has no dependencies outside the Go
+// standard library. Every other DNS component in this repository
+// (authoritative server, recursive resolver, DoH client and server,
+// attacker models) speaks through this package.
+package dnswire
+
+import "strconv"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// Resource record types understood by this package. Unknown types are
+// carried opaquely.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var _typeNames = map[Type]string{
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+// String returns the conventional mnemonic for the type, or "TYPEn" for
+// unknown values (RFC 3597 §5 style).
+func (t Type) String() string {
+	if s, ok := _typeNames[t]; ok {
+		return s
+	}
+	return "TYPE" + strconv.Itoa(int(t))
+}
+
+// ParseType maps a mnemonic such as "A" or "AAAA" back to its Type value.
+// The second return value reports whether the mnemonic was recognised.
+func ParseType(s string) (Type, bool) {
+	for t, name := range _typeNames {
+		if name == s {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Class is a DNS class. Only IN (Internet) is used by the system, but the
+// value is preserved on the wire.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassINET Class = 1
+	ClassCH   Class = 3
+	ClassANY  Class = 255
+)
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return "CLASS" + strconv.Itoa(int(c))
+	}
+}
+
+// RCode is a DNS response code (RFC 1035 §4.1.1).
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormErr  RCode = 1 // FORMERR
+	RCodeServFail RCode = 2 // SERVFAIL
+	RCodeNXDomain RCode = 3 // NXDOMAIN
+	RCodeNotImp   RCode = 4 // NOTIMP
+	RCodeRefused  RCode = 5 // REFUSED
+)
+
+var _rcodeNames = map[RCode]string{
+	RCodeSuccess:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the conventional mnemonic for the response code.
+func (r RCode) String() string {
+	if s, ok := _rcodeNames[r]; ok {
+		return s
+	}
+	return "RCODE" + strconv.Itoa(int(r))
+}
+
+// Opcode is a DNS operation code. Only Query is used by the system.
+type Opcode uint8
+
+// Operation codes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the conventional mnemonic for the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	default:
+		return "OPCODE" + strconv.Itoa(int(o))
+	}
+}
+
+// MaxUDPSize is the classic maximum DNS payload over UDP without EDNS0
+// (RFC 1035 §2.3.4).
+const MaxUDPSize = 512
+
+// DefaultEDNSSize is the EDNS0 UDP payload size this implementation
+// advertises by default.
+const DefaultEDNSSize = 1232
+
+// MaxMessageSize is the maximum encodable message (TCP length prefix is 16
+// bits).
+const MaxMessageSize = 65535
+
+// MaxNameLength is the maximum length of a domain name in wire format
+// (RFC 1035 §2.3.4).
+const MaxNameLength = 255
+
+// MaxLabelLength is the maximum length of a single label.
+const MaxLabelLength = 63

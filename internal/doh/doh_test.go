@@ -1,0 +1,310 @@
+package doh
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testpki"
+)
+
+// echoResponder answers every A query with a fixed address.
+func echoResponder(addr string) QueryResponder {
+	ip := netip.MustParseAddr(addr)
+	return ResponderFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		resp.Header.RecursionAvailable = true
+		resp.Answers = append(resp.Answers,
+			dnswire.AddressRecord(q.Questions[0].Name, ip, 60))
+		return resp, nil
+	})
+}
+
+func startTLSServer(t *testing.T, responder QueryResponder) (*Server, *Client) {
+	t.Helper()
+	ca, err := testpki.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := ca.ServerTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", tlsCfg, responder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewClient(WithTLSConfig(ca.ClientTLS()))
+	return srv, client
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestPOSTExchangeOverTLS(t *testing.T) {
+	srv, client := startTLSServer(t, echoResponder("192.0.2.77"))
+	resp, err := client.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.77") {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if srv.Handler().Requests() != 1 {
+		t.Errorf("requests = %d", srv.Handler().Requests())
+	}
+}
+
+func TestGETExchangeOverTLS(t *testing.T) {
+	ca, err := testpki.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := ca.ServerTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", tlsCfg, echoResponder("192.0.2.78"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	getClient := NewClient(WithTLSConfig(ca.ClientTLS()), WithMethod(MethodGET))
+	resp, err := getClient.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatalf("GET answers = %v", resp.AnswerAddrs())
+	}
+}
+
+func TestUntrustedCARejected(t *testing.T) {
+	srv, _ := startTLSServer(t, echoResponder("192.0.2.79"))
+	otherCA, err := testpki.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badClient := NewClient(WithTLSConfig(otherCA.ClientTLS()))
+	_, err = badClient.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("exchange succeeded with untrusted CA — channel authentication broken")
+	}
+}
+
+func TestServFailOnResolverError(t *testing.T) {
+	failing := ResponderFunc(func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+		return nil, errors.New("backend exploded")
+	})
+	srv, client := startTLSServer(t, failing)
+	resp, err := client.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("DoH must deliver SERVFAIL over HTTP 200, got transport error %v", err)
+	}
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("rcode = %v, want SERVFAIL", resp.Header.RCode)
+	}
+}
+
+func TestPlainHTTPServerForTests(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.80"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	if !strings.HasPrefix(srv.URL(), "http://") {
+		t.Fatalf("URL = %s", srv.URL())
+	}
+	client := NewClient()
+	resp, err := client.Query(testCtx(t), srv.URL(), "x.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatal("no answer over plain HTTP")
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.81"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	cases := []struct {
+		name       string
+		method     string
+		url        string
+		body       string
+		contentTyp string
+		wantStatus int
+	}{
+		{"GET without dns param", http.MethodGet, srv.URL(), "", "", http.StatusBadRequest},
+		{"GET with bad base64", http.MethodGet, srv.URL() + "?dns=!!!", "", "", http.StatusBadRequest},
+		{"GET with garbage message", http.MethodGet, srv.URL() + "?dns=AAAA", "", "", http.StatusBadRequest},
+		{"POST wrong content type", http.MethodPost, srv.URL(), "x", "text/plain", http.StatusUnsupportedMediaType},
+		{"PUT not allowed", http.MethodPut, srv.URL(), "", "", http.StatusMethodNotAllowed},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := http.NewRequest(tt.method, tt.url, strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt.contentTyp != "" {
+				req.Header.Set("Content-Type", tt.contentTyp)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+		})
+	}
+	if srv.Handler().Failures() == 0 {
+		t.Error("failure counter never incremented")
+	}
+}
+
+func TestCacheControlReflectsTTL(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.82"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	query, err := dnswire.NewQuery("x.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL(), strings.NewReader(string(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", MediaType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=60" {
+		t.Fatalf("Cache-Control = %q, want max-age=60", cc)
+	}
+}
+
+func TestClientValidatesQuestionEcho(t *testing.T) {
+	// A malicious DoH server answering a different question must be
+	// rejected client-side.
+	evil := ResponderFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		resp.Questions = []dnswire.Question{{Name: "evil.test.", Type: dnswire.TypeA, Class: dnswire.ClassINET}}
+		return resp, nil
+	})
+	srv, client := startTLSServer(t, evil)
+	_, err := client.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("client accepted a response for a different question")
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	srv, client := startTLSServer(t, echoResponder("192.0.2.83"))
+	ctx := testCtx(t)
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := client.Query(ctx, srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Handler().Requests(); got != n {
+		t.Fatalf("requests = %d, want %d", got, n)
+	}
+}
+
+func TestPaddingRoundTrip(t *testing.T) {
+	// A padding client gets padded answers; the response still validates
+	// and the HTTP body sizes are block-aligned.
+	var bodySize int
+	capture := ResponderFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		wire, err := q.Encode()
+		if err != nil {
+			return nil, err
+		}
+		bodySize = len(wire)
+		resp := dnswire.NewResponse(q)
+		resp.Answers = append(resp.Answers,
+			dnswire.AddressRecord(q.Questions[0].Name, netip.MustParseAddr("192.0.2.90"), 60))
+		return resp, nil
+	})
+	srv, err := NewServer("127.0.0.1:0", nil, capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	client := NewClient(WithPadding())
+	resp, err := client.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bodySize%dnswire.QueryPaddingBlock != 0 {
+		t.Errorf("query body %d not padded to %d blocks", bodySize, dnswire.QueryPaddingBlock)
+	}
+	respWire, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(respWire)%dnswire.ResponsePaddingBlock != 0 {
+		t.Errorf("response %d not padded to %d blocks", len(respWire), dnswire.ResponsePaddingBlock)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatal("padding corrupted the answer")
+	}
+}
+
+func TestUnpaddedClientGetsUnpaddedResponse(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.91"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := NewClient()
+	resp, err := client.Query(testCtx(t), srv.URL(), "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := resp.EDNSOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		if o.Code == dnswire.EDNSOptionPadding {
+			t.Fatal("server padded a response to an unpadded client")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/chronos"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+)
+
+// E10PoolJoin reproduces the caveat the paper raises in Section IV:
+// "attackers can try to join the NTP pool themselves and operate
+// malicious NTP servers. Hence, for the overall NTP ecosystem to
+// maintain security a distributed mechanism on the NTP layer should also
+// be used, such as the Chronos proposal."
+//
+// The DNS layer is completely clean here (no resolver or path is
+// attacked); instead a fraction f of the pool's NTP servers are
+// attacker-operated. Distributed DoH cannot help — the pool faithfully
+// reflects the (partly malicious) registry — and it is Chronos' crop
+// that decides the outcome: safe below ~1/3, captured above.
+func E10PoolJoin(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:    "E10",
+		Title: "Section IV caveat: attacker joins the NTP pool (DNS layer clean, shift 600s)",
+		Columns: []string{"malicious pool servers", "fraction f", "chronos offset",
+			"clock captured", "expected (crop 1/3)"},
+	}
+
+	const poolSize = 12
+	captured := make([]bool, 0, 4)
+	for _, malicious := range []int{0, 3, 8, 10} {
+		tb, err := testbed.Start(testbed.Config{
+			PoolSize:   poolSize,
+			MaxAnswers: -1, // full RRset so the pool mirrors the registry
+			Seed:       opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The first `malicious` registry addresses are attacker-operated
+		// NTP servers behind benign-looking IPs.
+		fleet, err := testbed.StartNTPFleet(testbed.NTPFleetConfig{
+			BenignAddrs:     tb.BenignAddrs,
+			MaliciousBenign: tb.BenignAddrs[:malicious],
+		})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			fleet.Close()
+			tb.Close()
+			return nil, err
+		}
+		ctx, cancel := ctxWithTimeout()
+		pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			cancel()
+			fleet.Close()
+			tb.Close()
+			return nil, fmt.Errorf("E10 malicious=%d: %w", malicious, err)
+		}
+
+		// Chronos runs at its real operating point: the default drift
+		// bound (condition 2) rejects a 600 s shift in normal rounds, so
+		// the panic routine's cropped average over the WHOLE pool decides
+		// — safe below the 1/3 crop threshold, captured above.
+		cl, err := chronos.New(chronos.Config{
+			Pool:    pool.Addrs,
+			Sampler: fleet,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			cancel()
+			fleet.Close()
+			tb.Close()
+			return nil, err
+		}
+		// Poll repeatedly: a single lucky draw is not the property; the
+		// attacker wins if it EVER captures the clock.
+		worst := time.Duration(0)
+		for i := 0; i < 10; i++ {
+			res, err := cl.Poll(ctx)
+			if err != nil {
+				continue
+			}
+			if res.Offset > worst {
+				worst = res.Offset
+			}
+		}
+		cancel()
+		fleet.Close()
+		tb.Close()
+
+		f := float64(malicious) / poolSize
+		isCaptured := worst > 300*time.Second
+		captured = append(captured, isCaptured)
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(malicious) + "/" + strconv.Itoa(poolSize), f4(f),
+			worst.Round(time.Millisecond).String(), strconv.FormatBool(isCaptured),
+			strconv.FormatBool(f > 1.0/3),
+		})
+	}
+
+	ok := !captured[0] && !captured[1] && captured[2] && captured[3]
+	t.Notes = fmt.Sprintf("DNS-layer consensus cannot filter registry-level malice; Chronos' 1/3 crop "+
+		"threshold decides — matching the paper's call for defence at both layers: %t "+
+		"(an attacker shifting by less than the drift bound per poll is Chronos' residual exposure, "+
+		"out of scope here)", ok)
+	if !ok {
+		return t, errors.New("E10: layer-separation property not demonstrated")
+	}
+	return t, nil
+}
+
+// E11CachePersistence quantifies what a single won off-path race buys
+// the attacker in each deployment: with one resolver, one win poisons
+// 100% of every pool until the TTL expires; with N distributed
+// resolvers, the same win stays bounded at 1/N for the same window.
+func E11CachePersistence(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:    "E11",
+		Title: "cache poisoning persistence: what one won race buys (TTL 300s window)",
+		Columns: []string{"deployment", "lookups after poisoning", "attacker fraction per lookup",
+			"after TTL expiry"},
+	}
+
+	for _, n := range []int{1, 3, 5} {
+		tb, err := testbed.Start(testbed.Config{Resolvers: n, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		forger := attack.NewForger(tb.Domain(), attack.PayloadReplace)
+		if err := attack.PoisonCache(tb.Resolvers[0].Cache(), forger,
+			tb.Domain(), dnswire.TypeA, 4, 300); err != nil {
+			tb.Close()
+			return nil, err
+		}
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+
+		const lookups = 5
+		ctx, cancel := ctxWithTimeout()
+		frac := -1.0
+		stable := true
+		for i := 0; i < lookups; i++ {
+			pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+			if err != nil {
+				cancel()
+				tb.Close()
+				return nil, fmt.Errorf("E11 N=%d lookup %d: %w", n, i, err)
+			}
+			got := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+			if frac < 0 {
+				frac = got
+			} else if got != frac {
+				stable = false
+			}
+		}
+
+		// TTL expiry (modelled by a flush) heals the deployment.
+		tb.FlushResolverCaches()
+		pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		cancel()
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		healed := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+		tb.Close()
+
+		row := []string{
+			fmt.Sprintf("N=%d", n), strconv.Itoa(lookups), f4(frac), f4(healed),
+		}
+		t.Rows = append(t.Rows, row)
+		want := 1.0 / float64(n)
+		if !stable || frac != want || healed != 0 {
+			t.Notes = fmt.Sprintf("FAIL at N=%d: frac=%v stable=%t healed=%v", n, frac, stable, healed)
+			return t, errors.New("E11: persistence property violated")
+		}
+	}
+	t.Notes = "one won race persists for the full TTL in every deployment, but distribution caps the " +
+		"persistent damage at 1/N instead of 100%"
+	return t, nil
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"dohpool/internal/analysis"
+	"dohpool/internal/attack"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+)
+
+const defaultTimeout = 30 * time.Second
+
+func ctxWithTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), defaultTimeout)
+}
+
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// E1Pipeline reproduces Figure 1: 3 authoritative servers, 3 DoH
+// resolvers, client-side combination; it verifies the 5-step flow and
+// that the combined answer is the concatenation of N truncated lists.
+func E1Pipeline(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	tb, err := testbed.Start(testbed.Config{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	gen, err := tb.Generator(testbed.GeneratorOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := ctxWithTimeout()
+	defer cancel()
+	pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "E1",
+		Title:   "Figure 1 pipeline: distributed DoH pool generation",
+		Columns: []string{"component", "answers", "rtt", "detail"},
+	}
+	for _, r := range pool.Results {
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Endpoint.Name,
+			strconv.Itoa(len(r.Addrs)),
+			r.RTT.Round(100 * time.Microsecond).String(),
+			status,
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"combined pool",
+		strconv.Itoa(len(pool.Addrs)),
+		"-",
+		fmt.Sprintf("K=%d, N*K=%d, unique=%d",
+			pool.TruncateLength, pool.TruncateLength*pool.Responding(), len(core.Dedupe(pool.Addrs))),
+	})
+	ok := len(pool.Addrs) == pool.TruncateLength*pool.Responding()
+	t.Notes = fmt.Sprintf("pool size equals N*K: %t (paper: combination of N truncated lists)", ok)
+	if !ok {
+		return t, errors.New("E1: pool size != N*K")
+	}
+	return t, nil
+}
+
+// E2FractionBound reproduces Section III-a: compromising m of N resolvers
+// yields pool fraction exactly m/N, so reaching fraction y requires
+// x = m/N >= y. Measured over the real pipeline for every m.
+func E2FractionBound(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:      "E2",
+		Title:   "Section III-a: attacker pool fraction vs compromised resolver fraction",
+		Columns: []string{"N", "m (compromised)", "x = m/N", "measured pool fraction", "reaches y=1/2", "reaches y=2/3"},
+	}
+
+	violations := 0
+	for _, n := range []int{3, 5, 9} {
+		tb, err := testbed.Start(testbed.Config{
+			Resolvers:            n,
+			Adversary:            testbed.AdversaryResolver,
+			DisableResolverCache: true,
+			Seed:                 opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		for m := 0; m <= n; m++ {
+			idx := make([]int, m)
+			for i := range idx {
+				idx[i] = i
+			}
+			tb.SetPlan(attack.FixedPlan(n, idx...))
+			tb.FlushResolverCaches()
+			ctx, cancel := ctxWithTimeout()
+			pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+			cancel()
+			if err != nil {
+				tb.Close()
+				return nil, fmt.Errorf("E2 N=%d m=%d: %w", n, m, err)
+			}
+			frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+			want := float64(m) / float64(n)
+			if frac != want {
+				violations++
+			}
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(n), strconv.Itoa(m), f4(want), f4(frac),
+				strconv.FormatBool(frac >= 0.5), strconv.FormatBool(frac >= 2.0/3),
+			})
+		}
+		tb.Close()
+	}
+	t.Notes = fmt.Sprintf("measured fraction == m/N in all rows: %t — crossover to y happens exactly at x=y",
+		violations == 0)
+	if violations > 0 {
+		return t, fmt.Errorf("E2: %d rows violated the fraction bound", violations)
+	}
+	return t, nil
+}
+
+// E3AttackProbability reproduces Section III-b: the attack success
+// probability p^M with M = ceil(xN) for x = 1/2 (pool majority), compared
+// against the exact binomial tail and a Monte-Carlo run over the real
+// pipeline for N = 3.
+func E3AttackProbability(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:    "E3",
+		Title: "Section III-b: P(attack success) vs N and p_attack (x = 1/2)",
+		Columns: []string{"N", "p_attack", "M=ceil(N/2)", "paper p^M",
+			"binomial tail", "simulated", "pipeline MC (N=3)"},
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Pipeline Monte-Carlo for N=3 only (each trial costs 3 TLS
+	// exchanges).
+	pipeline := make(map[float64]analysis.Estimate)
+	{
+		const n = 3
+		tb, err := testbed.Start(testbed.Config{
+			Resolvers:            n,
+			Adversary:            testbed.AdversaryResolver,
+			DisableResolverCache: true,
+			Seed:                 opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		for _, p := range []float64{0.1, 0.3, 0.5} {
+			est, err := analysis.MonteCarlo(opts.PipelineTrials, func(int) (bool, error) {
+				tb.SetPlan(attack.BernoulliPlan(n, p, rng))
+				ctx, cancel := ctxWithTimeout()
+				defer cancel()
+				pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+				if err != nil {
+					return false, err
+				}
+				return core.Fraction(pool.Addrs, attack.IsAttackerAddr) >= 0.5, nil
+			})
+			if err != nil {
+				tb.Close()
+				return nil, fmt.Errorf("E3 pipeline MC p=%v: %w", p, err)
+			}
+			pipeline[p] = est
+		}
+		tb.Close()
+	}
+
+	disagreements := 0
+	for _, n := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
+		for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+			m, err := analysis.RequiredResolverCount(n, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			paper, err := analysis.PaperSuccessProbability(p, n, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			tail, err := analysis.BinomialTail(n, m, p)
+			if err != nil {
+				return nil, err
+			}
+			// Fast direct simulation of the resolver-compromise model.
+			sim, err := analysis.MonteCarlo(opts.Trials, func(int) (bool, error) {
+				return attack.BernoulliPlan(n, p, rng).CountCompromised() >= m, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if tail < sim.Low || tail > sim.High {
+				disagreements++
+			}
+			pipeCell := "-"
+			if n == 3 {
+				if est, ok := pipeline[p]; ok {
+					pipeCell = est.String()
+					if tail < est.Low || tail > est.High {
+						disagreements++
+					}
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(n), f2(p), strconv.Itoa(m),
+				f4(paper), f4(tail), f4(sim.Rate), pipeCell,
+			})
+		}
+	}
+	t.Notes = fmt.Sprintf(
+		"binomial tail outside the 95%% CI of simulation in %d cells (expect a few by chance); "+
+			"paper's p^M lower-bounds the tail and both fall exponentially in N — the key-size analogy",
+		disagreements)
+	return t, nil
+}
+
+// E4OffPath reproduces the motivating attack comparison: an off-path DNS
+// attacker with per-query success probability p poisons a single-resolver
+// lookup with probability ~p, but needs a majority of N distributed DoH
+// paths — probability ~ binomial tail — to own the combined pool.
+func E4OffPath(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	// p must differ from 1/2: at exactly p=0.5 the majority binomial tail
+	// is 0.5 for every odd N and the contrast disappears.
+	const p = 0.3
+	t := &Table{
+		ID:      "E4",
+		Title:   "off-path attacker (per-query success p=0.3): plain single resolver vs distributed DoH",
+		Columns: []string{"N resolvers", "trials", "pool majority poisoned", "analytical tail"},
+	}
+	for _, n := range []int{1, 3, 5} {
+		tb, err := testbed.Start(testbed.Config{
+			Resolvers:            n,
+			Adversary:            testbed.AdversaryOffPath,
+			OffPathProb:          p,
+			DisableResolverCache: true,
+			Seed:                 opts.Seed + int64(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		tb.SetPlan(attack.FixedPlan(n, all...)) // attacker races every path
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		m, err := analysis.RequiredResolverCount(n, 0.5)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		est, err := analysis.MonteCarlo(opts.PipelineTrials, func(int) (bool, error) {
+			ctx, cancel := ctxWithTimeout()
+			defer cancel()
+			pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+			if err != nil {
+				return false, err
+			}
+			return core.Fraction(pool.Addrs, attack.IsAttackerAddr) >= 0.5, nil
+		})
+		tb.Close()
+		if err != nil {
+			return nil, fmt.Errorf("E4 N=%d: %w", n, err)
+		}
+		tail, err := analysis.BinomialTail(n, m, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(n), strconv.Itoa(est.Trials), est.String(), f4(tail),
+		})
+	}
+	t.Notes = "single resolver falls at ~p; N=3/5 distributed DoH reduce success toward the binomial tail"
+	return t, nil
+}
+
+// E5Truncation reproduces footnote 2: the response-inflation attack that
+// broke Chronos' pool is neutralised by truncation (the attacker still
+// owns only its resolver share), while an empty poisoned answer degrades
+// to denial of service, not poisoning.
+func E5Truncation(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:      "E5",
+		Title:   "footnote 2: inflation vs truncation; empty answer = DoS (N=3, 1 compromised)",
+		Columns: []string{"attack payload", "truncation", "K", "pool size", "attacker fraction", "outcome"},
+	}
+
+	run := func(payload attack.Payload) (*core.Pool, error) {
+		tb, err := testbed.Start(testbed.Config{
+			Adversary: testbed.AdversaryResolver,
+			Plan:      attack.FixedPlan(3, 0),
+			Payload:   payload,
+			Seed:      opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer tb.Close()
+		gen, err := tb.Generator(testbed.GeneratorOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := ctxWithTimeout()
+		defer cancel()
+		return gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	}
+
+	// Inflation with truncation ON (the paper's design).
+	pool, err := run(attack.PayloadInflate)
+	if err != nil {
+		return nil, fmt.Errorf("E5 inflate: %w", err)
+	}
+	frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+	t.Rows = append(t.Rows, []string{
+		"inflate x" + strconv.Itoa(attack.InflateCount), "on",
+		strconv.Itoa(pool.TruncateLength), strconv.Itoa(len(pool.Addrs)),
+		f4(frac), "bounded at resolver share",
+	})
+
+	// Ablation A1: truncation OFF — combine the raw lists.
+	rawPool := combineRaw(pool)
+	rawFrac := core.Fraction(rawPool, attack.IsAttackerAddr)
+	t.Rows = append(t.Rows, []string{
+		"inflate x" + strconv.Itoa(attack.InflateCount), "off (ablation A1)",
+		"-", strconv.Itoa(len(rawPool)), f4(rawFrac), "attacker overwhelms pool",
+	})
+
+	// Empty answer: DoS, not poisoning.
+	_, err = run(attack.PayloadEmpty)
+	outcome := "lookup fails safe (DoS, no poisoning)"
+	if err == nil {
+		outcome = "UNEXPECTED: lookup succeeded"
+	} else if !errors.Is(err, core.ErrEmptyAnswer) {
+		outcome = "failed: " + err.Error()
+	}
+	t.Rows = append(t.Rows, []string{"empty answer", "on", "0", "0", "0.0000", outcome})
+
+	ok := frac <= 1.0/3+1e-9 && rawFrac > 0.5
+	t.Notes = fmt.Sprintf(
+		"truncation caps the attacker at its resolver share (%.2f) while the no-truncation ablation lets it take %.2f: %t",
+		frac, rawFrac, ok)
+	if !ok {
+		return t, errors.New("E5: truncation property violated")
+	}
+	return t, nil
+}
+
+// combineRaw concatenates the untruncated per-resolver lists of a pool —
+// what Algorithm 1 would produce with truncation disabled (ablation A1).
+func combineRaw(pool *core.Pool) []netip.Addr {
+	var out []netip.Addr
+	for _, r := range pool.Results {
+		if r.Err == nil {
+			out = append(out, r.Addrs...)
+		}
+	}
+	return out
+}

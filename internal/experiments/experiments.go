@@ -1,0 +1,153 @@
+// Package experiments regenerates every evaluation artefact of the paper:
+// the Figure 1 end-to-end pipeline and the analytical claims of Sections
+// III and IV, each validated against the real loopback testbed. Each
+// experiment returns a Table whose rows are the series a reader would
+// compare against the paper; cmd/experiments prints them and
+// EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated experiment artefact.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (E1…E9, A1…A4).
+	ID string
+	// Title describes the paper artefact being reproduced.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, formatted.
+	Rows [][]string
+	// Notes carries the pass/fail verdict and caveats.
+	Notes string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown (EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "\n*%s*\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC 4180 CSV (for plotting pipelines).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(opts Options) (*Table, error)
+}
+
+// Options tunes experiment cost globally.
+type Options struct {
+	// Trials is the Monte-Carlo trial count per data point (default
+	// 1000; benches drop it for speed).
+	Trials int
+	// PipelineTrials is the trial count for Monte-Carlo runs over the
+	// real network testbed (default 200 — each trial is ~N TLS
+	// exchanges).
+	PipelineTrials int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Trials <= 0 {
+		o.Trials = 1000
+	}
+	if o.PipelineTrials <= 0 {
+		o.PipelineTrials = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 20201019 // the paper's arXiv date
+	}
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Figure 1 pipeline end-to-end", E1Pipeline},
+		{"E2", "Section III-a fraction bound x >= y", E2FractionBound},
+		{"E3", "Section III-b attack probability p^ceil(xN)", E3AttackProbability},
+		{"E4", "off-path attack: single resolver vs distributed DoH", E4OffPath},
+		{"E5", "footnote 2: inflation defeated, empty answer = DoS", E5Truncation},
+		{"E6", "Section IV: duplicates must count individually", E6Duplicates},
+		{"E7", "Section IV: DoH pool + Chronos end-to-end time security", E7Chronos},
+		{"E8", "Section II: majority filter", E8Majority},
+		{"E9", "overhead: latency vs N, DoH vs plain DNS", E9Overhead},
+		{"E10", "extension — Section IV caveat: attacker joins the NTP pool", E10PoolJoin},
+		{"E11", "extension — cache-poisoning persistence, 1 vs N resolvers", E11CachePersistence},
+	}
+}

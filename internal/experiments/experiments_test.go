@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps CI cost low; correctness of the statistics themselves is
+// covered by the analysis package tests.
+var fastOpts = Options{Trials: 200, PipelineTrials: 30, Seed: 7}
+
+func checkTable(t *testing.T, tbl *Table) {
+	t.Helper()
+	if tbl.ID == "" || tbl.Title == "" {
+		t.Error("table missing ID/title")
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("table has no rows")
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Errorf("row %d has %d cells, want %d", i, len(row), len(tbl.Columns))
+		}
+	}
+	text := tbl.Render()
+	if !strings.Contains(text, tbl.ID) {
+		t.Error("Render misses ID")
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "|") {
+		t.Error("Markdown misses table syntax")
+	}
+}
+
+func TestE1(t *testing.T) {
+	tbl, err := E1Pipeline(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+	if len(tbl.Rows) != 4 { // 3 resolvers + combined
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE2(t *testing.T) {
+	tbl, err := E2FractionBound(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+	// 3 N values: rows = (3+1)+(5+1)+(9+1) = 20.
+	if len(tbl.Rows) != 20 {
+		t.Errorf("rows = %d, want 20", len(tbl.Rows))
+	}
+}
+
+func TestE3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline Monte-Carlo in short mode")
+	}
+	tbl, err := E3AttackProbability(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+	if len(tbl.Rows) != 8*5 {
+		t.Errorf("rows = %d, want 40", len(tbl.Rows))
+	}
+}
+
+func TestE4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline Monte-Carlo in short mode")
+	}
+	tbl, err := E4OffPath(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE5(t *testing.T) {
+	tbl, err := E5Truncation(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE6(t *testing.T) {
+	tbl, err := E6Duplicates(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE7(t *testing.T) {
+	tbl, err := E7Chronos(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE8(t *testing.T) {
+	tbl, err := E8Majority(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep in short mode")
+	}
+	tbl, err := E9Overhead(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE10(t *testing.T) {
+	tbl, err := E10PoolJoin(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestE11(t *testing.T) {
+	tbl, err := E11CachePersistence(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	runners := All()
+	if len(runners) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(runners))
+	}
+	seen := make(map[string]bool)
+	for _, r := range runners {
+		if r.ID == "" || r.Desc == "" || r.Run == nil {
+			t.Errorf("runner %+v incomplete", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "csv",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1,5", `say "hi"`}, {"2", "plain"}},
+	}
+	got := tbl.CSV()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n2,plain\n"
+	if got != want {
+		t.Fatalf("CSV:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "alignment",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"wide-cell-value", "b"}},
+		Notes:   "n",
+	}
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, row, note
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "note: ") {
+		t.Error("notes line missing")
+	}
+}

@@ -1,0 +1,107 @@
+package ntp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client errors.
+var (
+	// ErrOriginMismatch reports a response that does not echo our
+	// transmit timestamp — a blind-spoofing defence.
+	ErrOriginMismatch = errors.New("origin timestamp mismatch")
+)
+
+// DefaultClientTimeout bounds one SNTP exchange when the context carries
+// no deadline.
+const DefaultClientTimeout = 2 * time.Second
+
+// Measurement is the outcome of one SNTP exchange.
+type Measurement struct {
+	// Offset is the estimated local-clock error: add it to local time to
+	// get server time.
+	Offset time.Duration
+	// Delay is the round-trip delay.
+	Delay time.Duration
+	// Stratum is the server's advertised stratum.
+	Stratum uint8
+}
+
+// Client queries SNTP servers.
+type Client struct {
+	// Clock is the local time source (injectable for tests).
+	Clock func() time.Time
+	// Dialer optionally overrides dialing.
+	Dialer net.Dialer
+}
+
+// NewClient builds an SNTP client reading the system clock.
+func NewClient() *Client {
+	return &Client{Clock: time.Now}
+}
+
+// Query performs one SNTP exchange with server (host:port) and returns
+// the measured offset and delay.
+func (c *Client) Query(ctx context.Context, server string) (Measurement, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultClientTimeout)
+		defer cancel()
+	}
+	clock := c.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+
+	conn, err := c.Dialer.DialContext(ctx, "udp", server)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return Measurement{}, err
+		}
+	}
+
+	t1 := clock()
+	req := &Packet{
+		Version:      Version,
+		Mode:         ModeClient,
+		TransmitTime: ToTime64(t1),
+	}
+	if _, err := conn.Write(req.Encode()); err != nil {
+		return Measurement{}, fmt.Errorf("send to %s: %w", server, err)
+	}
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("receive from %s: %w", server, err)
+	}
+	t4 := clock()
+
+	resp, err := DecodePacket(buf[:n])
+	if err != nil {
+		return Measurement{}, fmt.Errorf("decode from %s: %w", server, err)
+	}
+	if resp.Mode != ModeServer {
+		return Measurement{}, fmt.Errorf("%s: mode %d: %w", server, resp.Mode, ErrBadMode)
+	}
+	if resp.Stratum == 0 {
+		return Measurement{}, fmt.Errorf("%s: %w", server, ErrKissOfDeath)
+	}
+	if resp.OriginTime != req.TransmitTime {
+		return Measurement{}, fmt.Errorf("%s: %w", server, ErrOriginMismatch)
+	}
+
+	t2 := resp.ReceiveTime.ToTime()
+	t3 := resp.TransmitTime.ToTime()
+	return Measurement{
+		Offset:  Offset(t1, t2, t3, t4),
+		Delay:   RoundTripDelay(t1, t2, t3, t4),
+		Stratum: resp.Stratum,
+	}, nil
+}

@@ -1,0 +1,188 @@
+package ntp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTime64RoundTrip(t *testing.T) {
+	times := []time.Time{
+		time.Unix(1700000000, 0).UTC(),
+		time.Unix(1700000000, 123456789).UTC(),
+		time.Unix(0, 1).UTC(),
+		time.Date(2036, 2, 7, 6, 28, 15, 0, time.UTC), // near NTP era end
+	}
+	for _, want := range times {
+		got := ToTime64(want).ToTime()
+		if d := got.Sub(want); d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("round trip %v = %v (Δ %v)", want, got, d)
+		}
+	}
+	if !ToTime64(time.Time{}).ToTime().IsZero() {
+		t.Error("zero time not preserved")
+	}
+}
+
+func TestTime64RoundTripProperty(t *testing.T) {
+	f := func(secs uint32, nanos uint32) bool {
+		want := time.Unix(int64(secs), int64(nanos%1e9)).UTC()
+		got := ToTime64(want).ToTime()
+		d := got.Sub(want)
+		return d > -time.Microsecond && d < time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Leap:          LeapAddSec,
+		Version:       Version,
+		Mode:          ModeServer,
+		Stratum:       2,
+		Poll:          6,
+		Precision:     -20,
+		RootDelay:     0x00010000,
+		RootDisp:      0x00000800,
+		RefID:         0x47505300, // "GPS"
+		ReferenceTime: ToTime64(time.Unix(1700000000, 0)),
+		OriginTime:    ToTime64(time.Unix(1700000001, 0)),
+		ReceiveTime:   ToTime64(time.Unix(1700000002, 0)),
+		TransmitTime:  ToTime64(time.Unix(1700000003, 0)),
+	}
+	wire := p.Encode()
+	if len(wire) != PacketSize {
+		t.Fatalf("encoded %d octets", len(wire))
+	}
+	got, err := DecodePacket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeShortPacket(t *testing.T) {
+	if _, err := DecodePacket(make([]byte, 40)); !errors.Is(err, ErrShortPacket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOffsetComputation(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	// Server clock is 10s ahead; symmetric 100ms path each way.
+	t1 := base
+	t2 := base.Add(10*time.Second + 100*time.Millisecond)
+	t3 := base.Add(10*time.Second + 110*time.Millisecond)
+	t4 := base.Add(210 * time.Millisecond)
+	if got := Offset(t1, t2, t3, t4); got != 10*time.Second {
+		t.Errorf("offset = %v, want 10s", got)
+	}
+	if got := RoundTripDelay(t1, t2, t3, t4); got != 200*time.Millisecond {
+		t.Errorf("delay = %v, want 200ms", got)
+	}
+}
+
+func TestClientServerBenign(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	m, err := NewClient().Query(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback: true offset ~0, generous bound.
+	if m.Offset < -200*time.Millisecond || m.Offset > 200*time.Millisecond {
+		t.Errorf("benign offset = %v", m.Offset)
+	}
+	if m.Stratum != 2 {
+		t.Errorf("stratum = %d", m.Stratum)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("served = %d", srv.Served())
+	}
+}
+
+func TestClientServerMalicious(t *testing.T) {
+	const shift = 300 * time.Second
+	srv, err := NewServer("127.0.0.1:0", WithShift(shift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	if srv.Shift() != shift {
+		t.Fatalf("Shift = %v", srv.Shift())
+	}
+
+	m, err := NewClient().Query(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offset < shift-time.Second || m.Offset > shift+time.Second {
+		t.Errorf("malicious offset = %v, want ~%v", m.Offset, shift)
+	}
+}
+
+func TestKissOfDeathRejected(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", WithStratum(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	_, err = NewClient().Query(context.Background(), srv.Addr())
+	if !errors.Is(err, ErrKissOfDeath) {
+		t.Fatalf("err = %v, want ErrKissOfDeath", err)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	// Nothing listens on this port.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, err := NewClient().Query(ctx, "127.0.0.1:1")
+	if err == nil {
+		t.Fatal("query against dead server succeeded")
+	}
+}
+
+func TestServerCloseIdempotency(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second close = %v", err)
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Send garbage first; the server must survive and keep answering.
+	c := NewClient()
+	conn, err := c.Dialer.DialContext(context.Background(), "udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{1, 2, 3})
+	conn.Close()
+
+	if _, err := c.Query(context.Background(), srv.Addr()); err != nil {
+		t.Fatalf("query after garbage: %v", err)
+	}
+}

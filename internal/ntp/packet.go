@@ -1,0 +1,170 @@
+// Package ntp implements the SNTP subset of the Network Time Protocol
+// (RFC 4330 / RFC 5905 on-wire format): packet codec, a UDP time server
+// with a configurable clock (benign servers tell the truth, malicious
+// servers apply a shift — exactly how the Chronos paper models its
+// adversary), and a client computing clock offset from the four-timestamp
+// exchange. This is the application substrate the paper's pool-generation
+// mechanism protects.
+package ntp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PacketSize is the fixed SNTP packet size (no extensions).
+const PacketSize = 48
+
+// Packet errors.
+var (
+	// ErrShortPacket reports fewer than 48 octets.
+	ErrShortPacket = errors.New("ntp packet shorter than 48 octets")
+	// ErrKissOfDeath reports a stratum-0 response.
+	ErrKissOfDeath = errors.New("kiss-of-death response")
+	// ErrBadMode reports an unexpected association mode.
+	ErrBadMode = errors.New("unexpected ntp mode")
+)
+
+// Mode is the NTP association mode.
+type Mode uint8
+
+// Association modes.
+const (
+	ModeClient Mode = 3
+	ModeServer Mode = 4
+)
+
+// LeapIndicator warns of impending leap seconds.
+type LeapIndicator uint8
+
+// Leap indicator values.
+const (
+	LeapNone   LeapIndicator = 0
+	LeapAddSec LeapIndicator = 1
+	LeapSubSec LeapIndicator = 2
+	LeapUnsync LeapIndicator = 3
+)
+
+// Version is the NTP protocol version this package speaks.
+const Version = 4
+
+// ntpEpochOffset is the difference between the NTP epoch (1900-01-01) and
+// the Unix epoch (1970-01-01) in seconds.
+const ntpEpochOffset = 2208988800
+
+// Time64 is a 64-bit NTP timestamp: 32 bits of seconds since 1900 and 32
+// bits of binary fraction.
+type Time64 uint64
+
+// ToTime64 converts wall-clock time to NTP format. The 32-bit seconds
+// field wraps at the NTP era boundary (7 Feb 2036); ToTime applies the
+// standard era disambiguation on the way back.
+func ToTime64(t time.Time) Time64 {
+	if t.IsZero() {
+		return 0
+	}
+	secs := uint64(t.Unix()+ntpEpochOffset) & 0xFFFFFFFF
+	frac := uint64(t.Nanosecond()) << 32 / 1e9
+	return Time64(secs<<32 | frac)
+}
+
+// ToTime converts an NTP timestamp back to wall-clock time. The zero
+// timestamp maps to the zero time. Seconds values that would land before
+// the Unix epoch are interpreted as NTP era 1 (2036–2106), the standard
+// pivot for systems deployed after 1970.
+func (n Time64) ToTime() time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	secs := int64(n >> 32)
+	if secs < ntpEpochOffset {
+		secs += 1 << 32 // era 1
+	}
+	nanos := (uint64(n&0xFFFFFFFF) * 1e9) >> 32
+	return time.Unix(secs-ntpEpochOffset, int64(nanos)).UTC()
+}
+
+// Packet is a decoded SNTP packet.
+type Packet struct {
+	Leap      LeapIndicator
+	Version   uint8
+	Mode      Mode
+	Stratum   uint8
+	Poll      int8
+	Precision int8
+	RootDelay uint32 // 16.16 fixed point seconds
+	RootDisp  uint32 // 16.16 fixed point seconds
+	RefID     uint32
+
+	ReferenceTime Time64 // last clock update
+	OriginTime    Time64 // T1 as echoed by the server
+	ReceiveTime   Time64 // T2: server receive
+	TransmitTime  Time64 // T3: server transmit
+}
+
+// Encode serialises the packet into 48 octets.
+func (p *Packet) Encode() []byte {
+	buf := make([]byte, PacketSize)
+	buf[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
+	buf[1] = p.Stratum
+	buf[2] = byte(p.Poll)
+	buf[3] = byte(p.Precision)
+	put32 := func(off int, v uint32) {
+		buf[off] = byte(v >> 24)
+		buf[off+1] = byte(v >> 16)
+		buf[off+2] = byte(v >> 8)
+		buf[off+3] = byte(v)
+	}
+	put64 := func(off int, v Time64) {
+		put32(off, uint32(v>>32))
+		put32(off+4, uint32(v))
+	}
+	put32(4, p.RootDelay)
+	put32(8, p.RootDisp)
+	put32(12, p.RefID)
+	put64(16, p.ReferenceTime)
+	put64(24, p.OriginTime)
+	put64(32, p.ReceiveTime)
+	put64(40, p.TransmitTime)
+	return buf
+}
+
+// DecodePacket parses 48 octets into a Packet.
+func DecodePacket(buf []byte) (*Packet, error) {
+	if len(buf) < PacketSize {
+		return nil, fmt.Errorf("%d octets: %w", len(buf), ErrShortPacket)
+	}
+	get32 := func(off int) uint32 {
+		return uint32(buf[off])<<24 | uint32(buf[off+1])<<16 | uint32(buf[off+2])<<8 | uint32(buf[off+3])
+	}
+	get64 := func(off int) Time64 {
+		return Time64(get32(off))<<32 | Time64(get32(off+4))
+	}
+	return &Packet{
+		Leap:          LeapIndicator(buf[0] >> 6),
+		Version:       buf[0] >> 3 & 0x7,
+		Mode:          Mode(buf[0] & 0x7),
+		Stratum:       buf[1],
+		Poll:          int8(buf[2]),
+		Precision:     int8(buf[3]),
+		RootDelay:     get32(4),
+		RootDisp:      get32(8),
+		RefID:         get32(12),
+		ReferenceTime: get64(16),
+		OriginTime:    get64(24),
+		ReceiveTime:   get64(32),
+		TransmitTime:  get64(40),
+	}, nil
+}
+
+// Offset computes the client clock offset from the four timestamps of an
+// SNTP exchange per RFC 4330: θ = ((T2 − T1) + (T3 − T4)) / 2.
+func Offset(t1, t2, t3, t4 time.Time) time.Duration {
+	return (t2.Sub(t1) + t3.Sub(t4)) / 2
+}
+
+// RoundTripDelay computes δ = (T4 − T1) − (T3 − T2).
+func RoundTripDelay(t1, t2, t3, t4 time.Time) time.Duration {
+	return t4.Sub(t1) - t3.Sub(t2)
+}

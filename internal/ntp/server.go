@@ -1,0 +1,118 @@
+package ntp
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerClosed is returned by methods on a closed Server.
+var ErrServerClosed = errors.New("ntp server closed")
+
+// Server is a UDP SNTP server with a configurable clock. A benign server
+// reports true time; a malicious one reports time shifted by a fixed
+// offset — the adversary of the Chronos threat model (time-shifting
+// servers inside the pool).
+type Server struct {
+	conn    *net.UDPConn
+	clock   func() time.Time
+	shift   time.Duration
+	stratum uint8
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	served atomic.Uint64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithShift makes the server malicious: every timestamp it reports is
+// shifted by d.
+func WithShift(d time.Duration) ServerOption {
+	return func(s *Server) { s.shift = d }
+}
+
+// WithClock injects the time source (tests use synthetic clocks).
+func WithClock(clock func() time.Time) ServerOption {
+	return func(s *Server) { s.clock = clock }
+}
+
+// WithStratum overrides the advertised stratum (default 2).
+func WithStratum(stratum uint8) ServerOption {
+	return func(s *Server) { s.stratum = stratum }
+}
+
+// NewServer starts an SNTP server on addr ("127.0.0.1:0" for ephemeral).
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{conn: conn, clock: time.Now, stratum: 2}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's host:port.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Shift returns the configured malicious shift (0 for benign servers).
+func (s *Server) Shift() time.Duration { return s.shift }
+
+// Served returns how many requests were answered.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return ErrServerClosed
+	}
+	s.conn.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 512)
+	for {
+		n, client, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		req, err := DecodePacket(buf[:n])
+		if err != nil || req.Mode != ModeClient {
+			continue
+		}
+		recv := s.clock().Add(s.shift)
+		resp := &Packet{
+			Leap:          LeapNone,
+			Version:       Version,
+			Mode:          ModeServer,
+			Stratum:       s.stratum,
+			Poll:          req.Poll,
+			Precision:     -20,
+			RefID:         0x7F000001,
+			ReferenceTime: ToTime64(recv.Add(-10 * time.Second)),
+			OriginTime:    req.TransmitTime,
+			ReceiveTime:   ToTime64(recv),
+			TransmitTime:  ToTime64(s.clock().Add(s.shift)),
+		}
+		s.served.Add(1)
+		_, _ = s.conn.WriteToUDP(resp.Encode(), client)
+	}
+}

@@ -1,0 +1,138 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dohpool/internal/dnswire"
+)
+
+// Iterative-resolution errors.
+var (
+	// ErrReferralLoop reports that iteration exceeded the referral depth
+	// bound without reaching an authoritative answer.
+	ErrReferralLoop = errors.New("too many referrals")
+	// ErrLameDelegation reports a referral whose nameservers could not be
+	// reached or resolved.
+	ErrLameDelegation = errors.New("lame delegation")
+)
+
+// maxReferralDepth bounds the delegation chain a single lookup follows.
+const maxReferralDepth = 12
+
+// maxGluelessDepth bounds nested NS-address resolution for glueless
+// delegations.
+const maxGluelessDepth = 4
+
+// iterate resolves (name, typ) by walking the delegation tree from the
+// configured root servers: query a server, follow referrals (using glue
+// when present, resolving nameserver addresses when not) until an
+// authoritative answer or a terminal error emerges. This is the classic
+// RFC 1034 §5.3.3 algorithm restricted to the in-bailiwick behaviour the
+// testbed needs.
+func (r *Resolver) iterate(ctx context.Context, name string, typ dnswire.Type, depth int) (*dnswire.Message, error) {
+	servers := append([]string(nil), r.roots...)
+	for hop := 0; hop < maxReferralDepth; hop++ {
+		resp, err := r.queryAny(ctx, servers, name, typ)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Header.RCode == dnswire.RCodeNXDomain,
+			resp.Header.RCode == dnswire.RCodeSuccess && len(resp.Answers) > 0,
+			resp.Header.RCode == dnswire.RCodeSuccess && len(referralNS(resp)) == 0:
+			// Terminal: authoritative answer, NXDOMAIN, or NODATA.
+			return resp, nil
+		}
+
+		nsHosts := referralNS(resp)
+		next := r.glueAddresses(resp, nsHosts)
+		if len(next) == 0 {
+			// Glueless delegation: resolve a nameserver's address
+			// ourselves (bounded, to tame circular delegations).
+			if depth >= maxGluelessDepth {
+				return nil, fmt.Errorf("resolve %q: %w (glueless depth)", name, ErrLameDelegation)
+			}
+			for _, host := range nsHosts {
+				addrResp, err := r.iterate(ctx, host, dnswire.TypeA, depth+1)
+				if err != nil {
+					continue
+				}
+				for _, a := range addrResp.AnswerAddrs() {
+					next = append(next, r.glueDial(a))
+				}
+				if len(next) > 0 {
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("resolve %q: %w", name, ErrLameDelegation)
+		}
+		servers = next
+	}
+	return nil, fmt.Errorf("resolve %q: %w", name, ErrReferralLoop)
+}
+
+// queryAny tries the servers in order until one produces a usable
+// response.
+func (r *Resolver) queryAny(ctx context.Context, servers []string, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	var lastErr error
+	for _, server := range servers {
+		query, err := dnswire.NewQuery(name, typ)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := r.ex.Exchange(ctx, query, server)
+		r.upstream.Add(1)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.Header.RCode {
+		case dnswire.RCodeSuccess, dnswire.RCodeNXDomain:
+			return resp, nil
+		default:
+			lastErr = fmt.Errorf("server %s answered %v", server, resp.Header.RCode)
+		}
+	}
+	return nil, fmt.Errorf("query %q %v: %w (last: %v)", name, typ, ErrAllServersFailed, lastErr)
+}
+
+// referralNS extracts the nameserver hosts of a referral (non-AA response
+// with NS records in the authority section).
+func referralNS(resp *dnswire.Message) []string {
+	if resp.Header.Authoritative {
+		return nil
+	}
+	var hosts []string
+	for _, rec := range resp.Authority {
+		if ns, ok := rec.Data.(*dnswire.NSRecord); ok {
+			hosts = append(hosts, dnswire.CanonicalName(ns.Host))
+		}
+	}
+	return hosts
+}
+
+// glueAddresses extracts additional-section addresses for the given
+// nameserver hosts, mapped to dial strings via the configured GlueDialer.
+func (r *Resolver) glueAddresses(resp *dnswire.Message, nsHosts []string) []string {
+	wanted := make(map[string]bool, len(nsHosts))
+	for _, h := range nsHosts {
+		wanted[h] = true
+	}
+	var servers []string
+	for _, rec := range resp.Additional {
+		if !wanted[dnswire.CanonicalName(rec.Name)] {
+			continue
+		}
+		switch d := rec.Data.(type) {
+		case *dnswire.ARecord:
+			servers = append(servers, r.glueDial(d.Addr))
+		case *dnswire.AAAARecord:
+			servers = append(servers, r.glueDial(d.Addr))
+		}
+	}
+	return servers
+}

@@ -1,0 +1,212 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dohpool/internal/authserver"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/zone"
+)
+
+// delegationTree builds a two-level hierarchy on loopback:
+//
+//	test.                 (the "root" for this test)
+//	└── ntppool.test.     delegated to ns.ntppool.test. (glue 127.0.0.1)
+//
+// The child server's real ephemeral port is injected via GlueDialer.
+func delegationTree(t *testing.T, glueless bool) (rootAddr string, glue func(netip.Addr) string) {
+	t.Helper()
+
+	child := zone.New("ntppool.test.")
+	for i := 1; i <= 4; i++ {
+		ip := netip.AddrFrom4([4]byte{192, 0, 2, byte(i)})
+		if err := child.AddAddress("pool.ntppool.test.", ip, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := child.AddAddress("ns.ntppool.test.", netip.MustParseAddr("127.0.0.1"), 3600); err != nil {
+		t.Fatal(err)
+	}
+	childSrv, err := authserver.Listen("127.0.0.1:0", child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = childSrv.Close() })
+
+	root := zone.New("test.")
+	if err := root.Add(dnswire.Record{
+		Name: "ntppool.test.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+		Data: &dnswire.NSRecord{Host: "ns.ntppool.test."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !glueless {
+		// Glue: the child NS host's address lives in the parent zone.
+		if err := root.AddAddress("ns.ntppool.test.", netip.MustParseAddr("127.0.0.1"), 3600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rootSrv, err := authserver.Listen("127.0.0.1:0", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rootSrv.Close() })
+
+	// All glue points at 127.0.0.1; the dialer rewrites it to the child
+	// server's ephemeral port (stand-in for port 53).
+	return rootSrv.Addr(), func(netip.Addr) string { return childSrv.Addr() }
+}
+
+func iterCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestReferralFollowedWithGlue(t *testing.T) {
+	rootAddr, glue := delegationTree(t, false)
+	r := New(Config{
+		RootServers: []string{rootAddr},
+		GlueDialer:  glue,
+	})
+	resp, err := r.Resolve(iterCtx(t), "pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.AnswerAddrs()); got != 4 {
+		t.Fatalf("answers = %d, want 4 (delegation not followed?)", got)
+	}
+}
+
+func TestGluelessDelegation(t *testing.T) {
+	// The parent zone carries no glue but the resolver can still resolve
+	// the NS host... only through the delegation itself — which makes the
+	// delegation circularly glueless and therefore lame. Verify we fail
+	// cleanly rather than loop.
+	rootAddr, glue := delegationTree(t, true)
+	r := New(Config{
+		RootServers: []string{rootAddr},
+		GlueDialer:  glue,
+	})
+	_, err := r.Resolve(iterCtx(t), "pool.ntppool.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrLameDelegation) {
+		t.Fatalf("err = %v, want ErrLameDelegation", err)
+	}
+}
+
+func TestIterativeNXDomain(t *testing.T) {
+	rootAddr, glue := delegationTree(t, false)
+	r := New(Config{RootServers: []string{rootAddr}, GlueDialer: glue})
+	resp, err := r.Resolve(iterCtx(t), "missing.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestIterativeAnswerAtRoot(t *testing.T) {
+	// Names owned by the root zone itself need no referral.
+	root := zone.New("test.")
+	if err := root.AddAddress("direct.test.", netip.MustParseAddr("192.0.2.50"), 60); err != nil {
+		t.Fatal(err)
+	}
+	rootSrv, err := authserver.Listen("127.0.0.1:0", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rootSrv.Close() })
+
+	r := New(Config{RootServers: []string{rootSrv.Addr()}})
+	resp, err := r.Resolve(iterCtx(t), "direct.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatalf("answers = %v", resp.AnswerAddrs())
+	}
+}
+
+func TestIterativeResultsCached(t *testing.T) {
+	rootAddr, glue := delegationTree(t, false)
+	r := New(Config{RootServers: []string{rootAddr}, GlueDialer: glue})
+	ctx := iterCtx(t)
+	if _, err := r.Resolve(ctx, "pool.ntppool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	upstreamAfterFirst := r.Stats().Upstream
+	if _, err := r.Resolve(ctx, "pool.ntppool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Upstream; got != upstreamAfterFirst {
+		t.Fatalf("second lookup hit upstream (%d -> %d)", upstreamAfterFirst, got)
+	}
+}
+
+func TestStubAuthorityPreferredOverIteration(t *testing.T) {
+	// When a stub authority covers the name, iteration must not be used.
+	child := zone.New("ntppool.test.")
+	if err := child.AddAddress("pool.ntppool.test.", netip.MustParseAddr("192.0.2.9"), 60); err != nil {
+		t.Fatal(err)
+	}
+	childSrv, err := authserver.Listen("127.0.0.1:0", child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = childSrv.Close() })
+
+	r := New(Config{
+		Authorities: map[string][]string{"ntppool.test.": {childSrv.Addr()}},
+		RootServers: []string{"127.0.0.1:1"}, // dead root: must not matter
+	})
+	resp, err := r.Resolve(iterCtx(t), "pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatal("stub authority not used")
+	}
+}
+
+func TestZoneCutReferral(t *testing.T) {
+	// Direct zone-level check: names under a cut produce referrals with
+	// glue, names in-zone answer normally.
+	z := zone.New("test.")
+	if err := z.Add(dnswire.Record{
+		Name: "child.test.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 60,
+		Data: &dnswire.NSRecord{Host: "ns.child.test."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.AddAddress("ns.child.test.", netip.MustParseAddr("198.51.100.7"), 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.AddAddress("top.test.", netip.MustParseAddr("198.51.100.8"), 60); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := z.Lookup("deep.child.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Referral) != 1 || len(res.Glue) != 1 {
+		t.Fatalf("referral=%d glue=%d", len(res.Referral), len(res.Glue))
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("referral carries answer records")
+	}
+
+	res, err = z.Lookup("top.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Referral) != 0 || len(res.Records) != 1 {
+		t.Fatalf("in-zone answer broken: %+v", res)
+	}
+}

@@ -1,0 +1,309 @@
+// Package resolver implements the recursive resolution engine inside each
+// DoH resolver of the testbed. It resolves queries against a configured
+// set of authoritative servers (longest-suffix match, like production
+// stub/forward zones), chases CNAME chains, retries across servers, and
+// caches responses with TTL semantics.
+//
+// Each resolver instance owns its own cache and its own transport. That
+// independence is the point of the paper: an attacker who poisons one
+// resolver's cache or one resolver's path to the authoritative servers
+// affects only that resolver's contribution to the combined pool.
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"dohpool/internal/dnscache"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+)
+
+// Resolution errors.
+var (
+	// ErrNoAuthority reports that no configured authority covers the name.
+	ErrNoAuthority = errors.New("no authority configured for name")
+	// ErrCNAMELoop reports a CNAME chain exceeding the depth limit.
+	ErrCNAMELoop = errors.New("cname chain too long")
+	// ErrAllServersFailed reports that every authoritative server for the
+	// zone failed to answer.
+	ErrAllServersFailed = errors.New("all authoritative servers failed")
+)
+
+// DefaultMaxCNAMEDepth bounds CNAME chasing.
+const DefaultMaxCNAMEDepth = 8
+
+// DefaultNegativeTTL is the cache lifetime for negative answers lacking a
+// usable SOA minimum.
+const DefaultNegativeTTL = 30
+
+// Config configures a Resolver.
+type Config struct {
+	// Authorities maps zone origins to the addresses of their
+	// authoritative servers. The longest matching suffix wins.
+	Authorities map[string][]string
+	// RootServers, when set, enables iterative resolution: names not
+	// covered by Authorities are resolved by walking the delegation tree
+	// from these servers (RFC 1034 §5.3.3), following referrals and glue.
+	RootServers []string
+	// GlueDialer maps a glue address from a referral to the dial string
+	// of that nameserver. The default appends port 53 (production
+	// behaviour); the loopback testbed injects its ephemeral port map.
+	GlueDialer func(addr netip.Addr) string
+	// Transport performs the resolver→authoritative exchanges. The attack
+	// package wraps this to model on-path adversaries. Defaults to
+	// transport.Auto (UDP with TCP fallback).
+	Transport transport.Exchanger
+	// Cache holds responses; nil creates a private cache.
+	Cache *dnscache.Cache
+	// MaxCNAMEDepth bounds alias chasing; 0 means DefaultMaxCNAMEDepth.
+	MaxCNAMEDepth int
+	// DisableCache bypasses the cache entirely (used by experiments that
+	// need every query to hit the wire).
+	DisableCache bool
+}
+
+// Resolver resolves DNS queries recursively on behalf of clients.
+type Resolver struct {
+	authorities map[string][]string
+	roots       []string
+	glueDial    func(addr netip.Addr) string
+	ex          transport.Exchanger
+	cache       *dnscache.Cache
+	maxDepth    int
+	noCache     bool
+
+	queries   atomic.Uint64
+	cacheHits atomic.Uint64
+	upstream  atomic.Uint64
+}
+
+// New creates a Resolver from cfg.
+func New(cfg Config) *Resolver {
+	r := &Resolver{
+		authorities: make(map[string][]string, len(cfg.Authorities)),
+		roots:       append([]string(nil), cfg.RootServers...),
+		glueDial:    cfg.GlueDialer,
+		ex:          cfg.Transport,
+		cache:       cfg.Cache,
+		maxDepth:    cfg.MaxCNAMEDepth,
+		noCache:     cfg.DisableCache,
+	}
+	if r.glueDial == nil {
+		r.glueDial = func(addr netip.Addr) string {
+			return net.JoinHostPort(addr.String(), "53")
+		}
+	}
+	for origin, servers := range cfg.Authorities {
+		r.authorities[dnswire.CanonicalName(origin)] = append([]string(nil), servers...)
+	}
+	if r.ex == nil {
+		r.ex = &transport.Auto{}
+	}
+	if r.cache == nil {
+		r.cache = dnscache.New()
+	}
+	if r.maxDepth <= 0 {
+		r.maxDepth = DefaultMaxCNAMEDepth
+	}
+	return r
+}
+
+// Stats holds resolver counters.
+type Stats struct {
+	Queries   uint64
+	CacheHits uint64
+	Upstream  uint64
+}
+
+// Stats returns a snapshot of the resolver counters.
+func (r *Resolver) Stats() Stats {
+	return Stats{
+		Queries:   r.queries.Load(),
+		CacheHits: r.cacheHits.Load(),
+		Upstream:  r.upstream.Load(),
+	}
+}
+
+// Cache exposes the resolver's cache (tests poison it directly to model
+// cache-poisoning attacks that already succeeded).
+func (r *Resolver) Cache() *dnscache.Cache { return r.cache }
+
+// Resolve answers (name, type): it returns a response message whose answer
+// section contains the full CNAME chain followed by the final records.
+// The RCode reflects the final lookup.
+func (r *Resolver) Resolve(ctx context.Context, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	r.queries.Add(1)
+	name = dnswire.CanonicalName(name)
+	if err := dnswire.ValidateName(name); err != nil {
+		return nil, err
+	}
+
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			Response:           true,
+			RecursionDesired:   true,
+			RecursionAvailable: true,
+		},
+		Questions: []dnswire.Question{{Name: name, Type: typ, Class: dnswire.ClassINET}},
+	}
+
+	current := name
+	for depth := 0; depth <= r.maxDepth; depth++ {
+		step, err := r.lookupOne(ctx, current, typ)
+		if err != nil {
+			return nil, err
+		}
+		resp.Answers = append(resp.Answers, step.Answers...)
+		resp.Header.RCode = step.Header.RCode
+		if step.Header.RCode != dnswire.RCodeSuccess {
+			resp.Authority = append(resp.Authority, step.Authority...)
+			return resp, nil
+		}
+		target, isAlias := cnameTarget(step, current, typ)
+		if !isAlias {
+			resp.Authority = append(resp.Authority, step.Authority...)
+			return resp, nil
+		}
+		current = target
+	}
+	return nil, fmt.Errorf("resolve %q: %w", name, ErrCNAMELoop)
+}
+
+// ResolveAddrs resolves name to its A (v4) or AAAA (v6) addresses.
+func (r *Resolver) ResolveAddrs(ctx context.Context, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	if typ != dnswire.TypeA && typ != dnswire.TypeAAAA {
+		return nil, fmt.Errorf("ResolveAddrs supports A/AAAA, got %v", typ)
+	}
+	return r.Resolve(ctx, name, typ)
+}
+
+// lookupOne answers a single (name, type) without CNAME chasing, using
+// cache then upstream.
+func (r *Resolver) lookupOne(ctx context.Context, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.Question{Name: name, Type: typ, Class: dnswire.ClassINET}
+	if !r.noCache {
+		if cached, ok := r.cache.Get(q); ok {
+			r.cacheHits.Add(1)
+			return cached, nil
+		}
+	}
+
+	servers, err := r.serversFor(name)
+	if errors.Is(err, ErrNoAuthority) && len(r.roots) > 0 {
+		// No stub authority covers the name: iterate from the roots.
+		resp, err := r.iterate(ctx, name, typ, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !r.noCache {
+			r.cache.Put(q, resp, negativeTTL(resp))
+		}
+		return resp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for _, server := range servers {
+		query, err := dnswire.NewQuery(name, typ)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := r.ex.Exchange(ctx, query, server)
+		r.upstream.Add(1)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.Header.RCode {
+		case dnswire.RCodeSuccess, dnswire.RCodeNXDomain:
+			if !r.noCache {
+				r.cache.Put(q, resp, negativeTTL(resp))
+			}
+			return resp, nil
+		default:
+			lastErr = fmt.Errorf("server %s answered %v", server, resp.Header.RCode)
+		}
+	}
+	return nil, fmt.Errorf("resolve %q %v: %w (last: %v)", name, typ, ErrAllServersFailed, lastErr)
+}
+
+// serversFor picks the authoritative servers for the longest zone suffix
+// covering name.
+func (r *Resolver) serversFor(name string) ([]string, error) {
+	bestLen := -1
+	var best []string
+	for origin, servers := range r.authorities {
+		if !dnswire.IsSubdomain(name, origin) {
+			continue
+		}
+		if l := len(origin); l > bestLen {
+			bestLen = l
+			best = servers
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoAuthority)
+	}
+	return best, nil
+}
+
+// Origins lists configured zone origins, sorted (for logs and tests).
+func (r *Resolver) Origins() []string {
+	origins := make([]string, 0, len(r.authorities))
+	for o := range r.authorities {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	return origins
+}
+
+// cnameTarget inspects a single-step response: if the answer for (name,
+// typ) is an alias and typ itself is not CNAME, it returns the chase
+// target.
+func cnameTarget(resp *dnswire.Message, name string, typ dnswire.Type) (string, bool) {
+	if typ == dnswire.TypeCNAME {
+		return "", false
+	}
+	sawFinal := false
+	target := ""
+	for _, rec := range resp.Answers {
+		if rec.Type == typ {
+			sawFinal = true
+		}
+		if rec.Type == dnswire.TypeCNAME && strings.EqualFold(rec.Name, name) {
+			if c, ok := rec.Data.(*dnswire.CNAMERecord); ok {
+				target = c.Target
+			}
+		}
+	}
+	if sawFinal || target == "" {
+		return "", false
+	}
+	return target, true
+}
+
+// negativeTTL derives the negative-cache TTL from the SOA minimum if the
+// response carries one (RFC 2308 §5).
+func negativeTTL(resp *dnswire.Message) uint32 {
+	for _, rec := range resp.Authority {
+		if soa, ok := rec.Data.(*dnswire.SOARecord); ok {
+			ttl := soa.Minimum
+			if rec.TTL < ttl {
+				ttl = rec.TTL
+			}
+			if ttl > 0 {
+				return ttl
+			}
+		}
+	}
+	return DefaultNegativeTTL
+}

@@ -1,0 +1,279 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"dohpool/internal/authserver"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+	"dohpool/internal/zone"
+)
+
+// testSetup starts one authoritative server for ntppool.test. and returns
+// a resolver pointed at it.
+func testSetup(t *testing.T, zoneOpts []zone.Option, cfg Config) (*Resolver, *authserver.Server, *zone.Zone) {
+	t.Helper()
+	z := zone.New("ntppool.test.", zoneOpts...)
+	if err := z.Add(dnswire.Record{
+		Name: "ntppool.test.", Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SOARecord{MName: "ns1.ntppool.test.", RName: "hostmaster.ntppool.test.",
+			Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 45},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		ip := netip.MustParseAddr("192.0.2." + strconv.Itoa(i))
+		if err := z.AddAddress("pool.ntppool.test.", ip, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := authserver.Listen("127.0.0.1:0", z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	if cfg.Authorities == nil {
+		cfg.Authorities = map[string][]string{"ntppool.test.": {srv.Addr()}}
+	}
+	return New(cfg), srv, z
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestResolveBasic(t *testing.T) {
+	r, _, _ := testSetup(t, nil, Config{})
+	resp, err := r.Resolve(ctx(t), "pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if !resp.Header.RecursionAvailable {
+		t.Error("RA bit clear")
+	}
+	if got := len(resp.AnswerAddrs()); got != 4 {
+		t.Fatalf("%d addrs, want 4", got)
+	}
+}
+
+func TestResolveUsesCache(t *testing.T) {
+	r, srv, _ := testSetup(t, nil, Config{})
+	c := ctx(t)
+	if _, err := r.Resolve(c, "pool.ntppool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(c, "pool.ntppool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.UDPQueries != 1 {
+		t.Fatalf("upstream saw %d queries, want 1 (cache miss only)", st.UDPQueries)
+	}
+	if st := r.Stats(); st.CacheHits != 1 || st.Queries != 2 {
+		t.Fatalf("resolver stats = %+v", st)
+	}
+}
+
+func TestDisableCache(t *testing.T) {
+	r, srv, _ := testSetup(t, nil, Config{DisableCache: true})
+	c := ctx(t)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Resolve(c, "pool.ntppool.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.UDPQueries != 3 {
+		t.Fatalf("upstream saw %d queries, want 3", st.UDPQueries)
+	}
+}
+
+func TestCNAMEChase(t *testing.T) {
+	r, _, z := testSetup(t, nil, Config{})
+	if err := z.Add(dnswire.Record{
+		Name: "www.ntppool.test.", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 60,
+		Data: &dnswire.CNAMERecord{Target: "pool.ntppool.test."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.Resolve(ctx(t), "www.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resp.AnswerAddrs()); got != 4 {
+		t.Fatalf("%d addrs after chase, want 4", got)
+	}
+	if resp.Answers[0].Type != dnswire.TypeCNAME {
+		t.Error("CNAME record missing from combined answer")
+	}
+}
+
+func TestCNAMELoopDetected(t *testing.T) {
+	r, _, z := testSetup(t, nil, Config{})
+	add := func(from, to string) {
+		t.Helper()
+		if err := z.Add(dnswire.Record{
+			Name: from, Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.CNAMERecord{Target: to},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a.ntppool.test.", "b.ntppool.test.")
+	add("b.ntppool.test.", "a.ntppool.test.")
+	_, err := r.Resolve(ctx(t), "a.ntppool.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrCNAMELoop) {
+		t.Fatalf("err = %v, want ErrCNAMELoop", err)
+	}
+}
+
+func TestNXDomainPropagates(t *testing.T) {
+	r, _, _ := testSetup(t, nil, Config{})
+	resp, err := r.Resolve(ctx(t), "missing.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestNoAuthority(t *testing.T) {
+	r, _, _ := testSetup(t, nil, Config{})
+	_, err := r.Resolve(ctx(t), "unrelated.example.", dnswire.TypeA)
+	if !errors.Is(err, ErrNoAuthority) {
+		t.Fatalf("err = %v, want ErrNoAuthority", err)
+	}
+}
+
+func TestFailoverAcrossServers(t *testing.T) {
+	// First server address is dead; resolver must fail over to the live
+	// one.
+	z := zone.New("x.test.")
+	if err := z.AddAddress("h.x.test.", netip.MustParseAddr("192.0.2.1"), 60); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := authserver.Listen("127.0.0.1:0", z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	r := New(Config{Authorities: map[string][]string{
+		"x.test.": {"127.0.0.1:1", srv.Addr()}, // port 1: nothing listens
+	}})
+	c, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := r.Resolve(c, "h.x.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatal("failover lost the answer")
+	}
+}
+
+func TestAllServersFailed(t *testing.T) {
+	r := New(Config{Authorities: map[string][]string{
+		"x.test.": {"127.0.0.1:1"},
+	}})
+	c, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := r.Resolve(c, "h.x.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrAllServersFailed) {
+		t.Fatalf("err = %v, want ErrAllServersFailed", err)
+	}
+}
+
+func TestLongestSuffixWins(t *testing.T) {
+	// Two authorities: x.test. (dead) and sub.x.test. (live). Queries for
+	// sub.x.test. must go to the live, more specific authority.
+	z := zone.New("sub.x.test.")
+	if err := z.AddAddress("h.sub.x.test.", netip.MustParseAddr("192.0.2.5"), 60); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := authserver.Listen("127.0.0.1:0", z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	r := New(Config{Authorities: map[string][]string{
+		"x.test.":     {"127.0.0.1:1"},
+		"sub.x.test.": {srv.Addr()},
+	}})
+	resp, err := r.Resolve(ctx(t), "h.sub.x.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatal("wrong authority selected")
+	}
+	if got := r.Origins(); len(got) != 2 || got[0] != "sub.x.test." {
+		t.Errorf("Origins = %v", got)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	r, srv, _ := testSetup(t, nil, Config{})
+	c := ctx(t)
+	for i := 0; i < 2; i++ {
+		resp, err := r.Resolve(c, "nothing.ntppool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.RCode != dnswire.RCodeNXDomain {
+			t.Fatalf("rcode = %v", resp.Header.RCode)
+		}
+	}
+	if st := srv.Stats(); st.UDPQueries != 1 {
+		t.Fatalf("negative answer not cached: %d upstream queries", st.UDPQueries)
+	}
+}
+
+func TestTransportInjection(t *testing.T) {
+	// A custom transport that returns a fixed answer regardless of server
+	// proves the injection point the attack package uses.
+	fixed := transport.Func(func(_ context.Context, q *dnswire.Message, _ string) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		resp.Answers = append(resp.Answers,
+			dnswire.AddressRecord(q.Questions[0].Name, netip.MustParseAddr("203.0.113.99"), 60))
+		return resp, nil
+	})
+	r := New(Config{
+		Authorities: map[string][]string{"x.test.": {"irrelevant:53"}},
+		Transport:   fixed,
+	})
+	resp, err := r.Resolve(ctx(t), "h.x.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("203.0.113.99") {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestResolveRejectsBadName(t *testing.T) {
+	r, _, _ := testSetup(t, nil, Config{})
+	if _, err := r.Resolve(ctx(t), "bad..name.test.", dnswire.TypeA); err == nil {
+		t.Fatal("accepted malformed name")
+	}
+}
+
+func TestResolveAddrsRejectsNonAddressType(t *testing.T) {
+	r, _, _ := testSetup(t, nil, Config{})
+	if _, err := r.ResolveAddrs(ctx(t), "pool.ntppool.test.", dnswire.TypeTXT); err == nil {
+		t.Fatal("accepted TXT")
+	}
+}

@@ -1,0 +1,122 @@
+package testbed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/chronos"
+	"dohpool/internal/ntp"
+)
+
+// ErrUnknownNTPServer reports a pool address with no running NTP server.
+var ErrUnknownNTPServer = errors.New("pool address has no ntp server")
+
+// NTPFleet runs the simulated NTP servers behind the pool addresses: one
+// benign server per genuine pool address and one shared malicious server
+// answering for every attacker-controlled address. It implements
+// chronos.Sampler so Chronos consumes the DNS-generated pools directly.
+type NTPFleet struct {
+	client    *ntp.Client
+	directory map[netip.Addr]string
+	servers   []*ntp.Server
+	malicious *ntp.Server
+}
+
+var _ chronos.Sampler = (*NTPFleet)(nil)
+
+// NTPFleetConfig configures an NTPFleet.
+type NTPFleetConfig struct {
+	// BenignAddrs are the pool addresses to back with truthful servers.
+	BenignAddrs []netip.Addr
+	// MaliciousShift is the time shift of the attacker's NTP server
+	// (default 600 s — ten minutes of time travel).
+	MaliciousShift time.Duration
+	// MaliciousBenign marks benign-looking pool addresses that are in
+	// fact attacker-operated NTP servers (the Section IV caveat: the
+	// attacker may simply join the pool).
+	MaliciousBenign []netip.Addr
+}
+
+// StartNTPFleet boots the servers.
+func StartNTPFleet(cfg NTPFleetConfig) (fleet *NTPFleet, err error) {
+	if cfg.MaliciousShift == 0 {
+		cfg.MaliciousShift = 600 * time.Second
+	}
+	fleet = &NTPFleet{
+		client:    ntp.NewClient(),
+		directory: make(map[netip.Addr]string, len(cfg.BenignAddrs)),
+	}
+	defer func() {
+		if err != nil {
+			fleet.Close()
+		}
+	}()
+
+	maliciousLookalike := make(map[netip.Addr]bool, len(cfg.MaliciousBenign))
+	for _, a := range cfg.MaliciousBenign {
+		maliciousLookalike[a] = true
+	}
+
+	for _, a := range cfg.BenignAddrs {
+		var opts []ntp.ServerOption
+		if maliciousLookalike[a] {
+			opts = append(opts, ntp.WithShift(cfg.MaliciousShift))
+		}
+		srv, err := ntp.NewServer("127.0.0.1:0", opts...)
+		if err != nil {
+			return nil, fmt.Errorf("ntp server for %v: %w", a, err)
+		}
+		fleet.servers = append(fleet.servers, srv)
+		fleet.directory[a] = srv.Addr()
+	}
+
+	fleet.malicious, err = ntp.NewServer("127.0.0.1:0", ntp.WithShift(cfg.MaliciousShift))
+	if err != nil {
+		return nil, fmt.Errorf("malicious ntp server: %w", err)
+	}
+	return fleet, nil
+}
+
+// Sample implements chronos.Sampler: resolve the pool address to a
+// running server and measure the offset. Attacker-prefix addresses route
+// to the malicious server, exactly as DNS poisoning would steer a client.
+func (f *NTPFleet) Sample(ctx context.Context, server netip.Addr) (time.Duration, error) {
+	addr, ok := f.directory[server]
+	if !ok {
+		if attack.IsAttackerAddr(server) {
+			addr = f.malicious.Addr()
+		} else {
+			return 0, fmt.Errorf("%v: %w", server, ErrUnknownNTPServer)
+		}
+	}
+	m, err := f.client.Query(ctx, addr)
+	if err != nil {
+		return 0, err
+	}
+	return m.Offset, nil
+}
+
+// MaliciousShift returns the attacker server's configured shift.
+func (f *NTPFleet) MaliciousShift() time.Duration { return f.malicious.Shift() }
+
+// Close stops every NTP server. Safe on partially started fleets.
+func (f *NTPFleet) Close() error {
+	var errs []error
+	for _, s := range f.servers {
+		if s != nil {
+			if err := s.Close(); err != nil && !errors.Is(err, ntp.ErrServerClosed) {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if f.malicious != nil {
+		if err := f.malicious.Close(); err != nil && !errors.Is(err, ntp.ErrServerClosed) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

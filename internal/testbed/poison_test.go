@@ -1,0 +1,82 @@
+package testbed
+
+import (
+	"testing"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+)
+
+// One won off-path race poisons a resolver's CACHE, and the damage
+// persists across every subsequent lookup until the TTL expires — yet
+// the combined pool still bounds the attacker at that resolver's share.
+func TestCachePoisoningPersistsButStaysBounded(t *testing.T) {
+	tb := startClean(t, Config{}) // caches enabled
+	forger := attack.NewForger(tb.Domain(), attack.PayloadReplace)
+
+	// The attacker won one race against resolver 1 at some point in the
+	// past; its cache now holds the forged RRset.
+	if err := attack.PoisonCache(tb.Resolvers[1].Cache(), forger,
+		tb.Domain(), dnswire.TypeA, 4, 300); err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	for round := 0; round < 3; round++ {
+		pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+		if frac != 1.0/3 {
+			t.Fatalf("round %d: attacker fraction %v, want persistent 1/3", round, frac)
+		}
+	}
+
+	// Cache flush (standing in for TTL expiry) heals the resolver.
+	tb.FlushResolverCaches()
+	pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr); frac != 0 {
+		t.Fatalf("after expiry: attacker fraction %v", frac)
+	}
+}
+
+func TestPoisonCacheRejectsNonAddressType(t *testing.T) {
+	tb := startClean(t, Config{})
+	forger := attack.NewForger(tb.Domain(), attack.PayloadReplace)
+	err := attack.PoisonCache(tb.Resolvers[0].Cache(), forger,
+		tb.Domain(), dnswire.TypeTXT, 4, 300)
+	if err == nil {
+		t.Fatal("TXT poisoning accepted")
+	}
+}
+
+// The paper's single-resolver baseline: poisoning the ONE resolver's
+// cache poisons 100% of the pool for the TTL lifetime.
+func TestCachePoisoningOwnsSingleResolverPool(t *testing.T) {
+	tb := startClean(t, Config{Resolvers: 1})
+	forger := attack.NewForger(tb.Domain(), attack.PayloadReplace)
+	if err := attack.PoisonCache(tb.Resolvers[0].Cache(), forger,
+		tb.Domain(), dnswire.TypeA, 4, 300); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr); frac != 1 {
+		t.Fatalf("single-resolver poisoned fraction = %v, want 1", frac)
+	}
+}

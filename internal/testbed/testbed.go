@@ -1,0 +1,481 @@
+// Package testbed assembles the complete system of the paper's Figure 1
+// on the loopback interface: authoritative nameservers for the NTP-pool
+// zone (c/d/e.ntpns.org in the figure), N independent DoH resolvers (each
+// with its own recursive engine, cache and TLS identity), a client-side
+// DoH fan-out, and optionally an adversary compromising a subset of
+// resolvers or the paths behind them. A second half of the package runs
+// simulated NTP servers so the Chronos experiments can consume the pools
+// the DNS side generates.
+package testbed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/authserver"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
+	"dohpool/internal/resolver"
+	"dohpool/internal/testpki"
+	"dohpool/internal/transport"
+	"dohpool/internal/zone"
+)
+
+// AdversaryMode selects how compromised resolvers are attacked.
+type AdversaryMode int
+
+// Adversary modes.
+const (
+	// AdversaryNone runs a clean testbed.
+	AdversaryNone AdversaryMode = iota
+	// AdversaryResolver fully compromises the resolver itself (it forges
+	// answers for the target domain).
+	AdversaryResolver
+	// AdversaryOnPath places a MitM on the resolver's paths to the
+	// authoritative servers.
+	AdversaryOnPath
+	// AdversaryOffPath races genuine responses on the resolver's paths
+	// with blind spoofing, succeeding with Config.OffPathProb per query.
+	AdversaryOffPath
+)
+
+// Config describes the testbed to build.
+type Config struct {
+	// ZoneOrigin is the pool zone (default "ntppool.test.").
+	ZoneOrigin string
+	// Domain is the pool name inside the zone (default
+	// "pool.ntppool.test.").
+	Domain string
+	// PoolSize is how many benign A records the pool name holds
+	// (default 8).
+	PoolSize int
+	// MaxAnswers caps answers per query, pool.ntp.org style (default 4,
+	// 0 = unlimited).
+	MaxAnswers int
+	// Rotation is the zone rotation policy (default RotateRoundRobin).
+	Rotation zone.RotationPolicy
+	// AuthServers is the number of authoritative servers (default 3).
+	AuthServers int
+	// Resolvers is N, the number of DoH resolvers (default 3).
+	Resolvers int
+	// TTL stamps the pool records (default 150, pool.ntp.org's choice).
+	TTL uint32
+	// DisableResolverCache makes every client query hit the
+	// authoritative servers (needed by Monte-Carlo trials).
+	DisableResolverCache bool
+
+	// Adversary selects the attack model; AdversaryNone for clean runs.
+	Adversary AdversaryMode
+	// Plan marks which resolvers are compromised.
+	Plan attack.Plan
+	// Payload is what a successful attacker injects (default
+	// PayloadReplace).
+	Payload attack.Payload
+	// OffPathProb is the per-query success probability for
+	// AdversaryOffPath.
+	OffPathProb float64
+	// Seed drives all attack randomness (default 1).
+	Seed int64
+
+	// WANLatencyBase, when non-zero, simulates wide-area RTTs: resolver i
+	// delays each DoH response by WANLatencyBase + i*WANLatencyStep
+	// (deterministic spread across resolvers). This is what makes the
+	// concurrent-vs-sequential fan-out comparison (ablation A3)
+	// meaningful — on bare loopback every exchange completes in
+	// microseconds and the fan-out strategy is invisible.
+	WANLatencyBase time.Duration
+	// WANLatencyStep is the per-resolver latency increment (default
+	// WANLatencyBase/4 when WANLatencyBase is set).
+	WANLatencyStep time.Duration
+
+	// Iterative switches the resolvers from stub/forward configuration to
+	// full iterative resolution: a root zone ("test.") is served by its
+	// own nameserver and delegates the pool zone to the pool's
+	// authoritative servers; resolvers start at the root and follow the
+	// referral — the realistic production topology.
+	Iterative bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.ZoneOrigin == "" {
+		c.ZoneOrigin = "ntppool.test."
+	}
+	if c.Domain == "" {
+		c.Domain = "pool." + c.ZoneOrigin
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 8
+	}
+	if c.MaxAnswers == 0 {
+		c.MaxAnswers = 4
+	}
+	if c.Rotation == 0 {
+		c.Rotation = zone.RotateRoundRobin
+	}
+	if c.AuthServers == 0 {
+		c.AuthServers = 3
+	}
+	if c.Resolvers == 0 {
+		c.Resolvers = 3
+	}
+	if c.TTL == 0 {
+		c.TTL = 150
+	}
+	if c.Payload == 0 {
+		c.Payload = attack.PayloadReplace
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.WANLatencyBase > 0 && c.WANLatencyStep == 0 {
+		c.WANLatencyStep = c.WANLatencyBase / 4
+	}
+}
+
+// delayedResponder adds a fixed delay to every response, simulating the
+// WAN RTT to a remote DoH resolver.
+type delayedResponder struct {
+	inner doh.QueryResponder
+	delay time.Duration
+}
+
+var _ doh.QueryResponder = delayedResponder{}
+
+// Respond implements doh.QueryResponder.
+func (d delayedResponder) Respond(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	timer := time.NewTimer(d.delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return d.inner.Respond(ctx, query)
+}
+
+// planGate holds the current attack plan; resolver wrappers consult it on
+// every query so Monte-Carlo trials can swap plans without rebuilding the
+// testbed.
+type planGate struct {
+	mu   sync.RWMutex
+	plan attack.Plan
+}
+
+func (g *planGate) compromised(i int) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.plan.Compromised(i)
+}
+
+func (g *planGate) set(p attack.Plan) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.plan = p
+}
+
+// gatedResponder routes to the evil responder only while the gate marks
+// this resolver compromised.
+type gatedResponder struct {
+	idx   int
+	gate  *planGate
+	clean doh.QueryResponder
+	evil  doh.QueryResponder
+}
+
+var _ doh.QueryResponder = gatedResponder{}
+
+// Respond implements doh.QueryResponder.
+func (g gatedResponder) Respond(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	if g.gate.compromised(g.idx) {
+		return g.evil.Respond(ctx, query)
+	}
+	return g.clean.Respond(ctx, query)
+}
+
+// gatedExchanger is the transport-level analogue of gatedResponder.
+type gatedExchanger struct {
+	idx   int
+	gate  *planGate
+	clean transport.Exchanger
+	evil  transport.Exchanger
+}
+
+var _ transport.Exchanger = gatedExchanger{}
+
+// Exchange implements transport.Exchanger.
+func (g gatedExchanger) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	if g.gate.compromised(g.idx) {
+		return g.evil.Exchange(ctx, query, server)
+	}
+	return g.clean.Exchange(ctx, query, server)
+}
+
+// Testbed is a running Figure 1 deployment.
+type Testbed struct {
+	cfg  Config
+	gate planGate
+
+	// CA anchors the DoH channel trust.
+	CA *testpki.CA
+	// Auth are the authoritative nameservers.
+	Auth []*authserver.Server
+	// DoH are the resolver endpoints, index-aligned with Resolvers.
+	DoH []*doh.Server
+	// Resolvers are the recursive engines inside the DoH servers.
+	Resolvers []*resolver.Resolver
+	// Endpoints are ready-made core.Endpoint values for the generator.
+	Endpoints []core.Endpoint
+	// Client is a DoH client trusting the testbed CA.
+	Client *doh.Client
+	// Forger is the adversary's payload builder (nil when clean).
+	Forger *attack.Forger
+	// BenignAddrs are the pool's genuine addresses.
+	BenignAddrs []netip.Addr
+}
+
+// Start builds and starts the full testbed.
+func Start(cfg Config) (tb *Testbed, err error) {
+	cfg.applyDefaults()
+	tb = &Testbed{cfg: cfg}
+	defer func() {
+		if err != nil {
+			tb.Close()
+		}
+	}()
+
+	tb.CA, err = testpki.NewCA()
+	if err != nil {
+		return nil, fmt.Errorf("testbed pki: %w", err)
+	}
+
+	// Benign pool addresses: 192.0.2.0/24 (TEST-NET-1).
+	tb.BenignAddrs = make([]netip.Addr, cfg.PoolSize)
+	for i := range tb.BenignAddrs {
+		tb.BenignAddrs[i] = netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})
+	}
+
+	// Authoritative servers: same records, independent rotation state —
+	// like anycast replicas of the pool zone.
+	authAddrs := make([]string, 0, cfg.AuthServers)
+	for i := 0; i < cfg.AuthServers; i++ {
+		z := zone.New(cfg.ZoneOrigin,
+			zone.WithRotation(cfg.Rotation),
+			zone.WithMaxAnswers(cfg.MaxAnswers),
+			zone.WithSeed(cfg.Seed+int64(i)))
+		if err := addZoneData(z, cfg, tb.BenignAddrs); err != nil {
+			return nil, err
+		}
+		srv, err := authserver.Listen("127.0.0.1:0", z)
+		if err != nil {
+			return nil, fmt.Errorf("auth server %d: %w", i, err)
+		}
+		tb.Auth = append(tb.Auth, srv)
+		authAddrs = append(authAddrs, srv.Addr())
+	}
+
+	// Iterative topology: one root server for "test." delegating the pool
+	// zone to the authoritative servers above. Glue carries 127.0.0.1; a
+	// GlueDialer rewrites it to the pool servers' ephemeral ports.
+	var rootServers []string
+	var glueDialer func(netip.Addr) string
+	if cfg.Iterative {
+		rootZone := zone.New("test.")
+		nsHosts := []string{"c.ntpns.test.", "d.ntpns.test.", "e.ntpns.test."}
+		for i := range tb.Auth {
+			host := nsHosts[i%len(nsHosts)]
+			if err := rootZone.Add(dnswire.Record{
+				Name: cfg.ZoneOrigin, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+				Data: &dnswire.NSRecord{Host: host},
+			}); err != nil {
+				return nil, err
+			}
+			if err := rootZone.AddAddress(host, netip.MustParseAddr("127.0.0.1"), 3600); err != nil {
+				return nil, err
+			}
+		}
+		rootSrv, err := authserver.Listen("127.0.0.1:0", rootZone)
+		if err != nil {
+			return nil, fmt.Errorf("root server: %w", err)
+		}
+		tb.Auth = append(tb.Auth, rootSrv)
+		rootServers = []string{rootSrv.Addr()}
+		// Every glue address points at loopback; fan out deterministically
+		// across the pool servers (round-robin on a counter would be
+		// racy; first server is fine — failover handles the rest).
+		poolAddrs := authAddrs
+		glueDialer = func(netip.Addr) string { return poolAddrs[0] }
+	}
+
+	if cfg.Adversary != AdversaryNone {
+		tb.Forger = attack.NewForger(cfg.Domain, cfg.Payload)
+	}
+
+	tb.gate.set(cfg.Plan)
+
+	// DoH resolvers. Attack wrappers are installed on every resolver but
+	// gated on the current plan, so plans can change at runtime.
+	for i := 0; i < cfg.Resolvers; i++ {
+		var ex transport.Exchanger = &transport.Auto{}
+		switch cfg.Adversary {
+		case AdversaryOnPath:
+			ex = gatedExchanger{idx: i, gate: &tb.gate,
+				clean: ex, evil: attack.NewOnPath(ex, tb.Forger)}
+		case AdversaryOffPath:
+			ex = gatedExchanger{idx: i, gate: &tb.gate,
+				clean: ex, evil: attack.NewOffPath(ex, tb.Forger, cfg.OffPathProb, cfg.Seed+int64(i)*7919)}
+		}
+		resolverCfg := resolver.Config{
+			Transport:    ex,
+			DisableCache: cfg.DisableResolverCache,
+		}
+		if cfg.Iterative {
+			resolverCfg.RootServers = rootServers
+			resolverCfg.GlueDialer = glueDialer
+		} else {
+			resolverCfg.Authorities = map[string][]string{cfg.ZoneOrigin: authAddrs}
+		}
+		res := resolver.New(resolverCfg)
+		tb.Resolvers = append(tb.Resolvers, res)
+
+		var responder doh.QueryResponder = resolverResponder{res}
+		if cfg.Adversary == AdversaryResolver {
+			responder = gatedResponder{idx: i, gate: &tb.gate,
+				clean: responder, evil: attack.Compromise(responder, tb.Forger)}
+		}
+		if cfg.WANLatencyBase > 0 {
+			responder = delayedResponder{
+				inner: responder,
+				delay: cfg.WANLatencyBase + time.Duration(i)*cfg.WANLatencyStep,
+			}
+		}
+
+		tlsCfg, err := tb.CA.ServerTLS("127.0.0.1")
+		if err != nil {
+			return nil, fmt.Errorf("resolver %d tls: %w", i, err)
+		}
+		srv, err := doh.NewServer("127.0.0.1:0", tlsCfg, responder)
+		if err != nil {
+			return nil, fmt.Errorf("doh server %d: %w", i, err)
+		}
+		tb.DoH = append(tb.DoH, srv)
+		tb.Endpoints = append(tb.Endpoints, core.Endpoint{
+			Name: fmt.Sprintf("resolver-%d", i),
+			URL:  srv.URL(),
+		})
+	}
+
+	tb.Client = doh.NewClient(doh.WithTLSConfig(tb.CA.ClientTLS()))
+	return tb, nil
+}
+
+// addZoneData fills a pool zone: SOA, NS records and the pool A RRset.
+func addZoneData(z *zone.Zone, cfg Config, pool []netip.Addr) error {
+	origin := dnswire.CanonicalName(cfg.ZoneOrigin)
+	if err := z.Add(dnswire.Record{
+		Name: origin, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SOARecord{
+			MName: "c.ntpns.test.", RName: "hostmaster." + origin,
+			Serial: 2020101901, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60,
+		},
+	}); err != nil {
+		return err
+	}
+	for _, ns := range []string{"c.ntpns.test.", "d.ntpns.test.", "e.ntpns.test."} {
+		if err := z.Add(dnswire.Record{
+			Name: origin, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+			Data: &dnswire.NSRecord{Host: ns},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, a := range pool {
+		if err := z.AddAddress(cfg.Domain, a, cfg.TTL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolverResponder adapts resolver.Resolver to doh.QueryResponder.
+type resolverResponder struct {
+	res *resolver.Resolver
+}
+
+var _ doh.QueryResponder = resolverResponder{}
+
+// Respond implements doh.QueryResponder.
+func (rr resolverResponder) Respond(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	if len(query.Questions) != 1 {
+		return dnswire.NewErrorResponse(query, dnswire.RCodeFormErr), nil
+	}
+	q := query.Questions[0]
+	resp, err := rr.res.Resolve(ctx, q.Name, q.Type)
+	if err != nil {
+		return nil, err
+	}
+	resp.Header.ID = query.Header.ID
+	return resp, nil
+}
+
+// Generator builds a core.Generator over the testbed's resolvers.
+func (tb *Testbed) Generator(opts GeneratorOptions) (*core.Generator, error) {
+	return core.NewGenerator(core.Config{
+		Resolvers:    tb.Endpoints,
+		Querier:      tb.Client,
+		MinResolvers: opts.MinResolvers,
+		Sequential:   opts.Sequential,
+		WithMajority: opts.WithMajority,
+		DualStack:    opts.DualStack,
+		QueryTimeout: opts.QueryTimeout,
+	})
+}
+
+// GeneratorOptions mirrors the tunable parts of core.Config.
+type GeneratorOptions struct {
+	MinResolvers int
+	Sequential   bool
+	WithMajority bool
+	DualStack    core.DualStackPolicy
+	QueryTimeout time.Duration
+}
+
+// Domain returns the pool domain under test.
+func (tb *Testbed) Domain() string { return tb.cfg.Domain }
+
+// SetPlan swaps the attack plan at runtime (Monte-Carlo trials draw a
+// fresh plan per trial without rebuilding the testbed).
+func (tb *Testbed) SetPlan(p attack.Plan) { tb.gate.set(p) }
+
+// FlushResolverCaches empties every resolver's cache (between Monte-Carlo
+// trials).
+func (tb *Testbed) FlushResolverCaches() {
+	for _, r := range tb.Resolvers {
+		r.Cache().Flush()
+	}
+}
+
+// Close shuts every component down. Safe on a partially started testbed.
+func (tb *Testbed) Close() error {
+	var errs []error
+	for _, s := range tb.DoH {
+		if s != nil {
+			if err := s.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	for _, s := range tb.Auth {
+		if s != nil {
+			if err := s.Close(); err != nil && !errors.Is(err, authserver.ErrClosed) {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

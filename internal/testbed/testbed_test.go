@@ -1,0 +1,383 @@
+package testbed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/chronos"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func startClean(t *testing.T, cfg Config) *Testbed {
+	t.Helper()
+	tb, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tb.Close() })
+	return tb
+}
+
+func TestFigure1Pipeline(t *testing.T) {
+	tb := startClean(t, Config{})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=3 resolvers, each answering 4 (MaxAnswers default) of 8 addrs.
+	if pool.TruncateLength != 4 {
+		t.Errorf("K = %d, want 4", pool.TruncateLength)
+	}
+	if len(pool.Addrs) != 12 {
+		t.Errorf("pool size = %d, want 12", len(pool.Addrs))
+	}
+	for _, a := range pool.Addrs {
+		if attack.IsAttackerAddr(a) {
+			t.Errorf("clean testbed produced attacker address %v", a)
+		}
+	}
+	if pool.Responding() != 3 {
+		t.Errorf("responding = %d", pool.Responding())
+	}
+}
+
+func TestRotationMakesResolverViewsDiffer(t *testing.T) {
+	tb := startClean(t, Config{DisableResolverCache: true})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With per-server round-robin rotation the union across resolvers
+	// generally exceeds one resolver's slice.
+	unique := core.Dedupe(pool.Addrs)
+	if len(unique) <= pool.TruncateLength {
+		t.Logf("union %d not larger than K=%d (rotation may align); acceptable but rare",
+			len(unique), pool.TruncateLength)
+	}
+}
+
+func TestCompromisedResolverInjectsOnlyItsShare(t *testing.T) {
+	tb := startClean(t, Config{
+		Adversary: AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 1),
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+	want := 1.0 / 3
+	if frac != want {
+		t.Fatalf("attacker fraction = %v, want exactly %v (Section III-a)", frac, want)
+	}
+}
+
+func TestOnPathMitMSameBound(t *testing.T) {
+	tb := startClean(t, Config{
+		Adversary: AdversaryOnPath,
+		Plan:      attack.FixedPlan(3, 0),
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+	if frac != 1.0/3 {
+		t.Fatalf("on-path attacker fraction = %v, want 1/3", frac)
+	}
+}
+
+func TestOffPathProbabilisticPoisoning(t *testing.T) {
+	// p=1 off-path attacker on one resolver behaves like a full
+	// compromise of that path.
+	tb := startClean(t, Config{
+		Adversary:            AdversaryOffPath,
+		Plan:                 attack.FixedPlan(3, 2),
+		OffPathProb:          1.0,
+		DisableResolverCache: true,
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr); frac != 1.0/3 {
+		t.Fatalf("fraction = %v, want 1/3", frac)
+	}
+
+	// p=0 never poisons.
+	tb2 := startClean(t, Config{
+		Adversary:            AdversaryOffPath,
+		Plan:                 attack.FixedPlan(3, 2),
+		OffPathProb:          0,
+		DisableResolverCache: true,
+	})
+	gen2, err := tb2.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := gen2.Lookup(testCtx(t), tb2.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := core.Fraction(pool2.Addrs, attack.IsAttackerAddr); frac != 0 {
+		t.Fatalf("p=0 fraction = %v", frac)
+	}
+}
+
+func TestInflationDefeatedByTruncation(t *testing.T) {
+	tb := startClean(t, Config{
+		Adversary: AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 0),
+		Payload:   attack.PayloadInflate,
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker inflated to 100 records but benign lists have 4, so
+	// K=4 and the attacker still owns exactly 1/3.
+	if pool.TruncateLength != 4 {
+		t.Errorf("K = %d, want 4 (truncation must ignore inflated list)", pool.TruncateLength)
+	}
+	if frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr); frac != 1.0/3 {
+		t.Fatalf("inflation achieved fraction %v, want 1/3", frac)
+	}
+}
+
+func TestEmptyAnswerDoS(t *testing.T) {
+	tb := startClean(t, Config{
+		Adversary: AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 0),
+		Payload:   attack.PayloadEmpty,
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err == nil {
+		t.Fatal("empty-answer attack did not DoS pool generation (footnote 2)")
+	}
+}
+
+func TestFlushResolverCaches(t *testing.T) {
+	tb := startClean(t, Config{})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	if _, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Auth[0].Stats().UDPQueries + tb.Auth[1].Stats().UDPQueries + tb.Auth[2].Stats().UDPQueries
+	tb.FlushResolverCaches()
+	if _, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	after := tb.Auth[0].Stats().UDPQueries + tb.Auth[1].Stats().UDPQueries + tb.Auth[2].Stats().UDPQueries
+	if after <= before {
+		t.Fatalf("flush did not force upstream queries (%d → %d)", before, after)
+	}
+}
+
+func TestIterativeTopology(t *testing.T) {
+	// Full production topology: resolvers start at a root server and
+	// follow the delegation to the pool zone.
+	tb := startClean(t, Config{Iterative: true})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TruncateLength != 4 || len(pool.Addrs) != 12 {
+		t.Fatalf("iterative pool K=%d size=%d", pool.TruncateLength, len(pool.Addrs))
+	}
+	// The extra auth server is the root.
+	if len(tb.Auth) != 4 {
+		t.Fatalf("auth servers = %d, want 3 pool + 1 root", len(tb.Auth))
+	}
+	root := tb.Auth[3]
+	if root.Stats().UDPQueries == 0 {
+		t.Fatal("root server never queried — resolvers did not iterate")
+	}
+
+	// On-path adversary still bounded under the iterative topology.
+	tb2 := startClean(t, Config{
+		Iterative: true,
+		Adversary: AdversaryOnPath,
+		Plan:      attack.FixedPlan(3, 0),
+	})
+	gen2, err := tb2.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := gen2.Lookup(testCtx(t), tb2.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := core.Fraction(pool2.Addrs, attack.IsAttackerAddr); frac != 1.0/3 {
+		t.Fatalf("iterative on-path fraction = %v", frac)
+	}
+}
+
+func TestWANLatencySimulation(t *testing.T) {
+	tb := startClean(t, Config{
+		WANLatencyBase: 30 * time.Millisecond,
+		WANLatencyStep: 10 * time.Millisecond,
+	})
+	// Concurrent fan-out: total ≈ max latency (50ms for resolver 2), not
+	// the 120ms sum.
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	start := time.Now()
+	pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent := time.Since(start)
+	if concurrent < 50*time.Millisecond {
+		t.Errorf("concurrent lookup %v faster than slowest resolver's 50ms", concurrent)
+	}
+	if concurrent > 100*time.Millisecond {
+		t.Errorf("concurrent lookup %v — barrier not at max(RTT)", concurrent)
+	}
+	// Per-resolver RTTs reflect the configured spread.
+	for i, r := range pool.Results {
+		want := 30*time.Millisecond + time.Duration(i)*10*time.Millisecond
+		if r.RTT < want {
+			t.Errorf("resolver %d RTT %v < injected %v", i, r.RTT, want)
+		}
+	}
+
+	// Sequential fan-out pays the sum.
+	seq, err := tb.Generator(GeneratorOptions{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.FlushResolverCaches()
+	start = time.Now()
+	if _, err := seq.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	sequential := time.Since(start)
+	if sequential < 120*time.Millisecond {
+		t.Errorf("sequential lookup %v < 120ms sum", sequential)
+	}
+	if sequential < concurrent {
+		t.Error("sequential faster than concurrent under WAN latency")
+	}
+}
+
+func TestNTPFleetSampling(t *testing.T) {
+	tb := startClean(t, Config{})
+	fleet, err := StartNTPFleet(NTPFleetConfig{BenignAddrs: tb.BenignAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fleet.Close() })
+
+	ctx := testCtx(t)
+	// Benign address: near-zero offset.
+	off, err := fleet.Sample(ctx, tb.BenignAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < -time.Second || off > time.Second {
+		t.Errorf("benign offset = %v", off)
+	}
+	// Attacker address: shifted.
+	off, err = fleet.Sample(ctx, attack.AttackerAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < fleet.MaliciousShift()-time.Second {
+		t.Errorf("malicious offset = %v, want ~%v", off, fleet.MaliciousShift())
+	}
+	// Unknown address errors.
+	if _, err := fleet.Sample(ctx, tb.BenignAddrs[0].Next().Next().Next().Next().Next().Next().Next().Next()); err == nil {
+		t.Error("unknown pool address sampled successfully")
+	}
+}
+
+func TestEndToEndChronosOverDoHPool(t *testing.T) {
+	// The paper's full story: DoH-consensus pool + Chronos = correct time
+	// even with one compromised resolver.
+	tb := startClean(t, Config{
+		PoolSize:  9,
+		Adversary: AdversaryResolver,
+		Plan:      attack.FixedPlan(3, 2),
+	})
+	fleet, err := StartNTPFleet(NTPFleetConfig{BenignAddrs: tb.BenignAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fleet.Close() })
+
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+	pool, err := gen.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of three resolvers compromised → exactly 1/3 attacker share,
+	// below Chronos' 1/3-crop threshold at sample size 6 (crop 2/side).
+	cl, err := chronos.New(chronos.Config{
+		Pool:    pool.Addrs,
+		Sampler: fleet,
+		Seed:    17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offset < -100*time.Millisecond || res.Offset > 100*time.Millisecond {
+		t.Fatalf("Chronos over poisoned-minority pool accepted offset %v", res.Offset)
+	}
+}

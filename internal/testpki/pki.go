@@ -1,0 +1,146 @@
+// Package testpki provides a self-contained certificate authority for the
+// loopback testbed. Every DoH resolver gets its own leaf certificate; the
+// client trusts only the CA. This reproduces the trust model the paper
+// relies on: the channel to each DoH resolver is authenticated, so the
+// off-path attacker cannot impersonate a resolver — only compromise it or
+// the paths *behind* it.
+package testpki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// CA is an in-memory certificate authority.
+type CA struct {
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+	pool *x509.CertPool
+
+	serial int64
+	now    func() time.Time
+}
+
+// NewCA creates a fresh CA valid for 24 hours around now.
+func NewCA() (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate CA key: %w", err)
+	}
+	now := time.Now()
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "dohpool testbed CA"},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("create CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("parse CA cert: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &CA{cert: cert, key: key, pool: pool, serial: 1, now: time.Now}, nil
+}
+
+// Pool returns a cert pool containing only this CA, for client
+// tls.Config.RootCAs.
+func (ca *CA) Pool() *x509.CertPool { return ca.pool }
+
+// CertPEM returns the CA certificate PEM-encoded, so out-of-process
+// clients (dohquery -ca, dohpoold -ca) can trust the testbed.
+func (ca *CA) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: ca.cert.Raw})
+}
+
+// PoolFromPEM builds a cert pool from PEM bytes (the counterpart of
+// CertPEM for external processes).
+func PoolFromPEM(pemBytes []byte) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pemBytes) {
+		return nil, errors.New("no certificates found in PEM input")
+	}
+	return pool, nil
+}
+
+// IssueServer issues a leaf certificate for the given DNS names and, when
+// any name parses as an IP, the corresponding IP SANs. It returns a
+// ready-to-use tls.Certificate.
+func (ca *CA) IssueServer(names ...string) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("generate leaf key: %w", err)
+	}
+	ca.serial++
+	now := ca.now()
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(ca.serial),
+		Subject:      pkix.Name{CommonName: firstOr(names, "dohpool testbed server")},
+		NotBefore:    now.Add(-time.Hour),
+		NotAfter:     now.Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	for _, name := range names {
+		if ip := net.ParseIP(name); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, name)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("sign leaf: %w", err)
+	}
+	return tls.Certificate{
+		Certificate: [][]byte{der, ca.cert.Raw},
+		PrivateKey:  key,
+	}, nil
+}
+
+// ServerTLS builds a server-side tls.Config for the given SANs, with h2
+// advertised (RFC 8484 recommends HTTP/2).
+func (ca *CA) ServerTLS(names ...string) (*tls.Config, error) {
+	cert, err := ca.IssueServer(names...)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		NextProtos:   []string{"h2", "http/1.1"},
+		MinVersion:   tls.VersionTLS12,
+	}, nil
+}
+
+// ClientTLS builds a client-side tls.Config trusting only this CA.
+func (ca *CA) ClientTLS() *tls.Config {
+	return &tls.Config{
+		RootCAs:    ca.pool,
+		NextProtos: []string{"h2", "http/1.1"},
+		MinVersion: tls.VersionTLS12,
+	}
+}
+
+func firstOr(names []string, def string) string {
+	if len(names) > 0 {
+		return names[0]
+	}
+	return def
+}

@@ -1,0 +1,117 @@
+package testpki
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+)
+
+func TestIssueServerCoversIPAndDNSNames(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.IssueServer("127.0.0.1", "resolver.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaf.IPAddresses) != 1 || !leaf.IPAddresses[0].Equal(net.IPv4(127, 0, 0, 1)) {
+		t.Errorf("IP SANs = %v", leaf.IPAddresses)
+	}
+	if len(leaf.DNSNames) != 1 || leaf.DNSNames[0] != "resolver.test" {
+		t.Errorf("DNS SANs = %v", leaf.DNSNames)
+	}
+
+	// The leaf must chain to the CA.
+	opts := x509.VerifyOptions{Roots: ca.Pool()}
+	if _, err := leaf.Verify(opts); err != nil {
+		t.Fatalf("leaf does not verify against CA: %v", err)
+	}
+}
+
+func TestLeafFromOtherCADoesNotVerify(t *testing.T) {
+	ca1, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca2.IssueServer("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaf.Verify(x509.VerifyOptions{Roots: ca1.Pool()}); err == nil {
+		t.Fatal("cross-CA leaf verified — trust separation broken")
+	}
+}
+
+func TestTLSConfigs(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ca.ServerTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Certificates) != 1 {
+		t.Error("server config missing cert")
+	}
+	if srv.MinVersion != tls.VersionTLS12 {
+		t.Error("weak TLS version allowed")
+	}
+	found := false
+	for _, proto := range srv.NextProtos {
+		if proto == "h2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("h2 not advertised (RFC 8484 recommends HTTP/2)")
+	}
+
+	cli := ca.ClientTLS()
+	if cli.RootCAs == nil {
+		t.Error("client config missing roots")
+	}
+	if cli.InsecureSkipVerify {
+		t.Error("client config skips verification")
+	}
+}
+
+func TestSerialNumbersAdvance(t *testing.T) {
+	ca, err := NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ca.IssueServer("a.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ca.IssueServer("b.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafA, err := x509.ParseCertificate(a.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafB, err := x509.ParseCertificate(b.Certificate[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leafA.SerialNumber.Cmp(leafB.SerialNumber) == 0 {
+		t.Fatal("serial numbers repeat")
+	}
+}

@@ -1,0 +1,231 @@
+// Package transport defines the hop abstraction every DNS exchange in the
+// system goes through: client → DoH resolver and resolver → authoritative
+// server alike. Concrete implementations exchange messages over UDP and
+// TCP; the attack package wraps any Exchanger to model compromised paths
+// (on-path MitM) and off-path injection, exactly the adversary classes of
+// the paper's Section III.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+// Exchange errors.
+var (
+	// ErrIDMismatch reports a response whose transaction ID does not match
+	// the query — dropped exactly as a real resolver drops blind-spoofing
+	// attempts with wrong IDs.
+	ErrIDMismatch = errors.New("response transaction id mismatch")
+	// ErrQuestionMismatch reports a response whose question section does
+	// not echo the query.
+	ErrQuestionMismatch = errors.New("response question mismatch")
+	// ErrResponseTooLarge reports a message exceeding the TCP length
+	// prefix.
+	ErrResponseTooLarge = errors.New("response exceeds 65535 octets")
+)
+
+// DefaultTimeout bounds one exchange when the context has no deadline.
+const DefaultTimeout = 3 * time.Second
+
+// Exchanger performs one DNS query/response exchange with a server
+// identified by a host:port address.
+type Exchanger interface {
+	Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error)
+}
+
+// Func adapts a function to the Exchanger interface.
+type Func func(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error)
+
+// Exchange implements Exchanger.
+func (f Func) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	return f(ctx, query, server)
+}
+
+// Compile-time interface checks.
+var (
+	_ Exchanger = Func(nil)
+	_ Exchanger = (*UDP)(nil)
+	_ Exchanger = (*TCP)(nil)
+	_ Exchanger = (*Auto)(nil)
+)
+
+// Validate checks that a response plausibly answers the query: matching
+// transaction ID, QR bit set, and an echoed question. These are exactly
+// the (weak, off-path-forgeable over plain UDP) checks classic DNS offers.
+func Validate(query, resp *dnswire.Message) error {
+	if resp.Header.ID != query.Header.ID {
+		return fmt.Errorf("got %d want %d: %w", resp.Header.ID, query.Header.ID, ErrIDMismatch)
+	}
+	if !resp.Header.Response {
+		return fmt.Errorf("qr bit clear: %w", ErrQuestionMismatch)
+	}
+	if len(query.Questions) > 0 {
+		if len(resp.Questions) == 0 {
+			return fmt.Errorf("question section empty: %w", ErrQuestionMismatch)
+		}
+		q, r := query.Questions[0], resp.Questions[0]
+		if q.Key() != r.Key() {
+			return fmt.Errorf("%s != %s: %w", r.Key(), q.Key(), ErrQuestionMismatch)
+		}
+	}
+	return nil
+}
+
+// UDP exchanges DNS messages over UDP with ID/question validation and
+// truncation reporting via the message's TC bit.
+type UDP struct {
+	// Dialer optionally overrides the net.Dialer used (tests inject
+	// loopback-bound dialers here).
+	Dialer net.Dialer
+	// PayloadSize caps the receive buffer; defaults to DefaultEDNSSize.
+	PayloadSize int
+}
+
+// Exchange implements Exchanger.
+func (u *UDP) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	ctx, cancel := ensureDeadline(ctx)
+	defer cancel()
+
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encode query: %w", err)
+	}
+	conn, err := u.Dialer.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("send to %s: %w", server, err)
+	}
+
+	size := u.PayloadSize
+	if size <= 0 {
+		size = dnswire.DefaultEDNSSize
+	}
+	buf := make([]byte, size)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("receive from %s: %w", server, err)
+		}
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			// Undecodable datagrams are dropped, not fatal: blind
+			// injection with garbage must not kill the wait for the
+			// genuine answer.
+			continue
+		}
+		if err := Validate(query, resp); err != nil {
+			// Mismatched ID/question: spoofing attempt or stale packet.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// TCP exchanges DNS messages over TCP with the 2-octet length prefix of
+// RFC 1035 §4.2.2.
+type TCP struct {
+	Dialer net.Dialer
+}
+
+// Exchange implements Exchanger.
+func (t *TCP) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	ctx, cancel := ensureDeadline(ctx)
+	defer cancel()
+
+	conn, err := t.Dialer.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
+		}
+	}
+	if err := WriteTCPMessage(conn, query); err != nil {
+		return nil, fmt.Errorf("send to %s: %w", server, err)
+	}
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("receive from %s: %w", server, err)
+	}
+	if err := Validate(query, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Auto exchanges over UDP and retries over TCP when the response arrives
+// truncated (TC bit), the standard resolver behaviour.
+type Auto struct {
+	UDP UDP
+	TCP TCP
+}
+
+// Exchange implements Exchanger.
+func (a *Auto) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	resp, err := a.UDP.Exchange(ctx, query, server)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Header.Truncated {
+		return resp, nil
+	}
+	return a.TCP.Exchange(ctx, query, server)
+}
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, msg *dnswire.Message) error {
+	wire, err := msg.Encode()
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	if len(wire) > dnswire.MaxMessageSize {
+		return ErrResponseTooLarge
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(len(wire)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var prefix [2]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint16(prefix[:])
+	wire := make([]byte, length)
+	if _, err := io.ReadFull(r, wire); err != nil {
+		return nil, err
+	}
+	return dnswire.Decode(wire)
+}
+
+// ensureDeadline applies DefaultTimeout when the context carries none.
+func ensureDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, DefaultTimeout)
+}

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+func mustQuery(t *testing.T, name string) *dnswire.Message {
+	t.Helper()
+	q, err := dnswire.NewQuery(name, dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestValidate(t *testing.T) {
+	query := mustQuery(t, "x.test.")
+	good := dnswire.NewResponse(query)
+	if err := Validate(query, good); err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+
+	wrongID := dnswire.NewResponse(query)
+	wrongID.Header.ID++
+	if err := Validate(query, wrongID); !errors.Is(err, ErrIDMismatch) {
+		t.Errorf("wrong id: %v", err)
+	}
+
+	notResponse := dnswire.NewResponse(query)
+	notResponse.Header.Response = false
+	if err := Validate(query, notResponse); !errors.Is(err, ErrQuestionMismatch) {
+		t.Errorf("qr clear: %v", err)
+	}
+
+	wrongQ := dnswire.NewResponse(query)
+	wrongQ.Questions[0].Name = "other.test."
+	if err := Validate(query, wrongQ); !errors.Is(err, ErrQuestionMismatch) {
+		t.Errorf("wrong question: %v", err)
+	}
+
+	noQ := dnswire.NewResponse(query)
+	noQ.Questions = nil
+	if err := Validate(query, noQ); !errors.Is(err, ErrQuestionMismatch) {
+		t.Errorf("empty question: %v", err)
+	}
+}
+
+func TestTCPMessageFraming(t *testing.T) {
+	msg := mustQuery(t, "frame.test.")
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCPMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Questions[0].Name != "frame.test." {
+		t.Fatalf("question = %v", got.Questions[0])
+	}
+	// Two messages back to back.
+	if err := WriteTCPMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTCPMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ReadTCPMessage(&buf); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	if _, err := ReadTCPMessage(&buf); err == nil {
+		t.Fatal("read from empty stream succeeded")
+	}
+}
+
+func TestReadTCPMessageTruncatedPrefix(t *testing.T) {
+	if _, err := ReadTCPMessage(bytes.NewReader([]byte{0x00})); err == nil {
+		t.Fatal("half a length prefix accepted")
+	}
+	if _, err := ReadTCPMessage(bytes.NewReader([]byte{0x00, 0x10, 0x01})); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+// spoofServer is a UDP server that first sends garbage and wrong-ID
+// spoofs, then the genuine answer — the UDP client must skip the junk.
+func spoofServer(t *testing.T, answers int) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, client, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			query, err := dnswire.Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			// 1: pure garbage.
+			_, _ = conn.WriteToUDP([]byte{0xde, 0xad}, client)
+			// 2: well-formed but wrong transaction ID (blind spoof).
+			spoof := dnswire.NewResponse(query)
+			spoof.Header.ID = query.Header.ID + 1
+			spoof.Answers = append(spoof.Answers, dnswire.AddressRecord(
+				query.Questions[0].Name, netip.MustParseAddr("198.18.0.1"), 60))
+			if wire, err := spoof.Encode(); err == nil {
+				_, _ = conn.WriteToUDP(wire, client)
+			}
+			// 3: wrong question.
+			spoof2 := dnswire.NewResponse(query)
+			spoof2.Questions[0].Name = "evil.test."
+			if wire, err := spoof2.Encode(); err == nil {
+				_, _ = conn.WriteToUDP(wire, client)
+			}
+			// 4: the genuine response.
+			genuine := dnswire.NewResponse(query)
+			for i := 0; i < answers; i++ {
+				genuine.Answers = append(genuine.Answers, dnswire.AddressRecord(
+					query.Questions[0].Name, netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}), 60))
+			}
+			if wire, err := genuine.Encode(); err == nil {
+				_, _ = conn.WriteToUDP(wire, client)
+			}
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+func TestUDPSkipsSpoofedDatagrams(t *testing.T) {
+	addr := spoofServer(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := (&UDP{}).Exchange(ctx, mustQuery(t, "x.test."), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := resp.AnswerAddrs()
+	if len(addrs) != 2 {
+		t.Fatalf("answers = %v", addrs)
+	}
+	for _, a := range addrs {
+		if a == netip.MustParseAddr("198.18.0.1") {
+			t.Fatal("spoofed answer accepted despite ID mismatch")
+		}
+	}
+}
+
+func TestUDPTimeoutOnSilence(t *testing.T) {
+	// A UDP socket that never answers.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = (&UDP{}).Exchange(ctx, mustQuery(t, "x.test."), conn.LocalAddr().String())
+	if err == nil {
+		t.Fatal("exchange with silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestDefaultTimeoutApplied(t *testing.T) {
+	// Without a deadline on the context, the exchange must still bound
+	// itself (we only verify it returns, using a quick failure path).
+	_, err := (&TCP{}).Exchange(context.Background(), mustQuery(t, "x.test."), "127.0.0.1:1")
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	f := Func(func(_ context.Context, q *dnswire.Message, _ string) (*dnswire.Message, error) {
+		called = true
+		return dnswire.NewResponse(q), nil
+	})
+	if _, err := f.Exchange(context.Background(), mustQuery(t, "x.test."), "s"); err != nil || !called {
+		t.Fatalf("adapter: err=%v called=%t", err, called)
+	}
+}
+
+func TestWriteTCPMessageEncodeError(t *testing.T) {
+	bad := &dnswire.Message{
+		Header:  dnswire.Header{ID: 1},
+		Answers: []dnswire.Record{{Name: "x.test.", Type: dnswire.TypeA, Class: dnswire.ClassINET}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, bad); err == nil {
+		t.Fatal("nil rdata encoded")
+	}
+}

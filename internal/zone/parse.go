@@ -1,0 +1,242 @@
+package zone
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"dohpool/internal/dnswire"
+)
+
+// ErrParse is wrapped by every parser error.
+var ErrParse = errors.New("zone parse error")
+
+// Parse reads a zone in a practical subset of the RFC 1035 master-file
+// format. Supported:
+//
+//   - $ORIGIN and $TTL directives
+//   - comments introduced by ';'
+//   - owner inheritance (blank owner column repeats the previous owner)
+//   - '@' as the origin
+//   - record types A, AAAA, NS, CNAME, SOA, TXT, MX, PTR
+//   - SOA on a single line (no parenthesised continuation)
+//
+// Names without a trailing dot are made relative to the origin.
+func Parse(r io.Reader, origin string, opts ...Option) (*Zone, error) {
+	origin = dnswire.CanonicalName(origin)
+	z := New(origin, opts...)
+	defaultTTL := uint32(3600)
+	lastOwner := origin
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ownerInherited := line[0] == ' ' || line[0] == '\t'
+		fields := splitFields(line)
+		if len(fields) == 0 {
+			continue
+		}
+
+		switch strings.ToUpper(fields[0]) {
+		case "$ORIGIN":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: $ORIGIN needs a name: %w", lineNo, ErrParse)
+			}
+			origin = dnswire.CanonicalName(fields[1])
+			continue
+		case "$TTL":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: $TTL needs a value: %w", lineNo, ErrParse)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: $TTL %q: %w", lineNo, fields[1], ErrParse)
+			}
+			defaultTTL = uint32(v)
+			continue
+		}
+
+		var owner string
+		if ownerInherited {
+			owner = lastOwner
+		} else {
+			owner = absoluteName(fields[0], origin)
+			fields = fields[1:]
+			lastOwner = owner
+		}
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("line %d: owner without record: %w", lineNo, ErrParse)
+		}
+
+		ttl := defaultTTL
+		// Optional TTL, optional class "IN", then type.
+		if v, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
+			ttl = uint32(v)
+			fields = fields[1:]
+		}
+		if len(fields) > 0 && strings.EqualFold(fields[0], "IN") {
+			fields = fields[1:]
+		}
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("line %d: missing record type: %w", lineNo, ErrParse)
+		}
+		typ, ok := dnswire.ParseType(strings.ToUpper(fields[0]))
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown type %q: %w", lineNo, fields[0], ErrParse)
+		}
+		rdFields := fields[1:]
+
+		rec := dnswire.Record{Name: owner, Type: typ, Class: dnswire.ClassINET, TTL: ttl}
+		data, err := parseRData(typ, rdFields, origin)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v: %w", lineNo, err, ErrParse)
+		}
+		rec.Data = data
+		if err := z.Add(rec); err != nil {
+			return nil, fmt.Errorf("line %d: %v: %w", lineNo, err, ErrParse)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("read zone: %w", err)
+	}
+	return z, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, origin string, opts ...Option) (*Zone, error) {
+	return Parse(strings.NewReader(s), origin, opts...)
+}
+
+func parseRData(typ dnswire.Type, fields []string, origin string) (dnswire.RData, error) {
+	need := func(n int) error {
+		if len(fields) < n {
+			return fmt.Errorf("%v rdata needs %d fields, have %d", typ, n, len(fields))
+		}
+		return nil
+	}
+	switch typ {
+	case dnswire.TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad IPv4 %q", fields[0])
+		}
+		return &dnswire.ARecord{Addr: addr}, nil
+	case dnswire.TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 %q", fields[0])
+		}
+		return &dnswire.AAAARecord{Addr: addr}, nil
+	case dnswire.TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return &dnswire.NSRecord{Host: absoluteName(fields[0], origin)}, nil
+	case dnswire.TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return &dnswire.CNAMERecord{Target: absoluteName(fields[0], origin)}, nil
+	case dnswire.TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return &dnswire.PTRRecord{Target: absoluteName(fields[0], origin)}, nil
+	case dnswire.TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", fields[0])
+		}
+		return &dnswire.MXRecord{Preference: uint16(pref), Host: absoluteName(fields[1], origin)}, nil
+	case dnswire.TypeTXT:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		strs := make([]string, 0, len(fields))
+		for _, f := range fields {
+			strs = append(strs, strings.Trim(f, `"`))
+		}
+		return &dnswire.TXTRecord{Strings: strs}, nil
+	case dnswire.TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", fields[2+i])
+			}
+			nums[i] = uint32(v)
+		}
+		return &dnswire.SOARecord{
+			MName: absoluteName(fields[0], origin), RName: absoluteName(fields[1], origin),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}, nil
+	default:
+		return nil, fmt.Errorf("type %v not supported in master files", typ)
+	}
+}
+
+// splitFields splits a master-file line on whitespace while keeping
+// double-quoted strings (as used in TXT rdata) as single fields, quotes
+// retained.
+func splitFields(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return fields
+}
+
+// absoluteName resolves a master-file name against the origin: '@' means
+// the origin, names with a trailing dot are absolute, everything else is
+// relative.
+func absoluteName(s, origin string) string {
+	if s == "@" {
+		return dnswire.CanonicalName(origin)
+	}
+	if strings.HasSuffix(s, ".") {
+		return dnswire.CanonicalName(s)
+	}
+	return dnswire.CanonicalName(s + "." + origin)
+}

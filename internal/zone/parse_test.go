@@ -1,0 +1,156 @@
+package zone
+
+import (
+	"errors"
+	"testing"
+
+	"dohpool/internal/dnswire"
+)
+
+const sampleZone = `
+$ORIGIN ntppool.test.
+$TTL 3600
+@       IN SOA ns1 hostmaster 2020101901 7200 3600 1209600 300
+@       IN NS  ns1
+@       IN NS  ns2.ntpns.test.
+ns1     IN A   198.51.100.1
+pool    150 IN A 192.0.2.1
+        150 IN A 192.0.2.2
+        150 IN A 192.0.2.3
+pool    150 IN AAAA 2001:db8::1
+www     IN CNAME pool
+info    IN TXT "secure pool" "generation"
+mail    IN MX 10 mx.ntppool.test.
+`
+
+func TestParseSampleZone(t *testing.T) {
+	z, err := ParseString(sampleZone, "ntppool.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := z.SOA(); !ok {
+		t.Error("SOA missing")
+	}
+
+	res, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 {
+		t.Fatalf("pool A records = %d, want 3 (owner inheritance broken?)", len(res.Records))
+	}
+	if res.Records[0].TTL != 150 {
+		t.Errorf("TTL = %d, want 150", res.Records[0].TTL)
+	}
+
+	res, err = z.Lookup("pool.ntppool.test.", dnswire.TypeAAAA)
+	if err != nil || len(res.Records) != 1 {
+		t.Fatalf("AAAA lookup: %v / %d records", err, len(res.Records))
+	}
+
+	res, err = z.Lookup("www.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNAME == nil || res.CNAME.Target != "pool.ntppool.test." {
+		t.Errorf("www CNAME = %v", res.CNAME)
+	}
+
+	res, err = z.Lookup("ntppool.test.", dnswire.TypeNS)
+	if err != nil || len(res.Records) != 2 {
+		t.Fatalf("NS lookup: %v / %d", err, len(res.Records))
+	}
+	ns, ok := res.Records[1].Data.(*dnswire.NSRecord)
+	if !ok || ns.Host != "ns2.ntpns.test." {
+		t.Errorf("absolute NS host = %v", res.Records[1].Data)
+	}
+
+	res, err = z.Lookup("info.ntppool.test.", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, ok := res.Records[0].Data.(*dnswire.TXTRecord)
+	if !ok || len(txt.Strings) != 2 || txt.Strings[0] != "secure pool" {
+		t.Errorf("TXT = %v", res.Records[0].Data)
+	}
+
+	res, err = z.Lookup("mail.ntppool.test.", dnswire.TypeMX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, ok := res.Records[0].Data.(*dnswire.MXRecord)
+	if !ok || mx.Preference != 10 || mx.Host != "mx.ntppool.test." {
+		t.Errorf("MX = %v", res.Records[0].Data)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	z, err := ParseString(`
+; leading comment
+pool IN A 192.0.2.9 ; trailing comment
+`, "x.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Lookup("pool.x.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad type":      "pool IN BOGUS 1.2.3.4",
+		"bad ipv4":      "pool IN A not-an-ip",
+		"bad ipv6":      "pool IN AAAA 192.0.2.1",
+		"short soa":     "@ IN SOA ns1 hostmaster 1 2",
+		"bad mx pref":   "pool IN MX ten mx.example.",
+		"origin noval":  "$ORIGIN",
+		"ttl noval":     "$TTL",
+		"bad ttl":       "$TTL soon",
+		"missing rdata": "pool IN A",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseString(text, "x.test."); !errors.Is(err, ErrParse) {
+				t.Fatalf("err = %v, want ErrParse", err)
+			}
+		})
+	}
+}
+
+func TestParseRespectsOptions(t *testing.T) {
+	text := `
+pool IN A 192.0.2.1
+pool IN A 192.0.2.2
+pool IN A 192.0.2.3
+`
+	z, err := ParseString(text, "x.test.", WithMaxAnswers(1), WithRotation(RotateRoundRobin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := z.Lookup("pool.x.test.", dnswire.TypeA)
+	b, _ := z.Lookup("pool.x.test.", dnswire.TypeA)
+	if len(a.Records) != 1 || len(b.Records) != 1 {
+		t.Fatalf("cap not applied: %d/%d", len(a.Records), len(b.Records))
+	}
+	ipA := a.Records[0].Data.(*dnswire.ARecord).Addr
+	ipB := b.Records[0].Data.(*dnswire.ARecord).Addr
+	if ipA == ipB {
+		t.Fatalf("rotation not applied: both %v", ipA)
+	}
+}
+
+func TestAbsoluteName(t *testing.T) {
+	tests := []struct {
+		give, origin, want string
+	}{
+		{"@", "example.test.", "example.test."},
+		{"abs.example.", "x.test.", "abs.example."},
+		{"rel", "x.test.", "rel.x.test."},
+	}
+	for _, tt := range tests {
+		if got := absoluteName(tt.give, tt.origin); got != tt.want {
+			t.Errorf("absoluteName(%q,%q) = %q, want %q", tt.give, tt.origin, got, tt.want)
+		}
+	}
+}

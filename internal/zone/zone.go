@@ -1,0 +1,338 @@
+// Package zone implements an in-memory authoritative zone store with a
+// parser for a practical subset of the RFC 1035 master-file format. It
+// backs the authoritative nameservers of the testbed (the c/d/e.ntpns.org
+// servers of the paper's Figure 1) and supports the per-query answer
+// rotation that pool.ntp.org-style zones rely on.
+package zone
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"dohpool/internal/dnswire"
+)
+
+// Lookup errors.
+var (
+	// ErrNXDomain reports that the name does not exist in the zone.
+	ErrNXDomain = errors.New("name does not exist")
+	// ErrNoData reports that the name exists but holds no records of the
+	// requested type.
+	ErrNoData = errors.New("name exists but holds no records of this type")
+	// ErrOutOfZone reports that the query name is not within the zone.
+	ErrOutOfZone = errors.New("name is outside this zone")
+)
+
+// RotationPolicy selects how a Zone orders the records of an RRset across
+// successive queries. pool.ntp.org hands out a rotating subset, which is
+// what makes "which addresses did your resolver see" resolver-dependent —
+// the property Algorithm 1 must cope with.
+type RotationPolicy int
+
+// Rotation policies.
+const (
+	// RotateNone returns records in insertion order.
+	RotateNone RotationPolicy = iota + 1
+	// RotateRoundRobin cyclically shifts the RRset by one on every query.
+	RotateRoundRobin
+	// RotateRandom returns an independent random permutation per query.
+	RotateRandom
+)
+
+// String returns the policy name.
+func (p RotationPolicy) String() string {
+	switch p {
+	case RotateNone:
+		return "none"
+	case RotateRoundRobin:
+		return "round-robin"
+	case RotateRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// rrsetKey identifies one RRset within the zone.
+type rrsetKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// Zone is a thread-safe authoritative zone.
+type Zone struct {
+	origin string
+
+	mu       sync.Mutex
+	rrsets   map[rrsetKey][]dnswire.Record
+	names    map[string]bool // every owner name present (for NXDOMAIN vs NODATA)
+	policy   RotationPolicy
+	rrCursor map[rrsetKey]int // round-robin cursors
+	rng      *rand.Rand
+	maxAns   int // 0 = unlimited; pool.ntp.org returns 4
+}
+
+// Option configures a Zone.
+type Option func(*Zone)
+
+// WithRotation sets the answer rotation policy (default RotateNone).
+func WithRotation(p RotationPolicy) Option {
+	return func(z *Zone) { z.policy = p }
+}
+
+// WithMaxAnswers caps how many records of an RRset are returned per query,
+// mimicking pool.ntp.org's behaviour of returning 4 of its many servers.
+// Zero means unlimited.
+func WithMaxAnswers(n int) Option {
+	return func(z *Zone) { z.maxAns = n }
+}
+
+// WithSeed makes rotation deterministic for tests.
+func WithSeed(seed int64) Option {
+	return func(z *Zone) { z.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates an empty zone rooted at origin.
+func New(origin string, opts ...Option) *Zone {
+	z := &Zone{
+		origin:   dnswire.CanonicalName(origin),
+		rrsets:   make(map[rrsetKey][]dnswire.Record),
+		names:    make(map[string]bool),
+		policy:   RotateNone,
+		rrCursor: make(map[rrsetKey]int),
+		rng:      rand.New(rand.NewSource(rand.Int63())),
+	}
+	for _, opt := range opts {
+		opt(z)
+	}
+	return z
+}
+
+// Origin returns the canonical zone origin.
+func (z *Zone) Origin() string { return z.origin }
+
+// Add inserts a record into the zone. The record's owner name must lie
+// within the zone.
+func (z *Zone) Add(r dnswire.Record) error {
+	r.Name = dnswire.CanonicalName(r.Name)
+	if !dnswire.IsSubdomain(r.Name, z.origin) {
+		return fmt.Errorf("add %q to zone %q: %w", r.Name, z.origin, ErrOutOfZone)
+	}
+	if r.Data == nil {
+		return fmt.Errorf("add %q: record has no data", r.Name)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	key := rrsetKey{name: r.Name, typ: r.Type}
+	z.rrsets[key] = append(z.rrsets[key], r)
+	z.names[r.Name] = true
+	return nil
+}
+
+// AddAddress is a convenience wrapper adding an A or AAAA record.
+func (z *Zone) AddAddress(name string, addr netip.Addr, ttl uint32) error {
+	return z.Add(dnswire.AddressRecord(name, addr, ttl))
+}
+
+// RemoveName deletes every record owned by name. It reports whether
+// anything was removed.
+func (z *Zone) RemoveName(name string) bool {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if !z.names[name] {
+		return false
+	}
+	for key := range z.rrsets {
+		if key.name == name {
+			delete(z.rrsets, key)
+			delete(z.rrCursor, key)
+		}
+	}
+	delete(z.names, name)
+	return true
+}
+
+// Result is the outcome of a zone lookup.
+type Result struct {
+	// Records holds the answer RRset, rotated per policy.
+	Records []dnswire.Record
+	// CNAME is non-nil when the name is an alias; Records then holds the
+	// CNAME record itself and the caller chases the target.
+	CNAME *dnswire.CNAMERecord
+	// Referral holds the NS RRset of a zone cut when the queried name
+	// lies in a delegated child zone: the server is not authoritative and
+	// the querier must follow the delegation. Records is empty then.
+	Referral []dnswire.Record
+	// Glue holds in-zone A/AAAA records for the referral's nameservers.
+	Glue []dnswire.Record
+}
+
+// Lookup resolves (name, type) inside the zone, applying the rotation
+// policy and answer cap. It returns ErrNXDomain, ErrNoData or ErrOutOfZone
+// as appropriate. Names at or below a zone cut (an interior owner with an
+// NS RRset distinct from the origin) produce a referral Result instead of
+// an authoritative answer (RFC 1034 §4.3.2 step 3b).
+func (z *Zone) Lookup(name string, typ dnswire.Type) (Result, error) {
+	name = dnswire.CanonicalName(name)
+	if !dnswire.IsSubdomain(name, z.origin) {
+		return Result{}, fmt.Errorf("lookup %q in %q: %w", name, z.origin, ErrOutOfZone)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+
+	if cut := z.zoneCutLocked(name); cut != "" {
+		return z.referralLocked(cut)
+	}
+	if !z.names[name] {
+		// Wildcard support: *.parent matches any missing direct child.
+		if wc := wildcardOf(name); wc != "" && z.names[wc] {
+			return z.lookupLocked(wc, name, typ)
+		}
+		return Result{}, fmt.Errorf("lookup %q: %w", name, ErrNXDomain)
+	}
+	return z.lookupLocked(name, name, typ)
+}
+
+// zoneCutLocked returns the closest enclosing delegation point for name:
+// an owner strictly below the origin, at or above name, holding an NS
+// RRset. Empty when the name is within this zone's authority.
+func (z *Zone) zoneCutLocked(name string) string {
+	labels := dnswire.SplitLabels(name)
+	originLabels := len(dnswire.SplitLabels(z.origin))
+	// Walk from the topmost candidate below the origin down towards the
+	// name, so the HIGHEST cut wins (everything below it is delegated).
+	for i := len(labels) - originLabels - 1; i >= 0; i-- {
+		candidate := strings.Join(labels[i:], ".") + "."
+		if candidate == z.origin {
+			continue
+		}
+		if set, ok := z.rrsets[rrsetKey{name: candidate, typ: dnswire.TypeNS}]; ok && len(set) > 0 {
+			return candidate
+		}
+	}
+	return ""
+}
+
+// referralLocked builds the referral Result for a zone cut: the NS RRset
+// plus any in-zone glue addresses for the nameservers.
+func (z *Zone) referralLocked(cut string) (Result, error) {
+	set := z.rrsets[rrsetKey{name: cut, typ: dnswire.TypeNS}]
+	res := Result{Referral: append([]dnswire.Record(nil), set...)}
+	for _, rec := range set {
+		ns, ok := rec.Data.(*dnswire.NSRecord)
+		if !ok {
+			continue
+		}
+		host := dnswire.CanonicalName(ns.Host)
+		for _, typ := range [...]dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+			if glue, ok := z.rrsets[rrsetKey{name: host, typ: typ}]; ok {
+				res.Glue = append(res.Glue, glue...)
+			}
+		}
+	}
+	return res, nil
+}
+
+// lookupLocked performs the RRset fetch. owner is the stored owner name
+// (possibly a wildcard); qname is the name to stamp on returned records.
+func (z *Zone) lookupLocked(owner, qname string, typ dnswire.Type) (Result, error) {
+	// CNAME takes precedence for any type except CNAME itself.
+	if typ != dnswire.TypeCNAME {
+		if set, ok := z.rrsets[rrsetKey{name: owner, typ: dnswire.TypeCNAME}]; ok && len(set) > 0 {
+			rec := set[0]
+			rec.Name = qname
+			cname, ok := rec.Data.(*dnswire.CNAMERecord)
+			if !ok {
+				return Result{}, fmt.Errorf("lookup %q: corrupt CNAME rrset", qname)
+			}
+			return Result{Records: []dnswire.Record{rec}, CNAME: cname}, nil
+		}
+	}
+	key := rrsetKey{name: owner, typ: typ}
+	set, ok := z.rrsets[key]
+	if !ok || len(set) == 0 {
+		return Result{}, fmt.Errorf("lookup %q %v: %w", qname, typ, ErrNoData)
+	}
+
+	rotated := z.rotateLocked(key, set)
+	if z.maxAns > 0 && len(rotated) > z.maxAns {
+		rotated = rotated[:z.maxAns]
+	}
+	out := make([]dnswire.Record, len(rotated))
+	for i, r := range rotated {
+		r.Name = qname
+		out[i] = r
+	}
+	return Result{Records: out}, nil
+}
+
+// rotateLocked returns a fresh slice ordered per the zone policy.
+func (z *Zone) rotateLocked(key rrsetKey, set []dnswire.Record) []dnswire.Record {
+	out := make([]dnswire.Record, len(set))
+	switch z.policy {
+	case RotateRoundRobin:
+		start := z.rrCursor[key] % len(set)
+		z.rrCursor[key]++
+		for i := range set {
+			out[i] = set[(start+i)%len(set)]
+		}
+	case RotateRandom:
+		perm := z.rng.Perm(len(set))
+		for i, p := range perm {
+			out[i] = set[p]
+		}
+	default:
+		copy(out, set)
+	}
+	return out
+}
+
+// SOA returns the zone's SOA record if present.
+func (z *Zone) SOA() (dnswire.Record, bool) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	set, ok := z.rrsets[rrsetKey{name: z.origin, typ: dnswire.TypeSOA}]
+	if !ok || len(set) == 0 {
+		return dnswire.Record{}, false
+	}
+	return set[0], true
+}
+
+// Names returns every owner name in the zone, sorted (for tests/dumps).
+func (z *Zone) Names() []string {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	names := make([]string, 0, len(z.names))
+	for n := range z.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecordCount returns the total number of records stored.
+func (z *Zone) RecordCount() int {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	n := 0
+	for _, set := range z.rrsets {
+		n += len(set)
+	}
+	return n
+}
+
+// wildcardOf returns the wildcard owner ("*.parent.") covering name, or ""
+// if name has no parent inside any zone.
+func wildcardOf(name string) string {
+	labels := dnswire.SplitLabels(name)
+	if len(labels) < 2 {
+		return ""
+	}
+	return "*." + strings.Join(labels[1:], ".") + "."
+}

@@ -1,0 +1,206 @@
+package zone
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"dohpool/internal/dnswire"
+)
+
+func poolZone(t *testing.T, opts ...Option) *Zone {
+	t.Helper()
+	z := New("ntppool.test.", opts...)
+	for _, ip := range []string{"192.0.2.1", "192.0.2.2", "192.0.2.3", "192.0.2.4"} {
+		if err := z.AddAddress("pool.ntppool.test.", netip.MustParseAddr(ip), 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return z
+}
+
+func answerIPs(t *testing.T, res Result) []string {
+	t.Helper()
+	ips := make([]string, 0, len(res.Records))
+	for _, r := range res.Records {
+		a, ok := r.Data.(*dnswire.ARecord)
+		if !ok {
+			t.Fatalf("non-A record %v", r)
+		}
+		ips = append(ips, a.Addr.String())
+	}
+	return ips
+}
+
+func TestLookupBasic(t *testing.T) {
+	z := poolZone(t)
+	res, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answerIPs(t, res); len(got) != 4 || got[0] != "192.0.2.1" {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestLookupNXDomainVsNoData(t *testing.T) {
+	z := poolZone(t)
+	if _, err := z.Lookup("missing.ntppool.test.", dnswire.TypeA); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("missing name: %v, want ErrNXDomain", err)
+	}
+	if _, err := z.Lookup("pool.ntppool.test.", dnswire.TypeAAAA); !errors.Is(err, ErrNoData) {
+		t.Errorf("missing type: %v, want ErrNoData", err)
+	}
+	if _, err := z.Lookup("other.example.", dnswire.TypeA); !errors.Is(err, ErrOutOfZone) {
+		t.Errorf("out of zone: %v, want ErrOutOfZone", err)
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	z := poolZone(t, WithRotation(RotateRoundRobin))
+	first, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := answerIPs(t, first), answerIPs(t, second)
+	if a[0] != "192.0.2.1" || b[0] != "192.0.2.2" {
+		t.Fatalf("rotation heads = %s then %s", a[0], b[0])
+	}
+	// After len(set) queries the cursor wraps.
+	for i := 0; i < 2; i++ {
+		if _, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fifth, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answerIPs(t, fifth); got[0] != "192.0.2.1" {
+		t.Fatalf("wrap head = %s, want 192.0.2.1", got[0])
+	}
+}
+
+func TestRandomRotationIsPermutation(t *testing.T) {
+	z := poolZone(t, WithRotation(RotateRandom), WithSeed(7))
+	for i := 0; i < 10; i++ {
+		res, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[string]bool)
+		for _, ip := range answerIPs(t, res) {
+			seen[ip] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("iteration %d: permutation lost records: %v", i, seen)
+		}
+	}
+}
+
+func TestMaxAnswersCap(t *testing.T) {
+	z := poolZone(t, WithMaxAnswers(2), WithRotation(RotateRoundRobin))
+	res, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("%d answers, want 2", len(res.Records))
+	}
+	// Rotation plus cap must still cycle through all records over time.
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		res, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ip := range answerIPs(t, res) {
+			seen[ip] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cap+rotation covered %d of 4 records", len(seen))
+	}
+}
+
+func TestCNAMEPrecedence(t *testing.T) {
+	z := New("example.test.")
+	if err := z.Add(dnswire.Record{
+		Name: "www.example.test.", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 60,
+		Data: &dnswire.CNAMERecord{Target: "host.example.test."},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := z.Lookup("www.example.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNAME == nil || res.CNAME.Target != "host.example.test." {
+		t.Fatalf("CNAME = %v", res.CNAME)
+	}
+	if len(res.Records) != 1 || res.Records[0].Type != dnswire.TypeCNAME {
+		t.Fatalf("records = %v", res.Records)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	z := New("pool.test.")
+	if err := z.AddAddress("*.pool.test.", netip.MustParseAddr("203.0.113.1"), 60); err != nil {
+		t.Fatal(err)
+	}
+	res, err := z.Lookup("anything.pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Name != "anything.pool.test." {
+		t.Fatalf("wildcard answer owner = %q", res.Records[0].Name)
+	}
+}
+
+func TestRemoveName(t *testing.T) {
+	z := poolZone(t)
+	if !z.RemoveName("pool.ntppool.test.") {
+		t.Fatal("RemoveName reported nothing removed")
+	}
+	if z.RemoveName("pool.ntppool.test.") {
+		t.Fatal("second RemoveName reported removal")
+	}
+	if _, err := z.Lookup("pool.ntppool.test.", dnswire.TypeA); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("after removal: %v", err)
+	}
+}
+
+func TestAddRejectsOutOfZone(t *testing.T) {
+	z := New("a.test.")
+	err := z.AddAddress("b.other.", netip.MustParseAddr("192.0.2.1"), 60)
+	if !errors.Is(err, ErrOutOfZone) {
+		t.Fatalf("err = %v, want ErrOutOfZone", err)
+	}
+}
+
+func TestSOAAndCounts(t *testing.T) {
+	z := New("example.test.")
+	if _, ok := z.SOA(); ok {
+		t.Fatal("SOA present in empty zone")
+	}
+	if err := z.Add(dnswire.Record{
+		Name: "example.test.", Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SOARecord{MName: "ns.example.test.", RName: "admin.example.test.",
+			Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := z.SOA(); !ok {
+		t.Fatal("SOA not found")
+	}
+	if z.RecordCount() != 1 {
+		t.Fatalf("RecordCount = %d", z.RecordCount())
+	}
+	if names := z.Names(); len(names) != 1 || names[0] != "example.test." {
+		t.Fatalf("Names = %v", names)
+	}
+}
