@@ -344,6 +344,112 @@ func BenchmarkDoHExchange(b *testing.B) {
 	}
 }
 
+// --- consensus-engine benchmarks --------------------------------------
+
+func benchEngine(b *testing.B, tb *testbed.Testbed, ecfg core.EngineConfig) *core.Engine {
+	b.Helper()
+	eng, err := core.NewEngine(core.Config{
+		Resolvers: tb.Endpoints,
+		Querier:   tb.Client,
+	}, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+// BenchmarkEngineCachedLookup measures a repeat lookup served entirely
+// from the TTL-aware consensus cache — the production hot path. Compare
+// against BenchmarkEngineUncachedLookup (or BenchmarkE1Pipeline) for the
+// caching win; the acceptance bar is ≥10× fewer ns/op.
+func BenchmarkEngineCachedLookup(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{})
+	eng := benchEngine(b, tb, core.EngineConfig{})
+	ctx := benchCtx(b)
+	if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if eng.NetworkRuns() != 1 {
+		b.Fatalf("cached benchmark hit the network %d times", eng.NetworkRuns())
+	}
+}
+
+// BenchmarkEngineUncachedLookup is the same lookup with caching disabled:
+// every iteration pays the full 3-resolver DoH fan-out (the seed's
+// behaviour for every query).
+func BenchmarkEngineUncachedLookup(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{})
+	eng := benchEngine(b, tb, core.EngineConfig{CacheSize: -1})
+	ctx := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontendThroughput measures end-to-end frontend queries over
+// UDP and TCP with the engine underneath, parallel clients hammering one
+// cached domain — the million-client serving shape.
+func BenchmarkFrontendThroughput(b *testing.B) {
+	run := func(b *testing.B, exchange func(ctx context.Context, q *dnswire.Message, addr string) (*dnswire.Message, error)) {
+		tb := benchTestbed(b, testbed.Config{})
+		eng := benchEngine(b, tb, core.EngineConfig{})
+		fe, err := core.NewFrontend("127.0.0.1:0", eng, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = fe.Close() })
+		ctx := benchCtx(b)
+		// Warm the cache so the measurement isolates serving throughput.
+		warm, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exchange(ctx, warm, fe.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// b.Error, not b.Fatal: FailNow must not run outside the
+			// benchmark goroutine.
+			for pb.Next() {
+				q, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				resp, err := exchange(ctx, q, fe.Addr())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(resp.AnswerAddrs()) == 0 && !resp.Header.Truncated {
+					b.Error("empty answer")
+					return
+				}
+			}
+		})
+	}
+	b.Run("udp", func(b *testing.B) {
+		udp := &transport.UDP{}
+		run(b, udp.Exchange)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		tcp := &transport.TCP{}
+		run(b, tcp.Exchange)
+	})
+}
+
 func itoa(n int) string {
 	if n < 10 {
 		return string(rune('0' + n))

@@ -3,6 +3,12 @@
 // server pool generated through distributed DoH resolvers (Algorithm 1).
 // Legacy applications point their stub resolver at it and need no changes.
 //
+// The daemon runs the long-lived consensus engine: pools are cached until
+// their upstream TTL expires, concurrent queries coalesce into one
+// resolver fan-out, straggling resolvers are hedged and persistently
+// failing ones are circuit-broken. UDP and TCP (RFC 7766) are served on
+// the same port.
+//
 // Usage:
 //
 //	dohpoold -listen 127.0.0.1:5353 \
@@ -12,11 +18,19 @@
 //
 // Flags:
 //
-//	-listen     UDP address for the plain-DNS front-end
-//	-resolver   DoH endpoint URL (repeat ≥ 3 times)
-//	-quorum     resolvers that must answer (0 = all)
-//	-majority   answer only majority-confirmed addresses
-//	-timeout    per-resolver query timeout
+//	-listen             UDP+TCP address for the plain-DNS front-end
+//	-resolver           DoH endpoint URL (repeat ≥ 3 times)
+//	-quorum             resolvers that must answer (0 = all)
+//	-majority           answer only majority-confirmed addresses
+//	-timeout            per-resolver query timeout
+//	-cache-size         consensus cache capacity (-1 disables caching)
+//	-max-stale          serve expired pools this long while refreshing
+//	-hedge-delay        fixed straggler hedge delay (0 = adaptive)
+//	-no-hedge           disable straggler hedging
+//	-breaker-threshold  consecutive failures that open a resolver's breaker
+//	-breaker-cooldown   how long an open breaker rejects attempts
+//	-udp-workers        bounded UDP worker pool size (0 = from GOMAXPROCS)
+//	-max-tcp-conns      concurrent TCP connection bound
 package main
 
 import (
@@ -53,10 +67,19 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dohpoold", flag.ContinueOnError)
 	var resolvers resolverList
 	var (
-		listen   = fs.String("listen", "127.0.0.1:5353", "UDP listen address for the DNS front-end")
+		listen   = fs.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for the DNS front-end")
 		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
 		majority = fs.Bool("majority", false, "answer only majority-confirmed addresses")
 		timeout  = fs.Duration("timeout", 4*time.Second, "per-resolver query timeout")
+
+		cacheSize        = fs.Int("cache-size", 0, "consensus cache capacity in entries (0 = default, -1 = disable)")
+		maxStale         = fs.Duration("max-stale", 0, "serve expired pools up to this long past TTL while refreshing")
+		hedgeDelay       = fs.Duration("hedge-delay", 0, "fixed straggler hedge delay (0 = adaptive from EWMA RTT)")
+		noHedge          = fs.Bool("no-hedge", false, "disable straggler hedging")
+		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a resolver's circuit breaker (0 = default, -1 = disable)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker rejects attempts (0 = default)")
+		udpWorkers       = fs.Int("udp-workers", 0, "UDP worker pool size (0 = sized from GOMAXPROCS)")
+		maxTCPConns      = fs.Int("max-tcp-conns", 0, "max concurrently served TCP connections (0 = default)")
 	)
 	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
 	fs.Var(&resolvers, "resolver", "DoH endpoint URL (repeatable)")
@@ -71,9 +94,17 @@ func run(args []string) error {
 	}
 
 	cfg := dohpool.Config{
-		MinResolvers: *quorum,
-		WithMajority: *majority,
-		QueryTimeout: *timeout,
+		MinResolvers:     *quorum,
+		WithMajority:     *majority,
+		QueryTimeout:     *timeout,
+		CacheSize:        *cacheSize,
+		MaxStale:         *maxStale,
+		HedgeDelay:       *hedgeDelay,
+		DisableHedging:   *noHedge,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		UDPWorkers:       *udpWorkers,
+		MaxTCPConns:      *maxTCPConns,
 	}
 	if *caFile != "" {
 		pemBytes, err := os.ReadFile(*caFile)
@@ -96,18 +127,37 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer client.Close()
 
 	frontend, err := client.Serve(*listen)
 	if err != nil {
 		return err
 	}
 	defer frontend.Close()
-	fmt.Printf("dohpoold: serving consensus-backed DNS on %s via %d DoH resolvers\n",
+	fmt.Printf("dohpoold: serving consensus-backed DNS (UDP+TCP) on %s via %d DoH resolvers\n",
 		frontend.Addr(), client.ResolverCount())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("dohpoold: shutting down after %d served queries\n", frontend.Served())
+	printStats(client, frontend)
 	return nil
+}
+
+// printStats reports engine effectiveness at shutdown: served/failure
+// counters, cache hit rate and per-resolver health.
+func printStats(client *dohpool.Client, frontend *dohpool.Frontend) {
+	fmt.Printf("dohpoold: shutting down after %d served queries (%d failures, %d shed)\n",
+		frontend.Served(), frontend.Failures(), frontend.Dropped())
+	cs := client.CacheStats()
+	fmt.Printf("dohpoold: cache %d hits / %d misses (%.1f%% hit rate), %d evictions, %d expirations\n",
+		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Expirations)
+	for _, h := range client.ResolverHealth() {
+		state := "ok"
+		if h.CircuitOpen {
+			state = "circuit-open"
+		}
+		fmt.Printf("dohpoold: resolver %-12s rtt=%-10v ok=%-6d fail=%-4d hedges=%-4d %s\n",
+			h.Resolver.Name, h.EWMARTT.Round(time.Microsecond), h.Successes, h.Failures, h.Hedges, state)
+	}
 }

@@ -21,6 +21,16 @@ func TestRunRejectsUnknownFlags(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadEngineFlagValues(t *testing.T) {
+	// Non-duration value for a duration flag must fail at parse time.
+	if err := run([]string{"-resolver", "https://r.test/dns-query", "-max-stale", "bogus"}); err == nil {
+		t.Fatal("bad -max-stale accepted")
+	}
+	if err := run([]string{"-resolver", "https://r.test/dns-query", "-hedge-delay", "nope"}); err == nil {
+		t.Fatal("bad -hedge-delay accepted")
+	}
+}
+
 func TestResolverListAccumulates(t *testing.T) {
 	var rl resolverList
 	for _, u := range []string{"u1", "u2", "u3"} {

@@ -1,9 +1,14 @@
 package dohpool
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net"
+	"net/http"
+	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -202,6 +207,126 @@ func TestGETMethodWorks(t *testing.T) {
 	}
 	if len(pool.Addrs) != 12 {
 		t.Fatalf("pool = %d", len(pool.Addrs))
+	}
+}
+
+// countingDoHTransport answers RFC 8484 POST exchanges in-process,
+// counting every exchange that would have hit the network.
+type countingDoHTransport struct {
+	exchanges atomic.Int64
+	ttl       uint32
+	addrs     []netip.Addr
+}
+
+func (c *countingDoHTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.exchanges.Add(1)
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		return nil, err
+	}
+	query, err := dnswire.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	q := query.Questions[0]
+	for _, a := range c.addrs {
+		if (q.Type == dnswire.TypeA) == a.Is4() {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(q.Name, a, c.ttl))
+		}
+	}
+	wire, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/dns-message"}},
+		Body:       io.NopCloser(bytes.NewReader(wire)),
+	}, nil
+}
+
+// TestLookupPoolCachedWithinTTL is the PR's acceptance criterion at the
+// public API: a repeated LookupPool for the same domain within TTL
+// performs zero network exchanges.
+func TestLookupPoolCachedWithinTTL(t *testing.T) {
+	rt := &countingDoHTransport{ttl: 300, addrs: []netip.Addr{
+		netip.MustParseAddr("192.0.2.1"),
+		netip.MustParseAddr("192.0.2.2"),
+	}}
+	client, err := New(Config{
+		Resolvers: []Resolver{
+			{Name: "r0", URL: "https://r0.test/dns-query"},
+			{Name: "r1", URL: "https://r1.test/dns-query"},
+			{Name: "r2", URL: "https://r2.test/dns-query"},
+		},
+		HTTPClient: &http.Client{Transport: rt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := testCtx(t)
+
+	pool, err := client.LookupPool(ctx, "pool.ntp.org.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) != 6 {
+		t.Fatalf("pool = %d addrs", len(pool.Addrs))
+	}
+	after := rt.exchanges.Load()
+	if after != 3 {
+		t.Fatalf("first lookup = %d exchanges, want 3", after)
+	}
+
+	for i := 0; i < 10; i++ {
+		if _, err := client.LookupPool(ctx, "pool.ntp.org."); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.exchanges.Load(); got != after {
+		t.Fatalf("repeat lookups within TTL performed %d network exchanges, want 0", got-after)
+	}
+
+	if st := client.CacheStats(); st.Hits != 10 || st.HitRate() < 0.9 {
+		t.Errorf("cache stats = %+v", st)
+	}
+	health := client.ResolverHealth()
+	if len(health) != 3 {
+		t.Fatalf("health entries = %d", len(health))
+	}
+	for _, h := range health {
+		if h.Successes != 1 || h.Failures != 0 || h.CircuitOpen {
+			t.Errorf("resolver %s health = %+v", h.Resolver.Name, h)
+		}
+		if h.EWMARTT <= 0 {
+			t.Errorf("resolver %s has no EWMA RTT", h.Resolver.Name)
+		}
+	}
+}
+
+// TestCacheDisabledConfig verifies CacheSize < 0 restores per-call
+// fan-out at the public API.
+func TestCacheDisabledConfig(t *testing.T) {
+	rt := &countingDoHTransport{ttl: 300, addrs: []netip.Addr{netip.MustParseAddr("192.0.2.1")}}
+	client, err := New(Config{
+		Resolvers:  []Resolver{{Name: "r0", URL: "https://r0.test/dns-query"}},
+		CacheSize:  -1,
+		HTTPClient: &http.Client{Transport: rt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := testCtx(t)
+	for i := 0; i < 3; i++ {
+		if _, err := client.LookupPool(ctx, "pool.test."); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.exchanges.Load(); got != 3 {
+		t.Fatalf("uncached exchanges = %d, want 3", got)
 	}
 }
 

@@ -1,0 +1,3 @@
+module dohpool
+
+go 1.24

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohpool/internal/dnscache"
+	"dohpool/internal/dnswire"
+)
+
+// Engine defaults.
+const (
+	// DefaultLookupTimeout bounds one coalesced Algorithm 1 run.
+	DefaultLookupTimeout = 5 * time.Second
+)
+
+// EngineConfig tunes the long-lived layers around Algorithm 1. The zero
+// value gives a caching, coalescing, adaptively hedging engine with
+// breaker defaults.
+type EngineConfig struct {
+	// CacheSize bounds the pool cache (entries). 0 uses
+	// dnscache.DefaultCapacity; negative disables caching entirely.
+	CacheSize int
+	// MaxStale, when positive, serves an expired pool for up to this long
+	// past its TTL while a background refresh runs (stale-while-
+	// revalidate). Zero disables stale serving.
+	MaxStale time.Duration
+	// HedgeDelay is how long to wait for a straggling resolver before
+	// firing a backup attempt at it. Positive = fixed; 0 = adaptive
+	// (2× the resolver's EWMA RTT, clamped).
+	HedgeDelay time.Duration
+	// DisableHedging turns straggler hedging off.
+	DisableHedging bool
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// resolver's circuit breaker. 0 uses DefaultBreakerThreshold;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects attempts.
+	// 0 uses DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// LookupTimeout bounds one coalesced upstream consensus run
+	// (the run is detached from any single caller's context, since many
+	// callers may be waiting on it). 0 uses DefaultLookupTimeout.
+	LookupTimeout time.Duration
+	// Clock injects a time source for TTL tests. Nil uses time.Now.
+	Clock func() time.Time
+}
+
+// Engine is the long-lived form of Algorithm 1: where Generator re-runs
+// the full N-resolver DoH fan-out on every call, Engine layers a
+// TTL-aware pool cache, singleflight request coalescing, per-resolver
+// health tracking and straggler hedging on top, so a daemon serving heavy
+// traffic touches the network only when consensus actually needs
+// refreshing. Create one with NewEngine and share it between any number
+// of goroutines; both dohpool.Client and the DNS Frontend sit on it.
+type Engine struct {
+	gen    *Generator
+	cache  *dnscache.Store[*Pool] // nil when caching is disabled
+	health *HealthTracker
+	cfg    EngineConfig
+
+	flight flightGroup
+
+	networkRuns atomic.Uint64 // actual Algorithm 1 executions
+	staleServes atomic.Uint64
+
+	// refreshMu orders refreshWG.Add against Close's Wait: a refresh
+	// either starts before Close observes the engine closed, or not at
+	// all.
+	refreshMu sync.Mutex
+	refreshWG sync.WaitGroup
+	closed    bool
+}
+
+// NewEngine validates gcfg, wires the health-tracking hedged querier in
+// front of its Querier, and builds the engine.
+func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
+	if ecfg.LookupTimeout <= 0 {
+		ecfg.LookupTimeout = DefaultLookupTimeout
+	}
+	threshold := ecfg.BreakerThreshold
+	switch {
+	case threshold == 0:
+		threshold = DefaultBreakerThreshold
+	case threshold < 0:
+		threshold = 0 // disabled
+	}
+	health := NewHealthTracker(threshold, ecfg.BreakerCooldown, ecfg.Clock)
+	if gcfg.Querier != nil {
+		gcfg.Querier = &hedgedQuerier{
+			inner:   gcfg.Querier,
+			health:  health,
+			fixed:   ecfg.HedgeDelay,
+			disable: ecfg.DisableHedging,
+		}
+	}
+	gen, err := NewGenerator(gcfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{gen: gen, health: health, cfg: ecfg}
+	if ecfg.CacheSize >= 0 {
+		e.cache = dnscache.NewStore[*Pool](ecfg.CacheSize, ecfg.Clock)
+	}
+	return e, nil
+}
+
+// ResolverCount returns N, the number of configured resolvers.
+func (e *Engine) ResolverCount() int { return e.gen.ResolverCount() }
+
+// ServeMajority implements Backend.
+func (e *Engine) ServeMajority() bool { return e.gen.ServeMajority() }
+
+// NetworkRuns returns how many Algorithm 1 fan-outs actually hit the
+// network (cache hits and coalesced waiters do not).
+func (e *Engine) NetworkRuns() uint64 { return e.networkRuns.Load() }
+
+// StaleServes returns how many lookups were answered from an expired
+// entry inside the MaxStale window.
+func (e *Engine) StaleServes() uint64 { return e.staleServes.Load() }
+
+// CacheStats reports pool-cache effectiveness (zero value when caching is
+// disabled).
+func (e *Engine) CacheStats() dnscache.Stats {
+	if e.cache == nil {
+		return dnscache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// Health reports a per-resolver health snapshot.
+func (e *Engine) Health() []ResolverHealth {
+	return e.health.Snapshot(e.gen.cfg.Resolvers)
+}
+
+// EvictExpired drops cache entries dead beyond the stale window and
+// returns how many were removed.
+func (e *Engine) EvictExpired() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.EvictExpired(e.cfg.MaxStale)
+}
+
+// Close waits for background stale-refresh runs to finish. The engine
+// must not be used afterwards.
+func (e *Engine) Close() error {
+	e.refreshMu.Lock()
+	e.closed = true
+	e.refreshMu.Unlock()
+	e.refreshWG.Wait()
+	return nil
+}
+
+// Lookup returns the consensus pool for (domain, typ), from cache when
+// fresh, coalescing concurrent misses into one Algorithm 1 run.
+func (e *Engine) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*Pool, error) {
+	// DNS names are case-insensitive (and stubs may randomize case,
+	// RFC draft 0x20): normalize so casings share one cache entry.
+	key := strings.ToLower(domain) + "|" + strconv.Itoa(int(typ))
+	return e.lookup(ctx, key, func(runCtx context.Context) (*Pool, error) {
+		return e.gen.Lookup(runCtx, domain, typ)
+	})
+}
+
+// LookupDualStack returns the consensus pool for both address families
+// under the generator's dual-stack policy, with the same caching and
+// coalescing as Lookup.
+func (e *Engine) LookupDualStack(ctx context.Context, domain string) (*Pool, error) {
+	key := strings.ToLower(domain) + "|ds|" + strconv.Itoa(int(e.gen.cfg.DualStack))
+	return e.lookup(ctx, key, func(runCtx context.Context) (*Pool, error) {
+		return e.gen.LookupDualStack(runCtx, domain)
+	})
+}
+
+func (e *Engine) lookup(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
+	if e.cache != nil {
+		if pool, age, stale, ok := e.cache.GetStale(key, e.cfg.MaxStale); ok {
+			if !stale {
+				return snapshotPool(pool, age), nil
+			}
+			e.staleServes.Add(1)
+			e.refreshAsync(key, run)
+			return snapshotPool(pool, pool.ttlDuration()), nil
+		}
+	}
+	return e.fetch(ctx, key, run)
+}
+
+// fetch coalesces concurrent misses for key into a single upstream run.
+func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
+	pool, err, _ := e.flight.Do(ctx, key, func() (*Pool, error) {
+		// Detach from the individual caller: other waiters are coalesced
+		// onto this run and must not die with whoever arrived first.
+		runCtx, cancel := context.WithTimeout(context.Background(), e.cfg.LookupTimeout)
+		defer cancel()
+		e.networkRuns.Add(1)
+		p, err := run(runCtx)
+		if err != nil {
+			return nil, err
+		}
+		if e.cache != nil {
+			e.cache.Put(key, p, p.ttlDuration())
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snapshotPool(pool, 0), nil
+}
+
+// refreshAsync kicks off a background consensus refresh for a stale key;
+// the singleflight group guarantees at most one refresh per key runs.
+func (e *Engine) refreshAsync(key string, run func(context.Context) (*Pool, error)) {
+	e.refreshMu.Lock()
+	if e.closed {
+		e.refreshMu.Unlock()
+		return
+	}
+	e.refreshWG.Add(1)
+	e.refreshMu.Unlock()
+	go func() {
+		defer e.refreshWG.Done()
+		_, _ = e.fetch(context.Background(), key, run)
+	}()
+}
+
+// ttlDuration converts the pool's TTL to a cache lifetime.
+func (p *Pool) ttlDuration() time.Duration {
+	return time.Duration(p.TTL) * time.Second
+}
+
+// snapshotPool returns a caller-owned view of a (possibly cached, shared)
+// pool with its TTL decremented by the entry's age. Address slices are
+// deep-copied since they are what callers iterate and mutate; Results
+// entries share their per-resolver answer slices, which are never written
+// after assembly.
+func snapshotPool(p *Pool, age time.Duration) *Pool {
+	out := &Pool{
+		Addrs:          append([]netip.Addr(nil), p.Addrs...),
+		TruncateLength: p.TruncateLength,
+		Results:        append([]ResolverResult(nil), p.Results...),
+		Majority:       append([]netip.Addr(nil), p.Majority...),
+		TTL:            p.TTL,
+	}
+	aged := uint32(age / time.Second)
+	if aged < out.TTL {
+		out.TTL -= aged
+	} else if out.TTL > 0 {
+		// Aged to (or past) expiry but still being served: advertise the
+		// minimum. A genuine TTL-0 pool stays 0 — uncacheable either way.
+		out.TTL = 1
+	}
+	return out
+}
+
+// flightGroup is a minimal singleflight: concurrent Do calls for the same
+// key share one execution of fn. Waiters honour their own context; the
+// executing call does not (fn detaches itself).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	pool *Pool
+	err  error
+}
+
+// Do returns the result of fn, shared with every concurrent caller of the
+// same key. leader reports whether this caller executed fn.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Pool, error)) (pool *Pool, err error, leader bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.pool, c.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.pool, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.pool, c.err, true
+}

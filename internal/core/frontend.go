@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,28 +16,110 @@ import (
 // ErrFrontendClosed is returned by methods on a closed Frontend.
 var ErrFrontendClosed = errors.New("dns frontend closed")
 
+// Frontend defaults.
+const (
+	// DefaultUDPQueue bounds datagrams waiting for a worker; beyond it the
+	// frontend sheds load by dropping (the stub retries).
+	DefaultUDPQueue = 1024
+	// DefaultMaxTCPConns bounds concurrently served TCP connections
+	// (RFC 7766 §6.2.2 advises limiting per-server connection load).
+	DefaultMaxTCPConns = 256
+	// DefaultTCPIdleTimeout closes a TCP connection with no query activity
+	// (RFC 7766 §6.2.3 idle session handling).
+	DefaultTCPIdleTimeout = 10 * time.Second
+)
+
+// Backend answers pool lookups for the frontend. Both the one-shot
+// Generator and the long-lived Engine implement it.
+type Backend interface {
+	Lookup(ctx context.Context, domain string, typ dnswire.Type) (*Pool, error)
+	// ServeMajority selects whether answers carry the majority-filtered
+	// set instead of the full pool.
+	ServeMajority() bool
+}
+
+// FrontendConfig tunes the DNS frontend's serving behaviour.
+type FrontendConfig struct {
+	// Timeout bounds one pool generation (default 5s).
+	Timeout time.Duration
+	// UDPWorkers is the size of the bounded UDP worker pool.
+	// 0 uses 2×GOMAXPROCS (minimum 4).
+	UDPWorkers int
+	// UDPQueue bounds datagrams queued for workers (default
+	// DefaultUDPQueue); the frontend drops excess instead of buffering
+	// without bound.
+	UDPQueue int
+	// MaxTCPConns bounds concurrently served TCP connections (default
+	// DefaultMaxTCPConns).
+	MaxTCPConns int
+	// TCPIdleTimeout closes idle TCP connections (default
+	// DefaultTCPIdleTimeout).
+	TCPIdleTimeout time.Duration
+}
+
+func (c *FrontendConfig) setDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.UDPWorkers <= 0 {
+		c.UDPWorkers = 2 * runtime.GOMAXPROCS(0)
+		if c.UDPWorkers < 4 {
+			c.UDPWorkers = 4
+		}
+	}
+	if c.UDPQueue <= 0 {
+		c.UDPQueue = DefaultUDPQueue
+	}
+	if c.MaxTCPConns <= 0 {
+		c.MaxTCPConns = DefaultMaxTCPConns
+	}
+	if c.TCPIdleTimeout <= 0 {
+		c.TCPIdleTimeout = DefaultTCPIdleTimeout
+	}
+}
+
 // Frontend is the paper's "standard-compatible DNS-resolver interface": a
-// plain-DNS server (UDP with EDNS-aware truncation, plus TCP for large
-// pools) whose answers are generated by Algorithm 1 over the distributed
-// DoH resolvers. Legacy applications point their stub resolver at it and
-// transparently receive consensus-backed pools.
+// plain-DNS server (UDP with EDNS-aware truncation, plus persistent-
+// connection TCP per RFC 7766) whose answers come from the consensus
+// backend. Legacy applications point their stub resolver at it and
+// transparently receive consensus-backed pools. UDP datagrams are served
+// by a bounded worker pool and TCP by a bounded connection pool, so a
+// query flood degrades by shedding load instead of by unbounded goroutine
+// growth.
 type Frontend struct {
-	gen     *Generator
+	backend Backend
+	cfg     FrontendConfig
 	conn    *net.UDPConn
 	tcpLn   net.Listener
-	timeout time.Duration
+
+	packets chan udpPacket
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
+	tcpMu    sync.Mutex
+	tcpConns map[net.Conn]struct{}
+
 	served   atomic.Uint64
 	failures atomic.Uint64
+	dropped  atomic.Uint64
 }
 
-// NewFrontend starts the frontend on addr ("127.0.0.1:0" for ephemeral);
-// the same port serves UDP and TCP. timeout bounds each pool generation
-// (default 5 s).
-func NewFrontend(addr string, gen *Generator, timeout time.Duration) (*Frontend, error) {
+type udpPacket struct {
+	wire   []byte
+	client *net.UDPAddr
+}
+
+// NewFrontend starts the frontend on addr ("127.0.0.1:0" for ephemeral)
+// with default worker-pool sizing; the same port serves UDP and TCP.
+// timeout bounds each pool generation (default 5 s).
+func NewFrontend(addr string, backend Backend, timeout time.Duration) (*Frontend, error) {
+	return NewFrontendWithConfig(addr, backend, FrontendConfig{Timeout: timeout})
+}
+
+// NewFrontendWithConfig starts the frontend on addr with explicit tuning.
+func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*Frontend, error) {
+	cfg.setDefaults()
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -50,12 +133,19 @@ func NewFrontend(addr string, gen *Generator, timeout time.Duration) (*Frontend,
 		conn.Close()
 		return nil, err
 	}
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	f := &Frontend{
+		backend:  backend,
+		cfg:      cfg,
+		conn:     conn,
+		tcpLn:    tcpLn,
+		packets:  make(chan udpPacket, cfg.UDPQueue),
+		tcpConns: make(map[net.Conn]struct{}),
 	}
-	f := &Frontend{gen: gen, conn: conn, tcpLn: tcpLn, timeout: timeout}
-	f.wg.Add(2)
-	go f.serveUDP()
+	f.wg.Add(2 + cfg.UDPWorkers)
+	go f.readUDP()
+	for i := 0; i < cfg.UDPWorkers; i++ {
+		go f.udpWorker()
+	}
 	go f.serveTCP()
 	return f, nil
 }
@@ -69,6 +159,10 @@ func (f *Frontend) Served() uint64 { return f.served.Load() }
 // Failures returns the number of queries that ended in an error RCode.
 func (f *Frontend) Failures() uint64 { return f.failures.Load() }
 
+// Dropped returns the number of UDP datagrams shed because the worker
+// queue was full.
+func (f *Frontend) Dropped() uint64 { return f.dropped.Load() }
+
 // Close stops the frontend and waits for in-flight handlers.
 func (f *Frontend) Close() error {
 	if f.closed.Swap(true) {
@@ -76,12 +170,19 @@ func (f *Frontend) Close() error {
 	}
 	f.conn.Close()
 	f.tcpLn.Close()
+	f.tcpMu.Lock()
+	for c := range f.tcpConns {
+		c.Close()
+	}
+	f.tcpMu.Unlock()
 	f.wg.Wait()
 	return nil
 }
 
-func (f *Frontend) serveUDP() {
+// readUDP is the single reader loop feeding the bounded worker pool.
+func (f *Frontend) readUDP() {
 	defer f.wg.Done()
+	defer close(f.packets)
 	buf := make([]byte, dnswire.MaxMessageSize)
 	for {
 		n, client, err := f.conn.ReadFromUDP(buf)
@@ -93,39 +194,83 @@ func (f *Frontend) serveUDP() {
 		}
 		wire := make([]byte, n)
 		copy(wire, buf[:n])
-		f.wg.Add(1)
-		go func() {
-			defer f.wg.Done()
-			f.handleUDP(wire, client)
-		}()
+		select {
+		case f.packets <- udpPacket{wire: wire, client: client}:
+		default:
+			// Queue full: shed load. The stub resolver retries, and by
+			// then the answer is usually a cache hit.
+			f.dropped.Add(1)
+		}
+	}
+}
+
+func (f *Frontend) udpWorker() {
+	defer f.wg.Done()
+	for pkt := range f.packets {
+		f.handleUDP(pkt.wire, pkt.client)
 	}
 }
 
 func (f *Frontend) serveTCP() {
 	defer f.wg.Done()
+	// sem bounds concurrently served connections; acquiring before Accept
+	// applies backpressure in the kernel's accept queue instead of holding
+	// accepted-but-unserved sockets.
+	sem := make(chan struct{}, f.cfg.MaxTCPConns)
 	for {
+		sem <- struct{}{}
 		conn, err := f.tcpLn.Accept()
 		if err != nil {
+			<-sem
 			if f.closed.Load() {
 				return
 			}
 			continue
 		}
+		f.trackTCP(conn, true)
+		// Re-check after tracking: Close may have swept tcpConns between
+		// Accept and trackTCP, in which case this conn escaped the sweep
+		// and must be closed here.
+		if f.closed.Load() {
+			conn.Close()
+			f.trackTCP(conn, false)
+			<-sem
+			return
+		}
 		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
+			defer func() { <-sem }()
+			defer f.trackTCP(conn, false)
 			defer conn.Close()
-			for {
-				query, err := transport.ReadTCPMessage(conn)
-				if err != nil {
-					return
-				}
-				resp := f.respond(query)
-				if err := transport.WriteTCPMessage(conn, resp); err != nil {
-					return
-				}
-			}
+			f.serveTCPConn(conn)
 		}()
+	}
+}
+
+func (f *Frontend) trackTCP(conn net.Conn, add bool) {
+	f.tcpMu.Lock()
+	defer f.tcpMu.Unlock()
+	if add {
+		f.tcpConns[conn] = struct{}{}
+	} else {
+		delete(f.tcpConns, conn)
+	}
+}
+
+// serveTCPConn answers queries on one RFC 7766 persistent connection
+// until the peer disconnects or goes idle.
+func (f *Frontend) serveTCPConn(conn net.Conn) {
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(f.cfg.TCPIdleTimeout))
+		query, err := transport.ReadTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		resp := f.respond(query)
+		if err := transport.WriteTCPMessage(conn, resp); err != nil {
+			return
+		}
 	}
 }
 
@@ -159,7 +304,7 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 	_, _ = f.conn.WriteToUDP(respWire, client)
 }
 
-// respond builds the DNS answer for one query by running Algorithm 1.
+// respond builds the DNS answer for one query from the consensus backend.
 func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
 	if query.Header.Response || query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
 		f.failures.Add(1)
@@ -173,9 +318,9 @@ func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
 		return dnswire.NewErrorResponse(query, dnswire.RCodeNotImp)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
 	defer cancel()
-	pool, err := f.gen.Lookup(ctx, q.Name, q.Type)
+	pool, err := f.backend.Lookup(ctx, q.Name, q.Type)
 	if err != nil {
 		f.failures.Add(1)
 		return dnswire.NewErrorResponse(query, dnswire.RCodeServFail)
@@ -184,11 +329,15 @@ func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
 	resp := dnswire.NewResponse(query)
 	resp.Header.RecursionAvailable = true
 	addrs := pool.Addrs
-	if f.gen.cfg.WithMajority {
+	if f.backend.ServeMajority() {
 		addrs = pool.Majority
 	}
+	ttl := pool.TTL
+	if ttl == 0 {
+		ttl = DefaultPoolTTL
+	}
 	for _, a := range addrs {
-		resp.Answers = append(resp.Answers, dnswire.AddressRecord(q.Name, a, 60))
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(q.Name, a, ttl))
 	}
 	f.served.Add(1)
 	return resp

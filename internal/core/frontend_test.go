@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"net"
 	"net/netip"
 	"testing"
 	"time"
@@ -217,6 +218,98 @@ func TestFrontendTruncatesOversizedUDP(t *testing.T) {
 	}
 	if got := len(autoResp.AnswerAddrs()); got != 360 {
 		t.Fatalf("TCP fallback answers = %d, want 360", got)
+	}
+}
+
+// TestFrontendTCPPersistentConnection sends several queries over one TCP
+// connection (RFC 7766 connection reuse).
+func TestFrontendTCPPersistentConnection(t *testing.T) {
+	q := &staticQuerier{lists: map[string][]netip.Addr{
+		"u0": addrs("192.0.2.1", "192.0.2.2"),
+		"u1": addrs("192.0.2.3", "192.0.2.4"),
+		"u2": addrs("192.0.2.5", "192.0.2.6"),
+	}}
+	fe := frontendUnderTest(t, q, false)
+
+	conn, err := net.Dial("tcp", fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 5; i++ {
+		query, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transport.WriteTCPMessage(conn, query); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := transport.ReadTCPMessage(conn)
+		if err != nil {
+			t.Fatalf("query %d over reused connection: %v", i, err)
+		}
+		if got := len(resp.AnswerAddrs()); got != 6 {
+			t.Fatalf("query %d answers = %d", i, got)
+		}
+	}
+	if fe.Served() != 5 {
+		t.Errorf("Served = %d, want 5", fe.Served())
+	}
+}
+
+// TestFrontendOnEngineCachesAcrossQueries wires the frontend onto an
+// Engine and checks repeated frontend queries perform one upstream
+// fan-out in total.
+func TestFrontendOnEngineCachesAcrossQueries(t *testing.T) {
+	q := newCountingQuerier(300, threeResolverLists())
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: q}, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	fe, err := NewFrontendWithConfig("127.0.0.1:0", eng, FrontendConfig{
+		Timeout:    time.Second,
+		UDPWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	for i := 0; i < 8; i++ {
+		resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+		if got := len(resp.AnswerAddrs()); got != 6 {
+			t.Fatalf("query %d answers = %d", i, got)
+		}
+	}
+	if got := q.total.Load(); got != 3 {
+		t.Fatalf("8 frontend queries caused %d upstream exchanges, want 3", got)
+	}
+	if eng.NetworkRuns() != 1 {
+		t.Errorf("NetworkRuns = %d, want 1", eng.NetworkRuns())
+	}
+}
+
+// TestFrontendServesPoolTTL checks answer records carry the upstream TTL
+// instead of a hardcoded figure.
+func TestFrontendServesPoolTTL(t *testing.T) {
+	q := newCountingQuerier(150, threeResolverLists())
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: q}, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	fe, err := NewFrontend("127.0.0.1:0", eng, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	resp := frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+	for _, r := range resp.Answers {
+		if r.TTL != 150 {
+			t.Fatalf("answer TTL = %d, want upstream 150", r.TTL)
+		}
 	}
 }
 

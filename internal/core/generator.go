@@ -49,6 +49,10 @@ const (
 	DualStackUnion
 )
 
+// DefaultPoolTTL is the advertised TTL (seconds) when upstream answers
+// carry none — the conservative figure the frontend historically served.
+const DefaultPoolTTL = 60
+
 // ResolverResult records one resolver's contribution to a pool.
 type ResolverResult struct {
 	Endpoint Endpoint
@@ -58,6 +62,9 @@ type ResolverResult struct {
 	Err error
 	// RTT is the exchange duration.
 	RTT time.Duration
+	// MinTTL is the smallest TTL across the resolver's answer records
+	// (DefaultPoolTTL when the answer section carried none).
+	MinTTL uint32
 }
 
 // Pool is the outcome of one Algorithm 1 run.
@@ -73,6 +80,11 @@ type Pool struct {
 	// Majority, when the majority filter is enabled, holds the addresses
 	// confirmed by more than half of the answering resolvers.
 	Majority []netip.Addr
+	// TTL is the pool's advertised lifetime in seconds: the minimum answer
+	// TTL across contributing resolvers. The consensus engine caches the
+	// pool for exactly this long, and the DNS frontend serves it in answer
+	// records.
+	TTL uint32
 }
 
 // Responding returns how many resolvers contributed to the pool.
@@ -138,6 +150,10 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // ResolverCount returns N, the number of configured resolvers.
 func (g *Generator) ResolverCount() int { return len(g.cfg.Resolvers) }
 
+// ServeMajority reports whether consumers (the DNS frontend) should serve
+// the majority-filtered set instead of the full pool.
+func (g *Generator) ServeMajority() bool { return g.cfg.WithMajority }
+
 // Lookup runs Algorithm 1 for (domain, typ): query every resolver,
 // truncate all answer lists to the shortest, concatenate.
 func (g *Generator) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*Pool, error) {
@@ -166,6 +182,9 @@ func (g *Generator) LookupDualStack(ctx context.Context, domain string) (*Pool, 
 				if v6[i].RTT > merged[i].RTT {
 					merged[i].RTT = v6[i].RTT
 				}
+				if v6[i].MinTTL < merged[i].MinTTL {
+					merged[i].MinTTL = v6[i].MinTTL
+				}
 			}
 		}
 		return g.assemble(merged)
@@ -178,6 +197,10 @@ func (g *Generator) LookupDualStack(ctx context.Context, domain string) (*Pool, 
 				Addrs:          append(append([]netip.Addr(nil), p4.Addrs...), p6.Addrs...),
 				TruncateLength: p4.TruncateLength + p6.TruncateLength,
 				Results:        append(append([]ResolverResult(nil), p4.Results...), p6.Results...),
+				TTL:            p4.TTL,
+			}
+			if p6.TTL < combined.TTL {
+				combined.TTL = p6.TTL
 			}
 			if g.cfg.WithMajority {
 				combined.Majority = append(append([]netip.Addr(nil), p4.Majority...), p6.Majority...)
@@ -220,7 +243,12 @@ func (g *Generator) queryAll(ctx context.Context, domain string, typ dnswire.Typ
 			}
 			return
 		}
-		results[i] = ResolverResult{Endpoint: ep, Addrs: resp.AnswerAddrs(), RTT: rtt}
+		results[i] = ResolverResult{
+			Endpoint: ep,
+			Addrs:    resp.AnswerAddrs(),
+			RTT:      rtt,
+			MinTTL:   resp.MinAnswerTTL(DefaultPoolTTL),
+		}
 	}
 
 	if g.cfg.Sequential {
@@ -258,7 +286,7 @@ func (g *Generator) assemble(results []ResolverResult) (*Pool, error) {
 			len(lists), g.cfg.MinResolvers, ErrQuorum, firstError(results))
 	}
 
-	pool := &Pool{Results: results}
+	pool := &Pool{Results: results, TTL: minResultTTL(results)}
 	pool.TruncateLength = TruncateLength(lists)
 	if pool.TruncateLength == 0 {
 		return nil, ErrEmptyAnswer
@@ -268,6 +296,24 @@ func (g *Generator) assemble(results []ResolverResult) (*Pool, error) {
 		pool.Majority = MajorityFilter(lists)
 	}
 	return pool, nil
+}
+
+// minResultTTL returns the smallest MinTTL among successful results (the
+// pool is only as fresh as its most impatient contributor). A genuine
+// TTL-0 contribution yields 0 — uncacheable — rather than being treated
+// as "unset".
+func minResultTTL(results []ResolverResult) uint32 {
+	min, found := uint32(0), false
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if !found || r.MinTTL < min {
+			min = r.MinTTL
+			found = true
+		}
+	}
+	return min
 }
 
 func firstError(results []ResolverResult) error {

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+func TestHealthEWMAAndCounters(t *testing.T) {
+	h := NewHealthTracker(3, time.Second, nil)
+	h.Observe("u0", 100*time.Millisecond, nil)
+	h.Observe("u0", 200*time.Millisecond, nil)
+	h.Observe("u0", 0, errors.New("boom"))
+
+	snap := h.Snapshot([]Endpoint{{Name: "r0", URL: "u0"}})[0]
+	if snap.Successes != 2 || snap.Failures != 1 {
+		t.Fatalf("counters = %d/%d", snap.Successes, snap.Failures)
+	}
+	// EWMA(α=0.25): 100ms then 0.75·100+0.25·200 = 125ms.
+	if snap.EWMARTT != 125*time.Millisecond {
+		t.Errorf("EWMA = %v, want 125ms", snap.EWMARTT)
+	}
+	if snap.ConsecutiveFailures != 1 || snap.CircuitOpen {
+		t.Errorf("streak = %d open = %v", snap.ConsecutiveFailures, snap.CircuitOpen)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	h := NewHealthTracker(3, 10*time.Second, clock)
+
+	for i := 0; i < 3; i++ {
+		if !h.Allow("u0") {
+			t.Fatalf("breaker open after %d failures", i)
+		}
+		h.Observe("u0", 0, errors.New("down"))
+	}
+	if h.Allow("u0") {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if snap := h.Snapshot([]Endpoint{{URL: "u0"}})[0]; !snap.CircuitOpen {
+		t.Error("snapshot does not report open circuit")
+	}
+
+	// After the cooldown one probe is admitted (half-open)…
+	mu.Lock()
+	now = now.Add(11 * time.Second)
+	mu.Unlock()
+	if !h.Allow("u0") {
+		t.Fatal("cooldown passed but probe rejected")
+	}
+	// …and a second concurrent attempt is still rejected.
+	if h.Allow("u0") {
+		t.Fatal("half-open admitted two probes")
+	}
+	// The probe succeeding closes the circuit.
+	h.Observe("u0", time.Millisecond, nil)
+	if !h.Allow("u0") {
+		t.Fatal("success did not close the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	h := NewHealthTracker(0, time.Second, nil)
+	for i := 0; i < 100; i++ {
+		h.Observe("u0", 0, errors.New("down"))
+	}
+	if !h.Allow("u0") {
+		t.Fatal("disabled breaker rejected an attempt")
+	}
+}
+
+func TestAdaptiveHedgeDelayClamps(t *testing.T) {
+	h := NewHealthTracker(3, time.Second, nil)
+	if d := h.hedgeDelay("u0", 0); d != 0 {
+		t.Fatalf("delay with no history = %v, want 0 (no hedge)", d)
+	}
+	if d := h.hedgeDelay("u0", 42*time.Millisecond); d != 42*time.Millisecond {
+		t.Fatalf("fixed delay = %v", d)
+	}
+	h.Observe("u0", 100*time.Microsecond, nil)
+	if d := h.hedgeDelay("u0", 0); d != minHedgeDelay {
+		t.Fatalf("tiny EWMA delay = %v, want floor %v", d, minHedgeDelay)
+	}
+	h2 := NewHealthTracker(3, time.Second, nil)
+	h2.Observe("u0", 10*time.Second, nil)
+	if d := h2.hedgeDelay("u0", 0); d != maxHedgeDelay {
+		t.Fatalf("huge EWMA delay = %v, want cap %v", d, maxHedgeDelay)
+	}
+}
+
+// slowThenFastQuerier stalls the first attempt per URL and answers
+// subsequent (hedged) attempts immediately.
+type slowThenFastQuerier struct {
+	lists map[string][]netip.Addr
+	delay time.Duration
+
+	mu       sync.Mutex
+	attempts map[string]int
+	total    atomic.Int64
+}
+
+func (s *slowThenFastQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	s.mu.Lock()
+	if s.attempts == nil {
+		s.attempts = make(map[string]int)
+	}
+	s.attempts[url]++
+	n := s.attempts[url]
+	s.mu.Unlock()
+	s.total.Add(1)
+	if n == 1 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	for _, a := range s.lists[url] {
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, 300))
+	}
+	return resp, nil
+}
+
+// TestHedgingRescuesStraggler: with one deliberately slow first attempt
+// per resolver and a short fixed hedge delay, the lookup completes long
+// before the straggler would have answered, and the hedge counters tick.
+func TestHedgingRescuesStraggler(t *testing.T) {
+	q := &slowThenFastQuerier{lists: threeResolverLists(), delay: 3 * time.Second}
+	eng, err := NewEngine(
+		Config{Resolvers: threeEndpoints(), Querier: q},
+		EngineConfig{HedgeDelay: 10 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	start := time.Now()
+	pool, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(pool.Addrs) != 6 {
+		t.Fatalf("pool = %d addrs", len(pool.Addrs))
+	}
+	if elapsed >= q.delay {
+		t.Fatalf("lookup took %v — hedging did not rescue the stragglers", elapsed)
+	}
+	var hedges uint64
+	for _, h := range eng.Health() {
+		hedges += h.Hedges
+	}
+	if hedges != 3 {
+		t.Errorf("hedges = %d, want 3 (one per straggling resolver)", hedges)
+	}
+}
+
+// TestHedgingDisabled: the same straggler stalls the lookup when hedging
+// is off.
+func TestHedgingDisabled(t *testing.T) {
+	q := &slowThenFastQuerier{lists: threeResolverLists(), delay: 150 * time.Millisecond}
+	eng, err := NewEngine(
+		Config{Resolvers: threeEndpoints(), Querier: q},
+		EngineConfig{DisableHedging: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	start := time.Now()
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < q.delay {
+		t.Fatalf("lookup took %v < %v with hedging disabled", elapsed, q.delay)
+	}
+	if got := q.total.Load(); got != 3 {
+		t.Errorf("exchanges = %d, want 3 (no hedges)", got)
+	}
+}
+
+// TestBreakerFailsFastThroughEngine: a resolver that keeps erroring trips
+// its breaker; subsequent runs skip it without a network attempt, failing
+// the strict quorum with ErrCircuitOpen in the chain.
+func TestBreakerFailsFastThroughEngine(t *testing.T) {
+	q := &failingQuerier{}
+	eng, err := NewEngine(
+		Config{Resolvers: []Endpoint{{Name: "r0", URL: "u0"}}, Querier: q},
+		EngineConfig{BreakerThreshold: 2, BreakerCooldown: time.Hour, CacheSize: -1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err == nil {
+			t.Fatal("lookup against failing resolver succeeded")
+		}
+	}
+	before := q.calls.Load()
+	_, err = eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen in chain", err)
+	}
+	if q.calls.Load() != before {
+		t.Fatal("open breaker still hit the network")
+	}
+	if snap := eng.Health()[0]; !snap.CircuitOpen {
+		t.Error("health snapshot does not show the open circuit")
+	}
+}
+
+type failingQuerier struct{ calls atomic.Int64 }
+
+func (f *failingQuerier) Query(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
+	f.calls.Add(1)
+	return nil, errors.New("resolver unreachable")
+}

@@ -2,12 +2,11 @@
 // DNS responses. Each recursive resolver in the testbed owns one cache —
 // cache independence across resolvers is part of what makes the paper's
 // distributed-DoH consensus meaningful (a poisoned cache stays local to
-// one resolver).
+// one resolver). The generic Store underneath also backs the consensus
+// engine's pool cache in internal/core.
 package dnscache
 
 import (
-	"container/list"
-	"sync"
 	"time"
 
 	"dohpool/internal/dnswire"
@@ -19,29 +18,20 @@ const DefaultCapacity = 4096
 // Cache is a thread-safe LRU cache keyed by question, honouring record
 // TTLs. The zero value is not usable; call New.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*list.Element
-	lru     *list.List // front = most recent
-	cap     int
-	now     func() time.Time
-
-	hits   uint64
-	misses uint64
-}
-
-type entry struct {
-	key     string
-	msg     *dnswire.Message
-	stored  time.Time
-	expires time.Time
+	store *Store[*dnswire.Message]
 }
 
 // Option configures a Cache.
-type Option func(*Cache)
+type Option func(*cacheConfig)
+
+type cacheConfig struct {
+	cap int
+	now func() time.Time
+}
 
 // WithCapacity bounds the number of cached responses.
 func WithCapacity(n int) Option {
-	return func(c *Cache) {
+	return func(c *cacheConfig) {
 		if n > 0 {
 			c.cap = n
 		}
@@ -50,21 +40,16 @@ func WithCapacity(n int) Option {
 
 // WithClock injects a time source for tests.
 func WithClock(now func() time.Time) Option {
-	return func(c *Cache) { c.now = now }
+	return func(c *cacheConfig) { c.now = now }
 }
 
 // New creates an empty cache.
 func New(opts ...Option) *Cache {
-	c := &Cache{
-		entries: make(map[string]*list.Element),
-		lru:     list.New(),
-		cap:     DefaultCapacity,
-		now:     time.Now,
-	}
+	cfg := cacheConfig{cap: DefaultCapacity, now: time.Now}
 	for _, opt := range opts {
-		opt(c)
+		opt(&cfg)
 	}
-	return c
+	return &Cache{store: NewStore[*dnswire.Message](cfg.cap, cfg.now)}
 }
 
 // Put stores a response for the given question. The entry lives for the
@@ -75,57 +60,23 @@ func (c *Cache) Put(q dnswire.Question, msg *dnswire.Message, minTTL uint32) {
 	if ttl == 0 {
 		return // uncacheable
 	}
-	key := q.Key()
-	now := c.now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.Remove(el)
-		delete(c.entries, key)
-	}
-	e := &entry{
-		key:     key,
-		msg:     msg.Copy(),
-		stored:  now,
-		expires: now.Add(time.Duration(ttl) * time.Second),
-	}
-	c.entries[key] = c.lru.PushFront(e)
-	for c.lru.Len() > c.cap {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).key)
-	}
+	c.store.Put(q.Key(), msg.Copy(), time.Duration(ttl)*time.Second)
 }
 
 // Get returns a copy of the cached response with TTLs decremented by the
 // time spent in cache, or (nil, false) on miss or expiry.
 func (c *Cache) Get(q dnswire.Question) (*dnswire.Message, bool) {
-	key := q.Key()
-	now := c.now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	cached, age, ok := c.store.Get(q.Key())
 	if !ok {
-		c.misses++
 		return nil, false
 	}
-	e := el.Value.(*entry)
-	if !now.Before(e.expires) {
-		c.lru.Remove(el)
-		delete(c.entries, key)
-		c.misses++
-		return nil, false
-	}
-	c.lru.MoveToFront(el)
-	c.hits++
-
-	msg := e.msg.Copy()
-	age := uint32(now.Sub(e.stored) / time.Second)
+	msg := cached.Copy()
+	elapsed := uint32(age / time.Second)
 	decrement := func(records []dnswire.Record) []dnswire.Record {
 		out := make([]dnswire.Record, len(records))
 		for i, r := range records {
-			if r.TTL > age {
-				r.TTL -= age
+			if r.TTL > elapsed {
+				r.TTL -= elapsed
 			} else {
 				r.TTL = 1
 			}
@@ -138,25 +89,16 @@ func (c *Cache) Get(q dnswire.Question) (*dnswire.Message, bool) {
 	return msg, true
 }
 
+// EvictExpired removes entries whose TTL has passed, returning how many
+// were dropped (capacity-pressure hygiene between Get calls).
+func (c *Cache) EvictExpired() int { return c.store.EvictExpired(0) }
+
 // Flush removes every entry.
-func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.lru.Init()
-}
+func (c *Cache) Flush() { c.store.Flush() }
 
 // Len returns the number of live entries (including not-yet-evicted
 // expired ones).
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
+func (c *Cache) Len() int { return c.store.Len() }
 
-// Stats returns cumulative hit and miss counters.
-func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+// Stats returns the cumulative effectiveness counters.
+func (c *Cache) Stats() Stats { return c.store.Stats() }

@@ -41,8 +41,8 @@ func TestPutGet(t *testing.T) {
 	if len(got.Answers) != 1 {
 		t.Fatalf("answers = %d", len(got.Answers))
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 0 {
-		t.Errorf("stats = %d/%d", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 

@@ -1,0 +1,187 @@
+package dnscache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Stats reports cache effectiveness. Hits counts fresh (and served-stale)
+// lookups, Misses absent or expired ones, Evictions capacity-pressure
+// removals, Expirations TTL-driven removals (lazy or via EvictExpired).
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Expirations uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is a thread-safe TTL-aware LRU keyed by string, generic over the
+// cached value. The DNS message Cache and the consensus engine's pool
+// cache are both built on it. The zero value is not usable; call NewStore.
+type Store[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	cap     int
+	now     func() time.Time
+	stats   Stats
+}
+
+type storeEntry[V any] struct {
+	key     string
+	val     V
+	stored  time.Time
+	expires time.Time
+}
+
+// NewStore builds a Store bounded to capacity entries (0 or negative uses
+// DefaultCapacity) reading time from clock (nil uses time.Now).
+func NewStore[V any](capacity int, clock func() time.Time) *Store[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Store[V]{
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		cap:     capacity,
+		now:     clock,
+	}
+}
+
+// Put stores val under key for ttl. A non-positive ttl is uncacheable and
+// ignored. An existing entry is replaced.
+func (s *Store[V]) Put(key string, val V, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, key)
+	}
+	e := &storeEntry[V]{key: key, val: val, stored: now, expires: now.Add(ttl)}
+	s.entries[key] = s.lru.PushFront(e)
+	for s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.removeLocked(oldest)
+		s.stats.Evictions++
+	}
+}
+
+// Get returns the value stored under key together with its age (time since
+// Put). An expired entry is removed and reported as a miss.
+func (s *Store[V]) Get(key string) (val V, age time.Duration, ok bool) {
+	val, age, stale, ok := s.GetStale(key, 0)
+	if stale {
+		var zero V
+		return zero, 0, false
+	}
+	return val, age, ok
+}
+
+// GetStale is Get with a stale-while-revalidate window: an entry whose TTL
+// expired no more than maxStale ago is still returned, flagged stale, so
+// the caller can serve it while refreshing in the background. Entries
+// beyond the window are removed and reported as misses. Stale serves count
+// as hits.
+func (s *Store[V]) GetStale(key string, maxStale time.Duration) (val V, age time.Duration, stale, ok bool) {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.entries[key]
+	if !found {
+		s.stats.Misses++
+		return val, 0, false, false
+	}
+	e := el.Value.(*storeEntry[V])
+	if !now.Before(e.expires) {
+		if now.Sub(e.expires) >= maxStale {
+			s.removeLocked(el)
+			s.stats.Expirations++
+			s.stats.Misses++
+			var zero V
+			return zero, 0, false, false
+		}
+		stale = true
+	}
+	s.lru.MoveToFront(el)
+	s.stats.Hits++
+	return e.val, now.Sub(e.stored), stale, true
+}
+
+// EvictExpired removes every entry whose TTL expired more than grace ago
+// and returns how many were removed. Run it periodically to bound memory
+// held by dead entries that Get never touches again; grace keeps entries
+// alive for a stale-while-revalidate window.
+func (s *Store[V]) EvictExpired(grace time.Duration) int {
+	if grace < 0 {
+		grace = 0
+	}
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for el := s.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*storeEntry[V])
+		if now.Sub(e.expires) >= grace {
+			s.removeLocked(el)
+			s.stats.Expirations++
+			removed++
+		}
+		el = prev
+	}
+	return removed
+}
+
+// Remove deletes key if present.
+func (s *Store[V]) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.removeLocked(el)
+	}
+}
+
+// Flush removes every entry (counters survive).
+func (s *Store[V]) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*list.Element)
+	s.lru.Init()
+}
+
+// Len returns the number of live entries (including not-yet-collected
+// expired ones).
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Store[V]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store[V]) removeLocked(el *list.Element) {
+	s.lru.Remove(el)
+	delete(s.entries, el.Value.(*storeEntry[V]).key)
+}

@@ -1,0 +1,172 @@
+package dnscache
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestStorePutGetAge(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("k", 42, 10*time.Second)
+
+	clk.advance(3 * time.Second)
+	v, age, ok := s.Get("k")
+	if !ok || v != 42 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if age != 3*time.Second {
+		t.Errorf("age = %v, want 3s", age)
+	}
+}
+
+func TestStoreExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("k", 1, 5*time.Second)
+	clk.advance(5 * time.Second)
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	if s.Len() != 0 {
+		t.Errorf("expired entry not removed, Len = %d", s.Len())
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Expirations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreNonPositiveTTLUncacheable(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("zero", 1, 0)
+	s.Put("neg", 2, -time.Second)
+	if s.Len() != 0 {
+		t.Fatalf("uncacheable TTLs stored, Len = %d", s.Len())
+	}
+}
+
+func TestStoreGetStaleWindow(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[string](0, clk.now)
+	s.Put("k", "v", 10*time.Second)
+
+	// Fresh: not stale.
+	v, _, stale, ok := s.GetStale("k", 30*time.Second)
+	if !ok || stale || v != "v" {
+		t.Fatalf("fresh GetStale = %q stale=%v ok=%v", v, stale, ok)
+	}
+	// 5s past expiry, inside the 30s window: served stale.
+	clk.advance(15 * time.Second)
+	v, age, stale, ok := s.GetStale("k", 30*time.Second)
+	if !ok || !stale || v != "v" {
+		t.Fatalf("in-window GetStale = %q stale=%v ok=%v", v, stale, ok)
+	}
+	if age != 15*time.Second {
+		t.Errorf("stale age = %v", age)
+	}
+	// Past the window: gone.
+	clk.advance(26 * time.Second)
+	if _, _, _, ok := s.GetStale("k", 30*time.Second); ok {
+		t.Fatal("entry served beyond the stale window")
+	}
+}
+
+func TestStoreLRUEvictionCountsEvictions(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](2, clk.now)
+	s.Put("a", 1, time.Minute)
+	s.Put("b", 2, time.Minute)
+	if _, _, ok := s.Get("a"); !ok { // touch a → b becomes the victim
+		t.Fatal("a missing")
+	}
+	s.Put("c", 3, time.Minute)
+	if _, _, ok := s.Get("b"); ok {
+		t.Error("LRU victim b still cached")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestStoreEvictExpired(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	for i := 0; i < 4; i++ {
+		s.Put("short"+strconv.Itoa(i), i, 10*time.Second)
+	}
+	s.Put("long", 99, time.Hour)
+
+	clk.advance(20 * time.Second)
+	if got := s.EvictExpired(0); got != 4 {
+		t.Fatalf("EvictExpired removed %d, want 4", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if st := s.Stats(); st.Expirations != 4 {
+		t.Errorf("expirations = %d", st.Expirations)
+	}
+}
+
+func TestStoreEvictExpiredHonoursGrace(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("k", 1, 10*time.Second)
+	clk.advance(15 * time.Second)
+	// 5s past expiry; a 30s grace (stale window) keeps it.
+	if got := s.EvictExpired(30 * time.Second); got != 0 {
+		t.Fatalf("grace ignored, removed %d", got)
+	}
+	clk.advance(30 * time.Second)
+	if got := s.EvictExpired(30 * time.Second); got != 1 {
+		t.Fatalf("EvictExpired removed %d, want 1", got)
+	}
+}
+
+func TestStoreHitRate(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	if r := s.Stats().HitRate(); r != 0 {
+		t.Fatalf("empty hit rate = %v", r)
+	}
+	s.Put("k", 1, time.Minute)
+	s.Get("k")
+	s.Get("absent")
+	if r := s.Stats().HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+}
+
+func TestStoreRemoveAndFlush(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("a", 1, time.Minute)
+	s.Put("b", 2, time.Minute)
+	s.Remove("a")
+	if _, _, ok := s.Get("a"); ok {
+		t.Fatal("removed entry still present")
+	}
+	s.Flush()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Flush = %d", s.Len())
+	}
+}
+
+func TestStoreOverwriteResetsTTL(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore[int](0, clk.now)
+	s.Put("k", 1, 10*time.Second)
+	clk.advance(8 * time.Second)
+	s.Put("k", 2, 10*time.Second)
+	clk.advance(8 * time.Second)
+	v, age, ok := s.Get("k")
+	if !ok || v != 2 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if age != 8*time.Second {
+		t.Errorf("age = %v, want 8s (reset at overwrite)", age)
+	}
+}
