@@ -1,0 +1,213 @@
+// Command benchgate turns `go test -bench` output into a JSON artifact
+// and enforces a benchmark-regression gate against a checked-in
+// baseline. It is what makes CI's benchmark job a gate instead of a
+// smoke test.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 3x -count 3 . | \
+//	    benchgate parse -out BENCH_ci.json
+//	benchgate compare -baseline BENCH_baseline.json -current BENCH_ci.json \
+//	    -bench BenchmarkEngineCachedLookup -threshold 0.30
+//
+// parse reads benchmark result lines (multiple -count runs of the same
+// benchmark are collapsed to their fastest sample — the least-noise
+// estimator for "how fast can this machine run it") and writes a JSON
+// map of benchmark name to ns/op and B/op. compare exits non-zero when
+// the named benchmark's ns/op in -current exceeds -baseline by more
+// than -threshold (a fraction: 0.30 = +30%).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	BPerOp  float64 `json:"b_per_op,omitempty"`
+	Samples int     `json:"samples"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchgate parse|compare [flags]")
+	}
+	switch args[0] {
+	case "parse":
+		return runParse(args[1:], stdin, stdout)
+	case "compare":
+		return runCompare(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
+	}
+}
+
+func runParse(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate parse", flag.ContinueOnError)
+	in := fs.String("in", "", "benchmark output file (default stdin)")
+	out := fs.String("out", "", "JSON output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(parsed.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+	blob, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, blob, 0o644)
+	}
+	_, err = stdout.Write(blob)
+	return err
+}
+
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON")
+	curPath := fs.String("current", "BENCH_ci.json", "current-run JSON")
+	bench := fs.String("bench", "BenchmarkEngineCachedLookup", "gated benchmark name")
+	threshold := fs.Float64("threshold", 0.30, "allowed ns/op regression fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		return err
+	}
+
+	// Context first: every benchmark both files know about.
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		fmt.Fprintf(stdout, "%-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
+	}
+
+	return Gate(base, cur, *bench, *threshold, stdout)
+}
+
+// Gate fails when bench's current ns/op exceeds the baseline by more
+// than threshold. A gated benchmark missing from either file is an
+// error: a silently skipped gate is indistinguishable from a passing
+// one.
+func Gate(base, cur *File, bench string, threshold float64, out io.Writer) error {
+	b, ok := base.Benchmarks[bench]
+	if !ok {
+		return fmt.Errorf("baseline has no %q — refresh the baseline", bench)
+	}
+	c, ok := cur.Benchmarks[bench]
+	if !ok {
+		return fmt.Errorf("current run has no %q — did the benchmark get renamed?", bench)
+	}
+	if b.NsPerOp <= 0 {
+		return fmt.Errorf("baseline %q has non-positive ns/op %v", bench, b.NsPerOp)
+	}
+	change := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+	if change > threshold {
+		return fmt.Errorf("%s regressed %.1f%% (%.1f -> %.1f ns/op), threshold %.0f%%",
+			bench, 100*change, b.NsPerOp, c.NsPerOp, 100*threshold)
+	}
+	fmt.Fprintf(out, "gate ok: %s %+.1f%% (threshold +%.0f%%)\n", bench, 100*change, 100*threshold)
+	return nil
+}
+
+func load(path string) (*File, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineCachedLookup-8   1000000   812.3 ns/op   456 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+var bPerOp = regexp.MustCompile(`([0-9.e+]+) B/op`)
+
+// Parse reads `go test -bench` output. Repeated runs of the same
+// benchmark (-count > 1) collapse to the fastest sample.
+func Parse(r io.Reader) (*File, error) {
+	out := &File{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := Result{NsPerOp: ns, Samples: 1}
+		if bm := bPerOp.FindStringSubmatch(m[3]); bm != nil {
+			res.BPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if prev, ok := out.Benchmarks[name]; ok {
+			res.Samples = prev.Samples + 1
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.BPerOp != 0 && (res.BPerOp == 0 || prev.BPerOp < res.BPerOp) {
+				res.BPerOp = prev.BPerOp
+			}
+		}
+		out.Benchmarks[name] = res
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: dohpool
+cpu: Example CPU
+BenchmarkEngineCachedLookup-8    	 2201102	       812.3 ns/op	     456 B/op	       2 allocs/op
+BenchmarkEngineCachedLookup-8    	 2300000	       798.1 ns/op	     440 B/op	       2 allocs/op
+BenchmarkEngineCachedLookup-8    	 2100000	       905.7 ns/op	     470 B/op	       2 allocs/op
+BenchmarkEngineUncachedLookup-8  	    3021	    392817 ns/op
+BenchmarkFrontendThroughput/udp-8	   50000	     21034 ns/op
+PASS
+ok  	dohpool	42.1s
+`
+
+func TestParseAggregatesMinimum(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := f.Benchmarks["BenchmarkEngineCachedLookup"]
+	if !ok {
+		t.Fatalf("benchmarks = %v", f.Benchmarks)
+	}
+	if got.NsPerOp != 798.1 {
+		t.Errorf("ns/op = %v, want fastest sample 798.1", got.NsPerOp)
+	}
+	if got.BPerOp != 440 {
+		t.Errorf("B/op = %v, want 440", got.BPerOp)
+	}
+	if got.Samples != 3 {
+		t.Errorf("samples = %d, want 3", got.Samples)
+	}
+	if _, ok := f.Benchmarks["BenchmarkFrontendThroughput/udp"]; !ok {
+		t.Error("sub-benchmark name not parsed")
+	}
+	if un := f.Benchmarks["BenchmarkEngineUncachedLookup"]; un.NsPerOp != 392817 || un.BPerOp != 0 {
+		t.Errorf("uncached = %+v", un)
+	}
+}
+
+func TestGateWithinThreshold(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1250}}}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
+		t.Fatalf("+25%% failed a 30%% gate: %v", err)
+	}
+}
+
+func TestGateRegressionFails(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1311}}}
+	err := Gate(base, cur, "B", 0.30, &strings.Builder{})
+	if err == nil {
+		t.Fatal("+31.1% passed a 30% gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 200}}}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
+		t.Fatalf("5x speedup failed the gate: %v", err)
+	}
+}
+
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"other": {NsPerOp: 1}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1}}}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err == nil {
+		t.Fatal("missing baseline entry passed")
+	}
+	if err := Gate(cur, base, "B", 0.30, &strings.Builder{}); err == nil {
+		t.Fatal("missing current entry passed")
+	}
+}
+
+func TestRunParseCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	ciJSON := filepath.Join(dir, "BENCH_ci.json")
+	if err := os.WriteFile(benchTxt, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse", "-in", benchTxt, "-out", ciJSON}, nil, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same file as baseline and current: 0% change must pass.
+	var out strings.Builder
+	err := run([]string{"compare",
+		"-baseline", ciJSON, "-current", ciJSON,
+		"-bench", "BenchmarkEngineCachedLookup", "-threshold", "0.30"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gate ok") {
+		t.Fatalf("compare output:\n%s", out.String())
+	}
+}
+
+func TestRunParseEmptyInputFails(t *testing.T) {
+	if err := run([]string{"parse"}, strings.NewReader("no benchmarks here\n"), &strings.Builder{}); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

@@ -11,15 +11,23 @@
 //
 // Usage:
 //
-//	dohpoold -listen 127.0.0.1:5353 \
+//	dohpoold -listen 127.0.0.1:5353 -admin 127.0.0.1:8053 \
 //	  -resolver https://dns.google/dns-query \
 //	  -resolver https://cloudflare-dns.com/dns-query \
 //	  -resolver https://dns.quad9.net/dns-query
+//
+// While running, the admin server answers `curl :8053/metrics`
+// (Prometheus exposition for engine lookups, cache effectiveness,
+// resolver health and frontend traffic), `/healthz` (breaker-aware
+// readiness) and `/poolz` (cached pools with TTLs).
 //
 // Flags:
 //
 //	-listen             UDP+TCP address for the plain-DNS front-end
 //	-resolver           DoH endpoint URL (repeat ≥ 3 times)
+//	-admin              observability HTTP address ("" disables)
+//	-stats-on-exit      print cache/health stats at shutdown (the
+//	                    pre-admin-server behaviour)
 //	-quorum             resolvers that must answer (0 = all)
 //	-majority           answer only majority-confirmed addresses
 //	-timeout            per-resolver query timeout
@@ -35,6 +43,7 @@ package main
 
 import (
 	"crypto/tls"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,7 +76,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("dohpoold", flag.ContinueOnError)
 	var resolvers resolverList
 	var (
-		listen   = fs.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for the DNS front-end")
+		listen      = fs.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for the DNS front-end")
+		adminAddr   = fs.String("admin", "127.0.0.1:8053", "observability HTTP listen address for /metrics, /healthz, /poolz (\"\" disables)")
+		statsOnExit = fs.Bool("stats-on-exit", false, "print cache and resolver-health stats at shutdown")
+
 		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
 		majority = fs.Bool("majority", false, "answer only majority-confirmed addresses")
 		timeout  = fs.Duration("timeout", 4*time.Second, "per-resolver query timeout")
@@ -89,6 +101,12 @@ func run(args []string) error {
 	if len(resolvers) == 0 {
 		return fmt.Errorf("at least one -resolver is required (the security analysis wants >= 3)")
 	}
+	adminExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "admin" {
+			adminExplicit = true
+		}
+	})
 	if len(resolvers) < 3 {
 		fmt.Fprintf(os.Stderr, "warning: only %d resolver(s); the paper's analysis assumes >= 3\n", len(resolvers))
 	}
@@ -105,6 +123,7 @@ func run(args []string) error {
 		BreakerCooldown:  *breakerCooldown,
 		UDPWorkers:       *udpWorkers,
 		MaxTCPConns:      *maxTCPConns,
+		AdminAddr:        *adminAddr,
 	}
 	if *caFile != "" {
 		pemBytes, err := os.ReadFile(*caFile)
@@ -124,24 +143,43 @@ func run(args []string) error {
 		})
 	}
 	client, err := dohpool.New(cfg)
+	if errors.Is(err, dohpool.ErrAdminListen) && !adminExplicit {
+		// The admin server is on by default; an instance that worked
+		// before the default existed (or a second instance on the same
+		// host) must not be broken by a port conflict it never asked
+		// about. Only an explicit -admin failure is fatal.
+		fmt.Fprintf(os.Stderr, "warning: default admin address %s unavailable (%v); observability disabled — pass -admin explicitly to make this fatal\n", cfg.AdminAddr, err)
+		cfg.AdminAddr = ""
+		client, err = dohpool.New(cfg)
+	}
 	if err != nil {
 		return err
 	}
-	defer client.Close()
 
 	frontend, err := client.Serve(*listen)
 	if err != nil {
+		_ = client.Close()
 		return err
 	}
-	defer frontend.Close()
 	fmt.Printf("dohpoold: serving consensus-backed DNS (UDP+TCP) on %s via %d DoH resolvers\n",
 		frontend.Addr(), client.ResolverCount())
+	if addr := client.AdminAddr(); addr != "" {
+		fmt.Printf("dohpoold: observability on http://%s (/metrics /healthz /poolz)\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	printStats(client, frontend)
-	return nil
+
+	// Ordered shutdown: stop the frontend first — its Close waits for
+	// every in-flight query to be answered — so the engine (and admin
+	// server) those queries depend on only goes away once they are
+	// flushed.
+	_ = frontend.Close()
+	if *statsOnExit {
+		printStats(client, frontend)
+	}
+	return client.Close()
 }
 
 // printStats reports engine effectiveness at shutdown: served/failure

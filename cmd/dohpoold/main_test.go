@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,24 @@ func TestRunRejectsBadEngineFlagValues(t *testing.T) {
 	}
 	if err := run([]string{"-resolver", "https://r.test/dns-query", "-hedge-delay", "nope"}); err == nil {
 		t.Fatal("bad -hedge-delay accepted")
+	}
+}
+
+func TestRunRejectsUnusableAdminAddr(t *testing.T) {
+	// An explicitly requested -admin address that cannot be bound must
+	// surface as a startup error, not a silently missing observability
+	// server. Occupy a port to guarantee the bind fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	err = run([]string{"-resolver", "https://r.test/dns-query", "-admin", ln.Addr().String()})
+	if err == nil {
+		t.Fatal("occupied -admin address accepted")
+	}
+	if !strings.Contains(err.Error(), "admin listen") {
+		t.Fatalf("err = %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/netip"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -351,5 +352,120 @@ func TestPaddingThroughFacade(t *testing.T) {
 	}
 	if len(pool.Addrs) != 12 {
 		t.Fatalf("padded lookup pool = %d", len(pool.Addrs))
+	}
+}
+
+// TestAdminServerEndToEnd is the observability acceptance criterion: a
+// Client with AdminAddr set serves Prometheus metrics covering engine
+// lookups, cache effectiveness, resolver health and frontend traffic,
+// plus breaker-aware readiness and the cached-pool dump, all while real
+// DNS queries flow through the frontend.
+func TestAdminServerEndToEnd(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{AdminAddr: "127.0.0.1:0"})
+	t.Cleanup(func() { _ = client.Close() })
+	addr := client.AdminAddr()
+	if addr == "" {
+		t.Fatal("AdminAddr empty with admin server configured")
+	}
+
+	fe, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	// Traffic: one cache-filling query and one cache hit over UDP.
+	for i := 0; i < 2; i++ {
+		query, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := (&transport.UDP{}).Exchange(testCtx(t), query, fe.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		`dohpool_engine_lookups_total{outcome="network"} 1`,
+		`dohpool_engine_lookups_total{outcome="cache_hit"} 1`,
+		"dohpool_cache_hits_total 1",
+		"dohpool_cache_misses_total 1",
+		`result="ok"} 1`, // per-resolver exchange counters
+		"dohpool_resolver_rtt_seconds{",
+		`dohpool_frontend_queries_total{proto="udp"} 2`,
+		`dohpool_frontend_responses_total{rcode="NOERROR"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d (%s)", code, body)
+	}
+	if !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/healthz body = %s", body)
+	}
+
+	code, body = get("/poolz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /poolz = %d", code)
+	}
+	if !strings.Contains(body, tb.Domain()) {
+		t.Errorf("/poolz does not mention %q: %s", tb.Domain(), body)
+	}
+
+	// WritePrometheus serves the same exposition for embedders.
+	var buf bytes.Buffer
+	if err := client.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dohpool_engine_lookups_total") {
+		t.Error("WritePrometheus missing engine metrics")
+	}
+
+	// Close stops the admin server; the port must refuse connections.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&http.Client{Timeout: time.Second}).Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("admin server still answering after Close")
+	}
+}
+
+func TestAdminListenFailureIsMatchable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = New(Config{
+		Resolvers: []Resolver{{Name: "r", URL: "https://r.test/dns-query"}},
+		AdminAddr: ln.Addr().String(),
+	})
+	if !errors.Is(err, ErrAdminListen) {
+		t.Fatalf("err = %v, want ErrAdminListen", err)
 	}
 }

@@ -1,0 +1,178 @@
+// Package admin is the observability surface of a running consensus
+// engine: a small HTTP server exposing Prometheus metrics, breaker-aware
+// readiness and a dump of the cached pools. It is deliberately separate
+// from the DNS frontend — the admin port is an operator interface and is
+// typically bound to loopback or a management network, never exposed
+// where DNS clients live.
+//
+// Endpoints:
+//
+//	GET /metrics  Prometheus text-format exposition (version 0.0.4)
+//	GET /healthz  200 while at least one resolver can be asked;
+//	              503 when every resolver's circuit breaker is open
+//	GET /poolz    JSON dump of the cached consensus pools with TTLs
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dohpool/internal/core"
+	"dohpool/internal/metrics"
+)
+
+// Engine is the view of the consensus engine the admin server needs.
+// *core.Engine implements it.
+type Engine interface {
+	Health() []core.ResolverHealth
+	Ready() bool
+	CachedPools() []core.CachedPool
+}
+
+// Config wires the admin server to its data sources.
+type Config struct {
+	// Registry backs /metrics. Nil renders an empty exposition.
+	Registry *metrics.Registry
+	// Engine backs /healthz and /poolz. Nil reports ready and no pools.
+	Engine Engine
+}
+
+// Server is a running admin HTTP server. Create with Start, stop with
+// Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:8053", ":0" for ephemeral) and
+// serves the admin endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen: %w", err)
+	}
+	s := &Server{ln: ln}
+	s.srv = &http.Server{
+		Handler:           Handler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately (scrapes are short-lived; there is
+// nothing worth draining).
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// Handler builds the admin endpoint mux — exported so embedding
+// applications can mount the endpoints on their own server.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeHealth(w, cfg.Engine)
+	})
+	mux.HandleFunc("GET /poolz", func(w http.ResponseWriter, r *http.Request) {
+		writePools(w, cfg.Engine)
+	})
+	return mux
+}
+
+// healthResponse is the /healthz JSON body.
+type healthResponse struct {
+	Status    string           `json:"status"` // "ok" | "unavailable"
+	Resolvers []resolverHealth `json:"resolvers"`
+}
+
+type resolverHealth struct {
+	Name                string  `json:"name"`
+	URL                 string  `json:"url"`
+	EWMARTTSeconds      float64 `json:"ewma_rtt_seconds"`
+	Successes           uint64  `json:"successes"`
+	Failures            uint64  `json:"failures"`
+	Hedges              uint64  `json:"hedges"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	CircuitOpen         bool    `json:"circuit_open"`
+}
+
+func writeHealth(w http.ResponseWriter, eng Engine) {
+	resp := healthResponse{Status: "ok"}
+	if eng != nil {
+		for _, h := range eng.Health() {
+			resp.Resolvers = append(resp.Resolvers, resolverHealth{
+				Name:                h.Name,
+				URL:                 h.URL,
+				EWMARTTSeconds:      h.EWMARTT.Seconds(),
+				Successes:           h.Successes,
+				Failures:            h.Failures,
+				Hedges:              h.Hedges,
+				ConsecutiveFailures: h.ConsecutiveFailures,
+				CircuitOpen:         h.CircuitOpen,
+			})
+		}
+		if !eng.Ready() {
+			resp.Status = "unavailable"
+		}
+	}
+	code := http.StatusOK
+	if resp.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// poolsResponse is the /poolz JSON body.
+type poolsResponse struct {
+	Pools []cachedPool `json:"pools"`
+}
+
+type cachedPool struct {
+	Key            string   `json:"key"`
+	Addrs          []string `json:"addrs"`
+	TruncateLength int      `json:"truncate_length"`
+	Responding     int      `json:"responding"`
+	AgeSeconds     float64  `json:"age_seconds"`
+	TTLSeconds     float64  `json:"ttl_seconds"` // negative once expired
+	Stale          bool     `json:"stale"`
+}
+
+func writePools(w http.ResponseWriter, eng Engine) {
+	resp := poolsResponse{Pools: []cachedPool{}}
+	if eng != nil {
+		for _, p := range eng.CachedPools() {
+			cp := cachedPool{
+				Key:            p.Key,
+				Addrs:          make([]string, len(p.Addrs)),
+				TruncateLength: p.TruncateLength,
+				Responding:     p.Responding,
+				AgeSeconds:     p.Age.Seconds(),
+				TTLSeconds:     p.Remaining.Seconds(),
+				Stale:          p.Remaining < 0,
+			}
+			for i, a := range p.Addrs {
+				cp.Addrs[i] = a.String()
+			}
+			resp.Pools = append(resp.Pools, cp)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,227 @@
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+)
+
+// fakeQuerier answers every resolver URL with a fixed list, or fails
+// when broken.
+type fakeQuerier struct {
+	lists  map[string][]netip.Addr
+	broken bool
+}
+
+func (f *fakeQuerier) Query(_ context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	if f.broken {
+		return nil, errors.New("resolver down")
+	}
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	for _, a := range f.lists[url] {
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, 120))
+	}
+	return resp, nil
+}
+
+func engineUnderTest(t *testing.T, reg *metrics.Registry, q core.Querier, threshold int) *core.Engine {
+	t.Helper()
+	eng, err := core.NewEngine(core.Config{
+		Resolvers: []core.Endpoint{
+			{Name: "r0", URL: "u0"},
+			{Name: "r1", URL: "u1"},
+			{Name: "r2", URL: "u2"},
+		},
+		Querier: q,
+	}, core.EngineConfig{Metrics: reg, BreakerThreshold: threshold, DisableHedging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+func workingQuerier() *fakeQuerier {
+	return &fakeQuerier{lists: map[string][]netip.Addr{
+		"u0": {netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.2")},
+		"u1": {netip.MustParseAddr("192.0.2.3"), netip.MustParseAddr("192.0.2.4")},
+		"u2": {netip.MustParseAddr("192.0.2.5"), netip.MustParseAddr("192.0.2.6")},
+	}}
+}
+
+func serverUnderTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := Start("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpointParsesAsPrometheusText(t *testing.T) {
+	reg := metrics.New()
+	eng := engineUnderTest(t, reg, workingQuerier(), 0)
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if err := metrics.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text format: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		core.MetricEngineLookups + `{outcome="network"} 1`,
+		core.MetricCacheMisses + " 1",
+		core.MetricResolverExchanges + `{resolver="r0",result="ok"} 1`,
+		core.MetricBreakerState + `{resolver="r2"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestHealthzFlipsWhenAllBreakersOpen(t *testing.T) {
+	reg := metrics.New()
+	q := workingQuerier()
+	eng := engineUnderTest(t, reg, q, 2)
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+	url := "http://" + srv.Addr() + "/healthz"
+
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz before failures = %d (%s)", code, body)
+	}
+	var h struct {
+		Status    string `json:"status"`
+		Resolvers []struct {
+			Name        string `json:"name"`
+			CircuitOpen bool   `json:"circuit_open"`
+		} `json:"resolvers"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || len(h.Resolvers) != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Open every breaker: two failing fan-outs reach threshold 2 on all
+	// three resolvers.
+	q.broken = true
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Lookup(context.Background(), fmt.Sprintf("m%d.test.", i), dnswire.TypeA); err == nil {
+			t.Fatal("lookup against dead resolvers succeeded")
+		}
+	}
+	code, body = get(t, url)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz with all breakers open = %d (%s)", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "unavailable" {
+		t.Fatalf("status = %q, want unavailable", h.Status)
+	}
+	for _, r := range h.Resolvers {
+		if !r.CircuitOpen {
+			t.Errorf("resolver %s reported closed breaker", r.Name)
+		}
+	}
+}
+
+func TestPoolzReflectsCachedPool(t *testing.T) {
+	reg := metrics.New()
+	eng := engineUnderTest(t, reg, workingQuerier(), 0)
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+	url := "http://" + srv.Addr() + "/poolz"
+
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET /poolz = %d", code)
+	}
+	var p struct {
+		Pools []struct {
+			Key            string   `json:"key"`
+			Addrs          []string `json:"addrs"`
+			TruncateLength int      `json:"truncate_length"`
+			Responding     int      `json:"responding"`
+			TTLSeconds     float64  `json:"ttl_seconds"`
+			Stale          bool     `json:"stale"`
+		} `json:"pools"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/poolz is not JSON: %v\n%s", err, body)
+	}
+	if len(p.Pools) != 0 {
+		t.Fatalf("poolz before any lookup = %d pools", len(p.Pools))
+	}
+
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, url)
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pools) != 1 {
+		t.Fatalf("poolz = %d pools, want 1\n%s", len(p.Pools), body)
+	}
+	pool := p.Pools[0]
+	if !strings.HasPrefix(pool.Key, "pool.test.|") {
+		t.Errorf("key = %q", pool.Key)
+	}
+	if len(pool.Addrs) != 6 || pool.TruncateLength != 2 || pool.Responding != 3 {
+		t.Errorf("pool = %+v", pool)
+	}
+	if pool.Addrs[0] != "192.0.2.1" {
+		t.Errorf("addrs[0] = %q", pool.Addrs[0])
+	}
+	if pool.TTLSeconds <= 0 || pool.TTLSeconds > 120 || pool.Stale {
+		t.Errorf("ttl_seconds = %v stale = %v", pool.TTLSeconds, pool.Stale)
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	srv := serverUnderTest(t, Config{})
+	code, _ := get(t, "http://"+srv.Addr()+"/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d", code)
+	}
+}

@@ -56,20 +56,41 @@ func Listen(addr string, z *zone.Zone) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("resolve %s: %w", addr, err)
 	}
-	udpConn, err := net.ListenUDP("udp", udpAddr)
+	udpConn, tcpLn, err := listenSamePort(udpAddr)
 	if err != nil {
-		return nil, fmt.Errorf("listen udp %s: %w", addr, err)
-	}
-	tcpLn, err := net.Listen("tcp", udpConn.LocalAddr().String())
-	if err != nil {
-		udpConn.Close()
-		return nil, fmt.Errorf("listen tcp %s: %w", udpConn.LocalAddr(), err)
+		return nil, err
 	}
 	s := &Server{zone: z, udpConn: udpConn, tcpLn: tcpLn}
 	s.wg.Add(2)
 	go s.serveUDP()
 	go s.serveTCP()
 	return s, nil
+}
+
+// listenSamePort binds UDP and TCP to one port number. With an ephemeral
+// request (port 0) the kernel picks the UDP port without regard for TCP,
+// so the TCP bind can collide with an unrelated listener — retry with a
+// fresh UDP port instead of failing the whole server (a real CI flake
+// under parallel test runs).
+func listenSamePort(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
+	const attempts = 5
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		udpConn, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("listen udp %s: %w", udpAddr, err)
+		}
+		tcpLn, err := net.Listen("tcp", udpConn.LocalAddr().String())
+		if err == nil {
+			return udpConn, tcpLn, nil
+		}
+		lastErr = fmt.Errorf("listen tcp %s: %w", udpConn.LocalAddr(), err)
+		udpConn.Close()
+		if udpAddr.Port != 0 {
+			break // a fixed port will not change on retry
+		}
+	}
+	return nil, nil, lastErr
 }
 
 // Addr returns the host:port the server listens on.

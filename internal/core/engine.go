@@ -11,6 +11,7 @@ import (
 
 	"dohpool/internal/dnscache"
 	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
 )
 
 // Engine defaults.
@@ -49,6 +50,10 @@ type EngineConfig struct {
 	LookupTimeout time.Duration
 	// Clock injects a time source for TTL tests. Nil uses time.Now.
 	Clock func() time.Time
+	// Metrics, when non-nil, receives the engine's, health tracker's and
+	// pool cache's instruments (see the Metric* name constants). Nil
+	// disables instrumentation at the cost of one nil check per event.
+	Metrics *metrics.Registry
 }
 
 // Engine is the long-lived form of Algorithm 1: where Generator re-runs
@@ -63,6 +68,7 @@ type Engine struct {
 	cache  *dnscache.Store[*Pool] // nil when caching is disabled
 	health *HealthTracker
 	cfg    EngineConfig
+	inst   engineInstruments
 
 	flight flightGroup
 
@@ -91,6 +97,9 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 		threshold = 0 // disabled
 	}
 	health := NewHealthTracker(threshold, ecfg.BreakerCooldown, ecfg.Clock)
+	if ecfg.Metrics != nil {
+		health.instrument(newHealthInstruments(ecfg.Metrics, gcfg.Resolvers))
+	}
 	if gcfg.Querier != nil {
 		gcfg.Querier = &hedgedQuerier{
 			inner:   gcfg.Querier,
@@ -103,9 +112,10 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{gen: gen, health: health, cfg: ecfg}
+	e := &Engine{gen: gen, health: health, cfg: ecfg, inst: newEngineInstruments(ecfg.Metrics)}
 	if ecfg.CacheSize >= 0 {
 		e.cache = dnscache.NewStore[*Pool](ecfg.CacheSize, ecfg.Clock)
+		registerCacheMetrics(ecfg.Metrics, e.cache)
 	}
 	return e, nil
 }
@@ -136,6 +146,58 @@ func (e *Engine) CacheStats() dnscache.Stats {
 // Health reports a per-resolver health snapshot.
 func (e *Engine) Health() []ResolverHealth {
 	return e.health.Snapshot(e.gen.cfg.Resolvers)
+}
+
+// Ready reports breaker-aware readiness: false only when every
+// resolver's circuit breaker is open, i.e. no upstream could currently
+// be asked and any cache miss is guaranteed to fail.
+func (e *Engine) Ready() bool {
+	snap := e.Health()
+	for _, h := range snap {
+		if !h.CircuitOpen {
+			return true
+		}
+	}
+	return len(snap) == 0
+}
+
+// CachedPool is a point-in-time view of one cached consensus pool for
+// introspection (the admin server's /poolz endpoint).
+type CachedPool struct {
+	// Key is the cache key: lower-cased domain plus query-type suffix.
+	Key string
+	// Addrs is the combined pool.
+	Addrs []netip.Addr
+	// TruncateLength is K, the per-resolver contribution size.
+	TruncateLength int
+	// Responding is how many resolvers contributed.
+	Responding int
+	// Age is the time since the pool was generated.
+	Age time.Duration
+	// Remaining is the TTL left; negative once expired (the entry may
+	// still serve inside the stale window).
+	Remaining time.Duration
+}
+
+// CachedPools snapshots the pool cache, most recently used first (empty
+// when caching is disabled).
+func (e *Engine) CachedPools() []CachedPool {
+	if e.cache == nil {
+		return nil
+	}
+	entries := e.cache.Entries()
+	out := make([]CachedPool, len(entries))
+	for i, en := range entries {
+		out[i] = CachedPool{
+			Key:            en.Key,
+			Addrs:          append([]netip.Addr(nil), en.Val.Addrs...),
+			TruncateLength: en.Val.TruncateLength,
+			Responding:     en.Val.Responding(),
+			Age:            en.Age,
+			Remaining:      en.Remaining,
+		}
+	}
+	return out
 }
 
 // EvictExpired drops cache entries dead beyond the stale window and
@@ -182,9 +244,14 @@ func (e *Engine) lookup(ctx context.Context, key string, run func(context.Contex
 	if e.cache != nil {
 		if pool, age, stale, ok := e.cache.GetStale(key, e.cfg.MaxStale); ok {
 			if !stale {
+				e.inst.hit.Inc()
 				return snapshotPool(pool, age), nil
 			}
+			// Counted both here (lookup outcome) and in the cache's own
+			// Stats.Stale (cache-layer view): the lookups_total family must
+			// sum to total lookups, and the cache family mirrors Stats 1:1.
 			e.staleServes.Add(1)
+			e.inst.stale.Inc()
 			e.refreshAsync(key, run)
 			return snapshotPool(pool, pool.ttlDuration()), nil
 		}
@@ -194,21 +261,29 @@ func (e *Engine) lookup(ctx context.Context, key string, run func(context.Contex
 
 // fetch coalesces concurrent misses for key into a single upstream run.
 func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
-	pool, err, _ := e.flight.Do(ctx, key, func() (*Pool, error) {
+	pool, err, leader := e.flight.Do(ctx, key, func() (*Pool, error) {
 		// Detach from the individual caller: other waiters are coalesced
 		// onto this run and must not die with whoever arrived first.
 		runCtx, cancel := context.WithTimeout(context.Background(), e.cfg.LookupTimeout)
 		defer cancel()
 		e.networkRuns.Add(1)
+		e.inst.network.Inc()
+		start := time.Now()
 		p, err := run(runCtx)
+		e.inst.genLatency.Observe(time.Since(start).Seconds())
 		if err != nil {
+			e.inst.errors.Inc()
 			return nil, err
 		}
+		e.inst.quorum.Observe(float64(p.Responding()))
 		if e.cache != nil {
 			e.cache.Put(key, p, p.ttlDuration())
 		}
 		return p, nil
 	})
+	if !leader {
+		e.inst.coalesced.Inc()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
 	"dohpool/internal/transport"
 )
 
@@ -55,6 +56,10 @@ type FrontendConfig struct {
 	// TCPIdleTimeout closes idle TCP connections (default
 	// DefaultTCPIdleTimeout).
 	TCPIdleTimeout time.Duration
+	// Metrics, when non-nil, receives the frontend's instruments (queries
+	// per transport, response codes, in-flight queries, TCP connections,
+	// shed datagrams).
+	Metrics *metrics.Registry
 }
 
 func (c *FrontendConfig) setDefaults() {
@@ -89,6 +94,7 @@ func (c *FrontendConfig) setDefaults() {
 type Frontend struct {
 	backend Backend
 	cfg     FrontendConfig
+	inst    frontendInstruments
 	conn    *net.UDPConn
 	tcpLn   net.Listener
 
@@ -124,18 +130,14 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
+	conn, tcpLn, err := listenSamePort(udpAddr)
 	if err != nil {
-		return nil, err
-	}
-	tcpLn, err := net.Listen("tcp", conn.LocalAddr().String())
-	if err != nil {
-		conn.Close()
 		return nil, err
 	}
 	f := &Frontend{
 		backend:  backend,
 		cfg:      cfg,
+		inst:     newFrontendInstruments(cfg.Metrics),
 		conn:     conn,
 		tcpLn:    tcpLn,
 		packets:  make(chan udpPacket, cfg.UDPQueue),
@@ -148,6 +150,31 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 	}
 	go f.serveTCP()
 	return f, nil
+}
+
+// listenSamePort binds UDP and TCP to one port number. With an ephemeral
+// request (port 0) the kernel picks the UDP port without regard for TCP,
+// so the TCP bind can collide with an unrelated listener — retry with a
+// fresh UDP port instead of failing startup.
+func listenSamePort(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
+	const attempts = 5
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tcpLn, err := net.Listen("tcp", conn.LocalAddr().String())
+		if err == nil {
+			return conn, tcpLn, nil
+		}
+		lastErr = err
+		conn.Close()
+		if udpAddr.Port != 0 {
+			break // a fixed port will not change on retry
+		}
+	}
+	return nil, nil, lastErr
 }
 
 // Addr returns the frontend's host:port.
@@ -200,6 +227,7 @@ func (f *Frontend) readUDP() {
 			// Queue full: shed load. The stub resolver retries, and by
 			// then the answer is usually a cache hit.
 			f.dropped.Add(1)
+			f.inst.dropped.Inc()
 		}
 	}
 }
@@ -256,6 +284,7 @@ func (f *Frontend) trackTCP(conn net.Conn, add bool) {
 	} else {
 		delete(f.tcpConns, conn)
 	}
+	f.inst.tcpConns.Set(float64(len(f.tcpConns)))
 }
 
 // serveTCPConn answers queries on one RFC 7766 persistent connection
@@ -267,7 +296,7 @@ func (f *Frontend) serveTCPConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := f.respond(query)
+		resp := f.respond(query, f.inst.tcpQueries)
 		if err := transport.WriteTCPMessage(conn, resp); err != nil {
 			return
 		}
@@ -279,7 +308,7 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 	if err != nil {
 		return // drop undecodable datagrams
 	}
-	resp := f.respond(query)
+	resp := f.respond(query, f.inst.udpQueries)
 
 	// Honour the client's advertised UDP payload size; flag truncation so
 	// the stub retries over TCP (RFC 1035 §4.2.1 behaviour).
@@ -304,18 +333,23 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 	_, _ = f.conn.WriteToUDP(respWire, client)
 }
 
-// respond builds the DNS answer for one query from the consensus backend.
-func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
+// respond builds the DNS answer for one query from the consensus
+// backend; queries is the per-transport counter of the path that
+// received it.
+func (f *Frontend) respond(query *dnswire.Message, queries *metrics.Counter) *dnswire.Message {
+	queries.Inc()
+	f.inst.inflight.Inc()
+	defer f.inst.inflight.Dec()
 	if query.Header.Response || query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
 		f.failures.Add(1)
-		return dnswire.NewErrorResponse(query, dnswire.RCodeFormErr)
+		return f.errorResponse(query, dnswire.RCodeFormErr)
 	}
 	q := query.Questions[0]
 	if q.Type != dnswire.TypeA && q.Type != dnswire.TypeAAAA {
 		// The mechanism is specific to server-pool generation, which only
 		// supports address lookups (paper §II).
 		f.failures.Add(1)
-		return dnswire.NewErrorResponse(query, dnswire.RCodeNotImp)
+		return f.errorResponse(query, dnswire.RCodeNotImp)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
@@ -323,7 +357,7 @@ func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
 	pool, err := f.backend.Lookup(ctx, q.Name, q.Type)
 	if err != nil {
 		f.failures.Add(1)
-		return dnswire.NewErrorResponse(query, dnswire.RCodeServFail)
+		return f.errorResponse(query, dnswire.RCodeServFail)
 	}
 
 	resp := dnswire.NewResponse(query)
@@ -340,5 +374,12 @@ func (f *Frontend) respond(query *dnswire.Message) *dnswire.Message {
 		resp.Answers = append(resp.Answers, dnswire.AddressRecord(q.Name, a, ttl))
 	}
 	f.served.Add(1)
+	f.inst.rcode(dnswire.RCodeSuccess).Inc()
 	return resp
+}
+
+// errorResponse builds an error answer and counts its response code.
+func (f *Frontend) errorResponse(query *dnswire.Message, rcode dnswire.RCode) *dnswire.Message {
+	f.inst.rcode(rcode).Inc()
+	return dnswire.NewErrorResponse(query, rcode)
 }

@@ -60,6 +60,7 @@ type HealthTracker struct {
 	threshold int // <= 0 disables the breaker
 	cooldown  time.Duration
 	now       func() time.Time
+	inst      healthInstruments
 }
 
 type resolverState struct {
@@ -86,6 +87,12 @@ func NewHealthTracker(threshold int, cooldown time.Duration, clock func() time.T
 		cooldown:  cooldown,
 		now:       clock,
 	}
+}
+
+// instrument attaches metric instruments fed by Observe and the hedging
+// layer. Call before the tracker sees traffic (NewEngine does).
+func (h *HealthTracker) instrument(inst healthInstruments) {
+	h.inst = inst
 }
 
 func (h *HealthTracker) state(url string) *resolverState {
@@ -130,9 +137,13 @@ func (h *HealthTracker) Observe(url string, rtt time.Duration, err error) {
 		if h.threshold > 0 && st.streak >= h.threshold {
 			st.openUntil = h.now().Add(h.cooldown)
 		}
+		// streak == threshold exactly at the closed→open crossing; later
+		// failures only extend an already-open breaker.
+		h.inst.observe(url, st.ewma, err, h.threshold > 0 && st.streak == h.threshold, false)
 		return
 	}
 	st.successes++
+	closedNow := h.threshold > 0 && st.streak >= h.threshold
 	st.streak = 0
 	st.openUntil = time.Time{}
 	if st.ewma == 0 {
@@ -140,6 +151,7 @@ func (h *HealthTracker) Observe(url string, rtt time.Duration, err error) {
 	} else {
 		st.ewma = time.Duration((1-ewmaAlpha)*float64(st.ewma) + ewmaAlpha*float64(rtt))
 	}
+	h.inst.observe(url, st.ewma, nil, false, closedNow)
 }
 
 // hedgeDelay returns how long to wait for a primary attempt against url
@@ -170,6 +182,13 @@ func (h *HealthTracker) recordHedge(url string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.state(url).hedges++
+	h.inst.series(url).hedges.Inc()
+}
+
+// recordHedgeWin notes that a backup attempt, not the primary, produced
+// the answer.
+func (h *HealthTracker) recordHedgeWin(url string) {
+	h.inst.series(url).hedgeWins.Inc()
 }
 
 // Snapshot reports health for each endpoint (unknown endpoints yield a
@@ -229,15 +248,16 @@ func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire
 	}
 
 	type outcome struct {
-		resp *dnswire.Message
-		err  error
+		resp   *dnswire.Message
+		err    error
+		backup bool
 	}
 	results := make(chan outcome, 2)
-	attempt := func() {
+	attempt := func(backup bool) {
 		resp, err := h.inner.Query(ctx, url, name, typ)
-		results <- outcome{resp, err}
+		results <- outcome{resp, err, backup}
 	}
-	go attempt()
+	go attempt(false)
 	outstanding := 1
 
 	timer := time.NewTimer(delay)
@@ -250,6 +270,9 @@ func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire
 		case r := <-results:
 			outstanding--
 			if r.err == nil {
+				if r.backup {
+					h.health.recordHedgeWin(url)
+				}
 				return r.resp, nil
 			}
 			lastErr = r.err
@@ -260,7 +283,7 @@ func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire
 			timerC = nil
 			h.health.recordHedge(url)
 			outstanding++
-			go attempt()
+			go attempt(true)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"time"
+
+	"dohpool/internal/dnscache"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+)
+
+// Metric names exposed by the core package. Kept as constants so the
+// admin tests and README reference table cannot drift from the code.
+const (
+	MetricEngineLookups      = "dohpool_engine_lookups_total"
+	MetricEngineErrors       = "dohpool_engine_lookup_errors_total"
+	MetricEngineGenSeconds   = "dohpool_engine_pool_generation_seconds"
+	MetricEngineQuorum       = "dohpool_engine_quorum_size"
+	MetricCacheHits          = "dohpool_cache_hits_total"
+	MetricCacheMisses        = "dohpool_cache_misses_total"
+	MetricCacheEvictions     = "dohpool_cache_evictions_total"
+	MetricCacheExpirations   = "dohpool_cache_expirations_total"
+	MetricCacheStaleServes   = "dohpool_cache_stale_serves_total"
+	MetricCacheEntries       = "dohpool_cache_entries"
+	MetricResolverRTT        = "dohpool_resolver_rtt_seconds"
+	MetricResolverExchanges  = "dohpool_resolver_exchanges_total"
+	MetricResolverHedges     = "dohpool_resolver_hedges_total"
+	MetricResolverHedgeWins  = "dohpool_resolver_hedge_wins_total"
+	MetricBreakerState       = "dohpool_resolver_breaker_open"
+	MetricBreakerTransitions = "dohpool_resolver_breaker_transitions_total"
+	MetricFrontendQueries    = "dohpool_frontend_queries_total"
+	MetricFrontendResponses  = "dohpool_frontend_responses_total"
+	MetricFrontendInflight   = "dohpool_frontend_inflight_queries"
+	MetricFrontendTCPConns   = "dohpool_frontend_tcp_connections"
+	MetricFrontendDropped    = "dohpool_frontend_dropped_total"
+)
+
+// engineInstruments holds the engine's pre-resolved instruments. The zero
+// value (no registry) is fully usable: every method on a nil instrument
+// no-ops.
+type engineInstruments struct {
+	hit        *metrics.Counter // lookups answered from a fresh cache entry
+	stale      *metrics.Counter // lookups answered stale-while-revalidate
+	coalesced  *metrics.Counter // lookups that joined an in-flight run
+	network    *metrics.Counter // lookups that executed Algorithm 1
+	errors     *metrics.Counter
+	genLatency *metrics.Histogram
+	quorum     *metrics.Histogram
+}
+
+func newEngineInstruments(reg *metrics.Registry) engineInstruments {
+	lookups := reg.CounterVec(MetricEngineLookups,
+		"Engine lookups by outcome: cache_hit, stale_serve, coalesced (joined an in-flight run), network (executed Algorithm 1).",
+		"outcome")
+	return engineInstruments{
+		hit:       lookups.With("cache_hit"),
+		stale:     lookups.With("stale_serve"),
+		coalesced: lookups.With("coalesced"),
+		network:   lookups.With("network"),
+		errors: reg.Counter(MetricEngineErrors,
+			"Algorithm 1 runs that failed (quorum not met, empty answers, all resolvers down)."),
+		genLatency: reg.Histogram(MetricEngineGenSeconds,
+			"Latency of one full Algorithm 1 pool generation (N-resolver DoH fan-out).",
+			metrics.DurationBuckets()),
+		quorum: reg.Histogram(MetricEngineQuorum,
+			"Resolvers that contributed to each generated pool.",
+			[]float64{1, 2, 3, 5, 7, 9, 11, 15}),
+	}
+}
+
+// registerCacheMetrics surfaces the pool cache's cumulative Stats struct
+// as callback-backed counters, read live at exposition time so no second
+// set of counters can drift from the cache's own.
+func registerCacheMetrics(reg *metrics.Registry, cache *dnscache.Store[*Pool]) {
+	if reg == nil || cache == nil {
+		return
+	}
+	stat := func(pick func(dnscache.Stats) uint64) func() float64 {
+		return func() float64 { return float64(pick(cache.Stats())) }
+	}
+	reg.CounterFunc(MetricCacheHits, "Pool-cache lookups answered from cache (including stale serves).",
+		stat(func(s dnscache.Stats) uint64 { return s.Hits }))
+	reg.CounterFunc(MetricCacheMisses, "Pool-cache lookups that found no usable entry.",
+		stat(func(s dnscache.Stats) uint64 { return s.Misses }))
+	reg.CounterFunc(MetricCacheEvictions, "Pool-cache entries evicted under capacity pressure.",
+		stat(func(s dnscache.Stats) uint64 { return s.Evictions }))
+	reg.CounterFunc(MetricCacheExpirations, "Pool-cache entries removed because their TTL (plus stale window) passed.",
+		stat(func(s dnscache.Stats) uint64 { return s.Expirations }))
+	reg.CounterFunc(MetricCacheStaleServes, "Pool-cache hits served past their TTL inside the stale window.",
+		stat(func(s dnscache.Stats) uint64 { return s.Stale }))
+	reg.GaugeFunc(MetricCacheEntries, "Pool-cache live entries.",
+		func() float64 { return float64(cache.Len()) })
+}
+
+// resolverSeries holds one resolver's pre-resolved instruments, so the
+// per-exchange path touches only atomic operations — no label rendering
+// and no family lock.
+type resolverSeries struct {
+	rtt         *metrics.Gauge
+	okExch      *metrics.Counter
+	errExch     *metrics.Counter
+	hedges      *metrics.Counter
+	hedgeWins   *metrics.Counter
+	breakerOpen *metrics.Gauge
+	opened      *metrics.Counter
+	closed      *metrics.Counter
+}
+
+// healthInstruments holds the per-resolver instruments fed by the
+// HealthTracker. The zero value no-ops.
+type healthInstruments struct {
+	byURL map[string]resolverSeries
+
+	// Vec handles remain as the slow-path fallback for URLs that were
+	// not configured at construction (defensive; the hedged querier only
+	// ever asks configured endpoints).
+	rtt         *metrics.GaugeVec
+	exchanges   *metrics.CounterVec
+	hedgesVec   *metrics.CounterVec
+	hedgeWins   *metrics.CounterVec
+	breakerVec  *metrics.GaugeVec
+	transitions *metrics.CounterVec
+}
+
+func newHealthInstruments(reg *metrics.Registry, endpoints []Endpoint) healthInstruments {
+	inst := healthInstruments{
+		byURL: make(map[string]resolverSeries, len(endpoints)),
+		rtt: reg.GaugeVec(MetricResolverRTT,
+			"EWMA round-trip time of successful DoH exchanges, per resolver.", "resolver"),
+		exchanges: reg.CounterVec(MetricResolverExchanges,
+			"Completed DoH exchanges per resolver by result (ok, error).", "resolver", "result"),
+		hedgesVec: reg.CounterVec(MetricResolverHedges,
+			"Backup attempts launched because the primary attempt straggled.", "resolver"),
+		hedgeWins: reg.CounterVec(MetricResolverHedgeWins,
+			"Hedged attempts whose backup answered first.", "resolver"),
+		breakerVec: reg.GaugeVec(MetricBreakerState,
+			"1 while the resolver's circuit breaker is open, else 0.", "resolver"),
+		transitions: reg.CounterVec(MetricBreakerTransitions,
+			"Circuit-breaker state changes per resolver (to=open, to=closed).", "resolver", "to"),
+	}
+	for _, ep := range endpoints {
+		label := ep.Name
+		if label == "" {
+			label = ep.URL
+		}
+		s := inst.resolve(label)
+		// Pre-seeding the steady-state gauges also makes a scrape at
+		// startup show every configured resolver.
+		s.rtt.Set(0)
+		s.breakerOpen.Set(0)
+		inst.byURL[ep.URL] = s
+	}
+	return inst
+}
+
+// resolve renders one label's series through the vec slow path.
+func (hi *healthInstruments) resolve(label string) resolverSeries {
+	return resolverSeries{
+		rtt:         hi.rtt.With(label),
+		okExch:      hi.exchanges.With(label, "ok"),
+		errExch:     hi.exchanges.With(label, "error"),
+		hedges:      hi.hedgesVec.With(label),
+		hedgeWins:   hi.hedgeWins.With(label),
+		breakerOpen: hi.breakerVec.With(label),
+		opened:      hi.transitions.With(label, "open"),
+		closed:      hi.transitions.With(label, "closed"),
+	}
+}
+
+// series returns url's pre-resolved instruments (fast path), falling
+// back to rendering by URL for endpoints unknown at construction.
+func (hi *healthInstruments) series(url string) resolverSeries {
+	if s, ok := hi.byURL[url]; ok {
+		return s
+	}
+	return hi.resolve(url)
+}
+
+func (hi *healthInstruments) observe(url string, ewma time.Duration, err error, openedNow, closedNow bool) {
+	s := hi.series(url)
+	if err != nil {
+		s.errExch.Inc()
+	} else {
+		s.okExch.Inc()
+		s.rtt.Set(ewma.Seconds())
+	}
+	if openedNow {
+		s.opened.Inc()
+		s.breakerOpen.Set(1)
+	}
+	if closedNow {
+		s.closed.Inc()
+		s.breakerOpen.Set(0)
+	}
+}
+
+// frontendInstruments holds the DNS frontend's instruments. The zero
+// value no-ops.
+type frontendInstruments struct {
+	udpQueries *metrics.Counter
+	tcpQueries *metrics.Counter
+	rcodes     *metrics.CounterVec
+	// rcodeOf pre-resolves the response codes the frontend emits so the
+	// per-response path is one map read plus an atomic add.
+	rcodeOf  map[dnswire.RCode]*metrics.Counter
+	inflight *metrics.Gauge
+	tcpConns *metrics.Gauge
+	dropped  *metrics.Counter
+}
+
+func newFrontendInstruments(reg *metrics.Registry) frontendInstruments {
+	queries := reg.CounterVec(MetricFrontendQueries,
+		"DNS queries received by the frontend, per transport.", "proto")
+	inst := frontendInstruments{
+		udpQueries: queries.With("udp"),
+		tcpQueries: queries.With("tcp"),
+		rcodes: reg.CounterVec(MetricFrontendResponses,
+			"DNS responses sent by the frontend, per response code.", "rcode"),
+		inflight: reg.Gauge(MetricFrontendInflight,
+			"Queries currently being answered (UDP workers plus TCP handlers)."),
+		tcpConns: reg.Gauge(MetricFrontendTCPConns,
+			"Currently tracked TCP connections."),
+		dropped: reg.Counter(MetricFrontendDropped,
+			"UDP datagrams shed because the worker queue was full."),
+	}
+	if reg != nil {
+		inst.rcodeOf = make(map[dnswire.RCode]*metrics.Counter)
+		for _, rc := range []dnswire.RCode{
+			dnswire.RCodeSuccess, dnswire.RCodeFormErr, dnswire.RCodeServFail,
+			dnswire.RCodeNXDomain, dnswire.RCodeNotImp, dnswire.RCodeRefused,
+		} {
+			inst.rcodeOf[rc] = inst.rcodes.With(rc.String())
+		}
+	}
+	return inst
+}
+
+// rcode returns the response-code counter, pre-resolved for the codes
+// the frontend emits.
+func (fi *frontendInstruments) rcode(rc dnswire.RCode) *metrics.Counter {
+	if c, ok := fi.rcodeOf[rc]; ok {
+		return c
+	}
+	return fi.rcodes.With(rc.String())
+}

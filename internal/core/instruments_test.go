@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+	"dohpool/internal/transport"
+)
+
+func exposition(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidatePrometheusText(b.String()); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	return b.String()
+}
+
+func mustContain(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q", w)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+func TestEngineMetricsLookupOutcomes(t *testing.T) {
+	reg := metrics.New()
+	q := newCountingQuerier(300, threeResolverLists())
+	eng := engineUnderTest(t, q, EngineConfig{Metrics: reg})
+	ctx := context.Background()
+
+	if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := exposition(t, reg)
+	mustContain(t, out,
+		MetricEngineLookups+`{outcome="network"} 1`,
+		MetricEngineLookups+`{outcome="cache_hit"} 3`,
+		MetricEngineGenSeconds+"_count 1",
+		MetricEngineQuorum+"_count 1",
+		MetricCacheHits+" 3",
+		MetricCacheMisses+" 1",
+		MetricCacheEntries+" 1",
+		// Pre-seeded resolver series visible before any breaker event.
+		MetricBreakerState+`{resolver="r0"} 0`,
+		MetricResolverRTT+`{resolver="r2"}`,
+		MetricResolverExchanges+`{resolver="r1",result="ok"} 1`,
+	)
+}
+
+func TestEngineMetricsCoalescedWaiters(t *testing.T) {
+	reg := metrics.New()
+	q := newCountingQuerier(300, threeResolverLists())
+	q.gate = make(chan struct{})
+	eng := engineUnderTest(t, q, EngineConfig{Metrics: reg})
+	ctx := context.Background()
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Wait until the leader's fan-out is in flight, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.total.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(q.gate)
+	wg.Wait()
+
+	out := exposition(t, reg)
+	// Every waiter is accounted for exactly once: a handful led network
+	// runs (normally one, but a waiter that misses both the cache and the
+	// in-flight entry in the gap between them legitimately leads a second
+	// run), and the rest either coalesced onto a flight or hit the filled
+	// cache.
+	counts := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		for _, outcome := range []string{"network", "coalesced", "cache_hit"} {
+			if strings.HasPrefix(line, MetricEngineLookups+`{outcome="`+outcome+`"} `) {
+				var n int
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n)
+				counts[outcome] = n
+			}
+		}
+	}
+	if counts["network"] < 1 {
+		t.Fatalf("no network run recorded: %v", counts)
+	}
+	if total := counts["network"] + counts["coalesced"] + counts["cache_hit"]; total != waiters {
+		t.Fatalf("outcomes %v sum to %d, want %d", counts, total, waiters)
+	}
+	if counts["coalesced"]+counts["cache_hit"] == 0 {
+		t.Fatalf("no lookup shared the leader's run: %v", counts)
+	}
+}
+
+// errQuerier always fails, driving failure streaks and lookup errors.
+type errQuerier struct{}
+
+func (errQuerier) Query(context.Context, string, string, dnswire.Type) (*dnswire.Message, error) {
+	return nil, errors.New("unreachable")
+}
+
+func TestEngineMetricsErrorsAndBreakerTransitions(t *testing.T) {
+	reg := metrics.New()
+	eng := engineUnderTest(t, errQuerier{}, EngineConfig{
+		Metrics:          reg,
+		BreakerThreshold: 2,
+		DisableHedging:   true,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err == nil {
+			t.Fatal("lookup against dead resolvers succeeded")
+		}
+	}
+	if eng.Ready() {
+		t.Fatal("Ready() with every breaker open")
+	}
+	out := exposition(t, reg)
+	mustContain(t, out,
+		MetricEngineErrors+" 2",
+		MetricBreakerTransitions+`{resolver="r0",to="open"} 1`,
+		MetricBreakerState+`{resolver="r1"} 1`,
+		MetricResolverExchanges+`{resolver="r2",result="error"} 2`,
+	)
+}
+
+func TestHealthMetricsBreakerReclose(t *testing.T) {
+	reg := metrics.New()
+	h := NewHealthTracker(2, time.Minute, nil)
+	h.instrument(newHealthInstruments(reg, []Endpoint{{Name: "r0", URL: "u0"}}))
+	boom := errors.New("boom")
+	h.Observe("u0", 0, boom)
+	h.Observe("u0", 0, boom)
+	h.Observe("u0", 0, boom) // extends the open breaker, no new transition
+	h.Observe("u0", 5*time.Millisecond, nil)
+	out := exposition(t, reg)
+	mustContain(t, out,
+		MetricBreakerTransitions+`{resolver="r0",to="open"} 1`,
+		MetricBreakerTransitions+`{resolver="r0",to="closed"} 1`,
+		MetricBreakerState+`{resolver="r0"} 0`,
+		MetricResolverRTT+`{resolver="r0"} 0.005`,
+	)
+}
+
+func TestFrontendMetrics(t *testing.T) {
+	reg := metrics.New()
+	q := &staticQuerier{lists: threeResolverLists()}
+	gen, err := NewGenerator(Config{Resolvers: threeEndpoints(), Querier: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontendWithConfig("127.0.0.1:0", gen, FrontendConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	// One answerable UDP query, one NOTIMP (TXT), one TCP query.
+	frontendQuery(t, fe.Addr(), "pool.test.", dnswire.TypeA)
+	frontendQuery(t, fe.Addr(), "pool.test.", dnswire.Type(16))
+	tq, err := dnswire.NewQuery("pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := (&transport.TCP{}).Exchange(ctx, tq, fe.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	out := exposition(t, reg)
+	mustContain(t, out,
+		MetricFrontendQueries+`{proto="udp"} 2`,
+		MetricFrontendQueries+`{proto="tcp"} 1`,
+		MetricFrontendResponses+`{rcode="NOERROR"} 2`,
+		MetricFrontendResponses+`{rcode="NOTIMP"} 1`,
+		MetricFrontendInflight+" 0",
+		MetricFrontendDropped+" 0",
+	)
+}
+
+func TestEngineCachedPoolsSnapshot(t *testing.T) {
+	q := newCountingQuerier(300, threeResolverLists())
+	eng := engineUnderTest(t, q, EngineConfig{})
+	if got := eng.CachedPools(); len(got) != 0 {
+		t.Fatalf("CachedPools before any lookup = %d entries", len(got))
+	}
+	if _, err := eng.Lookup(context.Background(), "Pool.Test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	pools := eng.CachedPools()
+	if len(pools) != 1 {
+		t.Fatalf("CachedPools = %d entries, want 1", len(pools))
+	}
+	p := pools[0]
+	if !strings.HasPrefix(p.Key, "pool.test.|") {
+		t.Errorf("Key = %q, want lower-cased domain prefix", p.Key)
+	}
+	if len(p.Addrs) != 6 || p.TruncateLength != 2 || p.Responding != 3 {
+		t.Errorf("snapshot = %d addrs, K=%d, responding=%d", len(p.Addrs), p.TruncateLength, p.Responding)
+	}
+	if p.Remaining <= 0 || p.Remaining > 300*time.Second {
+		t.Errorf("Remaining = %v, want within (0, 300s]", p.Remaining)
+	}
+}
+
+func TestEngineReadyWithoutTraffic(t *testing.T) {
+	q := newCountingQuerier(300, threeResolverLists())
+	eng := engineUnderTest(t, q, EngineConfig{})
+	if !eng.Ready() {
+		t.Fatal("engine not ready before any traffic")
+	}
+}

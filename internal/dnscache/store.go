@@ -8,12 +8,15 @@ import (
 
 // Stats reports cache effectiveness. Hits counts fresh (and served-stale)
 // lookups, Misses absent or expired ones, Evictions capacity-pressure
-// removals, Expirations TTL-driven removals (lazy or via EvictExpired).
+// removals, Expirations TTL-driven removals (lazy or via EvictExpired),
+// Stale the subset of hits served past their TTL inside the
+// stale-while-revalidate window.
 type Stats struct {
 	Hits        uint64
 	Misses      uint64
 	Evictions   uint64
 	Expirations uint64
+	Stale       uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -118,6 +121,7 @@ func (s *Store[V]) GetStale(key string, maxStale time.Duration) (val V, age time
 			return zero, 0, false, false
 		}
 		stale = true
+		s.stats.Stale++
 	}
 	s.lru.MoveToFront(el)
 	s.stats.Hits++
@@ -179,6 +183,38 @@ func (s *Store[V]) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Entry is a point-in-time view of one cached element, most recently
+// used first.
+type Entry[V any] struct {
+	Key string
+	Val V
+	// Age is the time since the entry was stored.
+	Age time.Duration
+	// Remaining is the TTL left; negative once expired (the entry may
+	// still be serveable inside a stale window).
+	Remaining time.Duration
+}
+
+// Entries snapshots the live entries in LRU order (most recent first),
+// for introspection endpoints. Values are the cached pointers/structs
+// themselves — callers must not mutate them.
+func (s *Store[V]) Entries() []Entry[V] {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry[V], 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry[V])
+		out = append(out, Entry[V]{
+			Key:       e.key,
+			Val:       e.val,
+			Age:       now.Sub(e.stored),
+			Remaining: e.expires.Sub(now),
+		})
+	}
+	return out
 }
 
 func (s *Store[V]) removeLocked(el *list.Element) {

@@ -1,0 +1,431 @@
+// Package metrics is a dependency-free instrumentation registry with
+// Prometheus text-format exposition (version 0.0.4). It exists so the
+// consensus engine, resolver health tracker, DNS frontend and pool cache
+// can expose their runtime behaviour without pulling a client library
+// into the module.
+//
+// Instruments are lock-free on the hot path (atomic counters, float-bits
+// gauges, fixed-bucket histograms); the registry lock is only taken at
+// creation and exposition time. Every instrument method is nil-receiver
+// safe, so a component built without a registry pays one nil check per
+// observation and nothing else:
+//
+//	var reg *metrics.Registry // nil: instrumentation disabled
+//	c := reg.Counter("x_total", "...")
+//	c.Inc() // no-op, no panic
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric type names as they appear in Prometheus TYPE lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call New. A nil *Registry is a
+// valid "instrumentation off" registry: every constructor returns a nil
+// instrument whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is one named metric family: HELP/TYPE header plus its series.
+type family struct {
+	name string
+	help string
+	typ  string
+
+	mu     sync.Mutex
+	order  []string           // series keys in first-seen order
+	series map[string]*series // key = rendered label pairs ("" for unlabeled)
+}
+
+// series is one (labelset → instrument) binding inside a family.
+type series struct {
+	labels    string // rendered `k="v",...` (no braces), "" when unlabeled
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+	fn        func() float64 // callback counters/gauges
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyFor returns the family registered under name, creating it on
+// first use. A name reused with a different TYPE panics — that is a
+// programming error, not a runtime condition.
+func (r *Registry) familyFor(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %q registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// seriesFor returns the series under key, creating it with mk on first
+// use.
+func (f *family) seriesFor(key string, mk func() *series) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = key
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// --- Counter ----------------------------------------------------------
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the unlabeled counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, typeCounter)
+	return f.seriesFor("", func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	fam    *family
+	labels []string
+}
+
+// CounterVec returns the labeled counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.familyFor(name, help, typeCounter), labels: labelNames}
+}
+
+// With returns the counter for the given label values (positionally
+// matching the vec's label names).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := renderLabels(v.labels, values)
+	return v.fam.seriesFor(key, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// CounterFunc registers a callback-backed counter: fn is read at
+// exposition time. Use it to surface counters a component already
+// maintains (e.g. cache statistics) without double-counting. fn must be
+// safe for concurrent use. Re-registering the same name replaces the
+// callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.familyFor(name, help, typeCounter)
+	s := f.seriesFor("", func() *series { return &series{} })
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// --- Gauge ------------------------------------------------------------
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop; fine for low-rate gauges like in-flight
+// counts).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, typeGauge)
+	return f.seriesFor("", func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct {
+	fam    *family
+	labels []string
+}
+
+// GaugeVec returns the labeled gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.familyFor(name, help, typeGauge), labels: labelNames}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key := renderLabels(v.labels, values)
+	return v.fam.seriesFor(key, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// GaugeFunc registers a callback-backed gauge read at exposition time.
+// fn must be safe for concurrent use. Re-registering the same name
+// replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.familyFor(name, help, typeGauge)
+	s := f.seriesFor("", func() *series { return &series{} })
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// --- Histogram --------------------------------------------------------
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style (le = upper bound, +Inf implicit), tracking count and sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf overflow
+	count  atomic.Uint64
+	sum    Gauge // float-bits accumulator reused for the sum
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (must be sorted ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, typeHistogram)
+	s := f.seriesFor("", func() *series {
+		return &series{histogram: &Histogram{
+			bounds: append([]float64(nil), buckets...),
+			counts: make([]atomic.Uint64, len(buckets)+1),
+		}}
+	})
+	return s.histogram
+}
+
+// DurationBuckets is a general-purpose latency bucket ladder in seconds,
+// from 100µs to 10s.
+func DurationBuckets() []float64 {
+	return []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// --- exposition -------------------------------------------------------
+
+// WritePrometheus renders every family in Prometheus text format
+// (version 0.0.4): HELP and TYPE lines followed by one line per series,
+// in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		// Snapshot series values under the family lock: fn is mutable
+		// (Counter/GaugeFunc re-registration replaces it), so it must be
+		// copied here, not read during rendering.
+		f.mu.Lock()
+		snap := make([]series, len(f.order))
+		for i, k := range f.order {
+			snap[i] = *f.series[k]
+		}
+		f.mu.Unlock()
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for i := range snap {
+			writeSeries(&b, f, &snap[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	switch {
+	case s.histogram != nil:
+		h := s.histogram
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", f.name, labelPrefix(s.labels), formatFloat(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, labelPrefix(s.labels), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, braced(s.labels), formatFloat(s.histogram.sum.Value()))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, braced(s.labels), h.count.Load())
+	case s.fn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.fn()))
+	case s.counter != nil:
+		fmt.Fprintf(b, "%s%s %d\n", f.name, braced(s.labels), s.counter.Value())
+	case s.gauge != nil:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.gauge.Value()))
+	}
+}
+
+// renderLabels renders `k="v",...` pairs; extra values beyond the label
+// names are dropped, missing ones render empty.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// braced wraps rendered label pairs in braces ("" stays "").
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// labelPrefix renders label pairs for merging with an le label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "a test counter")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestCounterVecSeries(t *testing.T) {
+	r := New()
+	v := r.CounterVec("requests_total", "requests", "proto")
+	v.With("udp").Add(3)
+	v.With("tcp").Inc()
+	if v.With("udp") != v.With("udp") {
+		t.Fatal("With is not memoized")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total requests",
+		"# TYPE requests_total counter",
+		`requests_total{proto="udp"} 3`,
+		`requests_total{proto="tcp"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("inflight", "in-flight work")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value() = %v, want 3", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := New()
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Value() = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, Prometheus semantics
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its bucket:\n%s", b.String())
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := New()
+	hits := uint64(41)
+	r.CounterFunc("cache_hits_total", "hits", func() float64 { return float64(hits) })
+	r.GaugeFunc("cache_entries", "entries", func() float64 { return 7 })
+	hits++ // callbacks are read at exposition time
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cache_hits_total 42") {
+		t.Errorf("CounterFunc not read live:\n%s", out)
+	}
+	if !strings.Contains(out, "cache_entries 7") {
+		t.Errorf("GaugeFunc missing:\n%s", out)
+	}
+}
+
+func TestFuncReregistrationDuringScrape(t *testing.T) {
+	r := New()
+	r.GaugeFunc("g", "", func() float64 { return 0 })
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			v := float64(i)
+			r.GaugeFunc("g", "", func() float64 { return v })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	r.CounterVec("y", "", "l").With("v").Add(2)
+	g := r.Gauge("z", "")
+	g.Set(1)
+	g.Add(1)
+	r.GaugeVec("w", "", "l").With("v").Inc()
+	h := r.Histogram("v", "", []float64{1})
+	h.Observe(0.5)
+	r.CounterFunc("f", "", func() float64 { return 1 })
+	r.GaugeFunc("g", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestMemoizedByName(t *testing.T) {
+	r := New()
+	a := r.Counter("same_total", "")
+	b := r.Counter("same_total", "")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch on a reused name must panic")
+		}
+	}()
+	r.Gauge("same_total", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("esc_total", "", "url").With(`https://x/"q"` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{url="https://x/\"q\"\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestExpositionParsesAsPrometheusText(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "help a").Inc()
+	r.GaugeVec("b", "help b", "k").With("v").Set(1.5)
+	r.Histogram("c_seconds", "help c", DurationBuckets()).Observe(0.2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePrometheusText(b.String()); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+}
+
+func TestInfinityFormatting(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("formatFloat(+Inf) = %q", got)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheusText checks that s is well-formed Prometheus text
+// exposition (version 0.0.4): HELP/TYPE comments and sample lines of the
+// form `name{label="value",...} value [timestamp]`, with every sample
+// belonging to a family announced by a TYPE line. It is a syntax
+// validator for tests and scrape debugging, not a full client parser.
+func ValidatePrometheusText(s string) error {
+	typed := make(map[string]string) // family -> type
+	for i, line := range strings.Split(s, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, ok := typed[familyOf(name, typed)]; !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE line", lineNo, name)
+		}
+	}
+	return nil
+}
+
+// familyOf strips histogram/summary sample suffixes to find the family a
+// sample belongs to.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if _, declared := typed[base]; declared {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample validates one sample line and returns the metric name.
+func parseSample(line string) (string, error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", fmt.Errorf("no metric name in %q", line)
+	}
+	name, rest := line[:i], line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest)
+		if err != nil {
+			return "", err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("expected value [timestamp] after %q, got %q", name, rest)
+	}
+	if fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			return "", fmt.Errorf("bad sample value %q: %v", fields[0], err)
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q: %v", fields[1], err)
+		}
+	}
+	return name, nil
+}
+
+// parseLabels validates a `{k="v",...}` block starting at s[0] == '{' and
+// returns the index one past the closing brace.
+func parseLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("empty label name in %q", s)
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("expected '=' in labels %q", s)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("expected '\"' in labels %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -240,15 +240,21 @@ type Testbed struct {
 }
 
 // Start builds and starts the full testbed.
-func Start(cfg Config) (tb *Testbed, err error) {
+func Start(cfg Config) (*Testbed, error) {
 	cfg.applyDefaults()
-	tb = &Testbed{cfg: cfg}
+	tb := &Testbed{cfg: cfg}
+	started := false
+	// Close the local tb, not the named return: the error paths below
+	// `return nil, err`, which would nil a named return before this
+	// cleanup ran and both panic and leak the partially started
+	// components.
 	defer func() {
-		if err != nil {
-			tb.Close()
+		if !started {
+			_ = tb.Close()
 		}
 	}()
 
+	var err error
 	tb.CA, err = testpki.NewCA()
 	if err != nil {
 		return nil, fmt.Errorf("testbed pki: %w", err)
@@ -371,6 +377,7 @@ func Start(cfg Config) (tb *Testbed, err error) {
 	}
 
 	tb.Client = doh.NewClient(doh.WithTLSConfig(tb.CA.ClientTLS()))
+	started = true
 	return tb, nil
 }
 
@@ -460,8 +467,13 @@ func (tb *Testbed) FlushResolverCaches() {
 	}
 }
 
-// Close shuts every component down. Safe on a partially started testbed.
+// Close shuts every component down. Safe on a partially started (or, as
+// Start's error-path cleanup relies on after a `return nil, err`, a nil)
+// testbed.
 func (tb *Testbed) Close() error {
+	if tb == nil {
+		return nil
+	}
 	var errs []error
 	for _, s := range tb.DoH {
 		if s != nil {
