@@ -382,6 +382,34 @@ func BenchmarkEngineCachedLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCachedLookupParallel hammers one warm key from every
+// core at once (b.RunParallel) — the million-clients-one-domain shape.
+// On the sharded store the fresh-hit path is a shard read-lock plus
+// atomics, so ns/op should fall as GOMAXPROCS grows instead of
+// plateauing behind a single cache mutex; compare against the serial
+// BenchmarkEngineCachedLookup.
+func BenchmarkEngineCachedLookupParallel(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{})
+	eng := benchEngine(b, tb, core.EngineConfig{})
+	ctx := benchCtx(b)
+	if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if eng.NetworkRuns() != 1 {
+		b.Fatalf("parallel cached benchmark hit the network %d times", eng.NetworkRuns())
+	}
+}
+
 // BenchmarkEngineUncachedLookup is the same lookup with caching disabled:
 // every iteration pays the full 3-resolver DoH fan-out (the seed's
 // behaviour for every query).

@@ -8,14 +8,18 @@
 //	go test -run xxx -bench . -benchtime 3x -count 3 . | \
 //	    benchgate parse -out BENCH_ci.json
 //	benchgate compare -baseline BENCH_baseline.json -current BENCH_ci.json \
-//	    -bench BenchmarkEngineCachedLookup -threshold 0.30
+//	    -bench BenchmarkEngineCachedLookup \
+//	    -bench BenchmarkFrontendThroughput/udp -threshold 0.30
 //
 // parse reads benchmark result lines (multiple -count runs of the same
 // benchmark are collapsed to their fastest sample — the least-noise
 // estimator for "how fast can this machine run it") and writes a JSON
-// map of benchmark name to ns/op and B/op. compare exits non-zero when
-// the named benchmark's ns/op in -current exceeds -baseline by more
-// than -threshold (a fraction: 0.30 = +30%).
+// map of benchmark name to ns/op and B/op. compare prints a delta table
+// for every benchmark both files know, then exits non-zero when any
+// gated benchmark's ns/op in -current exceeds -baseline by more than
+// -threshold (a fraction: 0.30 = +30%). -bench is repeatable: every
+// named benchmark is gated under the same rule, and every violation is
+// reported before the command fails.
 package main
 
 import (
@@ -99,14 +103,28 @@ func runParse(args []string, stdin io.Reader, stdout io.Writer) error {
 	return err
 }
 
+// benchList collects repeated -bench flags.
+type benchList []string
+
+func (b *benchList) String() string { return fmt.Sprint(*b) }
+
+func (b *benchList) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
 func runCompare(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
 	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON")
 	curPath := fs.String("current", "BENCH_ci.json", "current-run JSON")
-	bench := fs.String("bench", "BenchmarkEngineCachedLookup", "gated benchmark name")
+	var benches benchList
+	fs.Var(&benches, "bench", "gated benchmark name (repeatable)")
 	threshold := fs.Float64("threshold", 0.30, "allowed ns/op regression fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(benches) == 0 {
+		benches = benchList{"BenchmarkEngineCachedLookup"}
 	}
 	base, err := load(*basePath)
 	if err != nil {
@@ -117,7 +135,9 @@ func runCompare(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	// Context first: every benchmark both files know about.
+	// Context first: a delta table of every benchmark both files know
+	// about, so a CI log always shows the whole-suite movement around a
+	// gate decision.
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; ok {
@@ -125,13 +145,26 @@ func runCompare(args []string, stdout io.Writer) error {
 		}
 	}
 	sort.Strings(names)
+	fmt.Fprintf(stdout, "benchmark delta table (baseline -> current, fastest samples):\n")
 	for _, name := range names {
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
 		fmt.Fprintf(stdout, "%-50s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
 			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp-b.NsPerOp)/b.NsPerOp)
 	}
 
-	return Gate(base, cur, *bench, *threshold, stdout)
+	// Gate every named benchmark, reporting all violations before
+	// failing — a run that regresses two hot paths should say so in one
+	// pass.
+	var failures []string
+	for _, bench := range benches {
+		if err := Gate(base, cur, bench, *threshold, stdout); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
 }
 
 // Gate fails when bench's current ns/op exceeds the baseline by more

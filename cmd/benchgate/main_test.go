@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -105,6 +106,50 @@ func TestRunParseCompareRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "gate ok") {
 		t.Fatalf("compare output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "benchmark delta table") {
+		t.Fatalf("compare output missing delta table header:\n%s", out.String())
+	}
+
+	// Multiple -bench flags gate every named benchmark.
+	out.Reset()
+	err = run([]string{"compare",
+		"-baseline", ciJSON, "-current", ciJSON,
+		"-bench", "BenchmarkEngineCachedLookup",
+		"-bench", "BenchmarkFrontendThroughput/udp",
+		"-threshold", "0.30"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "gate ok"); got != 2 {
+		t.Fatalf("gate ok count = %d, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestCompareReportsEveryGateViolation(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	write := func(path string, engineNs, udpNs float64) {
+		t.Helper()
+		blob := fmt.Sprintf(`{"benchmarks":{"BenchmarkEngineCachedLookup":{"ns_per_op":%g,"samples":1},"BenchmarkFrontendThroughput/udp":{"ns_per_op":%g,"samples":1}}}`, engineNs, udpNs)
+		if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(basePath, 1000, 1000)
+	write(curPath, 2000, 2000) // both +100%
+	err := run([]string{"compare",
+		"-baseline", basePath, "-current", curPath,
+		"-bench", "BenchmarkEngineCachedLookup",
+		"-bench", "BenchmarkFrontendThroughput/udp"}, nil, &strings.Builder{})
+	if err == nil {
+		t.Fatal("double regression passed the gate")
+	}
+	for _, want := range []string{"BenchmarkEngineCachedLookup", "BenchmarkFrontendThroughput/udp"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error omits %s: %v", want, err)
+		}
 	}
 }
 

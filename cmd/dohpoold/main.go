@@ -32,7 +32,14 @@
 //	-majority           answer only majority-confirmed addresses
 //	-timeout            per-resolver query timeout
 //	-cache-size         consensus cache capacity (-1 disables caching)
+//	-cache-shards       cache lock shards (0 = sized from GOMAXPROCS)
 //	-max-stale          serve expired pools this long while refreshing
+//	-stale-while-revalidate
+//	                    canonical name for -max-stale
+//	-refresh-ahead      regenerate cached pools in the background at this
+//	                    fraction of TTL (e.g. 0.8; 0 = miss-driven only)
+//	-refresh-min-hits   popularity threshold for refresh-ahead
+//	-version            print module version / VCS revision and exit
 //	-hedge-delay        fixed straggler hedge delay (0 = adaptive)
 //	-no-hedge           disable straggler hedging
 //	-breaker-threshold  consecutive failures that open a resolver's breaker
@@ -85,7 +92,11 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 4*time.Second, "per-resolver query timeout")
 
 		cacheSize        = fs.Int("cache-size", 0, "consensus cache capacity in entries (0 = default, -1 = disable)")
+		cacheShards      = fs.Int("cache-shards", 0, "consensus cache lock shards, rounded up to a power of two (0 = from GOMAXPROCS)")
 		maxStale         = fs.Duration("max-stale", 0, "serve expired pools up to this long past TTL while refreshing")
+		swr              = fs.Duration("stale-while-revalidate", 0, "canonical name for -max-stale (wins when both are set)")
+		refreshAhead     = fs.Float64("refresh-ahead", 0, "regenerate cached pools in the background at this fraction of TTL, e.g. 0.8 (0 = disabled)")
+		refreshMinHits   = fs.Uint64("refresh-min-hits", 1, "minimum hits since the last refresh before a pool stays on refresh-ahead (0 uses the default of 1)")
 		hedgeDelay       = fs.Duration("hedge-delay", 0, "fixed straggler hedge delay (0 = adaptive from EWMA RTT)")
 		noHedge          = fs.Bool("no-hedge", false, "disable straggler hedging")
 		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a resolver's circuit breaker (0 = default, -1 = disable)")
@@ -94,9 +105,15 @@ func run(args []string) error {
 		maxTCPConns      = fs.Int("max-tcp-conns", 0, "max concurrently served TCP connections (0 = default)")
 	)
 	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
+	showVersion := fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
 	fs.Var(&resolvers, "resolver", "DoH endpoint URL (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		version, revision := dohpool.BuildInfo()
+		fmt.Printf("dohpoold %s (revision %s)\n", version, revision)
+		return nil
 	}
 	if len(resolvers) == 0 {
 		return fmt.Errorf("at least one -resolver is required (the security analysis wants >= 3)")
@@ -112,18 +129,22 @@ func run(args []string) error {
 	}
 
 	cfg := dohpool.Config{
-		MinResolvers:     *quorum,
-		WithMajority:     *majority,
-		QueryTimeout:     *timeout,
-		CacheSize:        *cacheSize,
-		MaxStale:         *maxStale,
-		HedgeDelay:       *hedgeDelay,
-		DisableHedging:   *noHedge,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		UDPWorkers:       *udpWorkers,
-		MaxTCPConns:      *maxTCPConns,
-		AdminAddr:        *adminAddr,
+		MinResolvers:         *quorum,
+		WithMajority:         *majority,
+		QueryTimeout:         *timeout,
+		CacheSize:            *cacheSize,
+		CacheShards:          *cacheShards,
+		MaxStale:             *maxStale,
+		StaleWhileRevalidate: *swr,
+		RefreshAhead:         *refreshAhead,
+		RefreshMinHits:       *refreshMinHits,
+		HedgeDelay:           *hedgeDelay,
+		DisableHedging:       *noHedge,
+		BreakerThreshold:     *breakerThreshold,
+		BreakerCooldown:      *breakerCooldown,
+		UDPWorkers:           *udpWorkers,
+		MaxTCPConns:          *maxTCPConns,
+		AdminAddr:            *adminAddr,
 	}
 	if *caFile != "" {
 		pemBytes, err := os.ReadFile(*caFile)

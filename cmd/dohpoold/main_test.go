@@ -50,6 +50,27 @@ func TestRunRejectsUnusableAdminAddr(t *testing.T) {
 	}
 }
 
+func TestVersionFlagExitsBeforeResolverValidation(t *testing.T) {
+	// -version must print and exit cleanly even without any -resolver,
+	// like --help: it is a build-identity query, not a serving run.
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("run(-version) = %v", err)
+	}
+}
+
+func TestRunRejectsBadRefreshFlags(t *testing.T) {
+	if err := run([]string{"-resolver", "https://r.test/dns-query", "-refresh-ahead", "bogus"}); err == nil {
+		t.Fatal("bad -refresh-ahead accepted")
+	}
+	if err := run([]string{"-resolver", "https://r.test/dns-query", "-stale-while-revalidate", "nope"}); err == nil {
+		t.Fatal("bad -stale-while-revalidate accepted")
+	}
+	// An out-of-range fraction must be rejected by the engine at startup.
+	if err := run([]string{"-resolver", "https://r.test/dns-query", "-refresh-ahead", "1.5", "-admin", ""}); err == nil {
+		t.Fatal("-refresh-ahead 1.5 accepted")
+	}
+}
+
 func TestResolverListAccumulates(t *testing.T) {
 	var rl resolverList
 	for _, u := range []string{"u1", "u2", "u3"} {

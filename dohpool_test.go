@@ -331,6 +331,50 @@ func TestCacheDisabledConfig(t *testing.T) {
 	}
 }
 
+func TestBuildInfoGaugeRegistered(t *testing.T) {
+	_, client := startTB(t, testbed.Config{}, Config{})
+	defer client.Close()
+	var b bytes.Buffer
+	if err := client.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, MetricBuildInfo+`{version=`) {
+		t.Errorf("metrics missing %s gauge:\n%s", MetricBuildInfo, out)
+	}
+	version, revision := BuildInfo()
+	if version == "" || revision == "" {
+		t.Errorf("BuildInfo = %q, %q; want non-empty", version, revision)
+	}
+}
+
+// TestRefreshAheadThroughFacade checks the always-warm knobs wire
+// through the public API: a client with refresh-ahead on still answers
+// lookups (the timing behaviour itself is covered in internal/core),
+// and an out-of-range fraction is rejected at construction.
+func TestRefreshAheadThroughFacade(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{
+		RefreshAhead:   0.8,
+		RefreshMinHits: 1,
+		CacheShards:    4,
+	})
+	defer client.Close()
+	ctx := testCtx(t)
+	pool, err := client.LookupPool(ctx, tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) == 0 {
+		t.Fatal("empty pool")
+	}
+	if _, err := New(Config{
+		Resolvers:    []Resolver{{Name: "r", URL: "https://r.test/dns-query"}},
+		RefreshAhead: 1.5,
+	}); err == nil {
+		t.Error("RefreshAhead > 1 accepted")
+	}
+}
+
 func TestRecommendResolverCount(t *testing.T) {
 	n, err := RecommendResolverCount(0.1, 0.5, 0.001)
 	if err != nil {

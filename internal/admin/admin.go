@@ -10,7 +10,9 @@
 //	GET /metrics  Prometheus text-format exposition (version 0.0.4)
 //	GET /healthz  200 while at least one resolver can be asked;
 //	              503 when every resolver's circuit breaker is open
-//	GET /poolz    JSON dump of the cached consensus pools with TTLs
+//	GET /poolz    JSON dump of the cached consensus pools with TTLs and
+//	              per-entry refresh-ahead state (hits, refreshes, last
+//	              refresh outcome)
 package admin
 
 import (
@@ -145,6 +147,12 @@ type cachedPool struct {
 	AgeSeconds     float64  `json:"age_seconds"`
 	TTLSeconds     float64  `json:"ttl_seconds"` // negative once expired
 	Stale          bool     `json:"stale"`
+	// Refresh-ahead state: lifetime hits (the popularity signal),
+	// background regenerations recorded, and how the latest one ended
+	// ("none" | "ok" | "failed").
+	Hits        uint64 `json:"hits"`
+	Refreshes   uint64 `json:"refreshes"`
+	LastRefresh string `json:"last_refresh"`
 }
 
 func writePools(w http.ResponseWriter, eng Engine) {
@@ -159,6 +167,9 @@ func writePools(w http.ResponseWriter, eng Engine) {
 				AgeSeconds:     p.Age.Seconds(),
 				TTLSeconds:     p.Remaining.Seconds(),
 				Stale:          p.Remaining < 0,
+				Hits:           p.Hits,
+				Refreshes:      p.Refreshes,
+				LastRefresh:    p.LastRefresh.String(),
 			}
 			for i, a := range p.Addrs {
 				cp.Addrs[i] = a.String()

@@ -184,6 +184,9 @@ func TestPoolzReflectsCachedPool(t *testing.T) {
 			Responding     int      `json:"responding"`
 			TTLSeconds     float64  `json:"ttl_seconds"`
 			Stale          bool     `json:"stale"`
+			Hits           uint64   `json:"hits"`
+			Refreshes      uint64   `json:"refreshes"`
+			LastRefresh    string   `json:"last_refresh"`
 		} `json:"pools"`
 	}
 	if err := json.Unmarshal([]byte(body), &p); err != nil {
@@ -215,6 +218,73 @@ func TestPoolzReflectsCachedPool(t *testing.T) {
 	}
 	if pool.TTLSeconds <= 0 || pool.TTLSeconds > 120 || pool.Stale {
 		t.Errorf("ttl_seconds = %v stale = %v", pool.TTLSeconds, pool.Stale)
+	}
+	if pool.Refreshes != 0 || pool.LastRefresh != "none" {
+		t.Errorf("fresh entry refresh state = %d/%q, want 0/none", pool.Refreshes, pool.LastRefresh)
+	}
+
+	// A second lookup is a cache hit; /poolz must reflect it in the
+	// entry's popularity counter.
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, url)
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pools) != 1 || p.Pools[0].Hits != 1 {
+		t.Errorf("hits after one cached lookup = %d, want 1\n%s", p.Pools[0].Hits, body)
+	}
+}
+
+// TestMetricsExposeRefreshAndShardFamilies verifies the refresh-ahead
+// counters and the per-shard hit distribution reach /metrics.
+func TestMetricsExposeRefreshAndShardFamilies(t *testing.T) {
+	reg := metrics.New()
+	eng := engineUnderTest(t, reg, workingQuerier(), 0)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if err := metrics.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		core.MetricRefreshAttempts + " 0",
+		core.MetricRefreshWins + " 0",
+		core.MetricRefreshFailures + " 0",
+		core.MetricEngineGenerations + `{trigger="inline"} 1`,
+		core.MetricEngineGenerations + `{trigger="background"} 0`,
+		core.MetricCacheShardHits + `{shard="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The shard hit distribution must sum to the aggregate hit counter.
+	var shardSum, total float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, core.MetricCacheShardHits+"{") {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+				t.Fatalf("bad shard line %q: %v", line, err)
+			}
+			shardSum += v
+		}
+		if strings.HasPrefix(line, core.MetricCacheHits+" ") {
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &total); err != nil {
+				t.Fatalf("bad hits line %q: %v", line, err)
+			}
+		}
+	}
+	if shardSum != total || total != 2 {
+		t.Errorf("shard hits sum = %v, aggregate = %v (want equal, 2)", shardSum, total)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"strconv"
 	"strings"
@@ -27,10 +28,42 @@ type EngineConfig struct {
 	// CacheSize bounds the pool cache (entries). 0 uses
 	// dnscache.DefaultCapacity; negative disables caching entirely.
 	CacheSize int
+	// CacheShards splits the pool cache into this many lock domains
+	// (rounded up to a power of two) so cached lookups scale with cores
+	// instead of serializing behind one mutex. 0 or negative sizes
+	// automatically from GOMAXPROCS; 1 forces a single shard with strict
+	// global LRU order.
+	CacheShards int
 	// MaxStale, when positive, serves an expired pool for up to this long
 	// past its TTL while a background refresh runs (stale-while-
 	// revalidate). Zero disables stale serving.
 	MaxStale time.Duration
+	// RefreshAhead, when in (0, 1], turns the engine from reactive to
+	// always-warm: a background refresher re-runs Algorithm 1 for a
+	// cached pool once it has lived RefreshAhead of its TTL (0.8 = at
+	// 80% of lifetime), so hot keys are regenerated before they expire
+	// and Lookup almost never generates inline. 0 disables refresh-ahead
+	// (miss-driven generation only).
+	RefreshAhead float64
+	// RefreshMinHits is the refresh-ahead popularity threshold: only
+	// entries with at least this many hits since their last background
+	// refresh (lifetime hits for a never-refreshed entry) are refreshed;
+	// keys nobody read in the last TTL window are left to expire and
+	// regenerate on demand, so refresh traffic tracks live popularity,
+	// not cache occupancy. 0 refreshes every cached entry.
+	RefreshMinHits uint64
+	// RefreshInterval is the refresher's cache-scan cadence. 0 uses
+	// DefaultRefreshInterval.
+	RefreshInterval time.Duration
+	// RefreshConcurrency bounds how many background regenerations may
+	// run at once; entries past the cap wait for the next scan, smearing
+	// a correlated-expiry herd across ticks instead of fanning out to
+	// every resolver simultaneously. 0 uses DefaultRefreshConcurrency.
+	RefreshConcurrency int
+	// RefreshBackoff is the base delay before re-attempting a key whose
+	// background refresh failed, doubling per consecutive failure up to
+	// 32× the base. 0 uses DefaultRefreshBackoff.
+	RefreshBackoff time.Duration
 	// HedgeDelay is how long to wait for a straggling resolver before
 	// firing a backup attempt at it. Positive = fixed; 0 = adaptive
 	// (2× the resolver's EWMA RTT, clamped).
@@ -64,16 +97,19 @@ type EngineConfig struct {
 // refreshing. Create one with NewEngine and share it between any number
 // of goroutines; both dohpool.Client and the DNS Frontend sit on it.
 type Engine struct {
-	gen    *Generator
-	cache  *dnscache.Store[*Pool] // nil when caching is disabled
-	health *HealthTracker
-	cfg    EngineConfig
-	inst   engineInstruments
+	gen       *Generator
+	cache     *dnscache.Store[*poolEntry] // nil when caching is disabled
+	health    *HealthTracker
+	refresher *refresher // nil unless RefreshAhead is enabled
+	cfg       EngineConfig
+	inst      engineInstruments
 
 	flight flightGroup
 
-	networkRuns atomic.Uint64 // actual Algorithm 1 executions
-	staleServes atomic.Uint64
+	networkRuns    atomic.Uint64 // actual Algorithm 1 executions
+	inlineGens     atomic.Uint64 // executions led by a waiting caller
+	backgroundGens atomic.Uint64 // executions led by refresh-ahead / stale refresh
+	staleServes    atomic.Uint64
 
 	// refreshMu orders refreshWG.Add against Close's Wait: a refresh
 	// either starts before Close observes the engine closed, or not at
@@ -83,11 +119,28 @@ type Engine struct {
 	closed    bool
 }
 
+// poolEntry is the pool cache's value: the generated pool plus the
+// regeneration closure bound to the original lookup's (domain, type), so
+// the background refresher can re-run Algorithm 1 for a key without
+// reverse-parsing it.
+type poolEntry struct {
+	pool  *Pool
+	regen func(context.Context) (*Pool, error)
+}
+
 // NewEngine validates gcfg, wires the health-tracking hedged querier in
 // front of its Querier, and builds the engine.
 func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	if ecfg.LookupTimeout <= 0 {
 		ecfg.LookupTimeout = DefaultLookupTimeout
+	}
+	if ecfg.RefreshAhead < 0 || ecfg.RefreshAhead > 1 {
+		return nil, fmt.Errorf("engine: RefreshAhead %v outside [0, 1]", ecfg.RefreshAhead)
+	}
+	if ecfg.RefreshAhead > 0 && ecfg.CacheSize < 0 {
+		// Refresh-ahead watches the cache; with caching disabled it
+		// would silently never run — surface the conflict instead.
+		return nil, fmt.Errorf("engine: RefreshAhead %v requires caching, but CacheSize %d disables it", ecfg.RefreshAhead, ecfg.CacheSize)
 	}
 	threshold := ecfg.BreakerThreshold
 	switch {
@@ -114,10 +167,22 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	}
 	e := &Engine{gen: gen, health: health, cfg: ecfg, inst: newEngineInstruments(ecfg.Metrics)}
 	if ecfg.CacheSize >= 0 {
-		e.cache = dnscache.NewStore[*Pool](ecfg.CacheSize, ecfg.Clock)
+		e.cache = dnscache.NewShardedStore[*poolEntry](ecfg.CacheSize, ecfg.CacheShards, ecfg.Clock)
 		registerCacheMetrics(ecfg.Metrics, e.cache)
 	}
+	if ecfg.RefreshAhead > 0 && e.cache != nil {
+		e.refresher = newRefresher(e, ecfg)
+		e.refresher.start()
+	}
 	return e, nil
+}
+
+// now reads the engine's clock (injectable for tests).
+func (e *Engine) now() time.Time {
+	if e.cfg.Clock != nil {
+		return e.cfg.Clock()
+	}
+	return time.Now()
 }
 
 // ResolverCount returns N, the number of configured resolvers.
@@ -129,6 +194,43 @@ func (e *Engine) ServeMajority() bool { return e.gen.ServeMajority() }
 // NetworkRuns returns how many Algorithm 1 fan-outs actually hit the
 // network (cache hits and coalesced waiters do not).
 func (e *Engine) NetworkRuns() uint64 { return e.networkRuns.Load() }
+
+// InlineGenerations returns the subset of NetworkRuns led by a waiting
+// caller (cache miss on the synchronous lookup path). With refresh-ahead
+// enabled, a warm key's inline count stays flat across TTL expiries.
+func (e *Engine) InlineGenerations() uint64 { return e.inlineGens.Load() }
+
+// BackgroundGenerations returns the subset of NetworkRuns led by the
+// refresh-ahead pipeline or a stale-triggered revalidation — runs no
+// caller waited on.
+func (e *Engine) BackgroundGenerations() uint64 { return e.backgroundGens.Load() }
+
+// RefreshAttempts returns how many background refresh-ahead runs were
+// launched (0 when refresh-ahead is disabled).
+func (e *Engine) RefreshAttempts() uint64 {
+	if e.refresher == nil {
+		return 0
+	}
+	return e.refresher.attempts.Load()
+}
+
+// RefreshWins returns how many refresh-ahead runs replaced a cached pool
+// before it expired.
+func (e *Engine) RefreshWins() uint64 {
+	if e.refresher == nil {
+		return 0
+	}
+	return e.refresher.wins.Load()
+}
+
+// RefreshFailures returns how many refresh-ahead runs failed (the cached
+// entry was kept and the key backed off).
+func (e *Engine) RefreshFailures() uint64 {
+	if e.refresher == nil {
+		return 0
+	}
+	return e.refresher.failures.Load()
+}
 
 // StaleServes returns how many lookups were answered from an expired
 // entry inside the MaxStale window.
@@ -177,10 +279,17 @@ type CachedPool struct {
 	// Remaining is the TTL left; negative once expired (the entry may
 	// still serve inside the stale window).
 	Remaining time.Duration
+	// Hits counts lookups answered by this entry across refreshes — the
+	// refresher's popularity signal.
+	Hits uint64
+	// Refreshes counts background regenerations recorded for the entry.
+	Refreshes uint64
+	// LastRefresh reports how the most recent background refresh ended.
+	LastRefresh dnscache.RefreshOutcome
 }
 
-// CachedPools snapshots the pool cache, most recently used first (empty
-// when caching is disabled).
+// CachedPools snapshots the pool cache, shard by shard, most recently
+// used first within each shard (empty when caching is disabled).
 func (e *Engine) CachedPools() []CachedPool {
 	if e.cache == nil {
 		return nil
@@ -190,11 +299,14 @@ func (e *Engine) CachedPools() []CachedPool {
 	for i, en := range entries {
 		out[i] = CachedPool{
 			Key:            en.Key,
-			Addrs:          append([]netip.Addr(nil), en.Val.Addrs...),
-			TruncateLength: en.Val.TruncateLength,
-			Responding:     en.Val.Responding(),
+			Addrs:          append([]netip.Addr(nil), en.Val.pool.Addrs...),
+			TruncateLength: en.Val.pool.TruncateLength,
+			Responding:     en.Val.pool.Responding(),
 			Age:            en.Age,
 			Remaining:      en.Remaining,
+			Hits:           en.Hits,
+			Refreshes:      en.Refreshes,
+			LastRefresh:    en.LastRefresh,
 		}
 	}
 	return out
@@ -209,9 +321,14 @@ func (e *Engine) EvictExpired() int {
 	return e.cache.EvictExpired(e.cfg.MaxStale)
 }
 
-// Close waits for background stale-refresh runs to finish. The engine
-// must not be used afterwards.
+// Close stops the refresh-ahead loop and waits for in-flight background
+// refresh runs to drain. The engine must not be used afterwards.
 func (e *Engine) Close() error {
+	if e.refresher != nil {
+		// Stop the scan loop first so it cannot launch new refreshes
+		// while we drain.
+		e.refresher.stopLoop()
+	}
 	e.refreshMu.Lock()
 	e.closed = true
 	e.refreshMu.Unlock()
@@ -240,27 +357,39 @@ func (e *Engine) LookupDualStack(ctx context.Context, domain string) (*Pool, err
 	})
 }
 
+// lookup is the thin read path: a fresh (or serveably stale) cache entry
+// is answered with no locks beyond one shard read-lock; everything else
+// falls through to a coalesced inline generation.
 func (e *Engine) lookup(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
 	if e.cache != nil {
-		if pool, age, stale, ok := e.cache.GetStale(key, e.cfg.MaxStale); ok {
+		if en, age, stale, ok := e.cache.GetStale(key, e.cfg.MaxStale); ok {
 			if !stale {
 				e.inst.hit.Inc()
-				return snapshotPool(pool, age), nil
+				return snapshotPool(en.pool, age), nil
 			}
 			// Counted both here (lookup outcome) and in the cache's own
 			// Stats.Stale (cache-layer view): the lookups_total family must
 			// sum to total lookups, and the cache family mirrors Stats 1:1.
 			e.staleServes.Add(1)
 			e.inst.stale.Inc()
-			e.refreshAsync(key, run)
-			return snapshotPool(pool, pool.ttlDuration()), nil
+			// With the refresher enabled, stale revalidation goes through
+			// its bookkeeping — respecting per-key failure backoff and the
+			// concurrency cap instead of re-fanning-out on every stale hit.
+			if e.refresher != nil {
+				e.refresher.tryRefreshStale(key, run)
+			} else {
+				e.refreshAsync(key, run)
+			}
+			return snapshotPool(en.pool, en.pool.ttlDuration()), nil
 		}
 	}
-	return e.fetch(ctx, key, run)
+	return e.fetch(ctx, key, run, false)
 }
 
 // fetch coalesces concurrent misses for key into a single upstream run.
-func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
+// background marks runs no caller is waiting on (stale revalidation,
+// refresh-ahead) for the inline-vs-background generation split.
+func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context) (*Pool, error), background bool) (*Pool, error) {
 	pool, err, leader := e.flight.Do(ctx, key, func() (*Pool, error) {
 		// Detach from the individual caller: other waiters are coalesced
 		// onto this run and must not die with whoever arrived first.
@@ -268,6 +397,13 @@ func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context
 		defer cancel()
 		e.networkRuns.Add(1)
 		e.inst.network.Inc()
+		if background {
+			e.backgroundGens.Add(1)
+			e.inst.backgroundGen.Inc()
+		} else {
+			e.inlineGens.Add(1)
+			e.inst.inlineGen.Inc()
+		}
 		start := time.Now()
 		p, err := run(runCtx)
 		e.inst.genLatency.Observe(time.Since(start).Seconds())
@@ -277,7 +413,7 @@ func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context
 		}
 		e.inst.quorum.Observe(float64(p.Responding()))
 		if e.cache != nil {
-			e.cache.Put(key, p, p.ttlDuration())
+			e.cache.Put(key, &poolEntry{pool: p, regen: run}, p.ttlDuration())
 		}
 		return p, nil
 	})
@@ -302,7 +438,7 @@ func (e *Engine) refreshAsync(key string, run func(context.Context) (*Pool, erro
 	e.refreshMu.Unlock()
 	go func() {
 		defer e.refreshWG.Done()
-		_, _ = e.fetch(context.Background(), key, run)
+		_, _ = e.fetch(context.Background(), key, run, true)
 	}()
 }
 

@@ -29,10 +29,17 @@ func newCountingQuerier(ttl uint32, lists map[string][]netip.Addr) *countingQuer
 	return &countingQuerier{lists: lists, ttl: ttl, queries: make(map[string]int)}
 }
 
+func (c *countingQuerier) setTTL(ttl uint32) {
+	c.mu.Lock()
+	c.ttl = ttl
+	c.mu.Unlock()
+}
+
 func (c *countingQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
 	c.mu.Lock()
 	c.queries[url]++
 	gate := c.gate
+	ttl := c.ttl
 	c.mu.Unlock()
 	c.total.Add(1)
 	if gate != nil {
@@ -49,7 +56,7 @@ func (c *countingQuerier) Query(ctx context.Context, url, name string, typ dnswi
 	resp := dnswire.NewResponse(query)
 	for _, a := range c.lists[url] {
 		if (typ == dnswire.TypeA) == a.Is4() {
-			resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, c.ttl))
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, ttl))
 		}
 	}
 	return resp, nil

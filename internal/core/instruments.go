@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"dohpool/internal/dnscache"
@@ -15,6 +16,11 @@ const (
 	MetricEngineErrors       = "dohpool_engine_lookup_errors_total"
 	MetricEngineGenSeconds   = "dohpool_engine_pool_generation_seconds"
 	MetricEngineQuorum       = "dohpool_engine_quorum_size"
+	MetricEngineGenerations  = "dohpool_engine_generations_total"
+	MetricRefreshAttempts    = "dohpool_refresh_attempts_total"
+	MetricRefreshWins        = "dohpool_refresh_wins_total"
+	MetricRefreshFailures    = "dohpool_refresh_failures_total"
+	MetricCacheShardHits     = "dohpool_cache_shard_hits_total"
 	MetricCacheHits          = "dohpool_cache_hits_total"
 	MetricCacheMisses        = "dohpool_cache_misses_total"
 	MetricCacheEvictions     = "dohpool_cache_evictions_total"
@@ -38,24 +44,35 @@ const (
 // value (no registry) is fully usable: every method on a nil instrument
 // no-ops.
 type engineInstruments struct {
-	hit        *metrics.Counter // lookups answered from a fresh cache entry
-	stale      *metrics.Counter // lookups answered stale-while-revalidate
-	coalesced  *metrics.Counter // lookups that joined an in-flight run
-	network    *metrics.Counter // lookups that executed Algorithm 1
-	errors     *metrics.Counter
-	genLatency *metrics.Histogram
-	quorum     *metrics.Histogram
+	hit           *metrics.Counter // lookups answered from a fresh cache entry
+	stale         *metrics.Counter // lookups answered stale-while-revalidate
+	coalesced     *metrics.Counter // lookups that joined an in-flight run
+	network       *metrics.Counter // lookups that executed Algorithm 1
+	inlineGen     *metrics.Counter // generations led by a waiting caller
+	backgroundGen *metrics.Counter // generations led by refresh-ahead / stale refresh
+	errors        *metrics.Counter
+	genLatency    *metrics.Histogram
+	quorum        *metrics.Histogram
+
+	refreshAttempts *metrics.Counter
+	refreshWins     *metrics.Counter
+	refreshFailures *metrics.Counter
 }
 
 func newEngineInstruments(reg *metrics.Registry) engineInstruments {
 	lookups := reg.CounterVec(MetricEngineLookups,
 		"Engine lookups by outcome: cache_hit, stale_serve, coalesced (joined an in-flight run), network (executed Algorithm 1).",
 		"outcome")
+	generations := reg.CounterVec(MetricEngineGenerations,
+		"Algorithm 1 executions by trigger: inline (a caller waited on a cache miss), background (refresh-ahead or stale revalidation).",
+		"trigger")
 	return engineInstruments{
-		hit:       lookups.With("cache_hit"),
-		stale:     lookups.With("stale_serve"),
-		coalesced: lookups.With("coalesced"),
-		network:   lookups.With("network"),
+		hit:           lookups.With("cache_hit"),
+		stale:         lookups.With("stale_serve"),
+		coalesced:     lookups.With("coalesced"),
+		network:       lookups.With("network"),
+		inlineGen:     generations.With("inline"),
+		backgroundGen: generations.With("background"),
 		errors: reg.Counter(MetricEngineErrors,
 			"Algorithm 1 runs that failed (quorum not met, empty answers, all resolvers down)."),
 		genLatency: reg.Histogram(MetricEngineGenSeconds,
@@ -64,18 +81,34 @@ func newEngineInstruments(reg *metrics.Registry) engineInstruments {
 		quorum: reg.Histogram(MetricEngineQuorum,
 			"Resolvers that contributed to each generated pool.",
 			[]float64{1, 2, 3, 5, 7, 9, 11, 15}),
+		refreshAttempts: reg.Counter(MetricRefreshAttempts,
+			"Background refresh-ahead runs launched by the refresher."),
+		refreshWins: reg.Counter(MetricRefreshWins,
+			"Refresh-ahead runs that replaced a cached pool before it expired."),
+		refreshFailures: reg.Counter(MetricRefreshFailures,
+			"Refresh-ahead runs that failed (stale pool kept, key backed off)."),
 	}
 }
 
 // registerCacheMetrics surfaces the pool cache's cumulative Stats struct
 // as callback-backed counters, read live at exposition time so no second
-// set of counters can drift from the cache's own.
-func registerCacheMetrics(reg *metrics.Registry, cache *dnscache.Store[*Pool]) {
+// set of counters can drift from the cache's own, plus the per-shard hit
+// distribution (a skewed distribution means the hot keys crowd one lock
+// domain).
+func registerCacheMetrics(reg *metrics.Registry, cache *dnscache.Store[*poolEntry]) {
 	if reg == nil || cache == nil {
 		return
 	}
 	stat := func(pick func(dnscache.Stats) uint64) func() float64 {
 		return func() float64 { return float64(pick(cache.Stats())) }
+	}
+	shardHits := reg.CounterVec(MetricCacheShardHits,
+		"Pool-cache hits per shard (lock domain), for hit-distribution introspection.",
+		"shard")
+	for i := 0; i < cache.ShardCount(); i++ {
+		i := i
+		shardHits.WithFunc(func() float64 { return float64(cache.ShardStat(i).Hits) },
+			strconv.Itoa(i))
 	}
 	reg.CounterFunc(MetricCacheHits, "Pool-cache lookups answered from cache (including stale serves).",
 		stat(func(s dnscache.Stats) uint64 { return s.Hits }))

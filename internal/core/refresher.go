@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohpool/internal/dnscache"
+)
+
+// Refresher defaults.
+const (
+	// DefaultRefreshInterval is how often the refresher scans the pool
+	// cache for entries due a background regeneration.
+	DefaultRefreshInterval = time.Second
+	// DefaultRefreshBackoff is the base delay before re-attempting a key
+	// whose background refresh failed; it doubles per consecutive
+	// failure up to maxRefreshBackoffShift doublings.
+	DefaultRefreshBackoff = 5 * time.Second
+	// maxRefreshBackoffShift caps the exponential backoff at
+	// base << maxRefreshBackoffShift (32× the base).
+	maxRefreshBackoffShift = 5
+	// DefaultRefreshConcurrency bounds concurrent background
+	// regenerations when EngineConfig.RefreshConcurrency is 0: enough to
+	// keep a busy cache warm, small enough that a correlated expiry of
+	// thousands of entries cannot fan out to every resolver at once.
+	DefaultRefreshConcurrency = 8
+)
+
+// refresher is the always-warm half of the engine: a background loop
+// that watches the pool cache and re-runs Algorithm 1 for entries
+// approaching their TTL, so the synchronous lookup path almost never
+// generates inline. It refreshes an entry once it has lived fraction of
+// its TTL, skips entries colder than minHits, launches at most one
+// refresh per key at a time, and backs a key off exponentially while its
+// refreshes keep failing (the cached pool is kept and keeps serving —
+// through the stale window if need be).
+type refresher struct {
+	eng         *Engine
+	fraction    float64
+	minHits     uint64
+	interval    time.Duration
+	backoff     time.Duration
+	maxInflight int
+	stopOnce    sync.Once
+	stop        chan struct{}
+	done        chan struct{}
+
+	attempts atomic.Uint64
+	wins     atomic.Uint64
+	failures atomic.Uint64
+
+	mu       sync.Mutex
+	inflight int // refreshes currently running, bounded by maxInflight
+	state    map[string]*refreshState
+}
+
+// refreshState is the refresher's per-key bookkeeping.
+type refreshState struct {
+	// inflight guards against launching a second refresh for the key
+	// while one is still running.
+	inflight bool
+	// hitsSeen is the entry's hit count when its last successful refresh
+	// launched; the popularity check compares against hits gained since,
+	// so a key nobody reads anymore stops being kept warm instead of
+	// earning eternal refreshes from ancient traffic.
+	hitsSeen uint64
+	// failures is the current consecutive-failure streak.
+	failures int
+	// notBefore delays the next attempt after failures (zero = no
+	// backoff).
+	notBefore time.Time
+}
+
+func newRefresher(e *Engine, ecfg EngineConfig) *refresher {
+	interval := ecfg.RefreshInterval
+	if interval <= 0 {
+		interval = DefaultRefreshInterval
+	}
+	backoff := ecfg.RefreshBackoff
+	if backoff <= 0 {
+		backoff = DefaultRefreshBackoff
+	}
+	maxInflight := ecfg.RefreshConcurrency
+	if maxInflight <= 0 {
+		maxInflight = DefaultRefreshConcurrency
+	}
+	return &refresher{
+		eng:         e,
+		fraction:    ecfg.RefreshAhead,
+		minHits:     ecfg.RefreshMinHits,
+		interval:    interval,
+		backoff:     backoff,
+		maxInflight: maxInflight,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		state:       make(map[string]*refreshState),
+	}
+}
+
+// start launches the scan loop.
+func (r *refresher) start() {
+	go r.run()
+}
+
+// stopLoop halts the scan loop and waits for it to exit. It does not
+// wait for in-flight refreshes — those are drained by Engine.Close via
+// the engine's refresh WaitGroup.
+func (r *refresher) stopLoop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *refresher) run() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.scan()
+		}
+	}
+}
+
+// refreshCandidate is one claimed launch from a scan pass.
+type refreshCandidate struct {
+	key   string
+	regen func(context.Context) (*Pool, error)
+	hits  uint64
+}
+
+// scan walks the cache once and launches a background regeneration for
+// every due entry, returning how many were launched. A due entry has
+// lived at least fraction of its TTL (or is already expired but still in
+// the stale window), gained at least minHits hits since its last
+// refresh, has no refresh in flight, is not backing off a recent
+// failure, and fits under the refresh concurrency cap (entries past the
+// cap simply wait for a later scan). The whole selection runs under one
+// acquisition of r.mu — per-tick cost is one cache snapshot plus one
+// lock, O(entries) either way (a due-time heap would beat it at
+// millions of entries; at the default capacity a linear pass is cheap).
+func (r *refresher) scan() int {
+	now := r.eng.now()
+	entries := r.eng.cache.Entries()
+	live := make(map[string]bool, len(entries))
+	var cands []refreshCandidate
+	r.mu.Lock()
+	for _, en := range entries {
+		live[en.Key] = true
+		if !r.due(en) {
+			continue
+		}
+		st := r.stateFor(en.Key)
+		if st.hitsSeen > en.Hits {
+			// The entry was evicted and re-inserted since we last saw
+			// it; its hit counter restarted.
+			st.hitsSeen = 0
+		}
+		if en.Hits-st.hitsSeen < r.minHits || !r.claimLocked(st, now) {
+			continue
+		}
+		cands = append(cands, refreshCandidate{key: en.Key, regen: en.Val.regen, hits: en.Hits})
+	}
+	// Prune bookkeeping for keys the cache no longer holds so evicted
+	// entries cannot leak state forever.
+	for key, st := range r.state {
+		if !live[key] && !st.inflight {
+			delete(r.state, key)
+		}
+	}
+	r.mu.Unlock()
+
+	launched := 0
+	for _, c := range cands {
+		if !r.launch(c.key, c.regen, c.hits) {
+			// The engine is closing; undo the remaining claims.
+			r.mu.Lock()
+			for _, rest := range cands[launched:] {
+				r.state[rest.key].inflight = false
+				r.inflight--
+			}
+			r.mu.Unlock()
+			return launched
+		}
+		launched++
+	}
+	return launched
+}
+
+// stateFor returns (creating if needed) key's bookkeeping; r.mu must be
+// held.
+func (r *refresher) stateFor(key string) *refreshState {
+	st := r.state[key]
+	if st == nil {
+		st = &refreshState{}
+		r.state[key] = st
+	}
+	return st
+}
+
+// claimLocked reserves a launch slot for st when it is idle, not backing
+// off, and under the concurrency cap; r.mu must be held.
+func (r *refresher) claimLocked(st *refreshState, now time.Time) bool {
+	if st.inflight || now.Before(st.notBefore) || r.inflight >= r.maxInflight {
+		return false
+	}
+	st.inflight = true
+	r.inflight++
+	return true
+}
+
+// tryRefreshStale is the stale-serve path's entry point: it launches a
+// revalidation for key unless the refresher's bookkeeping says not to —
+// a refresh already in flight, a backed-off failure streak, or the
+// concurrency cap. Without this, every stale hit would re-fan-out to
+// resolvers the backoff just decided to leave alone.
+func (r *refresher) tryRefreshStale(key string, regen func(context.Context) (*Pool, error)) {
+	now := r.eng.now()
+	r.mu.Lock()
+	st := r.stateFor(key)
+	if !r.claimLocked(st, now) {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	// hitsAtLaunch 0: a stale-triggered refresh proves live traffic, so
+	// it must not advance the popularity baseline.
+	if !r.launch(key, regen, 0) {
+		r.mu.Lock()
+		st.inflight = false
+		r.inflight--
+		r.mu.Unlock()
+	}
+}
+
+// due reports whether the entry has consumed its refresh-ahead fraction
+// of lifetime. An already-expired entry (still cached thanks to the
+// stale window) is always due.
+func (r *refresher) due(en dnscache.Entry[*poolEntry]) bool {
+	if en.Remaining <= 0 {
+		return true
+	}
+	total := en.Age + en.Remaining
+	if total <= 0 {
+		return false
+	}
+	return float64(en.Age) >= r.fraction*float64(total)
+}
+
+// launch starts one background regeneration for key, reporting false
+// when the engine is closing. hitsAtLaunch is the entry's hit count the
+// scan observed, recorded as the popularity baseline on success. The
+// refresh shares the engine's singleflight group, so a concurrent inline
+// miss for the same key coalesces onto it rather than doubling the
+// fan-out.
+func (r *refresher) launch(key string, regen func(context.Context) (*Pool, error), hitsAtLaunch uint64) bool {
+	e := r.eng
+	e.refreshMu.Lock()
+	if e.closed {
+		e.refreshMu.Unlock()
+		return false
+	}
+	e.refreshWG.Add(1)
+	e.refreshMu.Unlock()
+
+	r.attempts.Add(1)
+	e.inst.refreshAttempts.Inc()
+	go func() {
+		defer e.refreshWG.Done()
+		p, err := e.fetch(context.Background(), key, regen, true)
+		if err == nil && p != nil && p.TTL == 0 {
+			// The run succeeded but produced an uncacheable pool
+			// (TTL 0): nothing replaced the dying entry, and without
+			// backoff the still-due key would be re-fetched every scan
+			// tick. Treat it as a failed refresh.
+			err = errUncacheableRefresh
+		}
+		r.settle(key, err, hitsAtLaunch)
+	}()
+	return true
+}
+
+// errUncacheableRefresh marks a refresh whose regenerated pool carried
+// TTL 0 and therefore could not replace the cached entry.
+var errUncacheableRefresh = errors.New("refreshed pool is uncacheable (TTL 0)")
+
+// settle records a refresh outcome: success clears the key's failure
+// streak and advances its popularity baseline, failure extends the
+// streak and schedules the exponential backoff. The cache entry's own
+// refresh metadata is updated either way (a key evicted mid-refresh
+// simply has nothing to record against).
+func (r *refresher) settle(key string, err error, hitsAtLaunch uint64) {
+	now := r.eng.now()
+	r.mu.Lock()
+	st := r.state[key]
+	if st == nil {
+		st = &refreshState{}
+		r.state[key] = st
+	}
+	st.inflight = false
+	r.inflight--
+	if err == nil && st.hitsSeen < hitsAtLaunch {
+		st.hitsSeen = hitsAtLaunch
+	}
+	if err != nil {
+		st.failures++
+		shift := st.failures - 1
+		if shift > maxRefreshBackoffShift {
+			shift = maxRefreshBackoffShift
+		}
+		st.notBefore = now.Add(r.backoff << shift)
+	} else {
+		st.failures = 0
+		st.notBefore = time.Time{}
+	}
+	r.mu.Unlock()
+
+	if err != nil {
+		r.failures.Add(1)
+		r.eng.inst.refreshFailures.Inc()
+		r.eng.cache.RecordRefresh(key, false)
+	} else {
+		r.wins.Add(1)
+		r.eng.inst.refreshWins.Inc()
+		r.eng.cache.RecordRefresh(key, true)
+	}
+}

@@ -25,8 +25,9 @@ type Cache struct {
 type Option func(*cacheConfig)
 
 type cacheConfig struct {
-	cap int
-	now func() time.Time
+	cap    int
+	shards int
+	now    func() time.Time
 }
 
 // WithCapacity bounds the number of cached responses.
@@ -38,6 +39,17 @@ func WithCapacity(n int) Option {
 	}
 }
 
+// WithShards splits the cache into n lock domains (rounded up to a power
+// of two) so concurrent resolvers' hot paths stop contending on one
+// mutex. The default of 1 keeps strict global LRU order.
+func WithShards(n int) Option {
+	return func(c *cacheConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
 // WithClock injects a time source for tests.
 func WithClock(now func() time.Time) Option {
 	return func(c *cacheConfig) { c.now = now }
@@ -45,11 +57,11 @@ func WithClock(now func() time.Time) Option {
 
 // New creates an empty cache.
 func New(opts ...Option) *Cache {
-	cfg := cacheConfig{cap: DefaultCapacity, now: time.Now}
+	cfg := cacheConfig{cap: DefaultCapacity, shards: 1, now: time.Now}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Cache{store: NewStore[*dnswire.Message](cfg.cap, cfg.now)}
+	return &Cache{store: NewShardedStore[*dnswire.Message](cfg.cap, cfg.shards, cfg.now)}
 }
 
 // Put stores a response for the given question. The entry lives for the

@@ -2,7 +2,9 @@ package dnscache
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,61 +30,201 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// add folds o into s (aggregating per-shard counters).
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.Stale += o.Stale
+}
+
+// RefreshOutcome records how the most recent background refresh of an
+// entry ended.
+type RefreshOutcome int32
+
+// Refresh outcomes.
+const (
+	// RefreshNone: the entry has never been refreshed in the background.
+	RefreshNone RefreshOutcome = iota
+	// RefreshOK: the last background refresh replaced the value.
+	RefreshOK
+	// RefreshFailed: the last background refresh failed; the previous
+	// value was kept.
+	RefreshFailed
+)
+
+// String returns the admin-facing spelling of the outcome.
+func (o RefreshOutcome) String() string {
+	switch o {
+	case RefreshOK:
+		return "ok"
+	case RefreshFailed:
+		return "failed"
+	default:
+		return "none"
+	}
+}
+
 // Store is a thread-safe TTL-aware LRU keyed by string, generic over the
-// cached value. The DNS message Cache and the consensus engine's pool
-// cache are both built on it. The zero value is not usable; call NewStore.
+// cached value. It is split into a power-of-two number of shards, each
+// with its own lock, LRU list and statistics, so concurrent lookups on
+// different keys never contend — and the fresh-hit fast path takes only a
+// shard read-lock plus atomic counter updates, so even a single hot key
+// scales with cores instead of serializing behind one mutex. The DNS
+// message Cache and the consensus engine's pool cache are both built on
+// it. The zero value is not usable; call NewStore or NewShardedStore.
 type Store[V any] struct {
-	mu      sync.Mutex
+	shards []*shard[V]
+	mask   uint32
+	now    func() time.Time
+}
+
+// shard is one lock domain: a map + LRU list bounded to its slice of the
+// store's capacity. Counters are atomics so the read-locked hit path can
+// update them without lock promotion.
+type shard[V any] struct {
+	mu      sync.RWMutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recent
 	cap     int
-	now     func() time.Time
-	stats   Stats
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	expirations atomic.Uint64
+	stale       atomic.Uint64
 }
 
+// storeEntry fields stored/expires/val are written only under the shard's
+// write lock; the metadata counters are atomics updated under the read
+// lock (hits) or from refresh bookkeeping (refreshes, lastRefresh).
 type storeEntry[V any] struct {
 	key     string
 	val     V
 	stored  time.Time
 	expires time.Time
+
+	hits        atomic.Uint64
+	refreshes   atomic.Uint64
+	lastRefresh atomic.Int32 // RefreshOutcome
 }
 
-// NewStore builds a Store bounded to capacity entries (0 or negative uses
-// DefaultCapacity) reading time from clock (nil uses time.Now).
+// DefaultShards returns the shard count NewShardedStore uses for a
+// non-positive shard argument: the next power of two at or above
+// GOMAXPROCS, capped at 256.
+func DefaultShards() int {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// nextPow2 rounds n up to the nearest power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewStore builds a single-shard Store bounded to capacity entries (0 or
+// negative uses DefaultCapacity) reading time from clock (nil uses
+// time.Now). A single shard keeps strict global LRU order — the right
+// choice for small caches; use NewShardedStore for concurrent hot paths.
 func NewStore[V any](capacity int, clock func() time.Time) *Store[V] {
+	return NewShardedStore[V](capacity, 1, clock)
+}
+
+// minShardCapacity is the smallest per-shard LRU the constructor will
+// produce: below this, hash skew makes hot keys in one shard evict each
+// other while sibling shards sit empty, so the shard count is halved
+// until every shard holds at least this many entries.
+const minShardCapacity = 8
+
+// NewShardedStore builds a Store split into shards lock domains (rounded
+// up to a power of two; non-positive uses DefaultShards) with a combined
+// bound of capacity entries (0 or negative uses DefaultCapacity), reading
+// time from clock (nil uses time.Now). Capacity is divided evenly across
+// shards, so eviction order is LRU per shard, approximate LRU globally;
+// a small capacity clamps the shard count so no shard's slice drops
+// below minShardCapacity.
+func NewShardedStore[V any](capacity, shards int, clock func() time.Time) *Store[V] {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
+	}
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	shards = nextPow2(shards)
+	for shards > 1 && capacity/shards < minShardCapacity {
+		shards >>= 1
 	}
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Store[V]{
-		entries: make(map[string]*list.Element),
-		lru:     list.New(),
-		cap:     capacity,
-		now:     clock,
+	perShard := (capacity + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
 	}
+	s := &Store[V]{
+		shards: make([]*shard[V], shards),
+		mask:   uint32(shards - 1),
+		now:    clock,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard[V]{
+			entries: make(map[string]*list.Element),
+			lru:     list.New(),
+			cap:     perShard,
+		}
+	}
+	return s
 }
 
+// shardFor hashes key (FNV-1a) onto one shard.
+func (s *Store[V]) shardFor(key string) *shard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[h&s.mask]
+}
+
+// ShardCount returns the number of lock domains.
+func (s *Store[V]) ShardCount() int { return len(s.shards) }
+
 // Put stores val under key for ttl. A non-positive ttl is uncacheable and
-// ignored. An existing entry is replaced.
+// ignored. An existing entry is replaced in place — its hit and refresh
+// metadata survive, so popularity tracking spans refreshes.
 func (s *Store[V]) Put(key string, val V, ttl time.Duration) {
 	if ttl <= 0 {
 		return
 	}
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.entries[key]; ok {
-		s.lru.Remove(el)
-		delete(s.entries, key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*storeEntry[V])
+		e.val = val
+		e.stored = now
+		e.expires = now.Add(ttl)
+		sh.lru.MoveToFront(el)
+		return
 	}
 	e := &storeEntry[V]{key: key, val: val, stored: now, expires: now.Add(ttl)}
-	s.entries[key] = s.lru.PushFront(e)
-	for s.lru.Len() > s.cap {
-		oldest := s.lru.Back()
-		s.removeLocked(oldest)
-		s.stats.Evictions++
+	sh.entries[key] = sh.lru.PushFront(e)
+	for sh.lru.Len() > sh.cap {
+		sh.removeLocked(sh.lru.Back())
+		sh.evictions.Add(1)
 	}
 }
 
@@ -102,30 +244,91 @@ func (s *Store[V]) Get(key string) (val V, age time.Duration, ok bool) {
 // the caller can serve it while refreshing in the background. Entries
 // beyond the window are removed and reported as misses. Stale serves count
 // as hits.
+//
+// The fresh-hit path runs under the shard's read lock with atomic counter
+// updates; LRU promotion is skipped while the entry is already the
+// shard's most recent, so a single hot key contends on nothing.
 func (s *Store[V]) GetStale(key string, maxStale time.Duration) (val V, age time.Duration, stale, ok bool) {
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, found := s.entries[key]
+	sh := s.shardFor(key)
+
+	sh.mu.RLock()
+	if el, found := sh.entries[key]; found {
+		e := el.Value.(*storeEntry[V])
+		if now.Before(e.expires) {
+			val = e.val
+			age = now.Sub(e.stored)
+			atFront := sh.lru.Front() == el
+			e.hits.Add(1)
+			sh.hits.Add(1)
+			sh.mu.RUnlock()
+			if !atFront {
+				sh.promote(key, el)
+			}
+			return val, age, false, true
+		}
+	}
+	sh.mu.RUnlock()
+
+	// Slow path: absent, expired or stale — take the write lock and
+	// re-check, since the world may have changed between locks.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, found := sh.entries[key]
 	if !found {
-		s.stats.Misses++
-		return val, 0, false, false
+		sh.misses.Add(1)
+		var zero V
+		return zero, 0, false, false
 	}
 	e := el.Value.(*storeEntry[V])
 	if !now.Before(e.expires) {
 		if now.Sub(e.expires) >= maxStale {
-			s.removeLocked(el)
-			s.stats.Expirations++
-			s.stats.Misses++
+			sh.removeLocked(el)
+			sh.expirations.Add(1)
+			sh.misses.Add(1)
 			var zero V
 			return zero, 0, false, false
 		}
 		stale = true
-		s.stats.Stale++
+		sh.stale.Add(1)
 	}
-	s.lru.MoveToFront(el)
-	s.stats.Hits++
+	sh.lru.MoveToFront(el)
+	e.hits.Add(1)
+	sh.hits.Add(1)
 	return e.val, now.Sub(e.stored), stale, true
+}
+
+// promote moves el to the front of the shard's LRU under the write lock,
+// tolerating concurrent removal (the entry must still be the one mapped
+// under key).
+func (sh *shard[V]) promote(key string, el *list.Element) {
+	sh.mu.Lock()
+	if sh.entries[key] == el {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+}
+
+// RecordRefresh notes the outcome of a background refresh of key: the
+// entry's refresh count is incremented and its last outcome replaced. A
+// key no longer cached (evicted mid-refresh) is a no-op and reported
+// false.
+func (s *Store[V]) RecordRefresh(key string, ok bool) bool {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	el, found := sh.entries[key]
+	if !found {
+		return false
+	}
+	e := el.Value.(*storeEntry[V])
+	e.refreshes.Add(1)
+	outcome := RefreshFailed
+	if ok {
+		outcome = RefreshOK
+	}
+	e.lastRefresh.Store(int32(outcome))
+	return true
 }
 
 // EvictExpired removes every entry whose TTL expired more than grace ago
@@ -137,87 +340,145 @@ func (s *Store[V]) EvictExpired(grace time.Duration) int {
 		grace = 0
 	}
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for el := s.lru.Back(); el != nil; {
-		prev := el.Prev()
-		e := el.Value.(*storeEntry[V])
-		if now.Sub(e.expires) >= grace {
-			s.removeLocked(el)
-			s.stats.Expirations++
-			removed++
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; {
+			prev := el.Prev()
+			e := el.Value.(*storeEntry[V])
+			if now.Sub(e.expires) >= grace {
+				sh.removeLocked(el)
+				sh.expirations.Add(1)
+				removed++
+			}
+			el = prev
 		}
-		el = prev
+		sh.mu.Unlock()
 	}
 	return removed
 }
 
 // Remove deletes key if present.
 func (s *Store[V]) Remove(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.entries[key]; ok {
-		s.removeLocked(el)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		sh.removeLocked(el)
 	}
 }
 
 // Flush removes every entry (counters survive).
 func (s *Store[V]) Flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.entries = make(map[string]*list.Element)
-	s.lru.Init()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 // Len returns the number of live entries (including not-yet-collected
 // expired ones).
 func (s *Store[V]) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lru.Len()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.lru.Len()
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters summed across
+// shards.
 func (s *Store[V]) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-// Entry is a point-in-time view of one cached element, most recently
-// used first.
-type Entry[V any] struct {
-	Key string
-	Val V
-	// Age is the time since the entry was stored.
-	Age time.Duration
-	// Remaining is the TTL left; negative once expired (the entry may
-	// still be serveable inside a stale window).
-	Remaining time.Duration
-}
-
-// Entries snapshots the live entries in LRU order (most recent first),
-// for introspection endpoints. Values are the cached pointers/structs
-// themselves — callers must not mutate them.
-func (s *Store[V]) Entries() []Entry[V] {
-	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Entry[V], 0, s.lru.Len())
-	for el := s.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*storeEntry[V])
-		out = append(out, Entry[V]{
-			Key:       e.key,
-			Val:       e.val,
-			Age:       now.Sub(e.stored),
-			Remaining: e.expires.Sub(now),
-		})
+	var out Stats
+	for _, sh := range s.shards {
+		out.add(sh.snapshot())
 	}
 	return out
 }
 
-func (s *Store[V]) removeLocked(el *list.Element) {
-	s.lru.Remove(el)
-	delete(s.entries, el.Value.(*storeEntry[V]).key)
+// ShardStats returns each shard's counters individually, for hit-
+// distribution introspection (a skewed distribution means the key space
+// hashes badly or one shard holds the hot keys).
+func (s *Store[V]) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.snapshot()
+	}
+	return out
+}
+
+// ShardStat returns shard i's counters alone — the allocation-free form
+// of ShardStats for per-shard metric callbacks read on every scrape.
+func (s *Store[V]) ShardStat(i int) Stats {
+	return s.shards[i].snapshot()
+}
+
+func (sh *shard[V]) snapshot() Stats {
+	return Stats{
+		Hits:        sh.hits.Load(),
+		Misses:      sh.misses.Load(),
+		Evictions:   sh.evictions.Load(),
+		Expirations: sh.expirations.Load(),
+		Stale:       sh.stale.Load(),
+	}
+}
+
+// Entry is a point-in-time view of one cached element.
+type Entry[V any] struct {
+	Key string
+	Val V
+	// Age is the time since the entry was stored (or last refreshed in
+	// place).
+	Age time.Duration
+	// Remaining is the TTL left; negative once expired (the entry may
+	// still be serveable inside a stale window).
+	Remaining time.Duration
+	// Hits counts lookups answered by this entry across its lifetime,
+	// surviving in-place refreshes — the refresher's popularity signal.
+	Hits uint64
+	// Refreshes counts background refresh completions recorded against
+	// the entry.
+	Refreshes uint64
+	// LastRefresh reports how the most recent background refresh ended.
+	LastRefresh RefreshOutcome
+}
+
+// Entries snapshots the live entries for introspection endpoints,
+// shard by shard, most recently used first within each shard. Values are
+// the cached pointers/structs themselves — callers must not mutate them.
+func (s *Store[V]) Entries() []Entry[V] {
+	now := s.now()
+	var out []Entry[V]
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if cap(out)-len(out) < sh.lru.Len() {
+			grown := make([]Entry[V], len(out), len(out)+sh.lru.Len())
+			copy(grown, out)
+			out = grown
+		}
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*storeEntry[V])
+			out = append(out, Entry[V]{
+				Key:         e.key,
+				Val:         e.val,
+				Age:         now.Sub(e.stored),
+				Remaining:   e.expires.Sub(now),
+				Hits:        e.hits.Load(),
+				Refreshes:   e.refreshes.Load(),
+				LastRefresh: RefreshOutcome(e.lastRefresh.Load()),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// removeLocked must be called with the shard's write lock held.
+func (sh *shard[V]) removeLocked(el *list.Element) {
+	sh.lru.Remove(el)
+	delete(sh.entries, el.Value.(*storeEntry[V]).key)
 }

@@ -2,6 +2,7 @@ package dnscache
 
 import (
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 )
@@ -152,6 +153,168 @@ func TestStoreRemoveAndFlush(t *testing.T) {
 	s.Flush()
 	if s.Len() != 0 {
 		t.Fatalf("Len after Flush = %d", s.Len())
+	}
+}
+
+func TestShardedStoreRoundsToPowerOfTwo(t *testing.T) {
+	clk := newFakeClock()
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		s := NewShardedStore[int](0, tc.in, clk.now)
+		if got := s.ShardCount(); got != tc.want {
+			t.Errorf("ShardCount(%d shards) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if s := NewShardedStore[int](0, 0, clk.now); s.ShardCount() != DefaultShards() {
+		t.Errorf("default shards = %d, want %d", s.ShardCount(), DefaultShards())
+	}
+}
+
+func TestShardedStoreClampsShardsForSmallCapacity(t *testing.T) {
+	clk := newFakeClock()
+	// 100 entries over 64 requested shards would leave ~1-entry shards
+	// where colliding hot keys evict each other; the constructor halves
+	// the shard count until every shard holds >= minShardCapacity.
+	s := NewShardedStore[int](100, 64, clk.now)
+	if got := s.ShardCount(); got != 8 {
+		t.Errorf("ShardCount(cap=100, shards=64) = %d, want 8 (100/8 >= %d)", got, minShardCapacity)
+	}
+	// A capacity below the floor still yields one usable shard.
+	if got := NewShardedStore[int](2, 16, clk.now).ShardCount(); got != 1 {
+		t.Errorf("ShardCount(cap=2, shards=16) = %d, want 1", got)
+	}
+}
+
+func TestShardedStoreSpreadsAndAggregates(t *testing.T) {
+	clk := newFakeClock()
+	s := NewShardedStore[int](1024, 8, clk.now)
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Put("key"+strconv.Itoa(i), i, time.Minute)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, _, ok := s.Get("key" + strconv.Itoa(i))
+		if !ok || v != i {
+			t.Fatalf("Get(key%d) = %d, %v", i, v, ok)
+		}
+	}
+	st := s.Stats()
+	if st.Hits != n || st.Misses != 0 {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+	// Per-shard stats must sum to the aggregate and touch >1 shard.
+	var sum uint64
+	populated := 0
+	for _, ss := range s.ShardStats() {
+		sum += ss.Hits
+		if ss.Hits > 0 {
+			populated++
+		}
+	}
+	if sum != n {
+		t.Errorf("shard hit sum = %d, want %d", sum, n)
+	}
+	if populated < 2 {
+		t.Errorf("only %d shard(s) saw hits; keys are not spreading", populated)
+	}
+	if len(s.Entries()) != n {
+		t.Errorf("Entries = %d, want %d", len(s.Entries()), n)
+	}
+}
+
+func TestStoreEntryMetadataTracksHitsAndRefreshes(t *testing.T) {
+	clk := newFakeClock()
+	s := NewShardedStore[int](0, 4, clk.now)
+	s.Put("k", 1, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		if _, _, ok := s.Get("k"); !ok {
+			t.Fatal("miss")
+		}
+	}
+	if !s.RecordRefresh("k", false) {
+		t.Fatal("RecordRefresh on live key reported missing")
+	}
+	// An in-place refresh (overwrite) preserves hit/refresh metadata.
+	clk.advance(8 * time.Second)
+	s.Put("k", 2, 10*time.Second)
+	if !s.RecordRefresh("k", true) {
+		t.Fatal("RecordRefresh on refreshed key reported missing")
+	}
+
+	entries := s.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.Hits != 3 {
+		t.Errorf("Hits = %d, want 3 (metadata lost across overwrite)", e.Hits)
+	}
+	if e.Refreshes != 2 {
+		t.Errorf("Refreshes = %d, want 2", e.Refreshes)
+	}
+	if e.LastRefresh != RefreshOK {
+		t.Errorf("LastRefresh = %v, want RefreshOK", e.LastRefresh)
+	}
+	if e.Age != 0 {
+		t.Errorf("Age = %v, want 0 (reset by overwrite)", e.Age)
+	}
+	if s.RecordRefresh("absent", true) {
+		t.Error("RecordRefresh on absent key reported success")
+	}
+}
+
+func TestRefreshOutcomeStrings(t *testing.T) {
+	for _, tc := range []struct {
+		o    RefreshOutcome
+		want string
+	}{{RefreshNone, "none"}, {RefreshOK, "ok"}, {RefreshFailed, "failed"}} {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestShardedStoreParallelHotKey(t *testing.T) {
+	// The fresh-hit fast path must be safe (and scale) under heavy
+	// concurrent access to a single key mixed with writers; run with
+	// -race to make this meaningful.
+	s := NewShardedStore[int](128, 8, nil)
+	s.Put("hot", 1, time.Hour)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if v, _, ok := s.Get("hot"); !ok || v != 1 {
+					t.Errorf("hot key lost: %d %v", v, ok)
+					return
+				}
+				s.Put("cold"+strconv.Itoa(g)+"-"+strconv.Itoa(i%16), i, time.Minute)
+				s.Get("cold" + strconv.Itoa(g) + "-" + strconv.Itoa(i%16))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Hits == 0 {
+		t.Error("no hits recorded")
+	}
+	e := s.Entries()
+	found := false
+	for _, en := range e {
+		if en.Key == "hot" {
+			found = true
+			if en.Hits != 8*500 {
+				t.Errorf("hot hits = %d, want %d", en.Hits, 8*500)
+			}
+		}
+	}
+	if !found {
+		t.Error("hot key missing from Entries")
 	}
 }
 

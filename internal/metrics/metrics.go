@@ -161,6 +161,22 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.fam.seriesFor(key, func() *series { return &series{counter: &Counter{}} }).counter
 }
 
+// WithFunc registers a callback-backed series under the given label
+// values: fn is read at exposition time, like CounterFunc but labeled.
+// Use it to surface per-component counters a subsystem already maintains
+// (e.g. per-shard cache statistics). fn must be safe for concurrent use.
+// Re-registering the same label values replaces the callback.
+func (v *CounterVec) WithFunc(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	key := renderLabels(v.labels, values)
+	s := v.fam.seriesFor(key, func() *series { return &series{} })
+	v.fam.mu.Lock()
+	s.fn = fn
+	v.fam.mu.Unlock()
+}
+
 // CounterFunc registers a callback-backed counter: fn is read at
 // exposition time. Use it to surface counters a component already
 // maintains (e.g. cache statistics) without double-counting. fn must be

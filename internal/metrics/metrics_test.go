@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -140,6 +141,33 @@ func TestFuncInstruments(t *testing.T) {
 	}
 	if !strings.Contains(out, "cache_entries 7") {
 		t.Errorf("GaugeFunc missing:\n%s", out)
+	}
+}
+
+func TestCounterVecWithFunc(t *testing.T) {
+	r := New()
+	shardHits := []uint64{10, 20}
+	vec := r.CounterVec("cache_shard_hits_total", "per-shard hits", "shard")
+	for i := range shardHits {
+		i := i
+		vec.WithFunc(func() float64 { return float64(shardHits[i]) }, strconv.Itoa(i))
+	}
+	shardHits[1] = 21 // callbacks are read at exposition time
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cache_shard_hits_total{shard="0"} 10`,
+		`cache_shard_hits_total{shard="1"} 21`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled WithFunc series missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheusText(out); err != nil {
+		t.Errorf("exposition invalid: %v", err)
 	}
 }
 
