@@ -410,6 +410,30 @@ func BenchmarkEngineCachedLookupParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTrustScoredLookup is BenchmarkEngineCachedLookup with
+// trust scoring and enforcement enabled — the benchgate pairing that
+// proves trust stays off the cached-hit fast path: scoring runs only when
+// a pool is generated, so the cached ns/op must match the trust-free
+// engine within noise.
+func BenchmarkEngineTrustScoredLookup(b *testing.B) {
+	tb := benchTestbed(b, testbed.Config{})
+	eng := benchEngine(b, tb, core.EngineConfig{TrustWindow: 8, TrustMinScore: 0.5})
+	ctx := benchCtx(b)
+	if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+		b.Fatal(err) // warm the cache (and the one trust observation)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if eng.NetworkRuns() != 1 {
+		b.Fatalf("trust-scored cached benchmark hit the network %d times", eng.NetworkRuns())
+	}
+}
+
 // BenchmarkEngineUncachedLookup is the same lookup with caching disabled:
 // every iteration pays the full 3-resolver DoH fan-out (the seed's
 // behaviour for every query).

@@ -39,6 +39,15 @@
 //	-refresh-ahead      regenerate cached pools in the background at this
 //	                    fraction of TTL (e.g. 0.8; 0 = miss-driven only)
 //	-refresh-min-hits   popularity threshold for refresh-ahead
+//	-trust-window       pool generations feeding each resolver's trust
+//	                    score (0 = default 16, -1 = disable scoring)
+//	-trust-min-score    quarantine resolvers scoring below this (0 =
+//	                    observe only; 0.5 recommended)
+//	-chaos-payload      interpose an adversary at the engine's transport
+//	                    seam: replace | inflate | empty ("" = off)
+//	-chaos-resolvers    comma-separated resolver indices the chaos
+//	                    adversary compromises (default: 0)
+//	-chaos-prob         per-exchange forge probability (default 1)
 //	-version            print module version / VCS revision and exit
 //	-hedge-delay        fixed straggler hedge delay (0 = adaptive)
 //	-no-hedge           disable straggler hedging
@@ -55,6 +64,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -97,6 +108,11 @@ func run(args []string) error {
 		swr              = fs.Duration("stale-while-revalidate", 0, "canonical name for -max-stale (wins when both are set)")
 		refreshAhead     = fs.Float64("refresh-ahead", 0, "regenerate cached pools in the background at this fraction of TTL, e.g. 0.8 (0 = disabled)")
 		refreshMinHits   = fs.Uint64("refresh-min-hits", 1, "minimum hits since the last refresh before a pool stays on refresh-ahead (0 uses the default of 1)")
+		trustWindow      = fs.Int("trust-window", 0, "pool generations feeding each resolver's trust score (0 = default 16, negative = disable)")
+		trustMinScore    = fs.Float64("trust-min-score", 0, "quarantine resolvers whose trust score falls below this (0 = observe only; 0.5 recommended)")
+		chaosPayload     = fs.String("chaos-payload", "", "CHAOS MODE: forge targeted resolvers' answers with this payload: replace | inflate | empty (\"\" = off)")
+		chaosResolvers   = fs.String("chaos-resolvers", "", "comma-separated resolver indices the chaos adversary compromises (default \"0\")")
+		chaosProb        = fs.Float64("chaos-prob", 1, "per-exchange probability a targeted exchange is forged")
 		hedgeDelay       = fs.Duration("hedge-delay", 0, "fixed straggler hedge delay (0 = adaptive from EWMA RTT)")
 		noHedge          = fs.Bool("no-hedge", false, "disable straggler hedging")
 		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a resolver's circuit breaker (0 = default, -1 = disable)")
@@ -128,6 +144,20 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "warning: only %d resolver(s); the paper's analysis assumes >= 3\n", len(resolvers))
 	}
 
+	var chaosIdx []int
+	if *chaosResolvers != "" {
+		for _, s := range strings.Split(*chaosResolvers, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -chaos-resolvers entry %q: %v", s, err)
+			}
+			chaosIdx = append(chaosIdx, i)
+		}
+	}
+	if *chaosPayload != "" {
+		fmt.Fprintf(os.Stderr, "warning: CHAOS MODE ACTIVE (-chaos-payload=%s): forged answers are injected below the consensus engine; never run this on a production resolver path\n", *chaosPayload)
+	}
+
 	cfg := dohpool.Config{
 		MinResolvers:         *quorum,
 		WithMajority:         *majority,
@@ -138,6 +168,11 @@ func run(args []string) error {
 		StaleWhileRevalidate: *swr,
 		RefreshAhead:         *refreshAhead,
 		RefreshMinHits:       *refreshMinHits,
+		TrustWindow:          *trustWindow,
+		TrustMinScore:        *trustMinScore,
+		ChaosPayload:         *chaosPayload,
+		ChaosResolvers:       chaosIdx,
+		ChaosProb:            *chaosProb,
 		HedgeDelay:           *hedgeDelay,
 		DisableHedging:       *noHedge,
 		BreakerThreshold:     *breakerThreshold,
@@ -211,12 +246,23 @@ func printStats(client *dohpool.Client, frontend *dohpool.Frontend) {
 	cs := client.CacheStats()
 	fmt.Printf("dohpoold: cache %d hits / %d misses (%.1f%% hit rate), %d evictions, %d expirations\n",
 		cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Expirations)
+	trust := make(map[string]dohpool.ResolverTrust)
+	for _, t := range client.ResolverTrust() {
+		trust[t.Resolver.URL] = t
+	}
 	for _, h := range client.ResolverHealth() {
 		state := "ok"
 		if h.CircuitOpen {
 			state = "circuit-open"
 		}
-		fmt.Printf("dohpoold: resolver %-12s rtt=%-10v ok=%-6d fail=%-4d hedges=%-4d %s\n",
-			h.Resolver.Name, h.EWMARTT.Round(time.Microsecond), h.Successes, h.Failures, h.Hedges, state)
+		trustCol := ""
+		if t, ok := trust[h.Resolver.URL]; ok {
+			trustCol = fmt.Sprintf(" trust=%.2f", t.Score)
+			if t.Distrusted {
+				trustCol += " (distrusted)"
+			}
+		}
+		fmt.Printf("dohpoold: resolver %-12s rtt=%-10v ok=%-6d fail=%-4d hedges=%-4d %s%s\n",
+			h.Resolver.Name, h.EWMARTT.Round(time.Microsecond), h.Successes, h.Failures, h.Hedges, state, trustCol)
 	}
 }

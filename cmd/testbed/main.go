@@ -40,14 +40,39 @@ func run(args []string) error {
 		authServers = fs.Int("auth", 3, "number of authoritative nameservers")
 		poolSize    = fs.Int("pool", 8, "benign addresses in the pool RRset")
 		maxAnswers  = fs.Int("max-answers", 4, "answers per query (pool.ntp.org style)")
+		ttl         = fs.Int("ttl", 150, "TTL on the pool records (seconds; short TTLs drive fast refresh cycles)")
 		adversary   = fs.String("adversary", "none", "none | resolver | onpath | offpath")
 		compromised = fs.String("compromised", "", "comma-separated compromised resolver indices")
 		offPathProb = fs.Float64("offpath-prob", 0.5, "off-path per-query success probability")
 		payload     = fs.String("payload", "replace", "replace | inflate | empty")
 		caOut       = fs.String("ca-out", "", "write the testbed CA certificate (PEM) to this file")
+		epOut       = fs.String("endpoints-out", "", "write the DoH endpoint URLs (one per line) to this file, for scripting")
+
+		// Chaos aliases, mirroring dohpoold's chaos flags: -chaos-payload
+		// selects a compromised-resolver adversary with that payload,
+		// -chaos-resolvers the compromised subset, and -chaos-prob < 1
+		// switches to the off-path (probabilistic) model.
+		chaosPayload   = fs.String("chaos-payload", "", "alias: compromise resolvers with this payload: replace | inflate | empty")
+		chaosResolvers = fs.String("chaos-resolvers", "", "alias for -compromised (default \"0\" when -chaos-payload is set)")
+		chaosProb      = fs.Float64("chaos-prob", 1, "per-query forge probability; < 1 selects the off-path race model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosPayload != "" {
+		*payload = *chaosPayload
+		if *chaosProb < 1 && *chaosProb > 0 {
+			*adversary = "offpath"
+			*offPathProb = *chaosProb
+		} else {
+			*adversary = "resolver"
+		}
+		if *compromised == "" {
+			*compromised = *chaosResolvers
+			if *compromised == "" {
+				*compromised = "0"
+			}
+		}
 	}
 
 	cfg := testbed.Config{
@@ -55,6 +80,7 @@ func run(args []string) error {
 		AuthServers: *authServers,
 		PoolSize:    *poolSize,
 		MaxAnswers:  *maxAnswers,
+		TTL:         uint32(*ttl),
 		OffPathProb: *offPathProb,
 	}
 	switch *adversary {
@@ -69,15 +95,9 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown adversary %q", *adversary)
 	}
-	switch *payload {
-	case "replace":
-		cfg.Payload = attack.PayloadReplace
-	case "inflate":
-		cfg.Payload = attack.PayloadInflate
-	case "empty":
-		cfg.Payload = attack.PayloadEmpty
-	default:
-		return fmt.Errorf("unknown payload %q", *payload)
+	var err error
+	if cfg.Payload, err = attack.ParsePayload(*payload); err != nil {
+		return err
 	}
 	if *compromised != "" {
 		var idx []int
@@ -102,6 +122,17 @@ func run(args []string) error {
 			return fmt.Errorf("write -ca-out: %w", err)
 		}
 		fmt.Printf("testbed: CA certificate written to %s (pass via dohquery -ca)\n", *caOut)
+	}
+	if *epOut != "" {
+		var sb strings.Builder
+		for _, ep := range tb.Endpoints {
+			sb.WriteString(ep.URL)
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*epOut, []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("write -endpoints-out: %w", err)
+		}
+		fmt.Printf("testbed: endpoint URLs written to %s\n", *epOut)
 	}
 	fmt.Printf("testbed: pool domain %s (%d addresses, %d per answer)\n",
 		tb.Domain(), *poolSize, *maxAnswers)

@@ -10,9 +10,14 @@
 //	GET /metrics  Prometheus text-format exposition (version 0.0.4)
 //	GET /healthz  200 while at least one resolver can be asked;
 //	              503 when every resolver's circuit breaker is open
-//	GET /poolz    JSON dump of the cached consensus pools with TTLs and
+//	GET /poolz    JSON dump of the cached consensus pools with TTLs,
 //	              per-entry refresh-ahead state (hits, refreshes, last
-//	              refresh outcome)
+//	              refresh outcome) and poisoning visibility (attacker-
+//	              prefix entry counts, quarantined resolvers)
+//	GET /trustz   JSON dump of per-resolver trust: windowed score,
+//	              distrust state and the latest generation's signal
+//	              breakdown (bogus prefix, inflation, shortfall,
+//	              overlap, majority survival)
 package admin
 
 import (
@@ -32,6 +37,9 @@ type Engine interface {
 	Health() []core.ResolverHealth
 	Ready() bool
 	CachedPools() []core.CachedPool
+	// Trust reports per-resolver trust (nil when trust tracking is
+	// disabled).
+	Trust() []core.ResolverTrust
 }
 
 // Config wires the admin server to its data sources.
@@ -87,6 +95,9 @@ func Handler(cfg Config) http.Handler {
 	})
 	mux.HandleFunc("GET /poolz", func(w http.ResponseWriter, r *http.Request) {
 		writePools(w, cfg.Engine)
+	})
+	mux.HandleFunc("GET /trustz", func(w http.ResponseWriter, r *http.Request) {
+		writeTrust(w, cfg.Engine)
 	})
 	return mux
 }
@@ -144,9 +155,15 @@ type cachedPool struct {
 	Addrs          []string `json:"addrs"`
 	TruncateLength int      `json:"truncate_length"`
 	Responding     int      `json:"responding"`
-	AgeSeconds     float64  `json:"age_seconds"`
-	TTLSeconds     float64  `json:"ttl_seconds"` // negative once expired
-	Stale          bool     `json:"stale"`
+	// AttackerEntries counts pool members inside the attacker prefix
+	// (198.18.0.0/15); non-zero means a poisoned consensus is cached.
+	AttackerEntries int `json:"attacker_entries"`
+	// Distrusted names resolvers whose contributions trust enforcement
+	// quarantined when this pool was generated.
+	Distrusted []string `json:"distrusted,omitempty"`
+	AgeSeconds float64  `json:"age_seconds"`
+	TTLSeconds float64  `json:"ttl_seconds"` // negative once expired
+	Stale      bool     `json:"stale"`
 	// Refresh-ahead state: lifetime hits (the popularity signal),
 	// background regenerations recorded, and how the latest one ended
 	// ("none" | "ok" | "failed").
@@ -160,21 +177,70 @@ func writePools(w http.ResponseWriter, eng Engine) {
 	if eng != nil {
 		for _, p := range eng.CachedPools() {
 			cp := cachedPool{
-				Key:            p.Key,
-				Addrs:          make([]string, len(p.Addrs)),
-				TruncateLength: p.TruncateLength,
-				Responding:     p.Responding,
-				AgeSeconds:     p.Age.Seconds(),
-				TTLSeconds:     p.Remaining.Seconds(),
-				Stale:          p.Remaining < 0,
-				Hits:           p.Hits,
-				Refreshes:      p.Refreshes,
-				LastRefresh:    p.LastRefresh.String(),
+				Key:             p.Key,
+				Addrs:           make([]string, len(p.Addrs)),
+				TruncateLength:  p.TruncateLength,
+				Responding:      p.Responding,
+				AttackerEntries: p.AttackerEntries,
+				Distrusted:      p.Distrusted,
+				AgeSeconds:      p.Age.Seconds(),
+				TTLSeconds:      p.Remaining.Seconds(),
+				Stale:           p.Remaining < 0,
+				Hits:            p.Hits,
+				Refreshes:       p.Refreshes,
+				LastRefresh:     p.LastRefresh.String(),
 			}
 			for i, a := range p.Addrs {
 				cp.Addrs[i] = a.String()
 			}
 			resp.Pools = append(resp.Pools, cp)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// trustResponse is the /trustz JSON body.
+type trustResponse struct {
+	// Enabled is false when the engine runs without trust tracking.
+	Enabled   bool            `json:"enabled"`
+	Resolvers []resolverTrust `json:"resolvers"`
+}
+
+type resolverTrust struct {
+	Name       string  `json:"name"`
+	URL        string  `json:"url"`
+	Score      float64 `json:"score"`
+	Samples    int     `json:"samples"`
+	Distrusted bool    `json:"distrusted"`
+	// Last generation's signal components, each in [0,1].
+	LastBogus     float64 `json:"last_bogus"`
+	LastInflation float64 `json:"last_inflation"`
+	LastShortfall float64 `json:"last_shortfall"`
+	LastOverlap   float64 `json:"last_overlap"`
+	LastMajority  float64 `json:"last_majority"`
+	LastScore     float64 `json:"last_score"`
+}
+
+func writeTrust(w http.ResponseWriter, eng Engine) {
+	resp := trustResponse{Resolvers: []resolverTrust{}}
+	if eng != nil {
+		if snap := eng.Trust(); snap != nil {
+			resp.Enabled = true
+			for _, t := range snap {
+				resp.Resolvers = append(resp.Resolvers, resolverTrust{
+					Name:          t.Name,
+					URL:           t.URL,
+					Score:         t.Score,
+					Samples:       t.Samples,
+					Distrusted:    t.Distrusted,
+					LastBogus:     t.Last.Bogus,
+					LastInflation: t.Last.Inflation,
+					LastShortfall: t.Last.Shortfall,
+					LastOverlap:   t.Last.Overlap,
+					LastMajority:  t.Last.Majority,
+					LastScore:     t.Last.Score,
+				})
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dohpool/internal/attack"
 	"dohpool/internal/core"
 	"dohpool/internal/dnswire"
 	"dohpool/internal/metrics"
@@ -293,5 +294,110 @@ func TestUnknownPathIs404(t *testing.T) {
 	code, _ := get(t, "http://"+srv.Addr()+"/nope")
 	if code != http.StatusNotFound {
 		t.Fatalf("GET /nope = %d", code)
+	}
+}
+
+// TestTrustzReportsScoresAndQuarantine drives one poisoned generation
+// through the engine and checks /trustz exposes the per-resolver scores
+// (with the bogus-prefix signal) and /poolz the attacker-entry count.
+func TestTrustzReportsScoresAndQuarantine(t *testing.T) {
+	reg := metrics.New()
+	q := workingQuerier()
+	q.lists["u2"] = attack.AttackerAddrs(2)
+	eng, err := core.NewEngine(core.Config{
+		Resolvers: []core.Endpoint{
+			{Name: "r0", URL: "u0"},
+			{Name: "r1", URL: "u1"},
+			{Name: "r2", URL: "u2"},
+		},
+		Querier: q,
+	}, core.EngineConfig{
+		Metrics:        reg,
+		DisableHedging: true,
+		CacheSize:      -1,
+		TrustWindow:    4,
+		TrustMinScore:  0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+
+	code, body := get(t, "http://"+srv.Addr()+"/trustz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trustz = %d", code)
+	}
+	var tr struct {
+		Enabled   bool `json:"enabled"`
+		Resolvers []struct {
+			Name       string  `json:"name"`
+			Score      float64 `json:"score"`
+			Distrusted bool    `json:"distrusted"`
+			LastBogus  float64 `json:"last_bogus"`
+		} `json:"resolvers"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("bad /trustz JSON: %v\n%s", err, body)
+	}
+	if !tr.Enabled || len(tr.Resolvers) != 3 {
+		t.Fatalf("/trustz enabled=%v resolvers=%d, want enabled with 3", tr.Enabled, len(tr.Resolvers))
+	}
+	for _, r := range tr.Resolvers {
+		switch r.Name {
+		case "r2":
+			if r.Score > 0.1 || r.LastBogus != 0 {
+				t.Errorf("poisoning resolver r2 = %+v, want near-zero score and bogus=0", r)
+			}
+		default:
+			if r.Score < 0.5 {
+				t.Errorf("benign resolver %s score = %v", r.Name, r.Score)
+			}
+		}
+	}
+
+	// /metrics carries the same signal.
+	_, metricsBody := get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(metricsBody, core.MetricResolverTrust+`{resolver="r2"} 0`) {
+		t.Errorf("/metrics missing zeroed trust gauge for r2:\n%s", metricsBody)
+	}
+	if !strings.Contains(metricsBody, core.MetricPoolAttackerEntries+" 2") {
+		t.Errorf("/metrics missing %s 2", core.MetricPoolAttackerEntries)
+	}
+}
+
+// TestPoolzCarriesAttackerEntries checks the cached-pool dump surfaces
+// poisoning visibility per entry.
+func TestPoolzCarriesAttackerEntries(t *testing.T) {
+	reg := metrics.New()
+	q := workingQuerier()
+	q.lists["u1"] = attack.AttackerAddrs(2)
+	eng := engineUnderTest(t, reg, q, 0)
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	srv := serverUnderTest(t, Config{Registry: reg, Engine: eng})
+
+	code, body := get(t, "http://"+srv.Addr()+"/poolz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /poolz = %d", code)
+	}
+	var pr struct {
+		Pools []struct {
+			Key             string `json:"key"`
+			AttackerEntries int    `json:"attacker_entries"`
+		} `json:"pools"`
+	}
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatalf("bad /poolz JSON: %v\n%s", err, body)
+	}
+	if len(pr.Pools) != 1 {
+		t.Fatalf("pools = %d, want 1", len(pr.Pools))
+	}
+	if pr.Pools[0].AttackerEntries != 2 {
+		t.Errorf("attacker_entries = %d, want 2", pr.Pools[0].AttackerEntries)
 	}
 }

@@ -40,18 +40,38 @@ func IsAttackerAddr(addr netip.Addr) bool {
 	return addr.Is4() && AttackerNet.Contains(addr)
 }
 
-// AttackerAddr returns the i-th attacker-controlled IPv4 address.
+// AttackerAddrSpace is how many distinct host addresses the attacker
+// prefix holds (2^17 for a /15).
+const AttackerAddrSpace = 1 << (32 - 15)
+
+// AttackerAddr returns the i-th attacker-controlled IPv4 address. i wraps
+// at AttackerAddrSpace, so every returned address lies in AttackerNet;
+// negative i counts from the top of the range.
 func AttackerAddr(i int) netip.Addr {
-	// 198.18.0.0/15 gives 2^17 host addresses; keep i within range.
-	i = i % (1 << 16)
+	i %= AttackerAddrSpace
+	if i < 0 {
+		i += AttackerAddrSpace
+	}
+	// The /15 leaves 17 host bits: the low bit of the second octet plus
+	// the full third and fourth octets.
 	base := AttackerNet.Addr().As4()
+	base[1] |= byte(i >> 16)
 	base[2] = byte(i >> 8)
 	base[3] = byte(i)
 	return netip.AddrFrom4(base)
 }
 
-// AttackerAddrs returns n distinct attacker-controlled addresses.
+// AttackerAddrs returns n distinct attacker-controlled addresses. Only
+// AttackerAddrSpace distinct addresses exist, so n is clamped to that
+// (and to 0 from below) instead of wrapping into duplicates or panicking
+// on absurd allocation sizes.
 func AttackerAddrs(n int) []netip.Addr {
+	if n <= 0 {
+		return nil
+	}
+	if n > AttackerAddrSpace {
+		n = AttackerAddrSpace
+	}
 	addrs := make([]netip.Addr, n)
 	for i := range addrs {
 		addrs[i] = AttackerAddr(i)
@@ -259,15 +279,25 @@ func (o *OffPath) Attempts() uint64 { return o.attempts.Load() }
 // Successes returns how many races the attacker won.
 func (o *OffPath) Successes() uint64 { return o.successes.Load() }
 
+// Succeeds rolls one race outcome. The engine fans exchanges out
+// concurrently, so the shared seeded rng must only ever be touched under
+// the mutex — an unguarded roll is a data race under -race and, worse,
+// silently corrupts rand.Rand's internal state. Determinism for tests is
+// preserved: a fixed seed still yields a fixed multiset of outcomes (the
+// interleaving order may vary, the drawn sequence does not).
+func (o *OffPath) Succeeds() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rng.Float64() < o.prob
+}
+
 // Exchange implements transport.Exchanger.
 func (o *OffPath) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
 	if !o.forger.Matches(query) {
 		return o.inner.Exchange(ctx, query, server)
 	}
 	o.attempts.Add(1)
-	o.mu.Lock()
-	won := o.rng.Float64() < o.prob
-	o.mu.Unlock()
+	won := o.Succeeds()
 	genuine, err := o.inner.Exchange(ctx, query, server)
 	if !won {
 		return genuine, err

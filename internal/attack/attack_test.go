@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"dohpool/internal/dnswire"
@@ -275,5 +276,168 @@ func TestForgerAddressesAdvance(t *testing.T) {
 	b := f.Forge(q, 2).AnswerAddrs()
 	if a[0] == b[0] {
 		t.Fatal("forger reuses addresses across forgeries")
+	}
+}
+
+// TestAttackerAddrCoversFullPrefix pins the /15 arithmetic: the address
+// space is 2^17 hosts, crossing the 2^16 boundary moves into 198.19.0.0/16
+// (instead of silently wrapping back to 198.18.0.0), and indices remain
+// distinct across the whole range.
+func TestAttackerAddrCoversFullPrefix(t *testing.T) {
+	if AttackerAddrSpace != 1<<17 {
+		t.Fatalf("AttackerAddrSpace = %d, want %d", AttackerAddrSpace, 1<<17)
+	}
+	if got, want := AttackerAddr(1<<16), netip.MustParseAddr("198.19.0.0"); got != want {
+		t.Fatalf("AttackerAddr(2^16) = %v, want %v", got, want)
+	}
+	if got, want := AttackerAddr(AttackerAddrSpace-1), netip.MustParseAddr("198.19.255.255"); got != want {
+		t.Fatalf("AttackerAddr(2^17-1) = %v, want %v", got, want)
+	}
+	if got, want := AttackerAddr(AttackerAddrSpace), AttackerAddr(0); got != want {
+		t.Fatalf("AttackerAddr wraps to %v, want %v", got, want)
+	}
+	// Boundary-straddling indices must stay inside the prefix and distinct.
+	seen := make(map[netip.Addr]bool)
+	for i := 1<<16 - 64; i < 1<<16+64; i++ {
+		a := AttackerAddr(i)
+		if !IsAttackerAddr(a) {
+			t.Fatalf("AttackerAddr(%d) = %v outside AttackerNet", i, a)
+		}
+		if seen[a] {
+			t.Fatalf("AttackerAddr(%d) = %v repeats across the 2^16 boundary", i, a)
+		}
+		seen[a] = true
+	}
+	if got := AttackerAddr(-1); !IsAttackerAddr(got) {
+		t.Fatalf("AttackerAddr(-1) = %v outside AttackerNet", got)
+	}
+}
+
+// TestAttackerAddrsPanicFree pins the allocation guards: non-positive n
+// yields nil, n beyond the address space clamps to it (distinctness
+// preserved) instead of wrapping or panicking.
+func TestAttackerAddrsPanicFree(t *testing.T) {
+	if got := AttackerAddrs(0); got != nil {
+		t.Errorf("AttackerAddrs(0) = %v, want nil", got)
+	}
+	if got := AttackerAddrs(-7); got != nil {
+		t.Errorf("AttackerAddrs(-7) = %v, want nil", got)
+	}
+	got := AttackerAddrs(AttackerAddrSpace + 1000)
+	if len(got) != AttackerAddrSpace {
+		t.Fatalf("AttackerAddrs(space+1000) len = %d, want %d", len(got), AttackerAddrSpace)
+	}
+	if got[len(got)-1] == got[0] {
+		t.Error("clamped AttackerAddrs wrapped into duplicates")
+	}
+}
+
+// TestOffPathConcurrentRolls exercises the seeded rng from many
+// goroutines at once — the engine's fan-out shape — so -race verifies the
+// Succeeds roll is guarded.
+func TestOffPathConcurrentRolls(t *testing.T) {
+	f := NewForger("pool.ntp.test.", PayloadReplace)
+	o := NewOffPath(genuineTransport(4), f, 0.5, 42)
+	q := mustQuery(t, "pool.ntp.test.")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := o.Exchange(context.Background(), q, "ignored"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Attempts(); got != 400 {
+		t.Fatalf("attempts = %d, want 400", got)
+	}
+	if s := o.Successes(); s == 0 || s == 400 {
+		t.Fatalf("successes = %d, want a mix at prob 0.5", s)
+	}
+}
+
+// TestOffPathSeededDeterminism pins that guarding the rng kept seeded
+// determinism: the same seed draws the same outcome sequence.
+func TestOffPathSeededDeterminism(t *testing.T) {
+	f := NewForger("pool.ntp.test.", PayloadReplace)
+	a := NewOffPath(genuineTransport(4), f, 0.3, 7)
+	b := NewOffPath(genuineTransport(4), f, 0.3, 7)
+	for i := 0; i < 200; i++ {
+		if a.Succeeds() != b.Succeeds() {
+			t.Fatalf("roll %d diverged for identical seeds", i)
+		}
+	}
+}
+
+// chaosInner is a Querier answering n clean addresses for every URL.
+type chaosInner struct{ n int }
+
+func (c chaosInner) Query(_ context.Context, _, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	q, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(q)
+	for i := 0; i < c.n; i++ {
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(
+			q.Questions[0].Name, netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}), 60))
+	}
+	return resp, nil
+}
+
+// TestChaosQuerierTargets pins the chaos seam: only targeted resolver
+// URLs are forged, untargeted ones pass through clean, and the inflate
+// payload carries InflateCount attacker addresses.
+func TestChaosQuerierTargets(t *testing.T) {
+	f := NewForger(".", PayloadInflate)
+	c := NewChaosQuerier(chaosInner{4}, f, []string{"https://evil/dns-query"}, 1, 1)
+
+	resp, err := c.Query(context.Background(), "https://clean/dns-query", "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range resp.AnswerAddrs() {
+		if IsAttackerAddr(a) {
+			t.Fatalf("untargeted resolver forged: %v", a)
+		}
+	}
+
+	resp, err = c.Query(context.Background(), "https://evil/dns-query", "pool.ntp.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.AnswerAddrs()
+	if len(got) != InflateCount {
+		t.Fatalf("forged answer has %d addrs, want %d", len(got), InflateCount)
+	}
+	for _, a := range got {
+		if !IsAttackerAddr(a) {
+			t.Fatalf("forged answer contains clean address %v", a)
+		}
+	}
+	if c.Forged() != 1 || c.Exchanges() != 1 {
+		t.Errorf("forged=%d exchanges=%d, want 1/1", c.Forged(), c.Exchanges())
+	}
+}
+
+// TestChaosQuerierProbability pins that sub-1 probabilities forge roughly
+// the expected fraction, deterministically per seed.
+func TestChaosQuerierProbability(t *testing.T) {
+	f := NewForger(".", PayloadReplace)
+	c := NewChaosQuerier(chaosInner{4}, f, nil, 0.3, 99)
+	const rounds = 1000
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Query(context.Background(), "u", "pool.ntp.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate := float64(c.Forged()) / rounds
+	if math.Abs(rate-0.3) > 0.06 {
+		t.Fatalf("forge rate = %.3f, want ~0.3", rate)
 	}
 }

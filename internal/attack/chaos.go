@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dohpool/internal/dnswire"
+)
+
+// Querier mirrors the consensus engine's DoH lookup seam (core.Querier)
+// structurally, so chaos wrappers can interpose there without this
+// package importing core (core imports attack for the bogus-prefix trust
+// signal; the dependency must stay one-way).
+type Querier interface {
+	Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error)
+}
+
+// ParsePayload maps the chaos flag spelling to a Payload ("replace",
+// "inflate", "empty").
+func ParsePayload(s string) (Payload, error) {
+	switch s {
+	case "replace":
+		return PayloadReplace, nil
+	case "inflate":
+		return PayloadInflate, nil
+	case "empty":
+		return PayloadEmpty, nil
+	default:
+		return 0, fmt.Errorf("unknown payload %q (want replace, inflate or empty)", s)
+	}
+}
+
+// ChaosQuerier interposes the Forger at the engine's transport seam: the
+// very same long-lived engine — cache, coalescing, hedging, refresh-ahead
+// and trust scoring — runs attacked, with a chosen subset of its resolver
+// endpoints behaving as fully compromised (each targeted exchange forged
+// with probability prob). It sits below the engine's health and hedging
+// wrappers, so attacked answers flow through every production layer
+// exactly like genuine ones.
+type ChaosQuerier struct {
+	inner   Querier
+	forger  *Forger
+	targets map[string]bool // resolver URLs under attack; nil = all
+	prob    float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	exchanges atomic.Uint64
+	forged    atomic.Uint64
+}
+
+// NewChaosQuerier wraps inner so exchanges against the target URLs are
+// answered by forger with the given per-exchange probability (values
+// outside (0, 1] mean "always"). An empty target list attacks every
+// resolver — note that compromising all endpoints exceeds the paper's
+// minority assumption, so truncation alone no longer bounds the damage.
+// seed drives the probability rolls (deterministic chaos runs).
+func NewChaosQuerier(inner Querier, forger *Forger, targetURLs []string, prob float64, seed int64) *ChaosQuerier {
+	var targets map[string]bool
+	if len(targetURLs) > 0 {
+		targets = make(map[string]bool, len(targetURLs))
+		for _, u := range targetURLs {
+			targets[u] = true
+		}
+	}
+	if prob <= 0 || prob > 1 {
+		prob = 1
+	}
+	return &ChaosQuerier{
+		inner:   inner,
+		forger:  forger,
+		targets: targets,
+		prob:    prob,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Exchanges returns how many exchanges against targeted resolvers were
+// seen (forged or passed through after a lost roll).
+func (c *ChaosQuerier) Exchanges() uint64 { return c.exchanges.Load() }
+
+// Forged returns how many responses were forged.
+func (c *ChaosQuerier) Forged() uint64 { return c.forged.Load() }
+
+// roll draws one interposition decision under the lock (the engine fans
+// out concurrently; see OffPath.Succeeds).
+func (c *ChaosQuerier) roll() bool {
+	if c.prob >= 1 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < c.prob
+}
+
+// Query implements the engine's Querier seam.
+func (c *ChaosQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	if (c.targets != nil && !c.targets[url]) || !c.forger.Matches(query) {
+		return c.inner.Query(ctx, url, name, typ)
+	}
+	c.exchanges.Add(1)
+	if !c.roll() {
+		return c.inner.Query(ctx, url, name, typ)
+	}
+	// Like CompromisedResolver: ask the genuine backend first so
+	// PayloadReplace can mimic the genuine answer length. The other
+	// payloads ignore the length entirely, so they skip the upstream
+	// exchange instead of doubling the targeted resolver's load.
+	genuineLen := 0
+	if c.forger.Payload == PayloadReplace {
+		if genuine, err := c.inner.Query(ctx, url, name, typ); err == nil {
+			genuineLen = len(genuine.AnswerAddrs())
+		}
+	}
+	c.forged.Add(1)
+	return c.forger.Forge(query, genuineLen), nil
+}

@@ -77,6 +77,21 @@ type EngineConfig struct {
 	// BreakerCooldown is how long an open breaker rejects attempts.
 	// 0 uses DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
+	// TrustWindow is how many recent pool generations feed each
+	// resolver's trust score (answer-length conduct, bogus-prefix
+	// membership, consensus overlap, majority-vote survival). 0 uses
+	// DefaultTrustWindow; negative disables trust tracking entirely.
+	// Scoring happens only on the generation path — cached lookups never
+	// touch it.
+	TrustWindow int
+	// TrustMinScore, when in (0, 1], turns trust scoring into
+	// enforcement: a resolver whose windowed score falls below it has its
+	// contributions quarantined from truncation and the combined pool
+	// (while trusted contributors keep a strict majority), and stops
+	// receiving straggler hedges. 0 keeps scoring observational only.
+	// 0.5 is the recommended enforcing value: corroboration misses alone
+	// can never push a resolver below it.
+	TrustMinScore float64
 	// LookupTimeout bounds one coalesced upstream consensus run
 	// (the run is detached from any single caller's context, since many
 	// callers may be waiting on it). 0 uses DefaultLookupTimeout.
@@ -100,7 +115,8 @@ type Engine struct {
 	gen       *Generator
 	cache     *dnscache.Store[*poolEntry] // nil when caching is disabled
 	health    *HealthTracker
-	refresher *refresher // nil unless RefreshAhead is enabled
+	trust     *TrustTracker // nil when TrustWindow < 0
+	refresher *refresher    // nil unless RefreshAhead is enabled
 	cfg       EngineConfig
 	inst      engineInstruments
 
@@ -149,14 +165,26 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	case threshold < 0:
 		threshold = 0 // disabled
 	}
+	if ecfg.TrustMinScore < 0 || ecfg.TrustMinScore > 1 {
+		return nil, fmt.Errorf("engine: TrustMinScore %v outside [0, 1]", ecfg.TrustMinScore)
+	}
 	health := NewHealthTracker(threshold, ecfg.BreakerCooldown, ecfg.Clock)
 	if ecfg.Metrics != nil {
 		health.instrument(newHealthInstruments(ecfg.Metrics, gcfg.Resolvers))
+	}
+	var trust *TrustTracker
+	if ecfg.TrustWindow >= 0 {
+		trust = NewTrustTracker(ecfg.TrustWindow, ecfg.TrustMinScore)
+		if ecfg.Metrics != nil {
+			trust.instrument(newTrustInstruments(ecfg.Metrics, gcfg.Resolvers))
+		}
+		gcfg.Trust = trust
 	}
 	if gcfg.Querier != nil {
 		gcfg.Querier = &hedgedQuerier{
 			inner:   gcfg.Querier,
 			health:  health,
+			trust:   trust,
 			fixed:   ecfg.HedgeDelay,
 			disable: ecfg.DisableHedging,
 		}
@@ -165,7 +193,7 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{gen: gen, health: health, cfg: ecfg, inst: newEngineInstruments(ecfg.Metrics)}
+	e := &Engine{gen: gen, health: health, trust: trust, cfg: ecfg, inst: newEngineInstruments(ecfg.Metrics)}
 	if ecfg.CacheSize >= 0 {
 		e.cache = dnscache.NewShardedStore[*poolEntry](ecfg.CacheSize, ecfg.CacheShards, ecfg.Clock)
 		registerCacheMetrics(ecfg.Metrics, e.cache)
@@ -250,6 +278,15 @@ func (e *Engine) Health() []ResolverHealth {
 	return e.health.Snapshot(e.gen.cfg.Resolvers)
 }
 
+// Trust reports a per-resolver trust snapshot (nil when trust tracking is
+// disabled via a negative TrustWindow).
+func (e *Engine) Trust() []ResolverTrust {
+	if e.trust == nil {
+		return nil
+	}
+	return e.trust.Snapshot(e.gen.cfg.Resolvers)
+}
+
 // Ready reports breaker-aware readiness: false only when every
 // resolver's circuit breaker is open, i.e. no upstream could currently
 // be asked and any cache miss is guaranteed to fail.
@@ -274,6 +311,13 @@ type CachedPool struct {
 	TruncateLength int
 	// Responding is how many resolvers contributed.
 	Responding int
+	// AttackerEntries counts pool members inside the attacker prefix
+	// (198.18.0.0/15) — non-zero means a poisoned consensus is being
+	// served.
+	AttackerEntries int
+	// Distrusted names the resolvers whose contributions trust
+	// enforcement quarantined when this pool was generated.
+	Distrusted []string
 	// Age is the time since the pool was generated.
 	Age time.Duration
 	// Remaining is the TTL left; negative once expired (the entry may
@@ -298,15 +342,17 @@ func (e *Engine) CachedPools() []CachedPool {
 	out := make([]CachedPool, len(entries))
 	for i, en := range entries {
 		out[i] = CachedPool{
-			Key:            en.Key,
-			Addrs:          append([]netip.Addr(nil), en.Val.pool.Addrs...),
-			TruncateLength: en.Val.pool.TruncateLength,
-			Responding:     en.Val.pool.Responding(),
-			Age:            en.Age,
-			Remaining:      en.Remaining,
-			Hits:           en.Hits,
-			Refreshes:      en.Refreshes,
-			LastRefresh:    en.LastRefresh,
+			Key:             en.Key,
+			Addrs:           append([]netip.Addr(nil), en.Val.pool.Addrs...),
+			TruncateLength:  en.Val.pool.TruncateLength,
+			Responding:      en.Val.pool.Responding(),
+			AttackerEntries: en.Val.pool.AttackerEntries(),
+			Distrusted:      en.Val.pool.DistrustedResolvers(),
+			Age:             en.Age,
+			Remaining:       en.Remaining,
+			Hits:            en.Hits,
+			Refreshes:       en.Refreshes,
+			LastRefresh:     en.LastRefresh,
 		}
 	}
 	return out
@@ -412,6 +458,10 @@ func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context
 			return nil, err
 		}
 		e.inst.quorum.Observe(float64(p.Responding()))
+		// Poisoning visibility: how many entries of the freshly generated
+		// pool sit in the attacker prefix (generation path only — the
+		// cached-hit fast path never counts).
+		e.inst.attackerEntries.Set(float64(p.AttackerEntries()))
 		if e.cache != nil {
 			e.cache.Put(key, &poolEntry{pool: p, regen: run}, p.ttlDuration())
 		}

@@ -65,6 +65,14 @@ type ResolverResult struct {
 	// MinTTL is the smallest TTL across the resolver's answer records
 	// (DefaultPoolTTL when the answer section carried none).
 	MinTTL uint32
+	// TrustScore is the resolver's trust score entering this generation:
+	// 1.0 before any observation, 0 (the zero value, meaningless) when
+	// trust tracking is disabled entirely.
+	TrustScore float64
+	// Distrusted reports that trust enforcement quarantined this
+	// resolver's contribution: it answered (and counts for quorum), but
+	// its addresses were excluded from truncation and the combined pool.
+	Distrusted bool
 }
 
 // Pool is the outcome of one Algorithm 1 run.
@@ -98,6 +106,35 @@ func (p *Pool) Responding() int {
 	return n
 }
 
+// TrustedResponding returns how many responding resolvers' contributions
+// actually entered the pool (Responding minus trust quarantines) — the
+// trust-weighted quorum.
+func (p *Pool) TrustedResponding() int {
+	n := 0
+	for _, r := range p.Results {
+		if r.Err == nil && !r.Distrusted {
+			n++
+		}
+	}
+	return n
+}
+
+// DistrustedResolvers names the resolvers whose answers trust enforcement
+// quarantined this generation.
+func (p *Pool) DistrustedResolvers() []string {
+	var names []string
+	for _, r := range p.Results {
+		if r.Distrusted {
+			name := r.Endpoint.Name
+			if name == "" {
+				name = r.Endpoint.URL
+			}
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // Config configures a Generator.
 type Config struct {
 	// Resolvers is the list of distributed DoH resolvers (≥ 1; the
@@ -119,6 +156,11 @@ type Config struct {
 	// QueryTimeout bounds each individual resolver exchange. Zero uses
 	// the querier's own default.
 	QueryTimeout time.Duration
+	// Trust, when non-nil, scores every resolver's conduct per generation
+	// and — once the tracker enforces a minimum score — quarantines
+	// persistently-outlying contributions (see TrustTracker). The engine
+	// injects this; plain Generator use stays trust-free.
+	Trust *TrustTracker
 }
 
 // Generator runs Algorithm 1 against a fixed resolver set.
@@ -270,22 +312,68 @@ func (g *Generator) queryAll(ctx context.Context, domain string, typ dnswire.Typ
 }
 
 // assemble applies truncation and combination (Algorithm 1's second half)
-// to the collected results, enforcing the quorum.
+// to the collected results, enforcing the quorum and — when a trust
+// tracker with an enforced minimum score is wired in — quarantining
+// persistently-outlying resolver contributions before truncation, so a
+// distrusted minority can neither inflate the pool nor drag
+// TruncateLength to zero.
 func (g *Generator) assemble(results []ResolverResult) (*Pool, error) {
-	lists := make([][]netip.Addr, 0, len(results))
-	for _, r := range results {
-		if r.Err == nil {
-			lists = append(lists, r.Addrs)
-		}
-	}
-	if len(lists) == 0 {
-		return nil, fmt.Errorf("%w: %w", ErrNoResults, firstError(results))
-	}
-	if len(lists) < g.cfg.MinResolvers {
-		return nil, fmt.Errorf("%d of %d needed: %w (first failure: %v)",
-			len(lists), g.cfg.MinResolvers, ErrQuorum, firstError(results))
+	tracker := g.cfg.Trust
+	var majoritySet []netip.Addr
+	majorityRan := false
+	if tracker != nil {
+		tracker.annotate(results)
+		// Observation runs on every outcome — success, quorum failure,
+		// empty-answer DoS — so a resolver that keeps breaking generation
+		// still earns its score. Deferred so the majority set (computed
+		// only on success) feeds the ejection signal when available;
+		// majorityRan guards failed generations, where the vote never
+		// happened and an empty set must not read as "everything ejected".
+		defer func() { tracker.observeGeneration(results, majoritySet, majorityRan) }()
 	}
 
+	contributing := make([]int, 0, len(results))
+	for i := range results {
+		if results[i].Err == nil {
+			contributing = append(contributing, i)
+		}
+	}
+	if len(contributing) == 0 {
+		return nil, fmt.Errorf("%w: %w", ErrNoResults, firstError(results))
+	}
+	// Quorum counts resolvers that answered, distrusted or not: a
+	// quarantined resolver's data is rejected, but its liveness still
+	// proves the fan-out reached it (and exclusion is separately gated on
+	// trusted contributors keeping a strict majority).
+	if len(contributing) < g.cfg.MinResolvers {
+		return nil, fmt.Errorf("%d of %d needed: %w (first failure: %v)",
+			len(contributing), g.cfg.MinResolvers, ErrQuorum, firstError(results))
+	}
+
+	kept := contributing
+	if tracker != nil {
+		if excluded := tracker.excludeSet(results); len(excluded) > 0 {
+			for _, i := range excluded {
+				results[i].Distrusted = true
+			}
+			kept = make([]int, 0, len(contributing)-len(excluded))
+			for _, i := range contributing {
+				if !results[i].Distrusted {
+					kept = append(kept, i)
+				}
+			}
+			tracker.recordFiltered("distrust")
+			if TruncateLength(listsOf(results, contributing)) == 0 &&
+				TruncateLength(listsOf(results, kept)) > 0 {
+				// The quarantine specifically defeated the footnote-2
+				// truncation DoS: an excluded empty answer would have
+				// zeroed the pool.
+				tracker.recordFiltered("truncation_dos")
+			}
+		}
+	}
+
+	lists := listsOf(results, kept)
 	pool := &Pool{Results: results, TTL: minResultTTL(results)}
 	pool.TruncateLength = TruncateLength(lists)
 	if pool.TruncateLength == 0 {
@@ -294,18 +382,30 @@ func (g *Generator) assemble(results []ResolverResult) (*Pool, error) {
 	pool.Addrs = Combine(Truncate(lists, pool.TruncateLength))
 	if g.cfg.WithMajority {
 		pool.Majority = MajorityFilter(lists)
+		majoritySet = pool.Majority
+		majorityRan = true
 	}
 	return pool, nil
 }
 
-// minResultTTL returns the smallest MinTTL among successful results (the
-// pool is only as fresh as its most impatient contributor). A genuine
-// TTL-0 contribution yields 0 — uncacheable — rather than being treated
-// as "unset".
+// listsOf projects the answer lists of the results at the given indices.
+func listsOf(results []ResolverResult, idx []int) [][]netip.Addr {
+	lists := make([][]netip.Addr, 0, len(idx))
+	for _, i := range idx {
+		lists = append(lists, results[i].Addrs)
+	}
+	return lists
+}
+
+// minResultTTL returns the smallest MinTTL among successful, trusted
+// results (the pool is only as fresh as its most impatient contributor; a
+// quarantined resolver must not force an uncacheable TTL-0 pool). A
+// genuine TTL-0 contribution yields 0 — uncacheable — rather than being
+// treated as "unset".
 func minResultTTL(results []ResolverResult) uint32 {
 	min, found := uint32(0), false
 	for _, r := range results {
-		if r.Err != nil {
+		if r.Err != nil || r.Distrusted {
 			continue
 		}
 		if !found || r.MinTTL < min {

@@ -219,10 +219,14 @@ func (h *HealthTracker) Snapshot(endpoints []Endpoint) []ResolverHealth {
 // the hedge delay (RFC 8305 "happy eyeballs" spirit, applied per
 // resolver), and feeds every outcome back into the tracker. Algorithm 1's
 // quorum and truncation semantics are untouched — hedging only re-asks the
-// same resolver, never substitutes a different one.
+// same resolver, never substitutes a different one. With a trust tracker
+// wired in, hedging is weighted by trust: a distrusted resolver gets no
+// backup attempts — its answer will be quarantined anyway, so burning a
+// second exchange on it only adds load the attacker controls.
 type hedgedQuerier struct {
 	inner   Querier
 	health  *HealthTracker
+	trust   *TrustTracker // nil: hedge on health alone
 	fixed   time.Duration // > 0: fixed hedge delay; 0: adaptive
 	disable bool
 }
@@ -240,7 +244,7 @@ func (h *hedgedQuerier) Query(ctx context.Context, url, name string, typ dnswire
 
 func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
 	var delay time.Duration
-	if !h.disable {
+	if !h.disable && (h.trust == nil || h.trust.Trusted(url)) {
 		delay = h.health.hedgeDelay(url, h.fixed)
 	}
 	if delay <= 0 {

@@ -12,32 +12,35 @@ import (
 // Metric names exposed by the core package. Kept as constants so the
 // admin tests and README reference table cannot drift from the code.
 const (
-	MetricEngineLookups      = "dohpool_engine_lookups_total"
-	MetricEngineErrors       = "dohpool_engine_lookup_errors_total"
-	MetricEngineGenSeconds   = "dohpool_engine_pool_generation_seconds"
-	MetricEngineQuorum       = "dohpool_engine_quorum_size"
-	MetricEngineGenerations  = "dohpool_engine_generations_total"
-	MetricRefreshAttempts    = "dohpool_refresh_attempts_total"
-	MetricRefreshWins        = "dohpool_refresh_wins_total"
-	MetricRefreshFailures    = "dohpool_refresh_failures_total"
-	MetricCacheShardHits     = "dohpool_cache_shard_hits_total"
-	MetricCacheHits          = "dohpool_cache_hits_total"
-	MetricCacheMisses        = "dohpool_cache_misses_total"
-	MetricCacheEvictions     = "dohpool_cache_evictions_total"
-	MetricCacheExpirations   = "dohpool_cache_expirations_total"
-	MetricCacheStaleServes   = "dohpool_cache_stale_serves_total"
-	MetricCacheEntries       = "dohpool_cache_entries"
-	MetricResolverRTT        = "dohpool_resolver_rtt_seconds"
-	MetricResolverExchanges  = "dohpool_resolver_exchanges_total"
-	MetricResolverHedges     = "dohpool_resolver_hedges_total"
-	MetricResolverHedgeWins  = "dohpool_resolver_hedge_wins_total"
-	MetricBreakerState       = "dohpool_resolver_breaker_open"
-	MetricBreakerTransitions = "dohpool_resolver_breaker_transitions_total"
-	MetricFrontendQueries    = "dohpool_frontend_queries_total"
-	MetricFrontendResponses  = "dohpool_frontend_responses_total"
-	MetricFrontendInflight   = "dohpool_frontend_inflight_queries"
-	MetricFrontendTCPConns   = "dohpool_frontend_tcp_connections"
-	MetricFrontendDropped    = "dohpool_frontend_dropped_total"
+	MetricEngineLookups       = "dohpool_engine_lookups_total"
+	MetricEngineErrors        = "dohpool_engine_lookup_errors_total"
+	MetricEngineGenSeconds    = "dohpool_engine_pool_generation_seconds"
+	MetricEngineQuorum        = "dohpool_engine_quorum_size"
+	MetricEngineGenerations   = "dohpool_engine_generations_total"
+	MetricRefreshAttempts     = "dohpool_refresh_attempts_total"
+	MetricRefreshWins         = "dohpool_refresh_wins_total"
+	MetricRefreshFailures     = "dohpool_refresh_failures_total"
+	MetricCacheShardHits      = "dohpool_cache_shard_hits_total"
+	MetricCacheHits           = "dohpool_cache_hits_total"
+	MetricCacheMisses         = "dohpool_cache_misses_total"
+	MetricCacheEvictions      = "dohpool_cache_evictions_total"
+	MetricCacheExpirations    = "dohpool_cache_expirations_total"
+	MetricCacheStaleServes    = "dohpool_cache_stale_serves_total"
+	MetricCacheEntries        = "dohpool_cache_entries"
+	MetricResolverTrust       = "dohpool_resolver_trust"
+	MetricPoolAttackerEntries = "dohpool_pool_attacker_entries"
+	MetricGenerationsFiltered = "dohpool_generations_filtered_total"
+	MetricResolverRTT         = "dohpool_resolver_rtt_seconds"
+	MetricResolverExchanges   = "dohpool_resolver_exchanges_total"
+	MetricResolverHedges      = "dohpool_resolver_hedges_total"
+	MetricResolverHedgeWins   = "dohpool_resolver_hedge_wins_total"
+	MetricBreakerState        = "dohpool_resolver_breaker_open"
+	MetricBreakerTransitions  = "dohpool_resolver_breaker_transitions_total"
+	MetricFrontendQueries     = "dohpool_frontend_queries_total"
+	MetricFrontendResponses   = "dohpool_frontend_responses_total"
+	MetricFrontendInflight    = "dohpool_frontend_inflight_queries"
+	MetricFrontendTCPConns    = "dohpool_frontend_tcp_connections"
+	MetricFrontendDropped     = "dohpool_frontend_dropped_total"
 )
 
 // engineInstruments holds the engine's pre-resolved instruments. The zero
@@ -53,6 +56,10 @@ type engineInstruments struct {
 	errors        *metrics.Counter
 	genLatency    *metrics.Histogram
 	quorum        *metrics.Histogram
+	// attackerEntries is the poisoned-entry count of the most recently
+	// generated pool (attacker-prefix members) — the live counterpart of
+	// the offline experiments' "attacker fraction" column.
+	attackerEntries *metrics.Gauge
 
 	refreshAttempts *metrics.Counter
 	refreshWins     *metrics.Counter
@@ -81,6 +88,8 @@ func newEngineInstruments(reg *metrics.Registry) engineInstruments {
 		quorum: reg.Histogram(MetricEngineQuorum,
 			"Resolvers that contributed to each generated pool.",
 			[]float64{1, 2, 3, 5, 7, 9, 11, 15}),
+		attackerEntries: reg.Gauge(MetricPoolAttackerEntries,
+			"Attacker-prefix (198.18.0.0/15) entries in the most recently generated pool."),
 		refreshAttempts: reg.Counter(MetricRefreshAttempts,
 			"Background refresh-ahead runs launched by the refresher."),
 		refreshWins: reg.Counter(MetricRefreshWins,

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/metrics"
+)
+
+// Trust-scoring defaults.
+const (
+	// DefaultTrustWindow is how many recent pool generations feed a
+	// resolver's trust score when EngineConfig.TrustWindow is 0.
+	DefaultTrustWindow = 16
+	// overlapFloor is the lowest value the corroboration signal alone can
+	// drive a generation score to. Benign resolvers can legitimately see
+	// disjoint rotation windows of a large pool RRset, so lack of overlap
+	// is only circumstantial.
+	overlapFloor = 0.5
+	// majorityFloor bounds the majority-ejection penalty the same way.
+	majorityFloor = 0.5
+	// softFloor bounds the *combined* soft penalty (Overlap × Majority):
+	// both soft signals share the same root cause (uncorroborated
+	// answers), so they must not compound below what either could reach
+	// alone. This is what makes the documented invariant true: at the
+	// recommended TrustMinScore of 0.5 a resolver can never be distrusted
+	// on corroboration misses alone — only the hard signals (bogus
+	// prefix, inflation, shortfall) push below it.
+	softFloor = 0.5
+)
+
+// TrustSignals is the per-generation component breakdown behind one
+// resolver's trust observation. Every component lies in [0, 1]; the
+// generation score is their product.
+type TrustSignals struct {
+	// Bogus is 1 minus the fraction of the answer inside the attacker
+	// prefix (198.18.0.0/15, the RFC 2544 range — a bogon in any real
+	// deployment, and the range every in-repo adversary injects from).
+	Bogus float64
+	// Inflation penalises answers longer than the consensus reference
+	// length (the response-inflation attack truncation defends against):
+	// reference/len when longer, else 1.
+	Inflation float64
+	// Shortfall penalises answers shorter than the reference — the
+	// signal behind the footnote-2 truncation DoS (an empty answer drags
+	// TruncateLength to zero): len/reference when shorter, else 1.
+	Shortfall float64
+	// Overlap is the soft corroboration signal: the fraction of the
+	// resolver's distinct answers also returned by at least one other
+	// resolver this generation, mapped onto [overlapFloor, 1].
+	Overlap float64
+	// Majority is the soft majority-vote signal when the filter ran: 1
+	// minus half the fraction of the resolver's answers the vote ejected
+	// (1.0 when the majority filter is off or the generation failed
+	// before the vote).
+	Majority float64
+	// Score is the product of the hard components (Bogus, Inflation,
+	// Shortfall) and the combined soft penalty (Overlap × Majority,
+	// jointly floored at softFloor), clamped to [0, 1].
+	Score float64
+}
+
+// ResolverTrust is a point-in-time snapshot of one resolver's trust.
+type ResolverTrust struct {
+	Name string
+	URL  string
+	// Score is the windowed mean of recent generation scores (1.0 before
+	// the first observation: innocent until observed outlying).
+	Score float64
+	// Samples is how many generations currently sit in the window.
+	Samples int
+	// Distrusted reports whether the score is below the configured
+	// minimum (always false when enforcement is off).
+	Distrusted bool
+	// Last is the most recent generation's component breakdown.
+	Last TrustSignals
+}
+
+// TrustTracker maintains per-resolver trust over a sliding window of pool
+// generations, keyed by endpoint URL. It is the adversarial-resilience
+// counterpart of HealthTracker: health says "is the resolver answering",
+// trust says "do its answers survive consensus". All methods are safe for
+// concurrent use. The tracker sits entirely on the generation path —
+// cached lookups never touch it.
+type TrustTracker struct {
+	mu       sync.Mutex
+	window   int
+	minScore float64
+	states   map[string]*trustState
+	inst     trustInstruments
+}
+
+type trustState struct {
+	ring  []float64
+	next  int
+	count int
+	last  TrustSignals
+}
+
+// NewTrustTracker builds a tracker scoring over the last window
+// generations (0 uses DefaultTrustWindow). minScore is the distrust
+// threshold; <= 0 keeps scoring observational only (no resolver is ever
+// reported distrusted).
+func NewTrustTracker(window int, minScore float64) *TrustTracker {
+	if window <= 0 {
+		window = DefaultTrustWindow
+	}
+	return &TrustTracker{
+		window:   window,
+		minScore: minScore,
+		states:   make(map[string]*trustState),
+	}
+}
+
+// instrument attaches metric instruments. Call before traffic (NewEngine
+// does).
+func (t *TrustTracker) instrument(inst trustInstruments) {
+	t.inst = inst
+}
+
+func (t *TrustTracker) state(url string) *trustState {
+	st, ok := t.states[url]
+	if !ok {
+		st = &trustState{ring: make([]float64, t.window)}
+		t.states[url] = st
+	}
+	return st
+}
+
+// scoreLocked computes the windowed mean; t.mu must be held.
+func (st *trustState) score() float64 {
+	if st.count == 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i < st.count; i++ {
+		sum += st.ring[i]
+	}
+	return sum / float64(st.count)
+}
+
+// Score returns url's current trust score in [0, 1] (1.0 before any
+// observation).
+func (t *TrustTracker) Score(url string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state(url).score()
+}
+
+// Trusted reports whether url's score clears the distrust threshold.
+// With enforcement off (minScore <= 0) every resolver is trusted.
+func (t *TrustTracker) Trusted(url string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.minScore <= 0 || t.state(url).score() >= t.minScore
+}
+
+// Enforcing reports whether a distrust threshold is configured.
+func (t *TrustTracker) Enforcing() bool { return t.minScore > 0 }
+
+// Snapshot reports trust for each endpoint (unknown endpoints yield the
+// neutral score).
+func (t *TrustTracker) Snapshot(endpoints []Endpoint) []ResolverTrust {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ResolverTrust, len(endpoints))
+	for i, ep := range endpoints {
+		st := t.state(ep.URL)
+		score := st.score()
+		out[i] = ResolverTrust{
+			Name:       ep.Name,
+			URL:        ep.URL,
+			Score:      score,
+			Samples:    st.count,
+			Distrusted: t.minScore > 0 && score < t.minScore,
+			Last:       st.last,
+		}
+	}
+	return out
+}
+
+// annotate stamps each contributing result with the resolver's score as
+// of *before* this generation — exclusion decisions must rest on history,
+// never on the observation the generation itself is about to add.
+func (t *TrustTracker) annotate(results []ResolverResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range results {
+		if results[i].Err == nil {
+			results[i].TrustScore = t.state(results[i].Endpoint.URL).score()
+		}
+	}
+}
+
+// observeGeneration folds one generation's per-resolver conduct into the
+// windows. majorityRan reports that the majority vote actually executed
+// this generation (majority is its result, possibly empty); on failed
+// generations it is false, so honest responders are not scored as if
+// everything they said had been ejected by a vote that never happened.
+// Failed resolvers contribute no observation — errors are the
+// HealthTracker's domain, trust judges only answers.
+func (t *TrustTracker) observeGeneration(results []ResolverResult, majority []netip.Addr, majorityRan bool) {
+	type contribution struct {
+		idx      int
+		distinct map[netip.Addr]bool
+	}
+	var contrib []contribution
+	lens := make([]int, 0, len(results))
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		set := make(map[netip.Addr]bool, len(results[i].Addrs))
+		for _, a := range results[i].Addrs {
+			set[a] = true
+		}
+		contrib = append(contrib, contribution{idx: i, distinct: set})
+		lens = append(lens, len(results[i].Addrs))
+	}
+	if len(contrib) == 0 {
+		return
+	}
+	// Upper median as the consensus reference length: robust against a
+	// minority dragging it down (empty answers) or up (inflated answers).
+	sorted := append([]int(nil), lens...)
+	sort.Ints(sorted)
+	ref := sorted[len(sorted)/2]
+
+	majoritySet := make(map[netip.Addr]bool, len(majority))
+	for _, a := range majority {
+		majoritySet[a] = true
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range contrib {
+		r := &results[c.idx]
+		sig := TrustSignals{Bogus: 1, Inflation: 1, Shortfall: 1, Overlap: 1, Majority: 1}
+
+		n := len(r.Addrs)
+		if n > 0 {
+			bogus := 0
+			for _, a := range r.Addrs {
+				if attack.IsAttackerAddr(a) {
+					bogus++
+				}
+			}
+			sig.Bogus = 1 - float64(bogus)/float64(n)
+		}
+		if ref > 0 {
+			if n > ref {
+				sig.Inflation = float64(ref) / float64(n)
+			}
+			if n < ref {
+				sig.Shortfall = float64(n) / float64(ref)
+			}
+		}
+		if len(c.distinct) > 0 && len(contrib) > 1 {
+			corroborated := 0
+			for a := range c.distinct {
+				for _, other := range contrib {
+					if other.idx != c.idx && other.distinct[a] {
+						corroborated++
+						break
+					}
+				}
+			}
+			frac := float64(corroborated) / float64(len(c.distinct))
+			sig.Overlap = overlapFloor + (1-overlapFloor)*frac
+		}
+		if majorityRan && len(c.distinct) > 0 {
+			ejected := 0
+			for a := range c.distinct {
+				if !majoritySet[a] {
+					ejected++
+				}
+			}
+			frac := float64(ejected) / float64(len(c.distinct))
+			sig.Majority = 1 - (1-majorityFloor)*frac
+		}
+
+		soft := sig.Overlap * sig.Majority
+		if soft < softFloor {
+			soft = softFloor
+		}
+		sig.Score = sig.Bogus * sig.Inflation * sig.Shortfall * soft
+		if sig.Score < 0 {
+			sig.Score = 0
+		}
+		if sig.Score > 1 {
+			sig.Score = 1
+		}
+
+		st := t.state(r.Endpoint.URL)
+		st.ring[st.next] = sig.Score
+		st.next = (st.next + 1) % t.window
+		if st.count < t.window {
+			st.count++
+		}
+		st.last = sig
+		t.inst.setScore(r.Endpoint, st.score())
+	}
+}
+
+// excludeSet decides which contributing results to quarantine this
+// generation: every distrusted resolver — but only while the trusted
+// contributors still form a strict majority of all contributors, the
+// trust-weighted quorum rule. (If distrust ever spreads to half the
+// responding set, something other than a compromised minority is wrong,
+// and the generator fails open to the paper's plain Algorithm 1 rather
+// than concentrating the pool on a shrinking subset.) Returned indices
+// index into results.
+func (t *TrustTracker) excludeSet(results []ResolverResult) []int {
+	if !t.Enforcing() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var excluded []int
+	contributing := 0
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		contributing++
+		if t.state(results[i].Endpoint.URL).score() < t.minScore {
+			excluded = append(excluded, i)
+		}
+	}
+	trusted := contributing - len(excluded)
+	if len(excluded) == 0 || trusted <= contributing/2 {
+		return nil
+	}
+	return excluded
+}
+
+// recordFiltered counts one generation-level filtering event by reason.
+func (t *TrustTracker) recordFiltered(reason string) {
+	t.inst.filtered(reason)
+}
+
+// trustInstruments holds the tracker's pre-resolved instruments. The zero
+// value no-ops.
+type trustInstruments struct {
+	scoreByURL  map[string]*metrics.Gauge
+	scoreVec    *metrics.GaugeVec
+	filteredVec *metrics.CounterVec
+	// pre-resolved reasons emitted by the generator.
+	filteredDistrust *metrics.Counter
+	filteredDoS      *metrics.Counter
+}
+
+func newTrustInstruments(reg *metrics.Registry, endpoints []Endpoint) trustInstruments {
+	inst := trustInstruments{
+		scoreByURL: make(map[string]*metrics.Gauge, len(endpoints)),
+		scoreVec: reg.GaugeVec(MetricResolverTrust,
+			"Windowed trust score per resolver in [0,1]: how often its answers survive consensus (1 = never outlying).",
+			"resolver"),
+		filteredVec: reg.CounterVec(MetricGenerationsFiltered,
+			"Pool generations where trust enforcement quarantined resolver contributions, by reason.",
+			"reason"),
+	}
+	inst.filteredDistrust = inst.filteredVec.With("distrust")
+	inst.filteredDoS = inst.filteredVec.With("truncation_dos")
+	for _, ep := range endpoints {
+		label := ep.Name
+		if label == "" {
+			label = ep.URL
+		}
+		g := inst.scoreVec.With(label)
+		g.Set(1) // neutral score visible from the first scrape
+		inst.scoreByURL[ep.URL] = g
+	}
+	return inst
+}
+
+func (ti *trustInstruments) setScore(ep Endpoint, score float64) {
+	if g, ok := ti.scoreByURL[ep.URL]; ok {
+		g.Set(score)
+		return
+	}
+	label := ep.Name
+	if label == "" {
+		label = ep.URL
+	}
+	ti.scoreVec.With(label).Set(score)
+}
+
+func (ti *trustInstruments) filtered(reason string) {
+	switch reason {
+	case "distrust":
+		ti.filteredDistrust.Inc()
+	case "truncation_dos":
+		ti.filteredDoS.Inc()
+	default:
+		ti.filteredVec.With(reason).Inc()
+	}
+}
+
+// AttackerEntries counts pool members inside the attacker prefix — the
+// poisoned-entry figure the chaos smoke job and the live experiments
+// assert on.
+func (p *Pool) AttackerEntries() int {
+	n := 0
+	for _, a := range p.Addrs {
+		if attack.IsAttackerAddr(a) {
+			n++
+		}
+	}
+	return n
+}

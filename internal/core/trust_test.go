@@ -1,0 +1,444 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+)
+
+// swappableQuerier answers per-URL lists that tests can swap mid-run, so
+// one engine can watch a resolver turn outlying and then recover.
+type swappableQuerier struct {
+	mu    sync.Mutex
+	lists map[string][]netip.Addr
+	ttl   uint32
+}
+
+func newSwappableQuerier(ttl uint32, lists map[string][]netip.Addr) *swappableQuerier {
+	return &swappableQuerier{lists: lists, ttl: ttl}
+}
+
+func (s *swappableQuerier) set(url string, list []netip.Addr) {
+	s.mu.Lock()
+	s.lists[url] = list
+	s.mu.Unlock()
+}
+
+func (s *swappableQuerier) Query(_ context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	s.mu.Lock()
+	list := s.lists[url]
+	ttl := s.ttl
+	s.mu.Unlock()
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	for _, a := range list {
+		if (typ == dnswire.TypeA) == a.Is4() {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, ttl))
+		}
+	}
+	return resp, nil
+}
+
+// trustEngine builds an uncached engine (every Lookup is one generation)
+// with trust enforcement on, over the three standard endpoints.
+func trustEngine(t *testing.T, q Querier, window int, minScore float64) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: q}, EngineConfig{
+		CacheSize:     -1,
+		TrustWindow:   window,
+		TrustMinScore: minScore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+func trustOf(t *testing.T, eng *Engine, name string) ResolverTrust {
+	t.Helper()
+	for _, tr := range eng.Trust() {
+		if tr.Name == name {
+			return tr
+		}
+	}
+	t.Fatalf("no trust snapshot for %q", name)
+	return ResolverTrust{}
+}
+
+// TestTrustInflatingResolverQuarantined walks the response-inflation
+// attack through the live trust loop: generation 1 is bounded by
+// truncation (the paper's guarantee — 1/3 of the pool), and from
+// generation 2 the inflating resolver is distrusted and contributes
+// nothing at all.
+func TestTrustInflatingResolverQuarantined(t *testing.T) {
+	lists := threeResolverLists()
+	lists["u2"] = attack.AttackerAddrs(100)
+	q := newCountingQuerier(300, lists)
+	eng := trustEngine(t, q, 4, 0.5)
+	ctx := context.Background()
+
+	p1, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TruncateLength != 2 {
+		t.Fatalf("gen1 K = %d, want 2 (truncation defeats inflation)", p1.TruncateLength)
+	}
+	if got := p1.AttackerEntries(); got != 2 {
+		t.Fatalf("gen1 attacker entries = %d, want 2 (exactly the minority share)", got)
+	}
+
+	p2, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.AttackerEntries(); got != 0 {
+		t.Fatalf("gen2 attacker entries = %d, want 0 (resolver quarantined)", got)
+	}
+	if got := p2.TrustedResponding(); got != 2 {
+		t.Fatalf("gen2 trusted responding = %d, want 2", got)
+	}
+	if got := p2.DistrustedResolvers(); len(got) != 1 || got[0] != "r2" {
+		t.Fatalf("gen2 distrusted = %v, want [r2]", got)
+	}
+	if tr := trustOf(t, eng, "r2"); !tr.Distrusted || tr.Score > 0.1 {
+		t.Fatalf("r2 trust = %+v, want distrusted with near-zero score", tr)
+	}
+	if tr := trustOf(t, eng, "r0"); tr.Distrusted {
+		t.Fatalf("benign r0 distrusted: %+v", tr)
+	}
+}
+
+// TestTrustTruncationDoSGuard is the footnote-2 scenario: a resolver
+// returning empty NOERROR answers drags TruncateLength to zero and kills
+// every pool. With enforcement on, the empty answerer scores zero on the
+// shortfall signal after the first failed generation and is quarantined,
+// so K recovers and pools generate again.
+func TestTrustTruncationDoSGuard(t *testing.T) {
+	lists := threeResolverLists()
+	lists["u2"] = nil // NOERROR, zero answers: the truncation DoS
+	q := newCountingQuerier(300, lists)
+
+	reg := metrics.New()
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: q}, EngineConfig{
+		CacheSize:     -1,
+		TrustWindow:   4,
+		TrustMinScore: 0.5,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); !errors.Is(err, ErrEmptyAnswer) {
+		t.Fatalf("gen1 err = %v, want ErrEmptyAnswer (first strike lands)", err)
+	}
+
+	p2, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("gen2 should survive the DoS via quarantine, got %v", err)
+	}
+	if p2.TruncateLength != 2 {
+		t.Fatalf("gen2 K = %d, want 2 (empty answerer cannot zero it)", p2.TruncateLength)
+	}
+	if len(p2.Addrs) != 4 {
+		t.Fatalf("gen2 pool = %d addrs, want 4 from the two trusted resolvers", len(p2.Addrs))
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	if !strings.Contains(exp, "truncation_dos") {
+		t.Errorf("exposition misses the truncation_dos filter reason:\n%s", exp)
+	}
+	if !strings.Contains(exp, MetricResolverTrust) {
+		t.Errorf("exposition misses %s", MetricResolverTrust)
+	}
+}
+
+// TestTrustOutlierRecovers pins the window semantics: a trusted resolver
+// that briefly turns outlying is quarantined, and — once it behaves again
+// for a full window — slides back above the threshold and contributes to
+// pools once more. Distrust is a verdict on recent conduct, not a life
+// sentence.
+func TestTrustOutlierRecovers(t *testing.T) {
+	shared := addrs("192.0.2.1", "192.0.2.2")
+	q := newSwappableQuerier(300, map[string][]netip.Addr{
+		"u0": shared, "u1": shared, "u2": shared,
+	})
+	eng := trustEngine(t, q, 3, 0.5)
+	ctx := context.Background()
+
+	lookup := func() *Pool {
+		t.Helper()
+		p, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	lookup() // one clean generation: everyone at score 1
+	q.set("u2", attack.AttackerAddrs(2))
+	lookup() // outlier strike observed
+	lookup()
+	if tr := trustOf(t, eng, "r2"); !tr.Distrusted {
+		t.Fatalf("r2 should be distrusted after outlier strikes, got %+v", tr)
+	}
+
+	q.set("u2", shared) // the resolver comes back clean
+	var recovered bool
+	for i := 0; i < 6; i++ {
+		p := lookup()
+		if p.TrustedResponding() == 3 {
+			recovered = true
+			if got := p.AttackerEntries(); got != 0 {
+				t.Fatalf("recovered pool carries %d attacker entries", got)
+			}
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("r2 never recovered: %+v", trustOf(t, eng, "r2"))
+	}
+	if tr := trustOf(t, eng, "r2"); tr.Distrusted {
+		t.Fatalf("r2 still distrusted after recovery window: %+v", tr)
+	}
+}
+
+// TestTrustFailsOpenWithoutTrustedMajority pins the quorum weighting's
+// safety valve: when distrust would spread to half the responding set,
+// enforcement disengages and the generator falls back to the paper's
+// plain Algorithm 1 instead of concentrating the pool on a shrinking
+// subset.
+func TestTrustFailsOpenWithoutTrustedMajority(t *testing.T) {
+	lists := map[string][]netip.Addr{
+		"u0": addrs("192.0.2.1", "192.0.2.2"),
+		"u1": attack.AttackerAddrs(2),
+		"u2": attack.AttackerAddrs(100)[50:52],
+	}
+	q := newCountingQuerier(300, lists)
+	eng := trustEngine(t, q, 4, 0.5)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		p, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two of three would be distrusted — no trusted strict majority,
+		// so nothing may be excluded.
+		if got := p.TrustedResponding(); got != 3 {
+			t.Fatalf("gen%d trusted responding = %d, want 3 (fail-open)", i+1, got)
+		}
+		if len(p.Addrs) != 6 {
+			t.Fatalf("gen%d pool = %d addrs, want 6", i+1, len(p.Addrs))
+		}
+	}
+}
+
+// TestTrustStaysOffCachedPath is the benchmark gate's correctness twin:
+// a cached lookup must not consult or mutate trust state.
+func TestTrustStaysOffCachedPath(t *testing.T) {
+	q := newCountingQuerier(300, threeResolverLists())
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: q}, EngineConfig{
+		TrustWindow:   4,
+		TrustMinScore: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	before := trustOf(t, eng, "r0").Samples
+	for i := 0; i < 50; i++ {
+		if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := trustOf(t, eng, "r0").Samples; after != before {
+		t.Fatalf("cached lookups grew the trust window: %d -> %d samples", before, after)
+	}
+	if got := eng.NetworkRuns(); got != 1 {
+		t.Fatalf("cached lookups hit the network %d times", got)
+	}
+}
+
+// TestChaosInflateRefreshAheadKeepsPoolClean drives the full always-warm
+// stack under chaos: a ChaosQuerier interposed at the engine's transport
+// seam inflates resolver 0's answers while refresh-ahead regenerates the
+// cached pool across TTL cycles. The poisoned fraction must never exceed
+// the paper's minority bound, and once trust enforcement kicks in the
+// cached pool must come out clean.
+func TestChaosInflateRefreshAheadKeepsPoolClean(t *testing.T) {
+	inner := newCountingQuerier(1, threeResolverLists())
+	forger := attack.NewForger(".", attack.PayloadInflate)
+	chaos := attack.NewChaosQuerier(inner, forger, []string{"u0"}, 1, 1)
+
+	eng, err := NewEngine(Config{Resolvers: threeEndpoints(), Querier: chaos}, EngineConfig{
+		RefreshAhead:    0.5,
+		RefreshMinHits:  0,
+		RefreshInterval: 50 * time.Millisecond,
+		TrustWindow:     4,
+		TrustMinScore:   0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	p, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1.0 / 3
+	if frac := Fraction(p.Addrs, attack.IsAttackerAddr); frac > bound+1e-9 {
+		t.Fatalf("gen1 poisoned fraction %.3f exceeds minority bound %.3f", frac, bound)
+	}
+
+	// Let refresh-ahead run the pool through multiple TTL cycles while
+	// sampling what a client would be served; the bound must hold at
+	// every instant and the steady state must be clean.
+	deadline := time.Now().Add(3 * time.Second)
+	clean := false
+	for time.Now().Before(deadline) {
+		p, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := Fraction(p.Addrs, attack.IsAttackerAddr)
+		if frac > bound+1e-9 {
+			t.Fatalf("poisoned fraction %.3f exceeds minority bound %.3f mid-cycle", frac, bound)
+		}
+		if frac == 0 && eng.BackgroundGenerations() > 0 {
+			clean = true
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !clean {
+		t.Fatalf("cached pool never came clean under chaos; background gens = %d", eng.BackgroundGenerations())
+	}
+	if chaos.Forged() == 0 {
+		t.Fatal("chaos adversary never forged — the test exercised nothing")
+	}
+}
+
+// erroringQuerier fails exchanges for one URL and delegates the rest.
+type erroringQuerier struct {
+	inner Querier
+	dead  string
+}
+
+func (e *erroringQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	if url == e.dead {
+		return nil, errors.New("resolver unreachable")
+	}
+	return e.inner.Query(ctx, url, name, typ)
+}
+
+// TestTrustMajoritySignalSkipsFailedGenerations pins a review finding:
+// when a generation fails before the majority vote runs (here: strict
+// quorum with one resolver down), honest responders must not be scored
+// as if the vote ejected everything they said. Their trust must stay at
+// 1.0 across repeated failed generations.
+func TestTrustMajoritySignalSkipsFailedGenerations(t *testing.T) {
+	shared := addrs("192.0.2.1", "192.0.2.2")
+	inner := newSwappableQuerier(300, map[string][]netip.Addr{
+		"u0": shared, "u1": shared, "u2": shared,
+	})
+	q := &erroringQuerier{inner: inner, dead: "u2"}
+	eng, err := NewEngine(Config{
+		Resolvers:    threeEndpoints(),
+		Querier:      q,
+		WithMajority: true,
+		// MinResolvers 0 = all three: u2 being down fails every quorum.
+	}, EngineConfig{
+		CacheSize:        -1,
+		TrustWindow:      4,
+		TrustMinScore:    0.5,
+		BreakerThreshold: -1, // keep u2 being asked (and failing) every time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA); !errors.Is(err, ErrQuorum) {
+			t.Fatalf("lookup %d err = %v, want ErrQuorum", i, err)
+		}
+	}
+	for _, name := range []string{"r0", "r1"} {
+		if tr := trustOf(t, eng, name); tr.Score != 1 || tr.Distrusted {
+			t.Errorf("honest %s after failed generations = %+v, want score 1", name, tr)
+		}
+	}
+}
+
+// TestTrustSoftSignalsCannotDistrust pins the documented invariant the
+// soft floors guarantee: a benign resolver whose answers are neither
+// corroborated nor majority-confirmed (both *soft* signals at their
+// floor, from the same root cause) still scores exactly softFloor — at
+// the recommended TrustMinScore of 0.5 it can never be distrusted
+// without a hard signal firing.
+func TestTrustSoftSignalsCannotDistrust(t *testing.T) {
+	shared := addrs("192.0.2.1", "192.0.2.2")
+	lone := addrs("203.0.113.1", "203.0.113.2") // benign, disjoint (TEST-NET-3)
+	q := newCountingQuerier(300, map[string][]netip.Addr{
+		"u0": shared, "u1": shared, "u2": lone,
+	})
+	eng, err := NewEngine(Config{
+		Resolvers:    threeEndpoints(),
+		Querier:      q,
+		WithMajority: true,
+	}, EngineConfig{
+		CacheSize:     -1,
+		TrustWindow:   4,
+		TrustMinScore: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+
+	for i := 0; i < 6; i++ {
+		p, err := eng.Lookup(ctx, "pool.test.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TrustedResponding(); got != 3 {
+			t.Fatalf("gen%d trusted responding = %d, want 3 (soft signals must not quarantine)", i+1, got)
+		}
+	}
+	tr := trustOf(t, eng, "r2")
+	if tr.Distrusted {
+		t.Fatalf("r2 distrusted on soft signals alone: %+v", tr)
+	}
+	if tr.Score < 0.5-1e-9 {
+		t.Fatalf("r2 score = %v, want >= softFloor 0.5", tr.Score)
+	}
+}

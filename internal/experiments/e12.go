@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dohpool/internal/attack"
+	"dohpool/internal/core"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/testbed"
+)
+
+// E12LiveChaos is the live-engine analogue of E6–E9: where those
+// experiments measure one-shot Algorithm 1 runs in offline tables, this
+// one runs the full production stack — TTL cache, refresh-ahead
+// regeneration, hedging, trust scoring — against a fully compromised
+// resolver minority (1 of 3) for several TTL cycles and asserts, at
+// every sampled instant, the paper's Section III-a bound: the poisoned
+// pool fraction never exceeds the compromised resolver fraction (1/3).
+// With trust enforcement on, the engine must do strictly better than the
+// bound in steady state: the compromised resolver is quarantined and the
+// served pool comes out clean. The empty payload (footnote-2 truncation
+// DoS) additionally must cost at most one failed generation before
+// quarantine restores service.
+func E12LiveChaos(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	t := &Table{
+		ID:    "E12",
+		Title: "extension — live engine under chaos (N=3, resolver 0 compromised, TTL 1s, refresh-ahead 0.5)",
+		Columns: []string{"payload", "samples", "max poisoned fraction", "bound 1/3 held",
+			"steady-state fraction", "compromised quarantined", "failed lookups"},
+	}
+
+	const bound = 1.0 / 3
+	for _, payload := range []attack.Payload{attack.PayloadReplace, attack.PayloadInflate, attack.PayloadEmpty} {
+		row, err := e12Run(opts, payload, bound)
+		if err != nil {
+			return t, fmt.Errorf("E12 payload=%v: %w", payload, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "truncation alone caps the attacker at the minority bound on the very first generation; " +
+		"trust quarantine then drives the live fraction to zero within one refresh cycle, and the " +
+		"empty-answer DoS costs at most one failed generation"
+	return t, nil
+}
+
+// e12Run drives one payload through a refresh-ahead engine and samples
+// the served pool across TTL cycles.
+func e12Run(opts Options, payload attack.Payload, bound float64) ([]string, error) {
+	tb, err := testbed.Start(testbed.Config{
+		Adversary:            testbed.AdversaryResolver,
+		Plan:                 attack.FixedPlan(3, 0),
+		Payload:              payload,
+		TTL:                  1, // 1s pool TTL: several full cycles per run
+		DisableResolverCache: true,
+		Seed:                 opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	eng, err := tb.Engine(testbed.GeneratorOptions{QueryTimeout: 3 * time.Second}, core.EngineConfig{
+		RefreshAhead:    0.5,
+		RefreshMinHits:  0,
+		RefreshInterval: 100 * time.Millisecond,
+		TrustWindow:     4,
+		TrustMinScore:   0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var (
+		samples     int
+		maxFraction float64
+		lastClean   float64 = -1
+		failed      int
+	)
+	deadline := time.Now().Add(2500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		pool, err := eng.Lookup(ctx, tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			// The empty payload legitimately kills the first
+			// generation (footnote-2 DoS); anything beyond one strike
+			// means quarantine failed to restore service.
+			if !errors.Is(err, core.ErrEmptyAnswer) {
+				return nil, err
+			}
+			failed++
+			if failed > 1 {
+				return nil, fmt.Errorf("truncation DoS persisted for %d lookups despite quarantine", failed)
+			}
+			continue
+		}
+		samples++
+		frac := core.Fraction(pool.Addrs, attack.IsAttackerAddr)
+		if frac > maxFraction {
+			maxFraction = frac
+		}
+		if frac > bound+1e-9 {
+			return nil, fmt.Errorf("poisoned fraction %.3f exceeded the minority bound %.3f", frac, bound)
+		}
+		lastClean = frac
+		time.Sleep(50 * time.Millisecond)
+	}
+	if samples < 10 {
+		return nil, fmt.Errorf("only %d samples collected", samples)
+	}
+	if lastClean != 0 {
+		return nil, fmt.Errorf("steady-state poisoned fraction %.3f, want 0 after quarantine", lastClean)
+	}
+
+	quarantined := false
+	for _, tr := range eng.Trust() {
+		if tr.Name == "resolver-0" && tr.Distrusted {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		return nil, errors.New("compromised resolver-0 never distrusted")
+	}
+
+	return []string{
+		payload.String(), strconv.Itoa(samples), f4(maxFraction),
+		strconv.FormatBool(maxFraction <= bound+1e-9), f4(lastClean),
+		strconv.FormatBool(quarantined), strconv.Itoa(failed),
+	}, nil
+}

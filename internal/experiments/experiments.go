@@ -149,5 +149,6 @@ func All() []Runner {
 		{"E9", "overhead: latency vs N, DoH vs plain DNS", E9Overhead},
 		{"E10", "extension — Section IV caveat: attacker joins the NTP pool", E10PoolJoin},
 		{"E11", "extension — cache-poisoning persistence, 1 vs N resolvers", E11CachePersistence},
+		{"E12", "extension — live engine under chaos: minority bound + trust quarantine", E12LiveChaos},
 	}
 }

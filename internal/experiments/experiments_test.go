@@ -141,8 +141,8 @@ func TestE11(t *testing.T) {
 
 func TestAllRegistryComplete(t *testing.T) {
 	runners := All()
-	if len(runners) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(runners))
+	if len(runners) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(runners))
 	}
 	seen := make(map[string]bool)
 	for _, r := range runners {
@@ -183,5 +183,19 @@ func TestTableRenderAlignment(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[len(lines)-1], "note: ") {
 		t.Error("notes line missing")
+	}
+}
+
+func TestE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-engine chaos run in short mode")
+	}
+	tbl, err := E12LiveChaos(fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tbl)
+	if len(tbl.Rows) != 3 { // replace, inflate, empty
+		t.Errorf("rows = %d, want 3", len(tbl.Rows))
 	}
 }

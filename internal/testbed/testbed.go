@@ -452,6 +452,22 @@ type GeneratorOptions struct {
 	QueryTimeout time.Duration
 }
 
+// Engine builds a long-lived consensus engine over the testbed's
+// resolvers — the live-serving counterpart of Generator, used by the
+// chaos experiments to run the full cache/refresh/trust stack against a
+// configured adversary. Close the engine before closing the testbed.
+func (tb *Testbed) Engine(opts GeneratorOptions, ecfg core.EngineConfig) (*core.Engine, error) {
+	return core.NewEngine(core.Config{
+		Resolvers:    tb.Endpoints,
+		Querier:      tb.Client,
+		MinResolvers: opts.MinResolvers,
+		Sequential:   opts.Sequential,
+		WithMajority: opts.WithMajority,
+		DualStack:    opts.DualStack,
+		QueryTimeout: opts.QueryTimeout,
+	}, ecfg)
+}
+
 // Domain returns the pool domain under test.
 func (tb *Testbed) Domain() string { return tb.cfg.Domain }
 

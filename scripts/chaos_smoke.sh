@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Chaos smoke: boot the full Figure 1 stack (testbed authoritative
+# servers + DoH resolvers) and a dohpoold whose chaos adversary inflates
+# resolver 0's answers on every exchange, then assert that
+#
+#   1. the daemon serves consensus answers throughout,
+#   2. trust enforcement quarantines the attacked resolver, and the
+#      cached pools' attacker-entry count reaches 0,
+#   3. both processes exit 0 on SIGTERM.
+#
+# Requires: go, python3 (stdlib only), curl, jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+TB_PID=""
+DP_PID=""
+cleanup() {
+  [ -n "$DP_PID" ] && kill -TERM "$DP_PID" 2>/dev/null || true
+  [ -n "$TB_PID" ] && kill -TERM "$TB_PID" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+DNS_PORT=${DNS_PORT:-15353}
+ADMIN_PORT=${ADMIN_PORT:-18053}
+
+go build -o "$workdir/bin/" ./cmd/testbed ./cmd/dohpoold
+
+# Short-TTL pool records so the refresh-ahead pipeline turns generations
+# over quickly while the attack runs.
+"$workdir/bin/testbed" -ttl 5 \
+  -ca-out "$workdir/ca.pem" -endpoints-out "$workdir/endpoints.txt" &
+TB_PID=$!
+for _ in $(seq 100); do
+  [ -s "$workdir/endpoints.txt" ] && [ -s "$workdir/ca.pem" ] && break
+  sleep 0.1
+done
+[ -s "$workdir/endpoints.txt" ] || { echo "FAIL: testbed endpoints never appeared" >&2; exit 1; }
+
+resolver_flags=()
+while read -r url; do resolver_flags+=(-resolver "$url"); done <"$workdir/endpoints.txt"
+
+"$workdir/bin/dohpoold" \
+  -listen "127.0.0.1:$DNS_PORT" -admin "127.0.0.1:$ADMIN_PORT" -ca "$workdir/ca.pem" \
+  -chaos-payload inflate -chaos-resolvers 0 -chaos-prob 1 \
+  -trust-window 4 -trust-min-score 0.5 \
+  -refresh-ahead 0.5 -refresh-min-hits 0 -stale-while-revalidate 30s \
+  "${resolver_flags[@]}" &
+DP_PID=$!
+for _ in $(seq 100); do
+  curl -sf "127.0.0.1:$ADMIN_PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# One plain-DNS query through the attacked daemon (python stdlib: no dig
+# dependency). The first generation may legitimately carry the bounded
+# minority share of attacker addresses — truncation's guarantee — so only
+# rcode/answer-count are asserted here.
+query() {
+  python3 - "$DNS_PORT" <<'PY'
+import socket, sys
+q = bytes.fromhex('123401000001000000000000') \
+    + b'\x04pool\x07ntppool\x04test\x00' + bytes.fromhex('00010001')
+s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+s.settimeout(5)
+s.sendto(q, ('127.0.0.1', int(sys.argv[1])))
+resp, _ = s.recvfrom(4096)
+rcode = resp[3] & 0x0F
+ancount = int.from_bytes(resp[6:8], 'big')
+print(f'query: rcode={rcode} answers={ancount}')
+sys.exit(0 if rcode == 0 and ancount > 0 else 1)
+PY
+}
+
+query || { echo "FAIL: warm-up query through dohpoold failed" >&2; exit 1; }
+
+# Keep light query load on the frontend while waiting for trust
+# quarantine: refresh-ahead only keeps pools warm that clients actually
+# read, so the smoke runs the whole stack — frontend, cache, refresher,
+# background regeneration — attacked under load, until the chaos-targeted
+# resolver is distrusted and every cached pool is clean of
+# attacker-prefix entries.
+clean=""
+for _ in $(seq 60); do
+  query >/dev/null || true
+  poolz=$(curl -sf "127.0.0.1:$ADMIN_PORT/poolz")
+  if echo "$poolz" | jq -e '
+      (.pools | length) > 0
+      and ([.pools[].attacker_entries] | add) == 0
+      and ([.pools[].refreshes] | add) >= 1' >/dev/null; then
+    clean=yes
+    break
+  fi
+  sleep 0.5
+done
+if [ -z "$clean" ]; then
+  echo "FAIL: cached pools never came clean under chaos:" >&2
+  curl -sf "127.0.0.1:$ADMIN_PORT/poolz" | jq . >&2 || true
+  curl -sf "127.0.0.1:$ADMIN_PORT/trustz" | jq . >&2 || true
+  exit 1
+fi
+
+echo "--- /poolz (clean) ---"
+curl -sf "127.0.0.1:$ADMIN_PORT/poolz" | jq .
+echo "--- /trustz ---"
+curl -sf "127.0.0.1:$ADMIN_PORT/trustz" | jq .
+curl -sf "127.0.0.1:$ADMIN_PORT/trustz" \
+  | jq -e '[.resolvers[] | select(.distrusted)] | length == 1' >/dev/null \
+  || { echo "FAIL: expected exactly one distrusted resolver" >&2; exit 1; }
+echo "--- adversarial metrics ---"
+curl -sf "127.0.0.1:$ADMIN_PORT/metrics" \
+  | grep -E 'dohpool_(resolver_trust|pool_attacker_entries|generations_filtered_total|chaos_forged_total)'
+
+# Serving still works on the clean pool.
+query || { echo "FAIL: post-quarantine query failed" >&2; exit 1; }
+
+# Clean shutdown must exit 0 for both processes.
+kill -TERM "$DP_PID"
+wait "$DP_PID"
+DP_PID=""
+kill -TERM "$TB_PID"
+wait "$TB_PID"
+TB_PID=""
+echo "chaos smoke ok: attacker-entry count 0 across served pools"
