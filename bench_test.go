@@ -21,7 +21,9 @@ import (
 	"dohpool/internal/chronos"
 	"dohpool/internal/core"
 	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
 	"dohpool/internal/testbed"
+	"dohpool/internal/testpki"
 	"dohpool/internal/transport"
 )
 
@@ -450,24 +452,42 @@ func BenchmarkEngineUncachedLookup(b *testing.B) {
 }
 
 // BenchmarkFrontendThroughput measures end-to-end frontend queries over
-// UDP and TCP with the engine underneath, parallel clients hammering one
-// cached domain — the million-client serving shape.
+// all four serving transports (plain UDP/TCP, RFC 7858 DoT, RFC 8484
+// DoH) with the engine underneath, parallel clients hammering one
+// cached domain — the million-client serving shape. The plaintext pair
+// measures raw serving; the encrypted pair adds what the authenticated
+// channel costs (DoT pays a fresh handshake per exchange — the
+// one-shot-stub shape — while DoH reuses pooled HTTP/2 connections).
 func BenchmarkFrontendThroughput(b *testing.B) {
-	run := func(b *testing.B, exchange func(ctx context.Context, q *dnswire.Message, addr string) (*dnswire.Message, error)) {
+	run := func(b *testing.B, mkExchange func(ca *testpki.CA, fe *core.Frontend) func(context.Context, *dnswire.Message) (*dnswire.Message, error)) {
 		tb := benchTestbed(b, testbed.Config{})
 		eng := benchEngine(b, tb, core.EngineConfig{})
-		fe, err := core.NewFrontend("127.0.0.1:0", eng, 5*time.Second)
+		ca, err := testpki.NewCA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tlsCfg, err := ca.ServerTLS("127.0.0.1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fe, err := core.NewFrontendWithConfig("127.0.0.1:0", eng, core.FrontendConfig{
+			Timeout:   5 * time.Second,
+			DoTAddr:   "127.0.0.1:0",
+			DoHAddr:   "127.0.0.1:0",
+			TLSConfig: tlsCfg,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Cleanup(func() { _ = fe.Close() })
+		exchange := mkExchange(ca, fe)
 		ctx := benchCtx(b)
 		// Warm the cache so the measurement isolates serving throughput.
 		warm, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := exchange(ctx, warm, fe.Addr()); err != nil {
+		if _, err := exchange(ctx, warm); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -480,7 +500,7 @@ func BenchmarkFrontendThroughput(b *testing.B) {
 					b.Error(err)
 					return
 				}
-				resp, err := exchange(ctx, q, fe.Addr())
+				resp, err := exchange(ctx, q)
 				if err != nil {
 					b.Error(err)
 					return
@@ -493,12 +513,37 @@ func BenchmarkFrontendThroughput(b *testing.B) {
 		})
 	}
 	b.Run("udp", func(b *testing.B) {
-		udp := &transport.UDP{}
-		run(b, udp.Exchange)
+		run(b, func(_ *testpki.CA, fe *core.Frontend) func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+			udp := &transport.UDP{}
+			return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+				return udp.Exchange(ctx, q, fe.Addr())
+			}
+		})
 	})
 	b.Run("tcp", func(b *testing.B) {
-		tcp := &transport.TCP{}
-		run(b, tcp.Exchange)
+		run(b, func(_ *testpki.CA, fe *core.Frontend) func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+			tcp := &transport.TCP{}
+			return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+				return tcp.Exchange(ctx, q, fe.Addr())
+			}
+		})
+	})
+	b.Run("dot", func(b *testing.B) {
+		run(b, func(ca *testpki.CA, fe *core.Frontend) func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+			dot := &transport.DoT{TLSConfig: ca.ClientTLS()}
+			return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+				return dot.Exchange(ctx, q, fe.DoTAddr())
+			}
+		})
+	})
+	b.Run("doh", func(b *testing.B) {
+		run(b, func(ca *testpki.CA, fe *core.Frontend) func(context.Context, *dnswire.Message) (*dnswire.Message, error) {
+			client := doh.NewClient(doh.WithTLSConfig(ca.ClientTLS()))
+			url := "https://" + fe.DoHAddr() + doh.DefaultPath
+			return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+				return client.Exchange(ctx, q, url)
+			}
+		})
 	})
 }
 

@@ -24,6 +24,14 @@
 // Flags:
 //
 //	-listen             UDP+TCP address for the plain-DNS front-end
+//	-doh-addr           serve DNS over HTTPS (RFC 8484) on this address
+//	-dot-addr           serve DNS over TLS (RFC 7858) on this address
+//	-tls-cert/-tls-key  PEM certificate chain and key for the encrypted
+//	                    listeners
+//	-tls-self-signed    generate an ephemeral self-signed identity
+//	                    instead (dev/testbed mode)
+//	-tls-ca-out         write the self-signed CA certificate (PEM) to
+//	                    this file, for clients to trust
 //	-resolver           DoH endpoint URL (repeat ≥ 3 times)
 //	-admin              observability HTTP address ("" disables)
 //	-stats-on-exit      print cache/health stats at shutdown (the
@@ -95,6 +103,12 @@ func run(args []string) error {
 	var resolvers resolverList
 	var (
 		listen      = fs.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for the DNS front-end")
+		dohAddr     = fs.String("doh-addr", "", "additionally serve DNS over HTTPS (RFC 8484) on this address (\"\" disables)")
+		dotAddr     = fs.String("dot-addr", "", "additionally serve DNS over TLS (RFC 7858) on this address (\"\" disables)")
+		tlsCert     = fs.String("tls-cert", "", "PEM certificate chain for the encrypted listeners")
+		tlsKey      = fs.String("tls-key", "", "PEM private key for the encrypted listeners")
+		tlsSelfSign = fs.Bool("tls-self-signed", false, "DEV MODE: generate an ephemeral self-signed serving identity instead of -tls-cert/-tls-key")
+		tlsCAOut    = fs.String("tls-ca-out", "", "write the -tls-self-signed CA certificate (PEM) to this file so clients can trust it")
 		adminAddr   = fs.String("admin", "127.0.0.1:8053", "observability HTTP listen address for /metrics, /healthz, /poolz (\"\" disables)")
 		statsOnExit = fs.Bool("stats-on-exit", false, "print cache and resolver-health stats at shutdown")
 
@@ -157,8 +171,18 @@ func run(args []string) error {
 	if *chaosPayload != "" {
 		fmt.Fprintf(os.Stderr, "warning: CHAOS MODE ACTIVE (-chaos-payload=%s): forged answers are injected below the consensus engine; never run this on a production resolver path\n", *chaosPayload)
 	}
+	if (*tlsSelfSign || *tlsCert != "" || *tlsKey != "" || *tlsCAOut != "") && *dohAddr == "" && *dotAddr == "" {
+		// Without an encrypted listener the TLS identity flags would be
+		// silently ignored — surface the real missing input instead.
+		return fmt.Errorf("TLS serving flags (-tls-self-signed/-tls-cert/-tls-key/-tls-ca-out) require -doh-addr or -dot-addr")
+	}
 
 	cfg := dohpool.Config{
+		DoHAddr:              *dohAddr,
+		DoTAddr:              *dotAddr,
+		TLSCert:              *tlsCert,
+		TLSKey:               *tlsKey,
+		TLSSelfSigned:        *tlsSelfSign,
 		MinResolvers:         *quorum,
 		WithMajority:         *majority,
 		QueryTimeout:         *timeout,
@@ -212,6 +236,19 @@ func run(args []string) error {
 		return err
 	}
 
+	if *tlsCAOut != "" {
+		caPEM := client.ServingCAPEM()
+		if caPEM == nil {
+			_ = client.Close()
+			return fmt.Errorf("-tls-ca-out requires -tls-self-signed (there is no generated CA to write)")
+		}
+		if err := os.WriteFile(*tlsCAOut, caPEM, 0o644); err != nil {
+			_ = client.Close()
+			return fmt.Errorf("write -tls-ca-out: %w", err)
+		}
+		fmt.Printf("dohpoold: self-signed CA certificate written to %s (pass via dohquery -ca)\n", *tlsCAOut)
+	}
+
 	frontend, err := client.Serve(*listen)
 	if err != nil {
 		_ = client.Close()
@@ -219,6 +256,12 @@ func run(args []string) error {
 	}
 	fmt.Printf("dohpoold: serving consensus-backed DNS (UDP+TCP) on %s via %d DoH resolvers\n",
 		frontend.Addr(), client.ResolverCount())
+	if addr := frontend.DoHAddr(); addr != "" {
+		fmt.Printf("dohpoold: serving DNS over HTTPS (RFC 8484) on https://%s/dns-query\n", addr)
+	}
+	if addr := frontend.DoTAddr(); addr != "" {
+		fmt.Printf("dohpoold: serving DNS over TLS (RFC 7858) on %s\n", addr)
+	}
 	if addr := client.AdminAddr(); addr != "" {
 		fmt.Printf("dohpoold: observability on http://%s (/metrics /healthz /poolz)\n", addr)
 	}

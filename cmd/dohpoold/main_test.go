@@ -71,6 +71,48 @@ func TestRunRejectsBadRefreshFlags(t *testing.T) {
 	}
 }
 
+func TestRunRejectsEncryptedListenersWithoutIdentity(t *testing.T) {
+	// -doh-addr / -dot-addr without -tls-cert/-tls-key or
+	// -tls-self-signed must fail at startup, not serve unauthenticated.
+	err := run([]string{"-resolver", "https://r.test/dns-query", "-admin", "",
+		"-doh-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "TLS") {
+		t.Fatalf("err = %v, want TLS identity requirement", err)
+	}
+	err = run([]string{"-resolver", "https://r.test/dns-query", "-admin", "",
+		"-dot-addr", "127.0.0.1:0", "-tls-cert", "/only/half/of/it.pem"})
+	if err == nil {
+		t.Fatal("-tls-cert without -tls-key accepted")
+	}
+}
+
+func TestRunRejectsConflictingTLSIdentitySources(t *testing.T) {
+	// -tls-self-signed alongside -tls-cert/-tls-key must be rejected:
+	// silently preferring one would serve a certificate the operator
+	// did not choose.
+	err := run([]string{"-resolver", "https://r.test/dns-query", "-admin", "",
+		"-doh-addr", "127.0.0.1:0", "-tls-self-signed",
+		"-tls-cert", "/some/cert.pem", "-tls-key", "/some/key.pem"})
+	if err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("err = %v, want identity-source conflict", err)
+	}
+}
+
+func TestRunRejectsTLSFlagsWithoutEncryptedListener(t *testing.T) {
+	// TLS identity flags without -doh-addr/-dot-addr would be silently
+	// ignored; the daemon must name the real missing input instead.
+	for _, args := range [][]string{
+		{"-tls-self-signed"},
+		{"-tls-ca-out", t.TempDir() + "/ca.pem"},
+		{"-tls-cert", "/some/cert.pem", "-tls-key", "/some/key.pem"},
+	} {
+		err := run(append([]string{"-resolver", "https://r.test/dns-query", "-admin", ""}, args...))
+		if err == nil || !strings.Contains(err.Error(), "-doh-addr or -dot-addr") {
+			t.Fatalf("args %v: err = %v, want encrypted-listener requirement", args, err)
+		}
+	}
+}
+
 func TestResolverListAccumulates(t *testing.T) {
 	var rl resolverList
 	for _, u := range []string{"u1", "u2", "u3"} {

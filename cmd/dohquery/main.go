@@ -8,6 +8,15 @@
 //	         -resolver https://cloudflare-dns.com/dns-query \
 //	         -resolver https://dns.quad9.net/dns-query \
 //	         pool.ntp.org
+//
+// With -doh or -dot it instead speaks the encrypted serving transports
+// of a running dohpoold directly — one RFC 8484 or RFC 7858 exchange
+// against the daemon, printing the pool answer it serves — so scripted
+// checks (the chaos smoke, the testbed) can exercise the full encrypted
+// stack end to end:
+//
+//	dohquery -ca ca.pem -doh https://127.0.0.1:8443/dns-query pool.ntppool.test
+//	dohquery -ca ca.pem -dot 127.0.0.1:8853 pool.ntppool.test
 package main
 
 import (
@@ -19,7 +28,10 @@ import (
 	"time"
 
 	"dohpool"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
 	"dohpool/internal/testpki"
+	"dohpool/internal/transport"
 )
 
 type resolverList []string
@@ -47,6 +59,8 @@ func run(args []string) error {
 		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "overall lookup timeout")
 		useGET   = fs.Bool("get", false, "use RFC 8484 GET instead of POST")
+		dohURL   = fs.String("doh", "", "query this DoH endpoint URL directly (single exchange against a serving daemon)")
+		dotAddr  = fs.String("dot", "", "query this DoT server host:port directly (single exchange against a serving daemon)")
 	)
 	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
 	fs.Var(&resolvers, "resolver", "DoH endpoint URL (repeatable)")
@@ -57,6 +71,23 @@ func run(args []string) error {
 		return fmt.Errorf("usage: dohquery [flags] <domain>")
 	}
 	domain := fs.Arg(0)
+	if *dohURL != "" || *dotAddr != "" {
+		if len(resolvers) > 0 {
+			// Direct mode is one exchange against a serving daemon; a
+			// -resolver list would be silently dropped, which reads like
+			// a consensus lookup that never happened.
+			return fmt.Errorf("direct mode (-doh/-dot) cannot be combined with -resolver; pick one")
+		}
+		return runDirect(directOptions{
+			dohURL:  *dohURL,
+			dotAddr: *dotAddr,
+			caFile:  *caFile,
+			domain:  domain,
+			ipv6:    *ipv6,
+			useGET:  *useGET,
+			timeout: *timeout,
+		})
+	}
 	if len(resolvers) == 0 {
 		return fmt.Errorf("at least one -resolver is required")
 	}
@@ -67,15 +98,11 @@ func run(args []string) error {
 		UseGET:       *useGET,
 	}
 	if *caFile != "" {
-		pemBytes, err := os.ReadFile(*caFile)
+		tlsCfg, err := caTLSConfig(*caFile)
 		if err != nil {
-			return fmt.Errorf("read -ca file: %w", err)
+			return err
 		}
-		pool, err := testpki.PoolFromPEM(pemBytes)
-		if err != nil {
-			return fmt.Errorf("parse -ca file: %w", err)
-		}
-		cfg.TLSConfig = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+		cfg.TLSConfig = tlsCfg
 	}
 	for i, url := range resolvers {
 		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{
@@ -115,6 +142,91 @@ func run(args []string) error {
 		fmt.Printf(";; majority-confirmed (%d):\n", len(pool.Majority))
 		for _, a := range pool.Majority {
 			fmt.Println(a)
+		}
+	}
+	return nil
+}
+
+// caTLSConfig builds a client TLS config trusting the -ca file's CAs.
+func caTLSConfig(caFile string) (*tls.Config, error) {
+	pemBytes, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("read -ca file: %w", err)
+	}
+	pool, err := testpki.PoolFromPEM(pemBytes)
+	if err != nil {
+		return nil, fmt.Errorf("parse -ca file: %w", err)
+	}
+	return &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}, nil
+}
+
+// directOptions parameterizes the -doh/-dot single-exchange mode.
+type directOptions struct {
+	dohURL  string
+	dotAddr string
+	caFile  string
+	domain  string
+	ipv6    bool
+	useGET  bool
+	timeout time.Duration
+}
+
+// runDirect speaks the daemon's encrypted serving transports: one DoH
+// and/or one DoT exchange, printing the served pool. It fails (non-zero
+// exit) on any transport error, a non-NOERROR response code or an empty
+// answer — exactly the checks scripted smoke tests need.
+func runDirect(opts directOptions) error {
+	tlsCfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if opts.caFile != "" {
+		var err error
+		if tlsCfg, err = caTLSConfig(opts.caFile); err != nil {
+			return err
+		}
+	}
+	typ := dnswire.TypeA
+	if opts.ipv6 {
+		typ = dnswire.TypeAAAA
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+
+	check := func(proto string, resp *dnswire.Message, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s exchange: %w", proto, err)
+		}
+		if resp.Header.RCode != dnswire.RCodeSuccess {
+			return fmt.Errorf("%s exchange: rcode %v", proto, resp.Header.RCode)
+		}
+		addrs := resp.AnswerAddrs()
+		if len(addrs) == 0 {
+			return fmt.Errorf("%s exchange: empty answer", proto)
+		}
+		fmt.Printf(";; %s %2d answers\n", proto, len(addrs))
+		for _, a := range addrs {
+			fmt.Println(a)
+		}
+		return nil
+	}
+
+	if opts.dohURL != "" {
+		clientOpts := []doh.ClientOption{doh.WithTLSConfig(tlsCfg)}
+		if opts.useGET {
+			clientOpts = append(clientOpts, doh.WithMethod(doh.MethodGET))
+		}
+		resp, err := doh.NewClient(clientOpts...).Query(ctx, opts.dohURL, opts.domain, typ)
+		if err := check("doh", resp, err); err != nil {
+			return err
+		}
+	}
+	if opts.dotAddr != "" {
+		query, err := dnswire.NewQuery(opts.domain, typ)
+		if err != nil {
+			return err
+		}
+		dot := &transport.DoT{TLSConfig: tlsCfg}
+		resp, err := dot.Exchange(ctx, query, opts.dotAddr)
+		if err := check("dot", resp, err); err != nil {
+			return err
 		}
 	}
 	return nil

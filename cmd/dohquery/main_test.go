@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dohpool"
 	"dohpool/internal/testbed"
 )
 
@@ -79,6 +80,67 @@ func TestRunAgainstTestbedWithCA(t *testing.T) {
 	args = append(args, tb.Domain())
 	if err := run(args); err != nil {
 		t.Fatalf("dohquery against testbed: %v", err)
+	}
+}
+
+// TestRunDirectAgainstServingDaemon drives the -doh and -dot modes
+// against an in-process daemon serving the encrypted transports — the
+// exact path the chaos smoke scripts.
+func TestRunDirectAgainstServingDaemon(t *testing.T) {
+	tb, err := testbed.Start(testbed.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tb.Close() })
+
+	cfg := dohpool.Config{
+		TLSConfig:     tb.CA.ClientTLS(),
+		DoHAddr:       "127.0.0.1:0",
+		DoTAddr:       "127.0.0.1:0",
+		TLSSelfSigned: true,
+	}
+	for _, ep := range tb.Endpoints {
+		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})
+	}
+	client, err := dohpool.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	fe, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+
+	caPath := filepath.Join(t.TempDir(), "serving-ca.pem")
+	if err := os.WriteFile(caPath, client.ServingCAPEM(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// One invocation exercising both encrypted transports, plus the GET
+	// method over DoH.
+	args := []string{"-ca", caPath,
+		"-doh", "https://" + fe.DoHAddr() + "/dns-query",
+		"-dot", fe.DoTAddr(),
+		tb.Domain()}
+	if err := run(args); err != nil {
+		t.Fatalf("dohquery direct mode: %v", err)
+	}
+	if err := run(append([]string{"-get"}, args...)); err != nil {
+		t.Fatalf("dohquery direct GET mode: %v", err)
+	}
+
+	// Without the serving CA the handshake must fail.
+	if err := run([]string{"-dot", fe.DoTAddr(), "-timeout", "2s", tb.Domain()}); err == nil {
+		t.Fatal("dohquery trusted an unknown serving certificate")
+	}
+
+	// Mixing direct mode with a -resolver list must be rejected, not
+	// silently resolved one way.
+	err = run([]string{"-resolver", tb.Endpoints[0].URL, "-dot", fe.DoTAddr(), tb.Domain()})
+	if err == nil || !strings.Contains(err.Error(), "direct mode") {
+		t.Fatalf("err = %v, want direct-mode/-resolver conflict", err)
 	}
 }
 

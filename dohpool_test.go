@@ -3,11 +3,14 @@ package dohpool
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/netip"
+	"slices"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -15,7 +18,9 @@ import (
 
 	"dohpool/internal/attack"
 	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
 	"dohpool/internal/testbed"
+	"dohpool/internal/testpki"
 	"dohpool/internal/transport"
 )
 
@@ -496,6 +501,121 @@ func TestAdminServerEndToEnd(t *testing.T) {
 	}
 	if _, err := (&http.Client{Timeout: time.Second}).Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("admin server still answering after Close")
+	}
+}
+
+// TestEncryptedServingEndToEnd is the tentpole acceptance test: a
+// chaos-attacked engine (resolver 0 forging every exchange) serves the
+// same consensus pool over all four transports — plain UDP, plain TCP,
+// RFC 7858 DoT and RFC 8484 DoH — out of one warm cache. Every
+// transport must return the identical pool, the encrypted listeners
+// must pay no second generation for a domain already cached via UDP,
+// and the admin endpoints must report the listener state.
+func TestEncryptedServingEndToEnd(t *testing.T) {
+	tb, client := startTB(t, testbed.Config{}, Config{
+		ChaosPayload:   "replace",
+		ChaosResolvers: []int{0},
+		ChaosProb:      1,
+		DoHAddr:        "127.0.0.1:0",
+		DoTAddr:        "127.0.0.1:0",
+		TLSSelfSigned:  true,
+		AdminAddr:      "127.0.0.1:0",
+	})
+	t.Cleanup(func() { _ = client.Close() })
+
+	fe, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+	if fe.DoHAddr() == "" || fe.DoTAddr() == "" {
+		t.Fatalf("encrypted listeners missing: doh=%q dot=%q", fe.DoHAddr(), fe.DoTAddr())
+	}
+
+	// Clients trust the daemon's self-signed serving CA — a different
+	// trust root than the testbed's resolver CA, exactly like a real
+	// deployment.
+	caPEM := client.ServingCAPEM()
+	if caPEM == nil {
+		t.Fatal("ServingCAPEM nil in self-signed mode")
+	}
+	roots, err := testpki.PoolFromPEM(caPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveTLS := &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12}
+
+	ctx := testCtx(t)
+	answers := func(resp *dnswire.Message, err error) []string {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.RCode != dnswire.RCodeSuccess {
+			t.Fatalf("rcode = %v", resp.Header.RCode)
+		}
+		var out []string
+		for _, a := range resp.AnswerAddrs() {
+			out = append(out, a.String())
+		}
+		sort.Strings(out)
+		if len(out) == 0 {
+			t.Fatal("empty answer")
+		}
+		return out
+	}
+	newQuery := func() *dnswire.Message {
+		t.Helper()
+		q, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	// UDP warms the cache; every other transport must be a cache hit.
+	got := map[string][]string{}
+	got["udp"] = answers((&transport.UDP{}).Exchange(ctx, newQuery(), fe.Addr()))
+	got["tcp"] = answers((&transport.TCP{}).Exchange(ctx, newQuery(), fe.Addr()))
+	got["dot"] = answers((&transport.DoT{TLSConfig: serveTLS}).Exchange(ctx, newQuery(), fe.DoTAddr()))
+	dohClient := doh.NewClient(doh.WithTLSConfig(serveTLS))
+	got["doh"] = answers(dohClient.Query(ctx, "https://"+fe.DoHAddr()+doh.DefaultPath, tb.Domain(), dnswire.TypeA))
+
+	for proto, addrs := range got {
+		if !slices.Equal(addrs, got["udp"]) {
+			t.Errorf("%s answers %v differ from udp answers %v", proto, addrs, got["udp"])
+		}
+	}
+
+	// One generation total: the three encrypted/stream exchanges were
+	// answered from the pool cached by the UDP query.
+	cs := client.CacheStats()
+	if cs.Misses != 1 || cs.Hits != 3 {
+		t.Errorf("cache stats = %+v, want 1 miss (udp) and 3 hits (tcp/dot/doh)", cs)
+	}
+
+	// The admin surface reports the four listeners on /healthz and
+	// /poolz.
+	for _, path := range []string{"/healthz", "/poolz"} {
+		resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + client.AdminAddr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for proto, addr := range map[string]string{
+			"udp": fe.Addr(), "tcp": fe.Addr(), "dot": fe.DoTAddr(), "doh": fe.DoHAddr(),
+		} {
+			if !strings.Contains(string(body), `"proto": "`+proto+`"`) {
+				t.Errorf("%s missing %s listener: %s", path, proto, body)
+			}
+			if !strings.Contains(string(body), addr) {
+				t.Errorf("%s missing address %s: %s", path, addr, body)
+			}
+		}
 	}
 }
 

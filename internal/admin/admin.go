@@ -48,6 +48,11 @@ type Config struct {
 	Registry *metrics.Registry
 	// Engine backs /healthz and /poolz. Nil reports ready and no pools.
 	Engine Engine
+	// Listeners, when non-nil, reports the serving frontend's live
+	// listener state (udp/tcp/dot/doh, addresses, encrypted or not) for
+	// /healthz and /poolz. It is a callback because the frontend
+	// typically starts after the admin server.
+	Listeners func() []core.ListenerInfo
 }
 
 // Server is a running admin HTTP server. Create with Start, stop with
@@ -91,10 +96,10 @@ func Handler(cfg Config) http.Handler {
 		_ = cfg.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeHealth(w, cfg.Engine)
+		writeHealth(w, cfg.Engine, listenerState(cfg))
 	})
 	mux.HandleFunc("GET /poolz", func(w http.ResponseWriter, r *http.Request) {
-		writePools(w, cfg.Engine)
+		writePools(w, cfg.Engine, listenerState(cfg))
 	})
 	mux.HandleFunc("GET /trustz", func(w http.ResponseWriter, r *http.Request) {
 		writeTrust(w, cfg.Engine)
@@ -102,10 +107,23 @@ func Handler(cfg Config) http.Handler {
 	return mux
 }
 
+// listenerState snapshots the frontend's listeners ([] when no
+// frontend is serving yet, so the JSON field is always present).
+func listenerState(cfg Config) []core.ListenerInfo {
+	out := []core.ListenerInfo{}
+	if cfg.Listeners != nil {
+		out = append(out, cfg.Listeners()...)
+	}
+	return out
+}
+
 // healthResponse is the /healthz JSON body.
 type healthResponse struct {
-	Status    string           `json:"status"` // "ok" | "unavailable"
-	Resolvers []resolverHealth `json:"resolvers"`
+	Status string `json:"status"` // "ok" | "unavailable"
+	// Listeners is the serving frontend's live listener state — which
+	// transports (udp/tcp/dot/doh) are answering, and where.
+	Listeners []core.ListenerInfo `json:"listeners"`
+	Resolvers []resolverHealth    `json:"resolvers"`
 }
 
 type resolverHealth struct {
@@ -119,8 +137,8 @@ type resolverHealth struct {
 	CircuitOpen         bool    `json:"circuit_open"`
 }
 
-func writeHealth(w http.ResponseWriter, eng Engine) {
-	resp := healthResponse{Status: "ok"}
+func writeHealth(w http.ResponseWriter, eng Engine, listeners []core.ListenerInfo) {
+	resp := healthResponse{Status: "ok", Listeners: listeners}
 	if eng != nil {
 		for _, h := range eng.Health() {
 			resp.Resolvers = append(resp.Resolvers, resolverHealth{
@@ -147,7 +165,10 @@ func writeHealth(w http.ResponseWriter, eng Engine) {
 
 // poolsResponse is the /poolz JSON body.
 type poolsResponse struct {
-	Pools []cachedPool `json:"pools"`
+	// Listeners names the transports the cached pools are being served
+	// over.
+	Listeners []core.ListenerInfo `json:"listeners"`
+	Pools     []cachedPool        `json:"pools"`
 }
 
 type cachedPool struct {
@@ -172,8 +193,8 @@ type cachedPool struct {
 	LastRefresh string `json:"last_refresh"`
 }
 
-func writePools(w http.ResponseWriter, eng Engine) {
-	resp := poolsResponse{Pools: []cachedPool{}}
+func writePools(w http.ResponseWriter, eng Engine, listeners []core.ListenerInfo) {
+	resp := poolsResponse{Listeners: listeners, Pools: []cachedPool{}}
 	if eng != nil {
 		for _, p := range eng.CachedPools() {
 			cp := cachedPool{

@@ -289,6 +289,41 @@ func TestMetricsExposeRefreshAndShardFamilies(t *testing.T) {
 	}
 }
 
+// TestListenerStateOnHealthzAndPoolz checks both endpoints surface the
+// serving frontend's live listener set (and an empty array, not null,
+// before any frontend serves).
+func TestListenerStateOnHealthzAndPoolz(t *testing.T) {
+	bare := serverUnderTest(t, Config{})
+	for _, path := range []string{"/healthz", "/poolz"} {
+		_, body := get(t, "http://"+bare.Addr()+path)
+		if !strings.Contains(body, `"listeners": []`) {
+			t.Errorf("%s without a frontend = %s, want empty listeners array", path, body)
+		}
+	}
+
+	listeners := []core.ListenerInfo{
+		{Proto: "udp", Addr: "127.0.0.1:5353"},
+		{Proto: "tcp", Addr: "127.0.0.1:5353"},
+		{Proto: "dot", Addr: "127.0.0.1:8853", Encrypted: true},
+		{Proto: "doh", Addr: "127.0.0.1:8443", Encrypted: true},
+	}
+	srv := serverUnderTest(t, Config{Listeners: func() []core.ListenerInfo { return listeners }})
+	for _, path := range []string{"/healthz", "/poolz"} {
+		code, body := get(t, "http://"+srv.Addr()+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, code)
+		}
+		for _, l := range listeners {
+			if !strings.Contains(body, `"proto": "`+l.Proto+`"`) || !strings.Contains(body, l.Addr) {
+				t.Errorf("%s missing %s listener %s: %s", path, l.Proto, l.Addr, body)
+			}
+		}
+		if !strings.Contains(body, `"encrypted": true`) {
+			t.Errorf("%s missing encrypted flag: %s", path, body)
+		}
+	}
+}
+
 func TestUnknownPathIs404(t *testing.T) {
 	srv := serverUnderTest(t, Config{})
 	code, _ := get(t, "http://"+srv.Addr()+"/nope")

@@ -2,14 +2,19 @@ package core
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
+	"io"
+	"log"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
 	"dohpool/internal/metrics"
 	"dohpool/internal/transport"
 )
@@ -56,6 +61,19 @@ type FrontendConfig struct {
 	// TCPIdleTimeout closes idle TCP connections (default
 	// DefaultTCPIdleTimeout).
 	TCPIdleTimeout time.Duration
+	// DoTAddr, when non-empty, additionally serves DNS over TLS
+	// (RFC 7858) on this address ("127.0.0.1:0" for ephemeral). The DoT
+	// listener is the plain RFC 7766 TCP loop behind a TLS handshake, so
+	// MaxTCPConns and TCPIdleTimeout apply to it unchanged. Requires
+	// TLSConfig.
+	DoTAddr string
+	// DoHAddr, when non-empty, additionally serves DNS over HTTPS
+	// (RFC 8484, HTTP/2 via TLS ALPN) on this address at
+	// doh.DefaultPath. Requires TLSConfig.
+	DoHAddr string
+	// TLSConfig carries the server identity presented by the DoT and
+	// DoH listeners; required when either encrypted address is set.
+	TLSConfig *tls.Config
 	// Metrics, when non-nil, receives the frontend's instruments (queries
 	// per transport, response codes, in-flight queries, TCP connections,
 	// shed datagrams).
@@ -91,12 +109,22 @@ func (c *FrontendConfig) setDefaults() {
 // by a bounded worker pool and TCP by a bounded connection pool, so a
 // query flood degrades by shedding load instead of by unbounded goroutine
 // growth.
+//
+// With FrontendConfig.DoTAddr / DoHAddr set, the same backend
+// additionally serves DNS over TLS (RFC 7858) and DNS over HTTPS
+// (RFC 8484) — closing the gap where consensus-validated pools were
+// re-exposed to off-path spoofing on the serving hop. All listeners
+// answer from the same engine cache: a domain warmed over any transport
+// is a cache hit on every other.
 type Frontend struct {
 	backend Backend
 	cfg     FrontendConfig
 	inst    frontendInstruments
 	conn    *net.UDPConn
 	tcpLn   net.Listener
+	dotLn   net.Listener // nil unless DoTAddr was set
+	dohLn   net.Listener // nil unless DoHAddr was set
+	dohSrv  *http.Server // nil unless DoHAddr was set
 
 	packets chan udpPacket
 
@@ -126,6 +154,9 @@ func NewFrontend(addr string, backend Backend, timeout time.Duration) (*Frontend
 // NewFrontendWithConfig starts the frontend on addr with explicit tuning.
 func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*Frontend, error) {
 	cfg.setDefaults()
+	if (cfg.DoTAddr != "" || cfg.DoHAddr != "") && cfg.TLSConfig == nil {
+		return nil, errors.New("frontend: DoTAddr/DoHAddr require a TLSConfig server identity")
+	}
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -137,19 +168,150 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 	f := &Frontend{
 		backend:  backend,
 		cfg:      cfg,
-		inst:     newFrontendInstruments(cfg.Metrics),
+		inst:     newFrontendInstruments(cfg.Metrics, cfg.DoTAddr != "", cfg.DoHAddr != ""),
 		conn:     conn,
 		tcpLn:    tcpLn,
 		packets:  make(chan udpPacket, cfg.UDPQueue),
 		tcpConns: make(map[net.Conn]struct{}),
+	}
+	if cfg.DoTAddr != "" {
+		// RFC 7858 is the RFC 7766 message stream behind a TLS
+		// handshake: wrap the listener and reuse the TCP serving loop
+		// (same MaxTCPConns bound, same idle timeout) unchanged. No ALPN
+		// list — DoT predates mandatory ALPN, and a server that insists
+		// on "dot" rejects stubs that offer nothing (or h2-configured
+		// test clients); with none configured every offer is accepted.
+		inner, err := net.Listen("tcp", cfg.DoTAddr)
+		if err != nil {
+			f.closeListeners()
+			return nil, err
+		}
+		f.dotLn = tls.NewListener(inner, tlsWithALPN(cfg.TLSConfig))
+	}
+	if cfg.DoHAddr != "" {
+		ln, err := net.Listen("tcp", cfg.DoHAddr)
+		if err != nil {
+			f.closeListeners()
+			return nil, err
+		}
+		// The DoH listener gets the same MaxTCPConns budget the other
+		// stream listeners enforce via serveStream's semaphore —
+		// http.Server spawns a goroutine per accepted conn, so an
+		// unbounded Accept would reopen exactly the unbounded-growth
+		// failure mode the frontend exists to prevent.
+		f.dohLn = newLimitListener(ln, f.cfg.MaxTCPConns)
+		mux := http.NewServeMux()
+		mux.Handle(doh.DefaultPath, doh.NewHandler(frontendResponder{f}))
+		f.dohSrv = &http.Server{
+			Handler:           mux,
+			TLSConfig:         tlsWithALPN(cfg.TLSConfig, "h2", "http/1.1"),
+			ReadHeaderTimeout: 5 * time.Second,
+			// Idle keep-alive conns must not pin their limit-listener
+			// slot forever — same idle semantics as the TCP/DoT loops.
+			IdleTimeout: cfg.TCPIdleTimeout,
+			// TLS probes and handshake failures are expected noise on an
+			// exposed listener; keep them out of the process log.
+			ErrorLog: log.New(io.Discard, "", 0),
+			ConnState: func(_ net.Conn, state http.ConnState) {
+				switch state {
+				case http.StateNew:
+					f.inst.doh.conns.Inc()
+				case http.StateClosed, http.StateHijacked:
+					f.inst.doh.conns.Dec()
+				}
+			},
+		}
 	}
 	f.wg.Add(2 + cfg.UDPWorkers)
 	go f.readUDP()
 	for i := 0; i < cfg.UDPWorkers; i++ {
 		go f.udpWorker()
 	}
-	go f.serveTCP()
+	go f.serveStream(f.tcpLn, &f.inst.tcp)
+	if f.dotLn != nil {
+		f.wg.Add(1)
+		go f.serveStream(f.dotLn, &f.inst.dot)
+	}
+	if f.dohSrv != nil {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			_ = f.dohSrv.ServeTLS(f.dohLn, "", "")
+		}()
+	}
 	return f, nil
+}
+
+// tlsWithALPN clones cfg with the given ALPN protocol list (cfg itself
+// is shared between the DoT and DoH listeners, which advertise
+// different protocols; no arguments means accept any offer).
+func tlsWithALPN(cfg *tls.Config, protos ...string) *tls.Config {
+	out := cfg.Clone()
+	out.NextProtos = protos
+	return out
+}
+
+// closeListeners releases whatever listeners a partially constructed
+// frontend has bound (startup error paths only).
+func (f *Frontend) closeListeners() {
+	f.conn.Close()
+	f.tcpLn.Close()
+	if f.dotLn != nil {
+		f.dotLn.Close()
+	}
+	if f.dohLn != nil {
+		f.dohLn.Close()
+	}
+}
+
+// limitListener bounds concurrently accepted connections: Accept blocks
+// while the budget is exhausted (backpressure in the kernel's accept
+// queue, same as serveStream's semaphore) and a slot is released when
+// the accepted connection closes.
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func newLimitListener(ln net.Listener, n int) *limitListener {
+	return &limitListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+// Accept implements net.Listener.
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: conn, release: func() { <-l.sem }}, nil
+}
+
+// limitConn releases its listener slot exactly once on first Close.
+type limitConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+// Close implements net.Conn.
+func (c *limitConn) Close() error {
+	c.once.Do(c.release)
+	return c.Conn.Close()
+}
+
+// frontendResponder adapts the frontend's backend-answering path to
+// doh.QueryResponder, so the DoH listener reuses the exact RFC 8484
+// handler (media types, padding, Cache-Control from the pool TTL) that
+// the upstream resolvers are queried with.
+type frontendResponder struct{ f *Frontend }
+
+// Respond implements doh.QueryResponder. The request context rides
+// along so an abandoned HTTP request stops driving the backend and
+// Close's drain can cancel in-flight handlers with their connections.
+func (r frontendResponder) Respond(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	return r.f.respond(ctx, query, &r.f.inst.doh), nil
 }
 
 // listenSamePort binds UDP and TCP to one port number. With an ephemeral
@@ -177,8 +339,53 @@ func listenSamePort(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
 	return nil, nil, lastErr
 }
 
-// Addr returns the frontend's host:port.
+// Addr returns the frontend's plain-DNS host:port (UDP and TCP).
 func (f *Frontend) Addr() string { return f.conn.LocalAddr().String() }
+
+// DoTAddr returns the DoT listener's host:port, or "" when DoT serving
+// is disabled.
+func (f *Frontend) DoTAddr() string {
+	if f.dotLn == nil {
+		return ""
+	}
+	return f.dotLn.Addr().String()
+}
+
+// DoHAddr returns the DoH listener's host:port, or "" when DoH serving
+// is disabled.
+func (f *Frontend) DoHAddr() string {
+	if f.dohLn == nil {
+		return ""
+	}
+	return f.dohLn.Addr().String()
+}
+
+// ListenerInfo describes one live serving listener for introspection
+// (the admin server's /healthz and /poolz endpoints).
+type ListenerInfo struct {
+	// Proto is the transport label: "udp", "tcp", "dot" or "doh".
+	Proto string `json:"proto"`
+	// Addr is the listener's host:port.
+	Addr string `json:"addr"`
+	// Encrypted reports whether the transport authenticates the channel
+	// (the paper's requirement for every hop).
+	Encrypted bool `json:"encrypted"`
+}
+
+// Listeners reports every transport the frontend is currently serving.
+func (f *Frontend) Listeners() []ListenerInfo {
+	out := []ListenerInfo{
+		{Proto: ProtoUDP, Addr: f.Addr()},
+		{Proto: ProtoTCP, Addr: f.tcpLn.Addr().String()},
+	}
+	if f.dotLn != nil {
+		out = append(out, ListenerInfo{Proto: ProtoDoT, Addr: f.DoTAddr(), Encrypted: true})
+	}
+	if f.dohLn != nil {
+		out = append(out, ListenerInfo{Proto: ProtoDoH, Addr: f.DoHAddr(), Encrypted: true})
+	}
+	return out
+}
 
 // Served returns the number of queries answered.
 func (f *Frontend) Served() uint64 { return f.served.Load() }
@@ -197,6 +404,20 @@ func (f *Frontend) Close() error {
 	}
 	f.conn.Close()
 	f.tcpLn.Close()
+	if f.dotLn != nil {
+		f.dotLn.Close()
+	}
+	if f.dohSrv != nil {
+		// Shutdown drains in-flight DoH handlers (closing idle conns
+		// immediately), matching the wg.Wait drain the TCP/DoT conns
+		// get below; the deadline bounds it by the same per-query
+		// timeout a handler can spend in the backend, with Close as the
+		// backstop for peers that hold streams open past it.
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
+		_ = f.dohSrv.Shutdown(ctx)
+		cancel()
+		_ = f.dohSrv.Close()
+	}
 	f.tcpMu.Lock()
 	for c := range f.tcpConns {
 		c.Close()
@@ -239,15 +460,21 @@ func (f *Frontend) udpWorker() {
 	}
 }
 
-func (f *Frontend) serveTCP() {
+// serveStream is the RFC 7766 accept loop, shared by the plain TCP and
+// the DoT listener (whose conns arrive TLS-wrapped but speak the same
+// length-prefixed message stream). inst is the listener's per-protocol
+// instrument set.
+func (f *Frontend) serveStream(ln net.Listener, inst *protoInstruments) {
 	defer f.wg.Done()
 	// sem bounds concurrently served connections; acquiring before Accept
 	// applies backpressure in the kernel's accept queue instead of holding
-	// accepted-but-unserved sockets.
+	// accepted-but-unserved sockets. Each stream listener gets its own
+	// MaxTCPConns budget, so a flood on one transport cannot starve the
+	// other.
 	sem := make(chan struct{}, f.cfg.MaxTCPConns)
 	for {
 		sem <- struct{}{}
-		conn, err := f.tcpLn.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			<-sem
 			if f.closed.Load() {
@@ -255,13 +482,13 @@ func (f *Frontend) serveTCP() {
 			}
 			continue
 		}
-		f.trackTCP(conn, true)
+		f.trackStream(conn, inst, true)
 		// Re-check after tracking: Close may have swept tcpConns between
-		// Accept and trackTCP, in which case this conn escaped the sweep
-		// and must be closed here.
+		// Accept and trackStream, in which case this conn escaped the
+		// sweep and must be closed here.
 		if f.closed.Load() {
 			conn.Close()
-			f.trackTCP(conn, false)
+			f.trackStream(conn, inst, false)
 			<-sem
 			return
 		}
@@ -269,34 +496,37 @@ func (f *Frontend) serveTCP() {
 		go func() {
 			defer f.wg.Done()
 			defer func() { <-sem }()
-			defer f.trackTCP(conn, false)
+			defer f.trackStream(conn, inst, false)
 			defer conn.Close()
-			f.serveTCPConn(conn)
+			f.serveStreamConn(conn, inst)
 		}()
 	}
 }
 
-func (f *Frontend) trackTCP(conn net.Conn, add bool) {
+func (f *Frontend) trackStream(conn net.Conn, inst *protoInstruments, add bool) {
 	f.tcpMu.Lock()
 	defer f.tcpMu.Unlock()
 	if add {
 		f.tcpConns[conn] = struct{}{}
-	} else {
+		inst.conns.Inc()
+	} else if _, ok := f.tcpConns[conn]; ok {
 		delete(f.tcpConns, conn)
+		inst.conns.Dec()
 	}
-	f.inst.tcpConns.Set(float64(len(f.tcpConns)))
 }
 
-// serveTCPConn answers queries on one RFC 7766 persistent connection
-// until the peer disconnects or goes idle.
-func (f *Frontend) serveTCPConn(conn net.Conn) {
+// serveStreamConn answers queries on one RFC 7766 persistent connection
+// (plain TCP or DoT) until the peer disconnects or goes idle. On a DoT
+// connection the first read also drives the TLS handshake, so the idle
+// deadline bounds handshake time too.
+func (f *Frontend) serveStreamConn(conn net.Conn, inst *protoInstruments) {
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(f.cfg.TCPIdleTimeout))
 		query, err := transport.ReadTCPMessage(conn)
 		if err != nil {
 			return
 		}
-		resp := f.respond(query, f.inst.tcpQueries)
+		resp := f.respond(context.Background(), query, inst)
 		if err := transport.WriteTCPMessage(conn, resp); err != nil {
 			return
 		}
@@ -308,7 +538,7 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 	if err != nil {
 		return // drop undecodable datagrams
 	}
-	resp := f.respond(query, f.inst.udpQueries)
+	resp := f.respond(context.Background(), query, &f.inst.udp)
 
 	// Honour the client's advertised UDP payload size; flag truncation so
 	// the stub retries over TCP (RFC 1035 §4.2.1 behaviour).
@@ -334,12 +564,14 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 }
 
 // respond builds the DNS answer for one query from the consensus
-// backend; queries is the per-transport counter of the path that
-// received it.
-func (f *Frontend) respond(query *dnswire.Message, queries *metrics.Counter) *dnswire.Message {
-	queries.Inc()
-	f.inst.inflight.Inc()
-	defer f.inst.inflight.Dec()
+// backend; inst is the per-transport instrument set of the path that
+// received it, and parent bounds the lookup alongside cfg.Timeout
+// (the DoH path passes its request context; the datagram/stream paths
+// have no per-query context and pass Background).
+func (f *Frontend) respond(parent context.Context, query *dnswire.Message, inst *protoInstruments) *dnswire.Message {
+	inst.queries.Inc()
+	inst.inflight.Inc()
+	defer inst.inflight.Dec()
 	if query.Header.Response || query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
 		f.failures.Add(1)
 		return f.errorResponse(query, dnswire.RCodeFormErr)
@@ -352,7 +584,7 @@ func (f *Frontend) respond(query *dnswire.Message, queries *metrics.Counter) *dn
 		return f.errorResponse(query, dnswire.RCodeNotImp)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(parent, f.cfg.Timeout)
 	defer cancel()
 	pool, err := f.backend.Lookup(ctx, q.Name, q.Type)
 	if err != nil {

@@ -43,6 +43,15 @@ const (
 	MetricFrontendDropped     = "dohpool_frontend_dropped_total"
 )
 
+// Frontend transport labels: the values of the `proto` label on the
+// frontend's query counters, in-flight gauges and connection gauges.
+const (
+	ProtoUDP = "udp"
+	ProtoTCP = "tcp"
+	ProtoDoT = "dot"
+	ProtoDoH = "doh"
+)
+
 // engineInstruments holds the engine's pre-resolved instruments. The zero
 // value (no registry) is fully usable: every method on a nil instrument
 // no-ops.
@@ -235,34 +244,50 @@ func (hi *healthInstruments) observe(url string, ewma time.Duration, err error, 
 	}
 }
 
-// frontendInstruments holds the DNS frontend's instruments. The zero
-// value no-ops.
-type frontendInstruments struct {
-	udpQueries *metrics.Counter
-	tcpQueries *metrics.Counter
-	rcodes     *metrics.CounterVec
-	// rcodeOf pre-resolves the response codes the frontend emits so the
-	// per-response path is one map read plus an atomic add.
-	rcodeOf  map[dnswire.RCode]*metrics.Counter
+// protoInstruments is one serving transport's instrument set: query
+// counter, in-flight gauge and — for the stream transports — the
+// connection gauge. Nil members no-op, so the zero value is usable.
+type protoInstruments struct {
+	queries  *metrics.Counter
 	inflight *metrics.Gauge
-	tcpConns *metrics.Gauge
-	dropped  *metrics.Counter
+	conns    *metrics.Gauge
 }
 
-func newFrontendInstruments(reg *metrics.Registry) frontendInstruments {
+// frontendInstruments holds the DNS frontend's instruments, one series
+// set per serving transport. The zero value no-ops.
+type frontendInstruments struct {
+	udp, tcp, dot, doh protoInstruments
+	rcodes             *metrics.CounterVec
+	// rcodeOf pre-resolves the response codes the frontend emits so the
+	// per-response path is one map read plus an atomic add.
+	rcodeOf map[dnswire.RCode]*metrics.Counter
+	dropped *metrics.Counter
+}
+
+// newFrontendInstruments pre-resolves the per-transport series. The
+// plaintext udp/tcp pair always serves; dot/doh series are registered
+// only when the corresponding encrypted listener is configured, so a
+// plaintext-only frontend's exposition stays free of dead series.
+func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstruments {
 	queries := reg.CounterVec(MetricFrontendQueries,
-		"DNS queries received by the frontend, per transport.", "proto")
+		"DNS queries received by the frontend, per transport (udp, tcp, dot, doh).", "proto")
+	inflight := reg.GaugeVec(MetricFrontendInflight,
+		"Queries currently being answered, per transport.", "proto")
+	conns := reg.GaugeVec(MetricFrontendTCPConns,
+		"Currently tracked TCP connections, per transport carried on them (tcp, dot, doh).", "proto")
 	inst := frontendInstruments{
-		udpQueries: queries.With("udp"),
-		tcpQueries: queries.With("tcp"),
+		udp: protoInstruments{queries: queries.With(ProtoUDP), inflight: inflight.With(ProtoUDP)},
+		tcp: protoInstruments{queries: queries.With(ProtoTCP), inflight: inflight.With(ProtoTCP), conns: conns.With(ProtoTCP)},
 		rcodes: reg.CounterVec(MetricFrontendResponses,
 			"DNS responses sent by the frontend, per response code.", "rcode"),
-		inflight: reg.Gauge(MetricFrontendInflight,
-			"Queries currently being answered (UDP workers plus TCP handlers)."),
-		tcpConns: reg.Gauge(MetricFrontendTCPConns,
-			"Currently tracked TCP connections."),
 		dropped: reg.Counter(MetricFrontendDropped,
 			"UDP datagrams shed because the worker queue was full."),
+	}
+	if dot {
+		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT)}
+	}
+	if doh {
+		inst.doh = protoInstruments{queries: queries.With(ProtoDoH), inflight: inflight.With(ProtoDoH), conns: conns.With(ProtoDoH)}
 	}
 	if reg != nil {
 		inst.rcodeOf = make(map[dnswire.RCode]*metrics.Counter)

@@ -203,9 +203,17 @@ func TestFrontendMetrics(t *testing.T) {
 		MetricFrontendQueries+`{proto="tcp"} 1`,
 		MetricFrontendResponses+`{rcode="NOERROR"} 2`,
 		MetricFrontendResponses+`{rcode="NOTIMP"} 1`,
-		MetricFrontendInflight+" 0",
+		MetricFrontendInflight+`{proto="udp"} 0`,
+		MetricFrontendInflight+`{proto="tcp"} 0`,
 		MetricFrontendDropped+" 0",
 	)
+	// Without encrypted listeners configured, no dot/doh series may
+	// appear in the exposition.
+	for _, proto := range []string{ProtoDoT, ProtoDoH} {
+		if strings.Contains(out, `{proto="`+proto+`"}`) {
+			t.Errorf("plaintext-only frontend exposes %s series:\n%s", proto, out)
+		}
+	}
 }
 
 func TestEngineCachedPoolsSnapshot(t *testing.T) {

@@ -111,7 +111,16 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, url strin
 			query = padded
 		}
 	}
-	wire, err := query.Encode()
+	wireQuery := query
+	if c.method == MethodGET && query.Header.ID != 0 {
+		// RFC 8484 §4.1: GET queries use DNS ID 0 on the wire so the
+		// same question always produces the same URL — a random ID makes
+		// every request a unique cache key and the server's
+		// Cache-Control header can never yield an HTTP cache hit.
+		wireQuery = query.Copy()
+		wireQuery.Header.ID = 0
+	}
+	wire, err := wireQuery.Encode()
 	if err != nil {
 		return nil, fmt.Errorf("encode query: %w", err)
 	}
@@ -140,7 +149,7 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, url strin
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%s: status %d: %w", url, httpResp.StatusCode, ErrHTTPStatus)
 	}
-	if ct := httpResp.Header.Get("Content-Type"); ct != MediaType {
+	if ct := httpResp.Header.Get("Content-Type"); !isDNSMediaType(ct) {
 		return nil, fmt.Errorf("%s: content-type %q: %w", url, ct, ErrBadContentType)
 	}
 	body, err := io.ReadAll(io.LimitReader(httpResp.Body, dnswire.MaxMessageSize+1))
@@ -154,7 +163,13 @@ func (c *Client) Exchange(ctx context.Context, query *dnswire.Message, url strin
 	if err != nil {
 		return nil, fmt.Errorf("decode doh response: %w", err)
 	}
-	if err := transport.Validate(query, resp); err != nil {
+	// GET exchanges went out with ID 0 on the wire, so the echo comes
+	// back as ID 0 — ValidateGET accepts it against the caller's query.
+	validate := transport.Validate
+	if c.method == MethodGET {
+		validate = transport.ValidateGET
+	}
+	if err := validate(query, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil

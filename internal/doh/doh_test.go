@@ -2,8 +2,11 @@ package doh
 
 import (
 	"context"
+	"encoding/base64"
 	"errors"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"strings"
 	"testing"
@@ -207,6 +210,195 @@ func TestCacheControlReflectsTTL(t *testing.T) {
 	defer resp.Body.Close()
 	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=60" {
 		t.Fatalf("Cache-Control = %q, want max-age=60", cc)
+	}
+}
+
+// TestServerMediaTypeTolerance checks the POST Content-Type gate parses
+// the media type per RFC 9110 instead of comparing bytes: parameters and
+// case variants of application/dns-message are valid, other types are
+// not.
+func TestServerMediaTypeTolerance(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.85"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	query, err := dnswire.NewQuery("mt.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		contentType string
+		wantStatus  int
+	}{
+		{"exact", "application/dns-message", http.StatusOK},
+		{"with charset parameter", "application/dns-message; charset=utf-8", http.StatusOK},
+		{"mixed case", "Application/DNS-Message", http.StatusOK},
+		{"upper case with parameter", "APPLICATION/DNS-MESSAGE; q=1", http.StatusOK},
+		{"wrong type", "text/plain", http.StatusUnsupportedMediaType},
+		{"prefix but different type", "application/dns-message-x", http.StatusUnsupportedMediaType},
+		{"empty", "", http.StatusUnsupportedMediaType},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodPost, srv.URL(), strings.NewReader(string(wire)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt.contentType != "" {
+				req.Header.Set("Content-Type", tt.contentType)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+		})
+	}
+}
+
+// TestClientMediaTypeTolerance checks the client accepts response
+// Content-Type values with parameters and case variants — real DoH
+// deployments send them — while still rejecting non-DNS types.
+func TestClientMediaTypeTolerance(t *testing.T) {
+	cases := []struct {
+		name        string
+		contentType string
+		wantErr     bool
+	}{
+		{"with charset parameter", "application/dns-message; charset=utf-8", false},
+		{"mixed case", "Application/DNS-Message", false},
+		{"wrong type", "text/html", true},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			// A hand-rolled endpoint: decode the POST body, answer it,
+			// and stamp the response with the Content-Type under test.
+			mux := http.NewServeMux()
+			mux.HandleFunc(DefaultPath, func(w http.ResponseWriter, r *http.Request) {
+				body, err := io.ReadAll(r.Body)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				q, err := dnswire.Decode(body)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				resp := dnswire.NewResponse(q)
+				resp.Answers = append(resp.Answers,
+					dnswire.AddressRecord(q.Questions[0].Name, netip.MustParseAddr("192.0.2.86"), 60))
+				wire, err := resp.Encode()
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				w.Header().Set("Content-Type", tt.contentType)
+				_, _ = w.Write(wire)
+			})
+			hs := httptest.NewServer(mux)
+			t.Cleanup(hs.Close)
+
+			client := NewClient()
+			resp, err := client.Query(testCtx(t), hs.URL+DefaultPath, "mt.test.", dnswire.TypeA)
+			if tt.wantErr {
+				if !errors.Is(err, ErrBadContentType) {
+					t.Fatalf("err = %v, want ErrBadContentType", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("content type %q rejected: %v", tt.contentType, err)
+			}
+			if len(resp.AnswerAddrs()) != 1 {
+				t.Fatalf("answers = %v", resp.AnswerAddrs())
+			}
+		})
+	}
+}
+
+// TestGETWireIDIsZero is the RFC 8484 §4.1 cache-friendliness round
+// trip: the GET client zeroes the transaction ID on the wire form (so
+// identical questions produce identical URLs and the server's
+// Cache-Control can yield HTTP cache hits), the server's ID-0 echo is
+// accepted, and the POST path keeps its random ID.
+func TestGETWireIDIsZero(t *testing.T) {
+	var wireIDs []uint16
+	capture := ResponderFunc(func(_ context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		wireIDs = append(wireIDs, q.Header.ID)
+		return echoResponder("192.0.2.87").Respond(context.Background(), q)
+	})
+	srv, err := NewServer("127.0.0.1:0", nil, capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	query, err := dnswire.NewQuery("id0.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query.Header.ID = 0xBEEF
+
+	getClient := NewClient(WithMethod(MethodGET))
+	resp, err := getClient.Exchange(testCtx(t), query, srv.URL())
+	if err != nil {
+		t.Fatalf("GET round trip with ID-0 wire form: %v", err)
+	}
+	if len(resp.AnswerAddrs()) != 1 {
+		t.Fatalf("answers = %v", resp.AnswerAddrs())
+	}
+	if query.Header.ID != 0xBEEF {
+		t.Fatalf("caller's query mutated: ID = %#x", query.Header.ID)
+	}
+
+	postClient := NewClient()
+	if _, err := postClient.Exchange(testCtx(t), query, srv.URL()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(wireIDs) != 2 {
+		t.Fatalf("server saw %d queries, want 2", len(wireIDs))
+	}
+	if wireIDs[0] != 0 {
+		t.Errorf("GET wire ID = %#x, want 0 (RFC 8484 §4.1)", wireIDs[0])
+	}
+	if wireIDs[1] != 0xBEEF {
+		t.Errorf("POST wire ID = %#x, want the caller's 0xBEEF", wireIDs[1])
+	}
+}
+
+// TestOversizedGETRejected checks the GET ?dns= parameter is capped
+// before base64 decoding, mirroring the POST body's 64 KiB bound.
+func TestOversizedGETRejected(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, echoResponder("192.0.2.88"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// One base64 character past the cap: would decode to > 64 KiB.
+	huge := strings.Repeat("A", base64.RawURLEncoding.EncodedLen(dnswire.MaxMessageSize)+1)
+	resp, err := http.Get(srv.URL() + "?dns=" + huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestURITooLong {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusRequestURITooLong)
+	}
+	if srv.Handler().Failures() != 1 {
+		t.Errorf("failures = %d, want 1", srv.Handler().Failures())
 	}
 }
 

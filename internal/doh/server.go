@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"mime"
 	"net"
 	"net/http"
 	"strconv"
@@ -29,6 +30,17 @@ const DefaultPath = "/dns-query"
 
 // maxRequestBytes bounds POST bodies (a DNS message cannot exceed 64 KiB).
 const maxRequestBytes = dnswire.MaxMessageSize
+
+// isDNSMediaType reports whether a Content-Type header value names the
+// RFC 8484 media type. Media types compare case-insensitively and may
+// carry parameters (RFC 9110 §8.3.1) — "Application/DNS-Message" and
+// "application/dns-message; charset=utf-8" are both the DNS media type,
+// so byte equality against MediaType is the wrong test on either side
+// of the exchange.
+func isDNSMediaType(value string) bool {
+	mt, _, err := mime.ParseMediaType(value)
+	return err == nil && mt == MediaType
+}
 
 // QueryResponder answers decoded DNS queries; the recursive resolver
 // satisfies it via a small adapter, and attack wrappers interpose here to
@@ -137,13 +149,20 @@ func extractQuery(r *http.Request) ([]byte, int, error) {
 		if b64 == "" {
 			return nil, http.StatusBadRequest, errors.New("missing dns query parameter")
 		}
+		// Enforce the POST body's 64 KiB message cap before decoding:
+		// base64url inflates by 4/3, so bounding the encoded form bounds
+		// the decoded message and an oversized parameter never allocates
+		// past dnswire.MaxMessageSize.
+		if len(b64) > base64.RawURLEncoding.EncodedLen(maxRequestBytes) {
+			return nil, http.StatusRequestURITooLong, errors.New("dns parameter exceeds maximum message size")
+		}
 		wire, err := base64.RawURLEncoding.DecodeString(b64)
 		if err != nil {
 			return nil, http.StatusBadRequest, fmt.Errorf("dns parameter: %w", err)
 		}
 		return wire, 0, nil
 	case http.MethodPost:
-		if ct := r.Header.Get("Content-Type"); ct != MediaType {
+		if ct := r.Header.Get("Content-Type"); !isDNSMediaType(ct) {
 			return nil, http.StatusUnsupportedMediaType, fmt.Errorf("content-type %q", ct)
 		}
 		wire, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))

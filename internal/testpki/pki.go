@@ -138,6 +138,27 @@ func (ca *CA) ClientTLS() *tls.Config {
 	}
 }
 
+// SelfSignedServer is the -tls-self-signed dev mode: a throwaway CA is
+// created, one server leaf is issued for the given SANs (defaults to
+// loopback names when none are given), and the CA certificate is
+// returned PEM-encoded so clients can be handed the trust anchor. The
+// key material never leaves the process; this is for development and
+// testbeds, not deployment.
+func SelfSignedServer(names ...string) (*tls.Config, []byte, error) {
+	ca, err := NewCA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		names = []string{"127.0.0.1", "::1", "localhost"}
+	}
+	cfg, err := ca.ServerTLS(names...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cfg, ca.CertPEM(), nil
+}
+
 func firstOr(names []string, def string) string {
 	if len(names) > 0 {
 		return names[0]

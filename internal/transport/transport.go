@@ -8,6 +8,7 @@ package transport
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -54,6 +55,7 @@ var (
 	_ Exchanger = Func(nil)
 	_ Exchanger = (*UDP)(nil)
 	_ Exchanger = (*TCP)(nil)
+	_ Exchanger = (*DoT)(nil)
 	_ Exchanger = (*Auto)(nil)
 )
 
@@ -77,6 +79,21 @@ func Validate(query, resp *dnswire.Message) error {
 		}
 	}
 	return nil
+}
+
+// ValidateGET is Validate for RFC 8484 GET exchanges. §4.1 has the
+// client send transaction ID 0 on the wire — identical questions then
+// map to identical URLs, so HTTP caches can actually hit — which means
+// the server's echo carries ID 0 no matter what ID the in-memory query
+// holds. Accept the ID-0 echo alongside an exact match; every other
+// check is Validate's.
+func ValidateGET(query, resp *dnswire.Message) error {
+	if resp.Header.ID == 0 && query.Header.ID != 0 {
+		zeroed := query.Copy()
+		zeroed.Header.ID = 0
+		return Validate(zeroed, resp)
+	}
+	return Validate(query, resp)
 }
 
 // UDP exchanges DNS messages over UDP with ID/question validation and
@@ -151,6 +168,46 @@ func (t *TCP) Exchange(ctx context.Context, query *dnswire.Message, server strin
 	conn, err := t.Dialer.DialContext(ctx, "tcp", server)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
+		}
+	}
+	if err := WriteTCPMessage(conn, query); err != nil {
+		return nil, fmt.Errorf("send to %s: %w", server, err)
+	}
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("receive from %s: %w", server, err)
+	}
+	if err := Validate(query, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// DoT exchanges DNS messages over TLS per RFC 7858: the RFC 1035
+// §4.2.2 length-prefixed framing of TCP inside an authenticated TLS
+// session, so a stub's exchange is protected from off-path injection
+// the same way the DoH hop is.
+type DoT struct {
+	Dialer net.Dialer
+	// TLSConfig authenticates the server (testbed CA trust); nil uses
+	// the system trust store against the dialed host name.
+	TLSConfig *tls.Config
+}
+
+// Exchange implements Exchanger.
+func (d *DoT) Exchange(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+	ctx, cancel := ensureDeadline(ctx)
+	defer cancel()
+
+	dialer := &tls.Dialer{NetDialer: &d.Dialer, Config: d.TLSConfig}
+	conn, err := dialer.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, fmt.Errorf("dial dot %s: %w", server, err)
 	}
 	defer conn.Close()
 	if deadline, ok := ctx.Deadline(); ok {

@@ -53,6 +53,49 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestValidateGET(t *testing.T) {
+	query := mustQuery(t, "x.test.")
+	query.Header.ID = 0x1234
+
+	// The RFC 8484 §4.1 echo: the server saw (and echoes) ID 0 because
+	// the GET wire form zeroed it for HTTP cache friendliness.
+	zeroEcho := dnswire.NewResponse(query)
+	zeroEcho.Header.ID = 0
+	if err := ValidateGET(query, zeroEcho); err != nil {
+		t.Fatalf("ID-0 echo rejected: %v", err)
+	}
+	if err := Validate(query, zeroEcho); !errors.Is(err, ErrIDMismatch) {
+		t.Fatalf("plain Validate accepted the ID-0 echo: %v", err)
+	}
+
+	// An exact match still validates (a server handed a non-zero ID).
+	exact := dnswire.NewResponse(query)
+	if err := ValidateGET(query, exact); err != nil {
+		t.Fatalf("exact-ID response rejected: %v", err)
+	}
+
+	// Everything else stays rejected: a third ID, and an ID-0 echo whose
+	// question does not match the query.
+	wrongID := dnswire.NewResponse(query)
+	wrongID.Header.ID = 0x5678
+	if err := ValidateGET(query, wrongID); !errors.Is(err, ErrIDMismatch) {
+		t.Errorf("mismatched id: %v", err)
+	}
+	wrongQ := dnswire.NewResponse(query)
+	wrongQ.Header.ID = 0
+	wrongQ.Questions[0].Name = "other.test."
+	if err := ValidateGET(query, wrongQ); !errors.Is(err, ErrQuestionMismatch) {
+		t.Errorf("id-0 echo with wrong question: %v", err)
+	}
+
+	// A genuine ID-0 query behaves exactly like Validate.
+	zeroQuery := mustQuery(t, "x.test.")
+	zeroQuery.Header.ID = 0
+	if err := ValidateGET(zeroQuery, dnswire.NewResponse(zeroQuery)); err != nil {
+		t.Errorf("id-0 query round trip: %v", err)
+	}
+}
+
 func TestTCPMessageFraming(t *testing.T) {
 	msg := mustQuery(t, "frame.test.")
 	var buf bytes.Buffer

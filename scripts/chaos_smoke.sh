@@ -6,7 +6,9 @@
 #   1. the daemon serves consensus answers throughout,
 #   2. trust enforcement quarantines the attacked resolver, and the
 #      cached pools' attacker-entry count reaches 0,
-#   3. both processes exit 0 on SIGTERM.
+#   3. the attacked daemon answers cleanly over its encrypted serving
+#      transports too (RFC 8484 DoH and RFC 7858 DoT, via dohquery),
+#   4. both processes exit 0 on SIGTERM.
 #
 # Requires: go, python3 (stdlib only), curl, jq.
 set -euo pipefail
@@ -24,8 +26,10 @@ trap cleanup EXIT
 
 DNS_PORT=${DNS_PORT:-15353}
 ADMIN_PORT=${ADMIN_PORT:-18053}
+DOH_PORT=${DOH_PORT:-18443}
+DOT_PORT=${DOT_PORT:-18853}
 
-go build -o "$workdir/bin/" ./cmd/testbed ./cmd/dohpoold
+go build -o "$workdir/bin/" ./cmd/testbed ./cmd/dohpoold ./cmd/dohquery
 
 # Short-TTL pool records so the refresh-ahead pipeline turns generations
 # over quickly while the attack runs.
@@ -43,6 +47,8 @@ while read -r url; do resolver_flags+=(-resolver "$url"); done <"$workdir/endpoi
 
 "$workdir/bin/dohpoold" \
   -listen "127.0.0.1:$DNS_PORT" -admin "127.0.0.1:$ADMIN_PORT" -ca "$workdir/ca.pem" \
+  -doh-addr "127.0.0.1:$DOH_PORT" -dot-addr "127.0.0.1:$DOT_PORT" \
+  -tls-self-signed -tls-ca-out "$workdir/serving-ca.pem" \
   -chaos-payload inflate -chaos-resolvers 0 -chaos-prob 1 \
   -trust-window 4 -trust-min-score 0.5 \
   -refresh-ahead 0.5 -refresh-min-hits 0 -stale-while-revalidate 30s \
@@ -114,6 +120,20 @@ curl -sf "127.0.0.1:$ADMIN_PORT/metrics" \
 
 # Serving still works on the clean pool.
 query || { echo "FAIL: post-quarantine query failed" >&2; exit 1; }
+
+# The attacked daemon must answer cleanly over the encrypted serving
+# transports too: one RFC 8484 DoH and one RFC 7858 DoT exchange via
+# dohquery, trusting the daemon's self-signed serving CA. /healthz must
+# list all four listeners.
+echo "--- encrypted serving transports (doh + dot) ---"
+"$workdir/bin/dohquery" -ca "$workdir/serving-ca.pem" \
+  -doh "https://127.0.0.1:$DOH_PORT/dns-query" \
+  -dot "127.0.0.1:$DOT_PORT" \
+  pool.ntppool.test \
+  || { echo "FAIL: encrypted (doh/dot) query through attacked dohpoold failed" >&2; exit 1; }
+curl -sf "127.0.0.1:$ADMIN_PORT/healthz" \
+  | jq -e '[.listeners[].proto] | sort == ["doh","dot","tcp","udp"]' >/dev/null \
+  || { echo "FAIL: /healthz does not report all four listeners" >&2; exit 1; }
 
 # Clean shutdown must exit 0 for both processes.
 kill -TERM "$DP_PID"
