@@ -35,11 +35,16 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's aggregated measurement.
+// Result is one benchmark's aggregated measurement. AllocsPerOp is a
+// pointer because a measured zero — the whole point of an
+// allocation-free serve path — must survive JSON round-trips, while an
+// un-instrumented benchmark (no -benchmem/ReportAllocs) stays absent
+// and ungated.
 type Result struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	BPerOp  float64 `json:"b_per_op,omitempty"`
-	Samples int     `json:"samples"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      float64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Samples     int      `json:"samples"`
 }
 
 // File is the BENCH_*.json schema.
@@ -167,10 +172,24 @@ func runCompare(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// Allocation-gate slack: absolute headroom added on top of the
+// fractional threshold so near-zero baselines stay gateable. A
+// benchmark whose clients amortise one-time setup (a dialed socket, a
+// goroutine's buffers) over b.N shows a few stray bytes per op that
+// jitter with iteration count; without slack a 2 B/op baseline would
+// fail on 4 B/op of the same noise. The slack is far below any real
+// regression (one heap allocation is ≥16 B and +1 allocs/op exactly).
+const (
+	bPerOpSlack = 128
+	allocsSlack = 1
+)
+
 // Gate fails when bench's current ns/op exceeds the baseline by more
-// than threshold. A gated benchmark missing from either file is an
-// error: a silently skipped gate is indistinguishable from a passing
-// one.
+// than threshold — and likewise for B/op and allocs/op when the
+// baseline measured them, so an allocation-free fast path cannot
+// silently start allocating while staying under the time gate. A gated
+// benchmark missing from either file is an error: a silently skipped
+// gate is indistinguishable from a passing one.
 func Gate(base, cur *File, bench string, threshold float64, out io.Writer) error {
 	b, ok := base.Benchmarks[bench]
 	if !ok {
@@ -187,6 +206,18 @@ func Gate(base, cur *File, bench string, threshold float64, out io.Writer) error
 	if change > threshold {
 		return fmt.Errorf("%s regressed %.1f%% (%.1f -> %.1f ns/op), threshold %.0f%%",
 			bench, 100*change, b.NsPerOp, c.NsPerOp, 100*threshold)
+	}
+	if b.BPerOp > 0 {
+		if limit := b.BPerOp*(1+threshold) + bPerOpSlack; c.BPerOp > limit {
+			return fmt.Errorf("%s regressed allocation bytes (%.0f -> %.0f B/op, limit %.0f)",
+				bench, b.BPerOp, c.BPerOp, limit)
+		}
+	}
+	if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+		if limit := *b.AllocsPerOp*(1+threshold) + allocsSlack; *c.AllocsPerOp > limit {
+			return fmt.Errorf("%s regressed allocation count (%.0f -> %.0f allocs/op, limit %.0f)",
+				bench, *b.AllocsPerOp, *c.AllocsPerOp, limit)
+		}
 	}
 	fmt.Fprintf(out, "gate ok: %s %+.1f%% (threshold +%.0f%%)\n", bench, 100*change, 100*threshold)
 	return nil
@@ -211,6 +242,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+
 
 var bPerOp = regexp.MustCompile(`([0-9.e+]+) B/op`)
 
+var allocsPerOp = regexp.MustCompile(`([0-9.e+]+) allocs/op`)
+
 // Parse reads `go test -bench` output. Repeated runs of the same
 // benchmark (-count > 1) collapse to the fastest sample.
 func Parse(r io.Reader) (*File, error) {
@@ -231,6 +264,10 @@ func Parse(r io.Reader) (*File, error) {
 		if bm := bPerOp.FindStringSubmatch(m[3]); bm != nil {
 			res.BPerOp, _ = strconv.ParseFloat(bm[1], 64)
 		}
+		if am := allocsPerOp.FindStringSubmatch(m[3]); am != nil {
+			v, _ := strconv.ParseFloat(am[1], 64)
+			res.AllocsPerOp = &v
+		}
 		if prev, ok := out.Benchmarks[name]; ok {
 			res.Samples = prev.Samples + 1
 			if prev.NsPerOp < res.NsPerOp {
@@ -238,6 +275,9 @@ func Parse(r io.Reader) (*File, error) {
 			}
 			if prev.BPerOp != 0 && (res.BPerOp == 0 || prev.BPerOp < res.BPerOp) {
 				res.BPerOp = prev.BPerOp
+			}
+			if prev.AllocsPerOp != nil && (res.AllocsPerOp == nil || *prev.AllocsPerOp < *res.AllocsPerOp) {
+				res.AllocsPerOp = prev.AllocsPerOp
 			}
 		}
 		out.Benchmarks[name] = res

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,14 +37,39 @@ func TestParseAggregatesMinimum(t *testing.T) {
 	if got.BPerOp != 440 {
 		t.Errorf("B/op = %v, want 440", got.BPerOp)
 	}
+	if got.AllocsPerOp == nil || *got.AllocsPerOp != 2 {
+		t.Errorf("allocs/op = %v, want 2", got.AllocsPerOp)
+	}
 	if got.Samples != 3 {
 		t.Errorf("samples = %d, want 3", got.Samples)
 	}
 	if _, ok := f.Benchmarks["BenchmarkFrontendThroughput/udp"]; !ok {
 		t.Error("sub-benchmark name not parsed")
 	}
-	if un := f.Benchmarks["BenchmarkEngineUncachedLookup"]; un.NsPerOp != 392817 || un.BPerOp != 0 {
+	if un := f.Benchmarks["BenchmarkEngineUncachedLookup"]; un.NsPerOp != 392817 || un.BPerOp != 0 || un.AllocsPerOp != nil {
 		t.Errorf("uncached = %+v", un)
+	}
+}
+
+// TestParseMeasuredZeroAllocs distinguishes a measured 0 allocs/op (the
+// allocation-free fast path's contract, which must be recorded and
+// gateable) from an un-instrumented benchmark (absent, ungated).
+func TestParseMeasuredZeroAllocs(t *testing.T) {
+	f, err := Parse(strings.NewReader(
+		"BenchmarkFrontendThroughput/udp-8\t2000\t4763 ns/op\t2 B/op\t0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Benchmarks["BenchmarkFrontendThroughput/udp"]
+	if got.AllocsPerOp == nil || *got.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op = %v, want measured 0", got.AllocsPerOp)
+	}
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"allocs_per_op":0`) {
+		t.Fatalf("measured zero dropped from JSON: %s", blob)
 	}
 }
 
@@ -72,6 +98,42 @@ func TestGateImprovementPasses(t *testing.T) {
 	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 200}}}
 	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
 		t.Fatalf("5x speedup failed the gate: %v", err)
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestGateAllocBytesRegressionFails(t *testing.T) {
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: 1000}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: 1500}}}
+	err := Gate(base, cur, "B", 0.30, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("+50%% B/op passed a 30%% gate: %v", err)
+	}
+	// Within threshold+slack passes.
+	cur.Benchmarks["B"] = Result{NsPerOp: 1000, BPerOp: 1400}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
+		t.Fatalf("+40%% of slack-covered B/op failed: %v", err)
+	}
+}
+
+func TestGateAllocCountRegression(t *testing.T) {
+	// A zero-alloc baseline tolerates only the absolute slack (amortised
+	// client setup), not a real per-op allocation.
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, AllocsPerOp: fp(0)}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, AllocsPerOp: fp(2)}}}
+	err := Gate(base, cur, "B", 0.30, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("0 -> 2 allocs/op passed: %v", err)
+	}
+	cur.Benchmarks["B"] = Result{NsPerOp: 1000, AllocsPerOp: fp(1)}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
+		t.Fatalf("slack-covered 0 -> 1 allocs/op failed: %v", err)
+	}
+	// An un-instrumented current run is not gated on allocations.
+	cur.Benchmarks["B"] = Result{NsPerOp: 1000}
+	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
+		t.Fatalf("absent allocs/op gated: %v", err)
 	}
 }
 

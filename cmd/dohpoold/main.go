@@ -62,6 +62,8 @@
 //	-breaker-threshold  consecutive failures that open a resolver's breaker
 //	-breaker-cooldown   how long an open breaker rejects attempts
 //	-udp-workers        bounded UDP worker pool size (0 = from GOMAXPROCS)
+//	-udp-batch          UDP datagrams per syscall (recvmmsg/sendmmsg on
+//	                    Linux; 1 = portable one-per-syscall path)
 //	-max-tcp-conns      concurrent TCP connection bound
 package main
 
@@ -132,6 +134,7 @@ func run(args []string) error {
 		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a resolver's circuit breaker (0 = default, -1 = disable)")
 		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker rejects attempts (0 = default)")
 		udpWorkers       = fs.Int("udp-workers", 0, "UDP worker pool size (0 = sized from GOMAXPROCS)")
+		udpBatch         = fs.Int("udp-batch", 0, "UDP datagrams moved per syscall via recvmmsg/sendmmsg on Linux (0 = default 16, 1 = portable path)")
 		maxTCPConns      = fs.Int("max-tcp-conns", 0, "max concurrently served TCP connections (0 = default)")
 	)
 	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
@@ -202,6 +205,7 @@ func run(args []string) error {
 		BreakerThreshold:     *breakerThreshold,
 		BreakerCooldown:      *breakerCooldown,
 		UDPWorkers:           *udpWorkers,
+		UDPBatch:             *udpBatch,
 		MaxTCPConns:          *maxTCPConns,
 		AdminAddr:            *adminAddr,
 	}

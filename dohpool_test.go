@@ -423,7 +423,10 @@ func TestAdminServerEndToEnd(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = fe.Close() })
 
-	// Traffic: one cache-filling query and one cache hit over UDP.
+	// Traffic: one cache-filling query plus one wire-cache fast-path hit
+	// over UDP, then one engine cache hit over TCP (the UDP repeat is
+	// answered from the pre-encoded wire cache and never reaches the
+	// engine).
 	for i := 0; i < 2; i++ {
 		query, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
 		if err != nil {
@@ -432,6 +435,13 @@ func TestAdminServerEndToEnd(t *testing.T) {
 		if _, err := (&transport.UDP{}).Exchange(testCtx(t), query, fe.Addr()); err != nil {
 			t.Fatal(err)
 		}
+	}
+	tcpQuery, err := dnswire.NewQuery(tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&transport.TCP{}).Exchange(testCtx(t), tcpQuery, fe.Addr()); err != nil {
+		t.Fatal(err)
 	}
 
 	get := func(path string) (int, string) {
@@ -457,10 +467,15 @@ func TestAdminServerEndToEnd(t *testing.T) {
 		`dohpool_engine_lookups_total{outcome="cache_hit"} 1`,
 		"dohpool_cache_hits_total 1",
 		"dohpool_cache_misses_total 1",
+		"dohpool_wire_cache_hits_total 1",
+		"dohpool_wire_cache_misses_total 1",
+		"dohpool_wire_cache_entries 1",
+		`dohpool_frontend_write_errors_total{proto="udp"} 0`,
 		`result="ok"} 1`, // per-resolver exchange counters
 		"dohpool_resolver_rtt_seconds{",
 		`dohpool_frontend_queries_total{proto="udp"} 2`,
-		`dohpool_frontend_responses_total{rcode="NOERROR"} 2`,
+		`dohpool_frontend_queries_total{proto="tcp"} 1`,
+		`dohpool_frontend_responses_total{rcode="NOERROR"} 3`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

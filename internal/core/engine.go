@@ -114,6 +114,7 @@ type EngineConfig struct {
 type Engine struct {
 	gen       *Generator
 	cache     *dnscache.Store[*poolEntry] // nil when caching is disabled
+	wire      *dnscache.WireCache         // nil when caching is disabled
 	health    *HealthTracker
 	trust     *TrustTracker // nil when TrustWindow < 0
 	refresher *refresher    // nil unless RefreshAhead is enabled
@@ -142,6 +143,18 @@ type Engine struct {
 type poolEntry struct {
 	pool  *Pool
 	regen func(context.Context) (*Pool, error)
+	// spec carries the lookup's (domain, type) so regenerations —
+	// inline, stale revalidation and refresh-ahead alike — can rebuild
+	// the pre-encoded wire answer along with the pool. Zero for
+	// dual-stack keys, which the DNS frontend never serves from wire.
+	spec wireSpec
+}
+
+// wireSpec identifies what a wire cache entry answers. The zero value
+// means "no wire entry for this key".
+type wireSpec struct {
+	domain string
+	typ    dnswire.Type
 }
 
 // NewEngine validates gcfg, wires the health-tracking hedged querier in
@@ -197,6 +210,10 @@ func NewEngine(gcfg Config, ecfg EngineConfig) (*Engine, error) {
 	if ecfg.CacheSize >= 0 {
 		e.cache = dnscache.NewShardedStore[*poolEntry](ecfg.CacheSize, ecfg.CacheShards, ecfg.Clock)
 		registerCacheMetrics(ecfg.Metrics, e.cache)
+		// The wire cache shadows the pool cache key-for-key, so it gets
+		// the same bounds and clock.
+		e.wire = dnscache.NewWireCache(ecfg.CacheSize, ecfg.CacheShards, ecfg.Clock)
+		registerWireMetrics(ecfg.Metrics, e.wire)
 	}
 	if ecfg.RefreshAhead > 0 && e.cache != nil {
 		e.refresher = newRefresher(e, ecfg)
@@ -388,7 +405,7 @@ func (e *Engine) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*
 	// DNS names are case-insensitive (and stubs may randomize case,
 	// RFC draft 0x20): normalize so casings share one cache entry.
 	key := strings.ToLower(domain) + "|" + strconv.Itoa(int(typ))
-	return e.lookup(ctx, key, func(runCtx context.Context) (*Pool, error) {
+	return e.lookup(ctx, key, wireSpec{domain: domain, typ: typ}, func(runCtx context.Context) (*Pool, error) {
 		return e.gen.Lookup(runCtx, domain, typ)
 	})
 }
@@ -398,7 +415,7 @@ func (e *Engine) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*
 // coalescing as Lookup.
 func (e *Engine) LookupDualStack(ctx context.Context, domain string) (*Pool, error) {
 	key := strings.ToLower(domain) + "|ds|" + strconv.Itoa(int(e.gen.cfg.DualStack))
-	return e.lookup(ctx, key, func(runCtx context.Context) (*Pool, error) {
+	return e.lookup(ctx, key, wireSpec{}, func(runCtx context.Context) (*Pool, error) {
 		return e.gen.LookupDualStack(runCtx, domain)
 	})
 }
@@ -406,7 +423,7 @@ func (e *Engine) LookupDualStack(ctx context.Context, domain string) (*Pool, err
 // lookup is the thin read path: a fresh (or serveably stale) cache entry
 // is answered with no locks beyond one shard read-lock; everything else
 // falls through to a coalesced inline generation.
-func (e *Engine) lookup(ctx context.Context, key string, run func(context.Context) (*Pool, error)) (*Pool, error) {
+func (e *Engine) lookup(ctx context.Context, key string, spec wireSpec, run func(context.Context) (*Pool, error)) (*Pool, error) {
 	if e.cache != nil {
 		if en, age, stale, ok := e.cache.GetStale(key, e.cfg.MaxStale); ok {
 			if !stale {
@@ -422,20 +439,20 @@ func (e *Engine) lookup(ctx context.Context, key string, run func(context.Contex
 			// its bookkeeping — respecting per-key failure backoff and the
 			// concurrency cap instead of re-fanning-out on every stale hit.
 			if e.refresher != nil {
-				e.refresher.tryRefreshStale(key, run)
+				e.refresher.tryRefreshStale(key, spec, run)
 			} else {
-				e.refreshAsync(key, run)
+				e.refreshAsync(key, spec, run)
 			}
 			return snapshotPool(en.pool, en.pool.ttlDuration()), nil
 		}
 	}
-	return e.fetch(ctx, key, run, false)
+	return e.fetch(ctx, key, spec, run, false)
 }
 
 // fetch coalesces concurrent misses for key into a single upstream run.
 // background marks runs no caller is waiting on (stale revalidation,
 // refresh-ahead) for the inline-vs-background generation split.
-func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context) (*Pool, error), background bool) (*Pool, error) {
+func (e *Engine) fetch(ctx context.Context, key string, spec wireSpec, run func(context.Context) (*Pool, error), background bool) (*Pool, error) {
 	pool, err, leader := e.flight.Do(ctx, key, func() (*Pool, error) {
 		// Detach from the individual caller: other waiters are coalesced
 		// onto this run and must not die with whoever arrived first.
@@ -462,8 +479,18 @@ func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context
 		// pool sit in the attacker prefix (generation path only — the
 		// cached-hit fast path never counts).
 		e.inst.attackerEntries.Set(float64(p.AttackerEntries()))
-		if e.cache != nil {
-			e.cache.Put(key, &poolEntry{pool: p, regen: run}, p.ttlDuration())
+		if e.cache != nil && p.ttlDuration() > 0 {
+			// Invalidate → Put(pool) → Put(wire): a fast-path reader in
+			// the window between the first two steps falls through to the
+			// slow path, which already sees the new pool. Old wire bytes
+			// are unreachable the moment the new pool is published.
+			e.wire.Invalidate(key)
+			e.cache.Put(key, &poolEntry{pool: p, regen: run, spec: spec}, p.ttlDuration())
+			if spec != (wireSpec{}) {
+				if we := buildWireEntry(spec, p, e.gen.ServeMajority(), e.now()); we != nil {
+					e.wire.Put(key, we)
+				}
+			}
 		}
 		return p, nil
 	})
@@ -478,7 +505,7 @@ func (e *Engine) fetch(ctx context.Context, key string, run func(context.Context
 
 // refreshAsync kicks off a background consensus refresh for a stale key;
 // the singleflight group guarantees at most one refresh per key runs.
-func (e *Engine) refreshAsync(key string, run func(context.Context) (*Pool, error)) {
+func (e *Engine) refreshAsync(key string, spec wireSpec, run func(context.Context) (*Pool, error)) {
 	e.refreshMu.Lock()
 	if e.closed {
 		e.refreshMu.Unlock()
@@ -488,7 +515,7 @@ func (e *Engine) refreshAsync(key string, run func(context.Context) (*Pool, erro
 	e.refreshMu.Unlock()
 	go func() {
 		defer e.refreshWG.Done()
-		_, _ = e.fetch(context.Background(), key, run, true)
+		_, _ = e.fetch(context.Background(), key, spec, run, true)
 	}()
 }
 

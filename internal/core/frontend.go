@@ -17,6 +17,7 @@ import (
 	"dohpool/internal/doh"
 	"dohpool/internal/metrics"
 	"dohpool/internal/transport"
+	"dohpool/internal/udpbatch"
 )
 
 // ErrFrontendClosed is returned by methods on a closed Frontend.
@@ -55,6 +56,12 @@ type FrontendConfig struct {
 	// DefaultUDPQueue); the frontend drops excess instead of buffering
 	// without bound.
 	UDPQueue int
+	// UDPBatch is how many datagrams one reader syscall may move via
+	// recvmmsg/sendmmsg on platforms that support it (Linux amd64/arm64).
+	// 0 uses udpbatch.DefaultBatch; 1 forces the portable one-datagram-
+	// per-syscall path everywhere. Batching only changes syscall
+	// amortisation, never per-query semantics.
+	UDPBatch int
 	// MaxTCPConns bounds concurrently served TCP connections (default
 	// DefaultMaxTCPConns).
 	MaxTCPConns int
@@ -118,15 +125,18 @@ func (c *FrontendConfig) setDefaults() {
 // is a cache hit on every other.
 type Frontend struct {
 	backend Backend
+	wire    wireBackend // backend's fast-path extension; nil when absent
 	cfg     FrontendConfig
 	inst    frontendInstruments
 	conn    *net.UDPConn
+	uconn   *udpbatch.Conn
 	tcpLn   net.Listener
 	dotLn   net.Listener // nil unless DoTAddr was set
 	dohLn   net.Listener // nil unless DoHAddr was set
 	dohSrv  *http.Server // nil unless DoHAddr was set
 
-	packets chan udpPacket
+	packets chan *udpPacket
+	pktPool sync.Pool
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -139,10 +149,34 @@ type Frontend struct {
 	dropped  atomic.Uint64
 }
 
+// udpPacket is one pooled datagram: a fixed buffer, the peer address
+// (filled in place by the batch reader, so its IP backing never
+// reallocates) and the udpbatch view over both. The fast path reuses
+// the query buffer for the response; the slow path reads the query out
+// of it and sends its own encoded response. Invariant: dg.Buf always
+// spans buf and dg.Addr always points at addr, so a packet can cycle
+// through the pool indefinitely.
 type udpPacket struct {
-	wire   []byte
-	client *net.UDPAddr
+	dg   udpbatch.Datagram
+	addr net.UDPAddr
+	buf  [udpPacketBuf]byte
+	// key is answerWire's cache-key scratch. It lives here rather than on
+	// answerWire's stack because the key slice crosses the wireBackend
+	// interface boundary, which defeats escape analysis and would turn
+	// every fast-path datagram into a heap allocation.
+	key [wireKeyMax]byte
 }
+
+func newUDPPacket() *udpPacket {
+	p := &udpPacket{}
+	p.addr.IP = make(net.IP, 0, 16)
+	p.dg.Buf = p.buf[:]
+	p.dg.Addr = &p.addr
+	return p
+}
+
+func (f *Frontend) getPacket() *udpPacket  { return f.pktPool.Get().(*udpPacket) }
+func (f *Frontend) putPacket(p *udpPacket) { f.pktPool.Put(p) }
 
 // NewFrontend starts the frontend on addr ("127.0.0.1:0" for ephemeral)
 // with default worker-pool sizing; the same port serves UDP and TCP.
@@ -165,15 +199,24 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 	if err != nil {
 		return nil, err
 	}
+	uconn, err := udpbatch.New(conn, cfg.UDPBatch)
+	if err != nil {
+		conn.Close()
+		tcpLn.Close()
+		return nil, err
+	}
 	f := &Frontend{
 		backend:  backend,
 		cfg:      cfg,
 		inst:     newFrontendInstruments(cfg.Metrics, cfg.DoTAddr != "", cfg.DoHAddr != ""),
 		conn:     conn,
+		uconn:    uconn,
 		tcpLn:    tcpLn,
-		packets:  make(chan udpPacket, cfg.UDPQueue),
+		packets:  make(chan *udpPacket, cfg.UDPQueue),
 		tcpConns: make(map[net.Conn]struct{}),
 	}
+	f.wire, _ = backend.(wireBackend)
+	f.pktPool.New = func() any { return newUDPPacket() }
 	if cfg.DoTAddr != "" {
 		// RFC 7858 is the RFC 7766 message stream behind a TLS
 		// handshake: wrap the listener and reuse the TCP serving loop
@@ -427,28 +470,74 @@ func (f *Frontend) Close() error {
 	return nil
 }
 
-// readUDP is the single reader loop feeding the bounded worker pool.
+// readUDP is the single reader loop. Each pass moves up to one batch of
+// datagrams in one recvmmsg, serves every wire-cache hit inline (the
+// answer is built in the packet's own buffer, so a cached hit is a
+// memcpy plus an ID/flags/TTL patch with zero allocations and no
+// goroutine handoff), flushes all inline answers in one sendmmsg, and
+// hands everything else to the bounded worker pool. On platforms
+// without the batch syscalls — or with UDPBatch 1 — the same loop runs
+// with a batch of one datagram per portable syscall. Packets served
+// inline never leave their batch slots, so the steady-state hot path
+// recycles the same buffers forever; only slow-path packets cycle
+// through the pool (fixing the old reader's per-datagram buffer +
+// address allocation pair).
 func (f *Frontend) readUDP() {
 	defer f.wg.Done()
 	defer close(f.packets)
-	buf := make([]byte, dnswire.MaxMessageSize)
+	batch := f.uconn.BatchSize()
+	pkts := make([]*udpPacket, batch)
+	dgs := make([]*udpbatch.Datagram, batch)
+	for i := range pkts {
+		pkts[i] = f.getPacket()
+		dgs[i] = &pkts[i].dg
+	}
+	out := make([]*udpbatch.Datagram, 0, batch)
 	for {
-		n, client, err := f.conn.ReadFromUDP(buf)
+		n, err := f.uconn.ReadBatch(dgs)
 		if err != nil {
 			if f.closed.Load() {
 				return
 			}
 			continue
 		}
-		wire := make([]byte, n)
-		copy(wire, buf[:n])
-		select {
-		case f.packets <- udpPacket{wire: wire, client: client}:
-		default:
-			// Queue full: shed load. The stub resolver retries, and by
-			// then the answer is usually a cache hit.
-			f.dropped.Add(1)
-			f.inst.dropped.Inc()
+		out = out[:0]
+		for i := 0; i < n; i++ {
+			pkt := pkts[i]
+			if f.answerWire(pkt) {
+				out = append(out, &pkt.dg)
+				continue
+			}
+			select {
+			case f.packets <- pkt:
+				// The worker owns pkt now; restock the batch slot.
+				np := f.getPacket()
+				pkts[i] = np
+				dgs[i] = &np.dg
+			default:
+				// Queue full: shed load. The stub resolver retries, and
+				// by then the answer is usually a wire-cache hit.
+				f.dropped.Add(1)
+				f.inst.dropped.Inc()
+			}
+		}
+		f.writeUDPBatch(out)
+	}
+}
+
+// writeUDPBatch flushes the reader's inline answers, counting (and
+// skipping past) per-datagram send failures so one bad peer address
+// cannot stall the batch.
+func (f *Frontend) writeUDPBatch(out []*udpbatch.Datagram) {
+	for off := 0; off < len(out); {
+		sent, err := f.uconn.WriteBatch(out[off:])
+		off += sent
+		if err != nil {
+			if f.closed.Load() {
+				return
+			}
+			f.inst.udp.writeErrs.Inc()
+			off++
 		}
 	}
 }
@@ -456,7 +545,8 @@ func (f *Frontend) readUDP() {
 func (f *Frontend) udpWorker() {
 	defer f.wg.Done()
 	for pkt := range f.packets {
-		f.handleUDP(pkt.wire, pkt.client)
+		f.handleUDP(pkt.dg.Buf[:pkt.dg.N], &pkt.addr)
+		f.putPacket(pkt)
 	}
 }
 
@@ -528,6 +618,9 @@ func (f *Frontend) serveStreamConn(conn net.Conn, inst *protoInstruments) {
 		}
 		resp := f.respond(context.Background(), query, inst)
 		if err := transport.WriteTCPMessage(conn, resp); err != nil {
+			if !f.closed.Load() {
+				inst.writeErrs.Inc()
+			}
 			return
 		}
 	}
@@ -560,7 +653,9 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 			return
 		}
 	}
-	_, _ = f.conn.WriteToUDP(respWire, client)
+	if _, err := f.conn.WriteToUDP(respWire, client); err != nil && !f.closed.Load() {
+		f.inst.udp.writeErrs.Inc()
+	}
 }
 
 // respond builds the DNS answer for one query from the consensus

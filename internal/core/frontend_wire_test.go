@@ -1,0 +1,462 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+)
+
+// swapQuerier is a staticQuerier whose answer lists can be replaced
+// between generations (for invalidation tests), guarded for the
+// engine's background refresh goroutines.
+type swapQuerier struct {
+	mu    sync.Mutex
+	lists map[string][]netip.Addr
+}
+
+func (s *swapQuerier) Query(_ context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	query, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	resp := dnswire.NewResponse(query)
+	s.mu.Lock()
+	list := s.lists[url]
+	s.mu.Unlock()
+	for _, a := range list {
+		if (typ == dnswire.TypeA) == a.Is4() {
+			resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, 60))
+		}
+	}
+	return resp, nil
+}
+
+func (s *swapQuerier) swap(lists map[string][]netip.Addr) {
+	s.mu.Lock()
+	s.lists = lists
+	s.mu.Unlock()
+}
+
+// manyAddrs generates n distinct IPv4 addresses offset into 10.x space.
+func manyAddrs(base, n int) []netip.Addr {
+	out := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		v := base + i
+		out = append(out, netip.MustParseAddr(fmt.Sprintf("10.%d.%d.%d", v>>16&0xFF, v>>8&0xFF, v&0xFF)))
+	}
+	return out
+}
+
+// slowOnlyBackend hides the engine's WireLookup so a frontend over it
+// always takes the decode → respond → encode path: the differential
+// oracle for fast-path byte equality.
+type slowOnlyBackend struct{ eng *Engine }
+
+func (s slowOnlyBackend) Lookup(ctx context.Context, domain string, typ dnswire.Type) (*Pool, error) {
+	return s.eng.Lookup(ctx, domain, typ)
+}
+func (s slowOnlyBackend) ServeMajority() bool { return s.eng.ServeMajority() }
+
+// wireEngineUnderTest builds an engine over q with a fake clock and a
+// metrics registry, plus a frontend serving it.
+func wireEngineUnderTest(t testing.TB, q Querier, clk *testClock, ecfg EngineConfig) (*Engine, *Frontend) {
+	t.Helper()
+	ecfg.Clock = clk.now
+	ecfg.DisableHedging = true
+	eng, err := NewEngine(Config{
+		Resolvers: []Endpoint{
+			{Name: "r0", URL: "u0"},
+			{Name: "r1", URL: "u1"},
+			{Name: "r2", URL: "u2"},
+		},
+		Querier: q,
+	}, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	fe, err := NewFrontendWithConfig("127.0.0.1:0", eng, FrontendConfig{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fe.Close() })
+	return eng, fe
+}
+
+// rawQueryBytes encodes a query with explicit ID/RD/CD and an optional
+// EDNS OPT advertising size (0 = no OPT).
+func rawQueryBytes(t testing.TB, id uint16, name string, typ dnswire.Type, edns int, rd, cd bool) []byte {
+	t.Helper()
+	m := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               id,
+			Opcode:           dnswire.OpcodeQuery,
+			RecursionDesired: rd,
+			CheckingDisabled: cd,
+		},
+		Questions: []dnswire.Question{{Name: name, Type: typ, Class: dnswire.ClassINET}},
+	}
+	if edns > 0 {
+		m.SetEDNS(uint16(edns))
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// rawUDPExchange sends query bytes over a connected UDP socket and
+// returns the raw response bytes.
+func rawUDPExchange(t *testing.T, addr string, query []byte) []byte {
+	t.Helper()
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(3 * time.Second))
+	if _, err := c.Write(query); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, dnswire.MaxMessageSize)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+// packetFor wraps raw query bytes in a pooled packet for direct
+// answerWire calls.
+func packetFor(wire []byte) *udpPacket {
+	p := newUDPPacket()
+	copy(p.buf[:], wire)
+	p.dg.N = len(wire)
+	return p
+}
+
+// TestWireFastPathDifferential is the acceptance test for the wire
+// cache: for every EDNS size bucket, the fast path's bytes must be
+// identical to the slow path's for the same query — same ID, same
+// flags, same truncation decision, same TTLs (the fake clock pins the
+// age at zero so even TTL aging matches exactly).
+func TestWireFastPathDifferential(t *testing.T) {
+	q := &swapQuerier{lists: map[string][]netip.Addr{
+		"u0": manyAddrs(0, 40),
+		"u1": manyAddrs(1000, 40),
+		"u2": manyAddrs(2000, 40),
+	}}
+	clk := newTestClock()
+	eng, fastFE := wireEngineUnderTest(t, q, clk, EngineConfig{})
+	slowFE, err := NewFrontendWithConfig("127.0.0.1:0", slowOnlyBackend{eng}, FrontendConfig{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowFE.Close()
+	if slowFE.wire != nil {
+		t.Fatal("slow frontend unexpectedly sees the wire cache")
+	}
+
+	// Warm: the first query generates the pool and populates the wire
+	// cache; afterwards the fast path must be live.
+	warm := rawQueryBytes(t, 1, "pool.test.", dnswire.TypeA, 4096, true, false)
+	if resp := rawUDPExchange(t, fastFE.Addr(), warm); resp[3]&0x0F != 0 {
+		t.Fatalf("warm query rcode = %d", resp[3]&0x0F)
+	}
+	if !fastFE.answerWire(packetFor(warm)) {
+		t.Fatal("fast path not serving after warm-up")
+	}
+
+	full, _, ok := eng.WireLookup([]byte("pool.test.|1"))
+	if !ok {
+		t.Fatal("no wire entry after warm-up")
+	}
+	if len(full.Full) <= 1232 || len(full.Full) > 4096 {
+		t.Fatalf("test pool encodes to %d bytes; want in (1232, 4096] to straddle the buckets", len(full.Full))
+	}
+
+	cases := []struct {
+		name    string
+		edns    int
+		rd, cd  bool
+		wantTC  bool
+		wantAns int
+	}{
+		{"no-edns-512", 0, true, false, true, 0},
+		{"edns-512", 512, false, true, true, 0},
+		{"edns-1232", 1232, true, true, true, 0},
+		{"edns-4096", 4096, false, false, false, 120},
+		{"edns-exact", len(full.Full), true, false, false, 120},
+		{"edns-one-short", len(full.Full) - 1, true, false, true, 0},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			query := rawQueryBytes(t, uint16(0x2000+i), "pool.test.", dnswire.TypeA, tc.edns, tc.rd, tc.cd)
+			fast := rawUDPExchange(t, fastFE.Addr(), query)
+			slow := rawUDPExchange(t, slowFE.Addr(), query)
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("fast path bytes differ from slow path:\nfast %x\nslow %x", fast, slow)
+			}
+			if gotTC := fast[2]&0x02 != 0; gotTC != tc.wantTC {
+				t.Errorf("TC = %v, want %v", gotTC, tc.wantTC)
+			}
+			if gotAns := int(fast[6])<<8 | int(fast[7]); gotAns != tc.wantAns {
+				t.Errorf("ancount = %d, want %d", gotAns, tc.wantAns)
+			}
+			if fast[0] != query[0] || fast[1] != query[1] {
+				t.Error("response ID does not echo the query ID")
+			}
+			if gotRD := fast[2]&0x01 != 0; gotRD != tc.rd {
+				t.Errorf("RD echo = %v, want %v", gotRD, tc.rd)
+			}
+			if gotCD := fast[3]&0x10 != 0; gotCD != tc.cd {
+				t.Errorf("CD echo = %v, want %v", gotCD, tc.cd)
+			}
+		})
+	}
+}
+
+// TestWireFastPathConcurrentIDs hammers one warmed name from concurrent
+// clients with disjoint ID ranges: every response must carry exactly
+// its own query's ID (the patch writes into per-packet buffers, so
+// cross-talk would surface as a foreign ID or a torn answer).
+func TestWireFastPathConcurrentIDs(t *testing.T) {
+	q := &swapQuerier{lists: map[string][]netip.Addr{
+		"u0": manyAddrs(0, 2), "u1": manyAddrs(100, 2), "u2": manyAddrs(200, 2),
+	}}
+	clk := newTestClock()
+	_, fe := wireEngineUnderTest(t, q, clk, EngineConfig{})
+	warm := rawQueryBytes(t, 1, "pool.test.", dnswire.TypeA, 0, true, false)
+	rawUDPExchange(t, fe.Addr(), warm)
+
+	const clients, perClient = 8, 50
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("udp", fe.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for i := 0; i < perClient; i++ {
+				id := uint16(c<<8 | i + 2)
+				query := rawQueryBytes(t, id, "pool.test.", dnswire.TypeA, 0, true, false)
+				_ = conn.SetDeadline(time.Now().Add(3 * time.Second))
+				if _, err := conn.Write(query); err != nil {
+					errs <- err
+					return
+				}
+				n, err := conn.Read(buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n < 12 || uint16(buf[0])<<8|uint16(buf[1]) != id {
+					errs <- fmt.Errorf("client %d query %d: response ID %x, want %x", c, i, buf[:2], id)
+					return
+				}
+				if buf[2]&0x80 == 0 || int(buf[6])<<8|int(buf[7]) != 6 {
+					errs <- fmt.Errorf("client %d query %d: malformed answer n=%d hdr=%x", c, i, n, buf[:12])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWireFastPathInvalidationOnRefresh drives a background
+// regeneration (the stale-serve revalidation path, which shares the
+// cache-publish code with refresh-ahead) and asserts the wire cache
+// never serves the superseded generation's bytes afterwards.
+func TestWireFastPathInvalidationOnRefresh(t *testing.T) {
+	oldAddrs := map[string][]netip.Addr{
+		"u0": manyAddrs(0, 2), "u1": manyAddrs(0, 2), "u2": manyAddrs(0, 2),
+	}
+	newAddrs := map[string][]netip.Addr{
+		"u0": manyAddrs(5000, 2), "u1": manyAddrs(5000, 2), "u2": manyAddrs(5000, 2),
+	}
+	q := &swapQuerier{lists: oldAddrs}
+	clk := newTestClock()
+	eng, fe := wireEngineUnderTest(t, q, clk, EngineConfig{MaxStale: time.Hour})
+	warm := rawQueryBytes(t, 1, "pool.test.", dnswire.TypeA, 0, true, false)
+	rawUDPExchange(t, fe.Addr(), warm)
+	oldEntry, _, ok := eng.WireLookup([]byte("pool.test.|1"))
+	if !ok {
+		t.Fatal("no wire entry after warm-up")
+	}
+
+	// Expire the pool into its stale window and switch the resolvers'
+	// answers; the next lookup serves stale and launches a background
+	// revalidation that must republish both caches.
+	q.swap(newAddrs)
+	clk.advance(61 * time.Second)
+	if _, err := eng.Lookup(context.Background(), "pool.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		en, _, ok := eng.WireLookup([]byte("pool.test.|1"))
+		if ok && !bytes.Equal(en.Full, oldEntry.Full) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wire entry not replaced by background refresh")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp := rawUDPExchange(t, fe.Addr(), rawQueryBytes(t, 7, "pool.test.", dnswire.TypeA, 0, true, false))
+	if bytes.Contains(resp, []byte{10, 0, 0, 0}) {
+		t.Error("response still carries a first-generation address")
+	}
+	if !bytes.Contains(resp, []byte{10, 0, 19, 136}) { // 5000 = 0x1388 → 10.0.19.136
+		t.Errorf("response does not carry the regenerated pool: %x", resp)
+	}
+}
+
+// TestAnswerWireRejects feeds the fast path queries it must hand to the
+// strict slow path, plus the 0x20-randomized positive case it must
+// normalize and serve.
+func TestAnswerWireRejects(t *testing.T) {
+	q := &swapQuerier{lists: map[string][]netip.Addr{
+		"u0": manyAddrs(0, 2), "u1": manyAddrs(0, 2), "u2": manyAddrs(0, 2),
+	}}
+	clk := newTestClock()
+	_, fe := wireEngineUnderTest(t, q, clk, EngineConfig{})
+	rawUDPExchange(t, fe.Addr(), rawQueryBytes(t, 1, "pool.test.", dnswire.TypeA, 0, true, false))
+
+	base := rawQueryBytes(t, 2, "pool.test.", dnswire.TypeA, 0, true, false)
+	if !fe.answerWire(packetFor(base)) {
+		t.Fatal("baseline query not served by the fast path")
+	}
+
+	mutate := func(fn func(b []byte) []byte) *udpPacket {
+		b := append([]byte(nil), base...)
+		return packetFor(fn(b))
+	}
+	rejects := map[string]*udpPacket{
+		"too-short":    packetFor(base[:11]),
+		"qr-set":       mutate(func(b []byte) []byte { b[2] |= 0x80; return b }),
+		"opcode":       mutate(func(b []byte) []byte { b[2] |= 0x08; return b }), // IQUERY
+		"qdcount-2":    mutate(func(b []byte) []byte { b[5] = 2; return b }),
+		"ancount-1":    mutate(func(b []byte) []byte { b[7] = 1; return b }),
+		"arcount-2":    mutate(func(b []byte) []byte { b[11] = 2; return b }),
+		"pointer-name": mutate(func(b []byte) []byte { b[12] = 0xC0; return b }),
+		"bad-label":    mutate(func(b []byte) []byte { b[13] = ' '; return b }),
+		"qclass-ch":    mutate(func(b []byte) []byte { b[len(b)-1] = 3; return b }),
+		"qtype-txt":    mutate(func(b []byte) []byte { b[len(b)-3] = 16; return b }),
+		"trailing":     mutate(func(b []byte) []byte { return append(b, 0) }),
+		"unknown-name": packetFor(rawQueryBytes(t, 3, "cold.test.", dnswire.TypeA, 0, true, false)),
+	}
+	for name, pkt := range rejects {
+		if fe.answerWire(pkt) {
+			t.Errorf("%s: fast path served a query it must reject", name)
+		}
+	}
+
+	// Case-randomized spelling of a warmed name must normalize to the
+	// same key and serve.
+	randomized := mutate(func(b []byte) []byte {
+		for i := 13; i < 13+4; i++ { // "pool" label bytes
+			b[i] -= 'a' - 'A'
+		}
+		return b
+	})
+	if !fe.answerWire(randomized) {
+		t.Error("0x20-randomized query not served by the fast path")
+	}
+}
+
+// TestFrontendWriteErrorMetric asserts the per-transport write-error
+// counter family is registered and exported for every plaintext and DoT
+// transport label.
+func TestFrontendWriteErrorMetric(t *testing.T) {
+	q := &swapQuerier{lists: map[string][]netip.Addr{
+		"u0": manyAddrs(0, 2), "u1": manyAddrs(0, 2), "u2": manyAddrs(0, 2),
+	}}
+	clk := newTestClock()
+	reg := metrics.New()
+	ecfg := EngineConfig{Metrics: reg, Clock: clk.now, DisableHedging: true}
+	eng, err := NewEngine(Config{
+		Resolvers: []Endpoint{{Name: "r0", URL: "u0"}, {Name: "r1", URL: "u1"}, {Name: "r2", URL: "u2"}},
+		Querier:   q,
+	}, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	fe, err := NewFrontendWithConfig("127.0.0.1:0", eng, FrontendConfig{Timeout: time.Second, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	expo := sb.String()
+	for _, want := range []string{
+		MetricFrontendWriteErrors + `{proto="udp"}`,
+		MetricFrontendWriteErrors + `{proto="tcp"}`,
+		MetricWireCacheHits,
+		MetricWireCacheMisses,
+		MetricWireCacheEntries,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestWireFastPathTTLAging pins the wire cache's TTL patch to the slow
+// path's aging rule: elapsed whole seconds are subtracted, flooring at
+// 1 while the entry still serves.
+func TestWireFastPathTTLAging(t *testing.T) {
+	q := &swapQuerier{lists: map[string][]netip.Addr{
+		"u0": manyAddrs(0, 2), "u1": manyAddrs(0, 2), "u2": manyAddrs(0, 2),
+	}}
+	clk := newTestClock()
+	_, fe := wireEngineUnderTest(t, q, clk, EngineConfig{})
+	rawUDPExchange(t, fe.Addr(), rawQueryBytes(t, 1, "pool.test.", dnswire.TypeA, 0, true, false))
+
+	readTTL := func(resp []byte) uint32 {
+		m, err := dnswire.Decode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Answers) == 0 {
+			t.Fatal("no answers")
+		}
+		return m.Answers[0].TTL
+	}
+	resp := rawUDPExchange(t, fe.Addr(), rawQueryBytes(t, 2, "pool.test.", dnswire.TypeA, 0, true, false))
+	if got := readTTL(resp); got != 60 {
+		t.Fatalf("fresh TTL = %d, want 60", got)
+	}
+	clk.advance(25 * time.Second)
+	resp = rawUDPExchange(t, fe.Addr(), rawQueryBytes(t, 3, "pool.test.", dnswire.TypeA, 0, true, false))
+	if got := readTTL(resp); got != 35 {
+		t.Fatalf("aged TTL = %d, want 35", got)
+	}
+}

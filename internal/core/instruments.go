@@ -41,6 +41,10 @@ const (
 	MetricFrontendInflight    = "dohpool_frontend_inflight_queries"
 	MetricFrontendTCPConns    = "dohpool_frontend_tcp_connections"
 	MetricFrontendDropped     = "dohpool_frontend_dropped_total"
+	MetricFrontendWriteErrors = "dohpool_frontend_write_errors_total"
+	MetricWireCacheHits       = "dohpool_wire_cache_hits_total"
+	MetricWireCacheMisses     = "dohpool_wire_cache_misses_total"
+	MetricWireCacheEntries    = "dohpool_wire_cache_entries"
 )
 
 // Frontend transport labels: the values of the `proto` label on the
@@ -248,9 +252,10 @@ func (hi *healthInstruments) observe(url string, ewma time.Duration, err error, 
 // counter, in-flight gauge and — for the stream transports — the
 // connection gauge. Nil members no-op, so the zero value is usable.
 type protoInstruments struct {
-	queries  *metrics.Counter
-	inflight *metrics.Gauge
-	conns    *metrics.Gauge
+	queries   *metrics.Counter
+	inflight  *metrics.Gauge
+	conns     *metrics.Gauge
+	writeErrs *metrics.Counter
 }
 
 // frontendInstruments holds the DNS frontend's instruments, one series
@@ -275,16 +280,18 @@ func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstru
 		"Queries currently being answered, per transport.", "proto")
 	conns := reg.GaugeVec(MetricFrontendTCPConns,
 		"Currently tracked TCP connections, per transport carried on them (tcp, dot, doh).", "proto")
+	writeErrs := reg.CounterVec(MetricFrontendWriteErrors,
+		"Responses the frontend failed to write back to the client, per transport (udp, tcp, dot).", "proto")
 	inst := frontendInstruments{
-		udp: protoInstruments{queries: queries.With(ProtoUDP), inflight: inflight.With(ProtoUDP)},
-		tcp: protoInstruments{queries: queries.With(ProtoTCP), inflight: inflight.With(ProtoTCP), conns: conns.With(ProtoTCP)},
+		udp: protoInstruments{queries: queries.With(ProtoUDP), inflight: inflight.With(ProtoUDP), writeErrs: writeErrs.With(ProtoUDP)},
+		tcp: protoInstruments{queries: queries.With(ProtoTCP), inflight: inflight.With(ProtoTCP), conns: conns.With(ProtoTCP), writeErrs: writeErrs.With(ProtoTCP)},
 		rcodes: reg.CounterVec(MetricFrontendResponses,
 			"DNS responses sent by the frontend, per response code.", "rcode"),
 		dropped: reg.Counter(MetricFrontendDropped,
 			"UDP datagrams shed because the worker queue was full."),
 	}
 	if dot {
-		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT)}
+		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT), writeErrs: writeErrs.With(ProtoDoT)}
 	}
 	if doh {
 		inst.doh = protoInstruments{queries: queries.With(ProtoDoH), inflight: inflight.With(ProtoDoH), conns: conns.With(ProtoDoH)}

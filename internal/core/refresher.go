@@ -130,6 +130,7 @@ func (r *refresher) run() {
 // refreshCandidate is one claimed launch from a scan pass.
 type refreshCandidate struct {
 	key   string
+	spec  wireSpec
 	regen func(context.Context) (*Pool, error)
 	hits  uint64
 }
@@ -164,7 +165,7 @@ func (r *refresher) scan() int {
 		if en.Hits-st.hitsSeen < r.minHits || !r.claimLocked(st, now) {
 			continue
 		}
-		cands = append(cands, refreshCandidate{key: en.Key, regen: en.Val.regen, hits: en.Hits})
+		cands = append(cands, refreshCandidate{key: en.Key, spec: en.Val.spec, regen: en.Val.regen, hits: en.Hits})
 	}
 	// Prune bookkeeping for keys the cache no longer holds so evicted
 	// entries cannot leak state forever.
@@ -177,7 +178,7 @@ func (r *refresher) scan() int {
 
 	launched := 0
 	for _, c := range cands {
-		if !r.launch(c.key, c.regen, c.hits) {
+		if !r.launch(c.key, c.spec, c.regen, c.hits) {
 			// The engine is closing; undo the remaining claims.
 			r.mu.Lock()
 			for _, rest := range cands[launched:] {
@@ -219,7 +220,7 @@ func (r *refresher) claimLocked(st *refreshState, now time.Time) bool {
 // a refresh already in flight, a backed-off failure streak, or the
 // concurrency cap. Without this, every stale hit would re-fan-out to
 // resolvers the backoff just decided to leave alone.
-func (r *refresher) tryRefreshStale(key string, regen func(context.Context) (*Pool, error)) {
+func (r *refresher) tryRefreshStale(key string, spec wireSpec, regen func(context.Context) (*Pool, error)) {
 	now := r.eng.now()
 	r.mu.Lock()
 	st := r.stateFor(key)
@@ -230,7 +231,7 @@ func (r *refresher) tryRefreshStale(key string, regen func(context.Context) (*Po
 	r.mu.Unlock()
 	// hitsAtLaunch 0: a stale-triggered refresh proves live traffic, so
 	// it must not advance the popularity baseline.
-	if !r.launch(key, regen, 0) {
+	if !r.launch(key, spec, regen, 0) {
 		r.mu.Lock()
 		st.inflight = false
 		r.inflight--
@@ -258,7 +259,7 @@ func (r *refresher) due(en dnscache.Entry[*poolEntry]) bool {
 // refresh shares the engine's singleflight group, so a concurrent inline
 // miss for the same key coalesces onto it rather than doubling the
 // fan-out.
-func (r *refresher) launch(key string, regen func(context.Context) (*Pool, error), hitsAtLaunch uint64) bool {
+func (r *refresher) launch(key string, spec wireSpec, regen func(context.Context) (*Pool, error), hitsAtLaunch uint64) bool {
 	e := r.eng
 	e.refreshMu.Lock()
 	if e.closed {
@@ -272,7 +273,7 @@ func (r *refresher) launch(key string, regen func(context.Context) (*Pool, error
 	e.inst.refreshAttempts.Inc()
 	go func() {
 		defer e.refreshWG.Done()
-		p, err := e.fetch(context.Background(), key, regen, true)
+		p, err := e.fetch(context.Background(), key, spec, regen, true)
 		if err == nil && p != nil && p.TTL == 0 {
 			// The run succeeded but produced an uncacheable pool
 			// (TTL 0): nothing replaced the dying entry, and without

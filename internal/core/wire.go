@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"dohpool/internal/dnscache"
+	"dohpool/internal/dnswire"
+	"dohpool/internal/metrics"
+)
+
+// This file is the engine half of the wire-format answer cache: pool
+// generations pre-encode the response the frontend will serve, so a
+// cached UDP hit becomes a memcpy plus a three-field patch (transaction
+// ID, RD/CD echo, aged TTLs) instead of a decode → build → encode round
+// trip. Entries live exactly as long as their pool cache entry and are
+// replaced whenever a generation publishes a new pool — the frontend
+// can never serve bytes from a superseded generation.
+
+// buildWireEntry pre-encodes the full and truncated response forms for
+// one freshly generated pool. The message mirrors the slow path
+// (Frontend.respond + handleUDP truncation) field for field: QR set,
+// RA set, RD/CD clear (patched per query), ID 0 (patched per query),
+// answers carrying the pool TTL. It returns nil when the pool cannot be
+// encoded (a pool large enough to overflow the 64 KiB message limit);
+// such keys simply stay on the slow path.
+func buildWireEntry(spec wireSpec, p *Pool, majority bool, now time.Time) *dnscache.WireEntry {
+	ttl := p.TTL
+	if ttl == 0 {
+		// Unreachable for cached pools (TTL-0 pools are never stored),
+		// but kept identical to respond's guard.
+		ttl = DefaultPoolTTL
+	}
+	name := dnswire.CanonicalName(spec.domain)
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			Response:           true,
+			Opcode:             dnswire.OpcodeQuery,
+			RecursionAvailable: true,
+		},
+		Questions: []dnswire.Question{{Name: name, Type: spec.typ, Class: dnswire.ClassINET}},
+	}
+	addrs := p.Addrs
+	if majority {
+		addrs = p.Majority
+	}
+	for _, a := range addrs {
+		resp.Answers = append(resp.Answers, dnswire.AddressRecord(name, a, ttl))
+	}
+	full, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	offsets, err := dnswire.AnswerTTLOffsets(full)
+	if err != nil {
+		return nil
+	}
+	trimmed := resp.Copy()
+	trimmed.Answers = nil
+	trimmed.Authority = nil
+	trimmed.Additional = nil
+	trimmed.Header.Truncated = true
+	trunc, err := trimmed.Encode()
+	if err != nil {
+		return nil
+	}
+	return &dnscache.WireEntry{
+		Full:       full,
+		Truncated:  trunc,
+		TTLOffsets: offsets,
+		TTL:        ttl,
+		Stored:     now,
+		Expires:    now.Add(p.ttlDuration()),
+	}
+}
+
+// WireLookup returns the live pre-encoded answer for an engine cache
+// key (built by the frontend directly from query bytes) together with
+// the entry's age, for TTL patching. It allocates nothing — this is the
+// frontend's per-datagram fast path.
+func (e *Engine) WireLookup(key []byte) (*dnscache.WireEntry, time.Duration, bool) {
+	if e.wire == nil {
+		return nil, 0, false
+	}
+	en, ok := e.wire.Get(key)
+	if !ok {
+		return nil, 0, false
+	}
+	// A wire hit must still count as traffic on the pool entry: the
+	// refresher's popularity gate and the pool cache's LRU would
+	// otherwise see a red-hot key as idle and let it expire or evict.
+	e.cache.Touch(key)
+	return en, e.now().Sub(en.Stored), true
+}
+
+// registerWireMetrics surfaces the wire cache's counters, read live at
+// exposition time like the pool cache's.
+func registerWireMetrics(reg *metrics.Registry, wire *dnscache.WireCache) {
+	if reg == nil || wire == nil {
+		return
+	}
+	reg.CounterFunc(MetricWireCacheHits, "Frontend queries answered from the pre-encoded wire cache (memcpy + ID/flags/TTL patch).",
+		func() float64 { return float64(wire.Stats().Hits) })
+	reg.CounterFunc(MetricWireCacheMisses, "Wire-cache lookups that fell through to the decode-encode slow path.",
+		func() float64 { return float64(wire.Stats().Misses) })
+	reg.GaugeFunc(MetricWireCacheEntries, "Pre-encoded answers currently resident in the wire cache.",
+		func() float64 { return float64(wire.Len()) })
+}

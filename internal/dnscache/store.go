@@ -198,6 +198,21 @@ func (s *Store[V]) shardFor(key string) *shard[V] {
 	return s.shards[h&s.mask]
 }
 
+// shardForBytes is shardFor for a byte-view key (same FNV-1a, so both
+// spellings of a key land on the same shard).
+func (s *Store[V]) shardForBytes(key []byte) *shard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[h&s.mask]
+}
+
 // ShardCount returns the number of lock domains.
 func (s *Store[V]) ShardCount() int { return len(s.shards) }
 
@@ -296,6 +311,35 @@ func (s *Store[V]) GetStale(key string, maxStale time.Duration) (val V, age time
 	e.hits.Add(1)
 	sh.hits.Add(1)
 	return e.val, now.Sub(e.stored), stale, true
+}
+
+// Touch records a lookup served on key's behalf by an external fast
+// path (the engine's pre-encoded wire cache): the entry's own popularity
+// counter is bumped and its LRU position refreshed, exactly as a Get
+// would, but the shard's hit/miss statistics are untouched — the fast
+// path has its own counters, and a Touch is not a second lookup. The
+// key is a byte view so the caller's per-datagram path stays
+// allocation-free (the map index compiles to a no-copy lookup). A key
+// not present is a no-op.
+func (s *Store[V]) Touch(key []byte) {
+	sh := s.shardForBytes(key)
+	sh.mu.RLock()
+	el, found := sh.entries[string(key)]
+	if !found {
+		sh.mu.RUnlock()
+		return
+	}
+	e := el.Value.(*storeEntry[V])
+	e.hits.Add(1)
+	atFront := sh.lru.Front() == el
+	sh.mu.RUnlock()
+	if !atFront {
+		sh.mu.Lock()
+		if sh.entries[string(key)] == el {
+			sh.lru.MoveToFront(el)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // promote moves el to the front of the shard's LRU under the write lock,

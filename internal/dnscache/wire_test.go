@@ -1,0 +1,137 @@
+package dnscache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testWireEntry(ttl uint32, stored time.Time) *WireEntry {
+	return &WireEntry{
+		Full:      []byte{0, 0, 0x80, 0, 0, 1, 0, 1, 0, 0, 0, 0},
+		Truncated: []byte{0, 0, 0x82, 0, 0, 1, 0, 0, 0, 0, 0, 0},
+		TTL:       ttl,
+		Stored:    stored,
+		Expires:   stored.Add(time.Duration(ttl) * time.Second),
+	}
+}
+
+func TestWireCachePutGetInvalidate(t *testing.T) {
+	now := time.Now()
+	c := NewWireCache(64, 4, func() time.Time { return now })
+	key := "pool.ntp.org.|1"
+	if _, ok := c.Get([]byte(key)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	e := testWireEntry(60, now)
+	c.Put(key, e)
+	got, ok := c.Get([]byte(key))
+	if !ok || got != e {
+		t.Fatal("stored entry not returned")
+	}
+	c.Invalidate(key)
+	if _, ok := c.Get([]byte(key)); ok {
+		t.Fatal("hit after Invalidate")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
+	}
+}
+
+func TestWireCacheExpiry(t *testing.T) {
+	now := time.Now()
+	c := NewWireCache(64, 1, func() time.Time { return now })
+	c.Put("k|1", testWireEntry(5, now))
+	if _, ok := c.Get([]byte("k|1")); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(5 * time.Second) // exactly at expiry: dead
+	if _, ok := c.Get([]byte("k|1")); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not removed, len=%d", c.Len())
+	}
+}
+
+func TestWireCacheCapacityBound(t *testing.T) {
+	now := time.Now()
+	c := NewWireCache(16, 1, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("key-%d|1", i), testWireEntry(60, now))
+	}
+	if n := c.Len(); n > 16 {
+		t.Fatalf("len=%d exceeds capacity 16", n)
+	}
+}
+
+func TestWireCacheCapacitySweepPrefersExpired(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := NewWireCache(16, 1, clock)
+	c.Put("live|1", testWireEntry(3600, now))
+	for i := 0; i < 15; i++ {
+		c.Put(fmt.Sprintf("dead-%d|1", i), testWireEntry(1, now))
+	}
+	now = now.Add(2 * time.Second)
+	c.Put("fresh|1", testWireEntry(3600, now))
+	if _, ok := c.Get([]byte("live|1")); !ok {
+		t.Fatal("live entry evicted while expired entries were resident")
+	}
+	if _, ok := c.Get([]byte("fresh|1")); !ok {
+		t.Fatal("fresh entry not stored")
+	}
+}
+
+func TestWireCacheGetAllocatesNothing(t *testing.T) {
+	now := time.Now()
+	c := NewWireCache(64, 4, func() time.Time { return now })
+	c.Put("pool.ntp.org.|1", testWireEntry(60, now))
+	key := []byte("pool.ntp.org.|1")
+	miss := []byte("other.example.|28")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get(key); !ok {
+			t.Fatal("miss on stored key")
+		}
+		if _, ok := c.Get(miss); ok {
+			t.Fatal("hit on absent key")
+		}
+	}); n != 0 {
+		t.Fatalf("Get allocates %v per run, want 0", n)
+	}
+}
+
+func TestWireCacheConcurrent(t *testing.T) {
+	c := NewWireCache(256, 8, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key-%d|1", i%32)
+				switch i % 3 {
+				case 0:
+					c.Put(key, testWireEntry(60, time.Now()))
+				case 1:
+					c.Get([]byte(key))
+				default:
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWireEntryForm(t *testing.T) {
+	e := &WireEntry{Full: make([]byte, 700), Truncated: make([]byte, 31)}
+	if w, tc := e.Form(700); tc || len(w) != 700 {
+		t.Fatal("full form should fit exactly at its own length")
+	}
+	if w, tc := e.Form(699); !tc || len(w) != 31 {
+		t.Fatal("one byte short must yield the truncated form")
+	}
+}

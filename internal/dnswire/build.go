@@ -76,7 +76,8 @@ func (m *Message) EDNSSize() (uint16, bool) {
 }
 
 // NewResponse builds a response skeleton for the given query: same ID and
-// question, QR set, recursion bits mirrored.
+// question, QR set, recursion bits mirrored, CD echoed (RFC 4035
+// §3.2.2).
 func NewResponse(query *Message) *Message {
 	resp := &Message{
 		Header: Header{
@@ -84,6 +85,7 @@ func NewResponse(query *Message) *Message {
 			Response:         true,
 			Opcode:           query.Header.Opcode,
 			RecursionDesired: query.Header.RecursionDesired,
+			CheckingDisabled: query.Header.CheckingDisabled,
 		},
 	}
 	resp.Questions = append(resp.Questions, query.Questions...)

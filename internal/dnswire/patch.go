@@ -1,0 +1,122 @@
+package dnswire
+
+import "fmt"
+
+// Wire-patching primitives for the frontend's pre-encoded answer cache.
+// A cached hit is served by copying stored response bytes and patching
+// the few octets that depend on the individual query — transaction ID,
+// the RD/CD echo bits, and the aged answer TTLs — instead of running the
+// decode → build → encode round trip. Every helper here operates on raw
+// wire bytes and allocates nothing.
+
+// Flag-byte masks within the 12-octet header (RFC 1035 §4.1.1). Byte 2
+// holds QR/Opcode/AA/TC/RD, byte 3 holds RA/Z/AD/CD/RCode.
+const (
+	flagByteRD = 0x01 // bit 8 of the flags word, low bit of byte 2
+	flagByteTC = 0x02 // bit 9 of the flags word
+	flagByteCD = 0x10 // bit 4 of the flags word, in byte 3
+)
+
+// PatchID overwrites the transaction ID of an encoded message in place.
+// The slice must hold at least the 12-octet header.
+func PatchID(wire []byte, id uint16) {
+	wire[0] = byte(id >> 8)
+	wire[1] = byte(id)
+}
+
+// WireID returns the transaction ID of an encoded message.
+func WireID(wire []byte) uint16 {
+	return uint16(wire[0])<<8 | uint16(wire[1])
+}
+
+// EchoFlags copies the RD and CD bits of an encoded query into an
+// encoded response in place, leaving every other response flag bit
+// untouched. These are the only header flags a response echoes verbatim
+// from its query (RFC 1035 §4.1.1 for RD, RFC 4035 §3.2.2 for CD), so
+// together with PatchID they make one stored response form serve every
+// client.
+func EchoFlags(resp, query []byte) {
+	resp[2] = resp[2]&^flagByteRD | query[2]&flagByteRD
+	resp[3] = resp[3]&^flagByteCD | query[3]&flagByteCD
+}
+
+// WireTruncated reports whether an encoded message has the TC bit set.
+func WireTruncated(wire []byte) bool {
+	return wire[2]&flagByteTC != 0
+}
+
+// skipName advances past one (possibly compressed) encoded name starting
+// at off and returns the offset of the first byte after it. It does not
+// follow pointers — it only needs the in-stream length.
+func skipName(wire []byte, off int) (int, error) {
+	pos := off
+	for {
+		if pos >= len(wire) {
+			return 0, fmt.Errorf("offset %d: %w", pos, ErrTruncatedName)
+		}
+		c := int(wire[pos])
+		switch {
+		case c == 0:
+			return pos + 1, nil
+		case c&0xC0 == 0xC0:
+			if pos+1 >= len(wire) {
+				return 0, fmt.Errorf("offset %d: %w", pos, ErrTruncatedName)
+			}
+			return pos + 2, nil
+		case c&0xC0 != 0:
+			return 0, fmt.Errorf("offset %d: %w", pos, ErrBadLabelLength)
+		default:
+			pos += 1 + c
+		}
+	}
+}
+
+// AnswerTTLOffsets walks an encoded message and returns the byte offset
+// of every answer record's 4-octet TTL field. The offsets stay valid for
+// any byte-for-byte copy of the message, which is how the wire cache
+// ages TTLs on served copies without re-encoding.
+func AnswerTTLOffsets(wire []byte) ([]int, error) {
+	if len(wire) < 12 {
+		return nil, fmt.Errorf("message of %d octets: %w", len(wire), ErrTruncatedMessage)
+	}
+	qd := int(readUint16(wire, 4))
+	an := int(readUint16(wire, 6))
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		if off, err = skipName(wire, off); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		off += 4 // QTYPE + QCLASS
+		if off > len(wire) {
+			return nil, fmt.Errorf("question %d: %w", i, ErrTruncatedMessage)
+		}
+	}
+	offsets := make([]int, 0, an)
+	for i := 0; i < an; i++ {
+		if off, err = skipName(wire, off); err != nil {
+			return nil, fmt.Errorf("answer %d: %w", i, err)
+		}
+		if off+10 > len(wire) {
+			return nil, fmt.Errorf("answer %d fixed fields: %w", i, ErrTruncatedMessage)
+		}
+		offsets = append(offsets, off+4)
+		rdLen := int(readUint16(wire, off+8))
+		off += 10 + rdLen
+		if off > len(wire) {
+			return nil, fmt.Errorf("answer %d rdata: %w", i, ErrTruncatedMessage)
+		}
+	}
+	return offsets, nil
+}
+
+// PatchAnswerTTLs writes ttl into wire at each offset previously found
+// by AnswerTTLOffsets.
+func PatchAnswerTTLs(wire []byte, offsets []int, ttl uint32) {
+	for _, off := range offsets {
+		wire[off] = byte(ttl >> 24)
+		wire[off+1] = byte(ttl >> 16)
+		wire[off+2] = byte(ttl >> 8)
+		wire[off+3] = byte(ttl)
+	}
+}

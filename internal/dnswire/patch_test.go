@@ -1,0 +1,142 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// testResponseWire builds an encoded response with the given answer count
+// and TTL, returning the wire bytes and the decoded form.
+func testResponseWire(t *testing.T, answers int, ttl uint32) []byte {
+	t.Helper()
+	q, err := NewQuery("pool.ntp.org", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewResponse(q)
+	resp.Header.RecursionAvailable = true
+	for i := 0; i < answers; i++ {
+		addr := netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})
+		resp.Answers = append(resp.Answers, AddressRecord("pool.ntp.org", addr, ttl))
+	}
+	wire, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestPatchID(t *testing.T) {
+	wire := testResponseWire(t, 2, 60)
+	PatchID(wire, 0xBEEF)
+	if got := WireID(wire); got != 0xBEEF {
+		t.Fatalf("WireID = %#x, want 0xBEEF", got)
+	}
+	m, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.ID != 0xBEEF {
+		t.Fatalf("decoded ID = %#x, want 0xBEEF", m.Header.ID)
+	}
+}
+
+func TestEchoFlags(t *testing.T) {
+	cases := []struct{ rd, cd bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+	for _, tc := range cases {
+		q, err := NewQuery("pool.ntp.org", TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Header.RecursionDesired = tc.rd
+		q.Header.CheckingDisabled = tc.cd
+		qwire, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stored form: RD/CD clear, RA set.
+		resp := testResponseWire(t, 1, 60)
+		resp[2] &^= flagByteRD
+		resp[3] &^= flagByteCD
+		EchoFlags(resp, qwire)
+		m, err := Decode(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Header.RecursionDesired != tc.rd || m.Header.CheckingDisabled != tc.cd {
+			t.Fatalf("rd=%t cd=%t after echo, want rd=%t cd=%t",
+				m.Header.RecursionDesired, m.Header.CheckingDisabled, tc.rd, tc.cd)
+		}
+		if !m.Header.Response || !m.Header.RecursionAvailable {
+			t.Fatal("EchoFlags clobbered non-echoed flag bits")
+		}
+	}
+}
+
+func TestAnswerTTLOffsetsAndPatch(t *testing.T) {
+	for _, answers := range []int{0, 1, 3, 7} {
+		wire := testResponseWire(t, answers, 300)
+		offsets, err := AnswerTTLOffsets(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(offsets) != answers {
+			t.Fatalf("%d answers: got %d offsets", answers, len(offsets))
+		}
+		PatchAnswerTTLs(wire, offsets, 42)
+		m, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range m.Answers {
+			if r.TTL != 42 {
+				t.Fatalf("answer TTL = %d, want 42", r.TTL)
+			}
+		}
+		// Patching TTLs must not disturb the rest of the message.
+		ref := testResponseWire(t, answers, 42)
+		PatchID(ref, WireID(wire))
+		if !bytes.Equal(wire, ref) {
+			t.Fatal("TTL patch produced different bytes than encoding with that TTL")
+		}
+	}
+}
+
+func TestAnswerTTLOffsetsRejectsTruncated(t *testing.T) {
+	wire := testResponseWire(t, 2, 60)
+	for _, cut := range []int{4, 11, 14, len(wire) - 3} {
+		if _, err := AnswerTTLOffsets(wire[:cut]); err == nil {
+			t.Fatalf("cut at %d: want error", cut)
+		}
+	}
+}
+
+func TestWireTruncated(t *testing.T) {
+	wire := testResponseWire(t, 1, 60)
+	if WireTruncated(wire) {
+		t.Fatal("TC set on untruncated response")
+	}
+	wire[2] |= flagByteTC
+	if !WireTruncated(wire) {
+		t.Fatal("TC not observed")
+	}
+}
+
+func TestPatchHelpersAllocateNothing(t *testing.T) {
+	wire := testResponseWire(t, 3, 60)
+	offsets, err := AnswerTTLOffsets(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := testResponseWire(t, 0, 60)
+	if n := testing.AllocsPerRun(100, func() {
+		PatchID(wire, 7)
+		EchoFlags(wire, query)
+		PatchAnswerTTLs(wire, offsets, 9)
+	}); n != 0 {
+		t.Fatalf("patch helpers allocate %v per run, want 0", n)
+	}
+}

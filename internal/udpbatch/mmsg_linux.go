@@ -1,0 +1,242 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+const mmsgSupported = true
+
+// soDomain is SO_DOMAIN, absent from the frozen syscall package: the
+// socket's address family as getsockopt reports it, used to pick the
+// sockaddr family sendmmsg destinations must carry (an AF_INET6 socket
+// — including a dual-stack wildcard bind — takes only v6, possibly
+// v4-mapped, sockaddrs).
+const soDomain = 0x27
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: a msghdr plus the
+// kernel-reported datagram length, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// mmsgHalf is one direction's preallocated syscall state. Each half is
+// owned by exactly one goroutine (Conn documents the reader/writer
+// split), so no locking is needed. The RawConn callback is bound once
+// at construction and communicates through the n/done/sysErr fields —
+// building a fresh closure per call would put one closure plus its
+// escaped captures on the heap every batch, and this path must stay
+// allocation-free.
+type mmsgHalf struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+
+	n      int // datagrams staged for this call
+	done   int // datagrams the kernel has accepted so far
+	sysErr syscall.Errno
+	fn     func(fd uintptr) bool
+}
+
+func newMMsgHalf(batch int, sysnum uintptr) *mmsgHalf {
+	h := &mmsgHalf{
+		hdrs:  make([]mmsghdr, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		names: make([]syscall.RawSockaddrInet6, batch),
+	}
+	for i := range h.hdrs {
+		h.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&h.names[i]))
+		h.hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(h.names[i]))
+		h.hdrs[i].hdr.Iov = &h.iovs[i]
+		h.hdrs[i].hdr.Iovlen = 1
+	}
+	h.fn = func(fd uintptr) bool {
+		for h.done < h.n {
+			r1, _, errno := syscall.Syscall6(sysnum, fd,
+				uintptr(unsafe.Pointer(&h.hdrs[h.done])), uintptr(h.n-h.done),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case 0:
+				h.done += int(r1)
+				if sysnum == sysRecvmmsg {
+					// One recvmmsg per batch: whatever was immediately
+					// readable is the batch; don't block for more.
+					return true
+				}
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			default:
+				h.sysErr = errno
+				return true
+			}
+		}
+		return true
+	}
+	return h
+}
+
+// stage resets the per-call fields for a batch of n datagrams.
+func (h *mmsgHalf) stage(n int) {
+	h.n = n
+	h.done = 0
+	h.sysErr = 0
+}
+
+// mmsgState drives recvmmsg/sendmmsg through the conn's RawConn, which
+// keeps the runtime netpoller in charge of readiness, deadlines and
+// close wake-ups: the syscalls themselves run with MSG_DONTWAIT and
+// EAGAIN hands control back to the poller.
+type mmsgState struct {
+	rc syscall.RawConn
+	r  *mmsgHalf
+	w  *mmsgHalf
+	v4 bool // AF_INET socket: destinations use sockaddr_in
+}
+
+func newMMsgState(c *net.UDPConn, batch int) (*mmsgState, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	s := &mmsgState{rc: rc, r: newMMsgHalf(batch, sysRecvmmsg), w: newMMsgHalf(batch, sysSendmmsg)}
+	var domain int
+	var sockErr error
+	if err := rc.Control(func(fd uintptr) {
+		domain, sockErr = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, soDomain)
+	}); err != nil {
+		return nil, err
+	}
+	if sockErr != nil {
+		return nil, sockErr
+	}
+	s.v4 = domain == syscall.AF_INET
+	return s, nil
+}
+
+func (s *mmsgState) readBatch(dgs []*Datagram) (int, error) {
+	h := s.r
+	n := len(dgs)
+	if n > len(h.hdrs) {
+		n = len(h.hdrs)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	for i := 0; i < n; i++ {
+		buf := dgs[i].Buf
+		h.iovs[i].Base = &buf[0]
+		h.iovs[i].SetLen(len(buf))
+		h.hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(h.names[i]))
+		h.hdrs[i].len = 0
+	}
+	h.stage(n)
+	err := s.rc.Read(h.fn)
+	runtime.KeepAlive(dgs)
+	if err != nil {
+		return 0, err
+	}
+	if h.sysErr != 0 {
+		return 0, h.sysErr
+	}
+	got := h.done
+	for i := 0; i < got; i++ {
+		dgs[i].N = int(h.hdrs[i].len)
+		rawToAddr(&h.names[i], dgs[i].Addr)
+	}
+	return got, nil
+}
+
+func (s *mmsgState) writeBatch(dgs []*Datagram) (int, error) {
+	total := 0
+	for total < len(dgs) {
+		chunk := dgs[total:]
+		if len(chunk) > len(s.w.hdrs) {
+			chunk = chunk[:len(s.w.hdrs)]
+		}
+		n, err := s.writeChunk(chunk)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (s *mmsgState) writeChunk(dgs []*Datagram) (int, error) {
+	h := s.w
+	for i, dg := range dgs {
+		h.iovs[i].Base = &dg.Buf[0]
+		h.iovs[i].SetLen(dg.N)
+		namelen, err := s.addrToRaw(dg.Addr, &h.names[i])
+		if err != nil {
+			return 0, err
+		}
+		h.hdrs[i].hdr.Namelen = namelen
+	}
+	h.stage(len(dgs))
+	err := s.rc.Write(h.fn)
+	runtime.KeepAlive(dgs)
+	if err == nil && h.sysErr != 0 {
+		err = h.sysErr
+	}
+	return h.done, err
+}
+
+// rawToAddr rewrites dst in place from the kernel-filled sockaddr,
+// reusing dst.IP's backing so the conversion allocates nothing.
+func rawToAddr(sa *syscall.RawSockaddrInet6, dst *net.UDPAddr) {
+	if sa.Family == syscall.AF_INET {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		dst.IP = append(dst.IP[:0], sa4.Addr[:]...)
+		dst.Port = int(p[0])<<8 | int(p[1])
+	} else {
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		dst.IP = append(dst.IP[:0], sa.Addr[:]...)
+		dst.Port = int(p[0])<<8 | int(p[1])
+	}
+	dst.Zone = ""
+}
+
+// addrToRaw fills sa with a's sockaddr form in the socket's own family,
+// v4-mapping IPv4 destinations on an AF_INET6 socket.
+func (s *mmsgState) addrToRaw(a *net.UDPAddr, sa *syscall.RawSockaddrInet6) (uint32, error) {
+	ip4 := a.IP.To4()
+	if s.v4 {
+		if ip4 == nil {
+			return 0, fmt.Errorf("udpbatch: %v is not an IPv4 destination for an AF_INET socket", a.IP)
+		}
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		sa4.Family = syscall.AF_INET
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		p[0], p[1] = byte(a.Port>>8), byte(a.Port)
+		copy(sa4.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, nil
+	}
+	sa.Family = syscall.AF_INET6
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(a.Port>>8), byte(a.Port)
+	sa.Scope_id = 0
+	sa.Flowinfo = 0
+	if ip4 != nil {
+		var mapped [16]byte
+		mapped[10], mapped[11] = 0xFF, 0xFF
+		copy(mapped[12:], ip4)
+		sa.Addr = mapped
+	} else {
+		if len(a.IP) != 16 {
+			return 0, fmt.Errorf("udpbatch: destination IP %v has length %d", a.IP, len(a.IP))
+		}
+		copy(sa.Addr[:], a.IP)
+	}
+	return syscall.SizeofSockaddrInet6, nil
+}

@@ -1,0 +1,22 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udpbatch
+
+import (
+	"errors"
+	"net"
+)
+
+const mmsgSupported = false
+
+var errUnsupported = errors.New("udpbatch: mmsg batching unsupported on this platform")
+
+// mmsgState is never instantiated off the Linux amd64/arm64 path; the
+// stubs keep the portable build compiling.
+type mmsgState struct{}
+
+func newMMsgState(*net.UDPConn, int) (*mmsgState, error) { return nil, errUnsupported }
+
+func (*mmsgState) readBatch([]*Datagram) (int, error) { return 0, errUnsupported }
+
+func (*mmsgState) writeBatch([]*Datagram) (int, error) { return 0, errUnsupported }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udpbatch
+
+// The frozen syscall package predates sendmmsg(2) on amd64, so both
+// batch syscall numbers are pinned here (arch/x86/entry/syscalls).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpbatch
+
+// Batch syscall numbers for the arm64 generic syscall table.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

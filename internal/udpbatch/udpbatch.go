@@ -1,0 +1,129 @@
+// Package udpbatch moves batches of UDP datagrams with one syscall per
+// batch where the platform allows it. On Linux (amd64/arm64) it drives
+// recvmmsg(2)/sendmmsg(2) through the net.UDPConn's RawConn in
+// non-blocking mode, so the runtime netpoller still handles readiness
+// and deadline/close semantics; everywhere else — and whenever the
+// batch size is 1 — it degrades to the portable one-datagram-per-
+// syscall net API with identical semantics. The DNS frontend sits on
+// this to amortise syscall cost across datagram bursts without forking
+// its serving loop per platform.
+package udpbatch
+
+import (
+	"net"
+	"net/netip"
+)
+
+// DefaultBatch is the batch size used when a caller passes 0: large
+// enough that a flood amortises syscalls well, small enough that the
+// per-Conn preallocated buffers stay negligible.
+const DefaultBatch = 16
+
+// Datagram is one datagram's buffer and peer address, owned by the
+// caller and reused across calls so the steady state allocates nothing.
+type Datagram struct {
+	// Buf is the payload backing. ReadBatch fills it (a datagram longer
+	// than the buffer is truncated by the kernel, exactly as with
+	// ReadFromUDP); WriteBatch sends Buf[:N].
+	Buf []byte
+	// N is the payload length: set by ReadBatch, read by WriteBatch.
+	N int
+	// Addr is the peer. ReadBatch fills it IN PLACE — callers must
+	// provide a non-nil *net.UDPAddr whose IP has capacity 16 so the
+	// rewrite cannot allocate. WriteBatch reads it as the destination.
+	Addr *net.UDPAddr
+}
+
+// Conn wraps a *net.UDPConn with batched reads and writes. Read state
+// and write state are disjoint, so one reader goroutine and one writer
+// goroutine may use a Conn concurrently; multiple concurrent readers
+// (or writers) must not.
+type Conn struct {
+	udp   *net.UDPConn
+	batch int
+	mmsg  *mmsgState // nil when the platform path is unavailable or batch == 1
+}
+
+// New wraps c for batched I/O with the given batch size (0 uses
+// DefaultBatch, 1 forces the portable single-syscall path even on
+// Linux).
+func New(c *net.UDPConn, batch int) (*Conn, error) {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	conn := &Conn{udp: c, batch: batch}
+	if batch > 1 && mmsgSupported {
+		st, err := newMMsgState(c, batch)
+		if err != nil {
+			// Raw access denied (exotic socket): fall back silently.
+			conn.batch = 1
+		} else {
+			conn.mmsg = st
+		}
+	}
+	if conn.mmsg == nil {
+		conn.batch = 1
+	}
+	return conn, nil
+}
+
+// Batching reports whether the platform batch path is active.
+func (c *Conn) Batching() bool { return c.mmsg != nil }
+
+// BatchSize returns how many datagrams one ReadBatch/WriteBatch call can
+// move: the configured batch on the Linux path, 1 on the portable path.
+func (c *Conn) BatchSize() int { return c.batch }
+
+// ReadBatch blocks until at least one datagram arrives, then fills as
+// many of dgs as are immediately readable (at most BatchSize) and
+// returns the count. Errors are those of the underlying conn (including
+// closure and deadlines).
+func (c *Conn) ReadBatch(dgs []*Datagram) (int, error) {
+	if c.mmsg != nil {
+		return c.mmsg.readBatch(dgs)
+	}
+	if len(dgs) == 0 {
+		return 0, nil
+	}
+	dg := dgs[0]
+	n, ap, err := c.udp.ReadFromUDPAddrPort(dg.Buf)
+	if err != nil {
+		return 0, err
+	}
+	dg.N = n
+	setAddr(dg.Addr, ap)
+	return 1, nil
+}
+
+// WriteBatch sends every datagram in dgs and returns how many went out.
+// A send error stops the batch and reports the remaining count through
+// (sent, err).
+func (c *Conn) WriteBatch(dgs []*Datagram) (int, error) {
+	if c.mmsg != nil {
+		return c.mmsg.writeBatch(dgs)
+	}
+	for i, dg := range dgs {
+		if _, err := c.udp.WriteToUDPAddrPort(dg.Buf[:dg.N], dg.Addr.AddrPort()); err != nil {
+			return i, err
+		}
+	}
+	return len(dgs), nil
+}
+
+// setAddr rewrites dst in place from the kernel-reported address,
+// reusing dst.IP's backing so the conversion allocates nothing (the
+// netip read/write variants are used on the portable path for the same
+// reason: the *net.UDPAddr-returning forms allocate a fresh address per
+// call).
+func setAddr(dst *net.UDPAddr, ap netip.AddrPort) {
+	a := ap.Addr()
+	if a.Is4() {
+		b := a.As4()
+		dst.IP = append(dst.IP[:0], b[:]...)
+	} else {
+		b := a.As16()
+		dst.IP = append(dst.IP[:0], b[:]...)
+	}
+	dst.Port = int(ap.Port())
+	dst.Zone = a.Zone()
+}

@@ -1,0 +1,197 @@
+package udpbatch
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// newTestDatagrams builds n reusable datagrams with preallocated
+// address backing, as the frontend does.
+func newTestDatagrams(n, bufSize int) []*Datagram {
+	dgs := make([]*Datagram, n)
+	for i := range dgs {
+		dgs[i] = &Datagram{
+			Buf:  make([]byte, bufSize),
+			Addr: &net.UDPAddr{IP: make(net.IP, 0, 16)},
+		}
+	}
+	return dgs
+}
+
+func listenPair(t *testing.T, network, addr string) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	a, err := net.ListenUDP(network, &net.UDPAddr{IP: net.ParseIP(addr)})
+	if err != nil {
+		t.Skipf("listen %s %s: %v", network, addr, err)
+	}
+	b, err := net.ListenUDP(network, &net.UDPAddr{IP: net.ParseIP(addr)})
+	if err != nil {
+		a.Close()
+		t.Skipf("listen %s %s: %v", network, addr, err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func testRoundTrip(t *testing.T, network, addr string, batch int) {
+	ca, cb := listenPair(t, network, addr)
+	sender, err := New(ca, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := New(cb, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 10
+	out := newTestDatagrams(total, 64)
+	dst := cb.LocalAddr().(*net.UDPAddr)
+	for i, dg := range out {
+		payload := fmt.Sprintf("datagram-%d", i)
+		dg.N = copy(dg.Buf, payload)
+		dg.Addr = dst
+	}
+	sent, err := sender.WriteBatch(out)
+	if err != nil || sent != total {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", sent, err, total)
+	}
+
+	in := newTestDatagrams(receiver.BatchSize(), 64)
+	got := map[string]bool{}
+	cb.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < total {
+		n, err := receiver.ReadBatch(in)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", len(got), err)
+		}
+		for i := 0; i < n; i++ {
+			got[string(in[i].Buf[:in[i].N])] = true
+			if in[i].Addr.Port != ca.LocalAddr().(*net.UDPAddr).Port {
+				t.Fatalf("peer port %d, want %d", in[i].Addr.Port, ca.LocalAddr().(*net.UDPAddr).Port)
+			}
+			// The reply direction must work with the kernel-filled addr.
+			reply := &Datagram{Buf: []byte("ack"), N: 3, Addr: in[i].Addr}
+			if _, err := receiver.WriteBatch([]*Datagram{reply}); err != nil {
+				t.Fatalf("reply to %v: %v", in[i].Addr, err)
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		if !got[fmt.Sprintf("datagram-%d", i)] {
+			t.Fatalf("datagram-%d never arrived", i)
+		}
+	}
+
+	// Drain the acks on the sender side to confirm reply reachability.
+	ca.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ackBuf := newTestDatagrams(sender.BatchSize(), 16)
+	acks := 0
+	for acks < total {
+		n, err := sender.ReadBatch(ackBuf)
+		if err != nil {
+			t.Fatalf("ack read after %d: %v", acks, err)
+		}
+		for i := 0; i < n; i++ {
+			if string(ackBuf[i].Buf[:ackBuf[i].N]) != "ack" {
+				t.Fatalf("unexpected ack payload %q", ackBuf[i].Buf[:ackBuf[i].N])
+			}
+		}
+		acks += n
+	}
+}
+
+func TestRoundTripPortablePath(t *testing.T) {
+	// batch 1 forces the single-syscall fallback on every platform.
+	testRoundTrip(t, "udp4", "127.0.0.1", 1)
+}
+
+func TestRoundTripBatchIPv4(t *testing.T) {
+	testRoundTrip(t, "udp4", "127.0.0.1", 8)
+}
+
+func TestRoundTripBatchIPv6(t *testing.T) {
+	testRoundTrip(t, "udp6", "::1", 8)
+}
+
+func TestBatchingReported(t *testing.T) {
+	ca, _ := listenPair(t, "udp4", "127.0.0.1")
+	one, err := New(ca, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Batching() || one.BatchSize() != 1 {
+		t.Fatal("batch 1 must use the portable path")
+	}
+	many, err := New(ca, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" && (runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64") {
+		if !many.Batching() || many.BatchSize() != 8 {
+			t.Fatal("mmsg path not active on linux")
+		}
+	} else if many.Batching() {
+		t.Fatal("mmsg path claimed on unsupported platform")
+	}
+}
+
+func TestReadBatchErrorOnClose(t *testing.T) {
+	ca, _ := listenPair(t, "udp4", "127.0.0.1")
+	c, err := New(ca, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadBatch(newTestDatagrams(c.BatchSize(), 64))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ca.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ReadBatch returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadBatch did not unblock on close")
+	}
+}
+
+func TestBatchPathsAllocateNothing(t *testing.T) {
+	if !mmsgSupported {
+		t.Skip("mmsg path unavailable")
+	}
+	ca, cb := listenPair(t, "udp4", "127.0.0.1")
+	sender, err := New(ca, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := New(cb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sender.Batching() {
+		t.Skip("raw batching unavailable")
+	}
+	dst := cb.LocalAddr().(*net.UDPAddr)
+	out := newTestDatagrams(1, 32)
+	out[0].N = copy(out[0].Buf, "ping")
+	out[0].Addr = dst
+	in := newTestDatagrams(4, 32)
+	cb.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := sender.WriteBatch(out); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := receiver.ReadBatch(in); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("batch round trip allocates %v per run, want 0", n)
+	}
+}
