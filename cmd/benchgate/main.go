@@ -20,6 +20,13 @@
 // -threshold (a fraction: 0.30 = +30%). -bench is repeatable: every
 // named benchmark is gated under the same rule, and every violation is
 // reported before the command fails.
+//
+// The slo subcommand gates a loadgen BENCH_slo.json document instead of
+// microbenchmarks: per-transport success rate and ok-series p999, with
+// an optional baseline comparison (see runSLO):
+//
+//	benchgate slo -current BENCH_slo.json -proto udp \
+//	    -min-success 0.999 -max-p999-ms 50
 package main
 
 import (
@@ -68,8 +75,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runParse(args[1:], stdin, stdout)
 	case "compare":
 		return runCompare(args[1:], stdout)
+	case "slo":
+		return runSLO(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want parse, compare or slo)", args[0])
 	}
 }
 

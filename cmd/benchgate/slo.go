@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dohpool/internal/loadgen"
+)
+
+// runSLO gates a loadgen BENCH_slo.json document: per-transport success
+// rate and tail latency, optionally against a checked-in baseline run.
+//
+//	benchgate slo -current BENCH_slo.json -proto udp \
+//	    -min-success 0.999 -max-p999-ms 50 \
+//	    -baseline BENCH_slo_baseline.json -threshold 0.5 -slack-ms 5
+//
+// Absolute gates (-min-success, -max-p999-ms) always apply. When a
+// baseline is given, the current ok-series p999 must additionally stay
+// within baseline × (1+threshold) + slack. The additive slack exists
+// because loopback percentiles sit in the tens of microseconds, where
+// scheduler jitter alone is a large *fraction* but a tiny absolute
+// cost; a pure ratio gate on a 40µs baseline would flap.
+func runSLO(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate slo", flag.ContinueOnError)
+	curPath := fs.String("current", "BENCH_slo.json", "current loadgen SLO document")
+	basePath := fs.String("baseline", "", "baseline SLO document (\"\" = absolute gates only)")
+	var protos benchList
+	fs.Var(&protos, "proto", "gated transport (repeatable; default udp)")
+	minSuccess := fs.Float64("min-success", 0.999, "minimum success rate per gated transport")
+	maxP999 := fs.Float64("max-p999-ms", 0, "absolute ok-series p999 ceiling in ms (0 = no absolute latency gate)")
+	threshold := fs.Float64("threshold", 0.5, "allowed fractional p999 regression over the baseline")
+	slackMs := fs.Float64("slack-ms", 5, "absolute headroom added to the baseline p999 limit, in ms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(protos) == 0 {
+		protos = benchList{"udp"}
+	}
+
+	cur, err := loadSLO(*curPath)
+	if err != nil {
+		return err
+	}
+	var base *loadgen.Report
+	if *basePath != "" {
+		if base, err = loadSLO(*basePath); err != nil {
+			return err
+		}
+	}
+
+	// Context first, like compare: the full current table, so the CI log
+	// always shows what the gate decided on.
+	cur.WriteTable(stdout)
+
+	var failures []string
+	for _, proto := range protos {
+		if err := gateSLO(cur, base, proto, *minSuccess, *maxP999, *threshold, *slackMs, stdout); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// gateSLO applies one transport's gates, reporting the limit actually
+// enforced so a failure log is self-explanatory.
+func gateSLO(cur, base *loadgen.Report, proto string, minSuccess, maxP999, threshold, slackMs float64, out io.Writer) error {
+	succ, ok := cur.Success[proto]
+	if !ok {
+		return fmt.Errorf("current run has no %s transport — was it in -transports?", proto)
+	}
+	if succ.Sent == 0 {
+		return fmt.Errorf("%s sent no queries", proto)
+	}
+	if succ.Rate < minSuccess {
+		return fmt.Errorf("%s success rate %.4f below %.4f (%d/%d ok)",
+			proto, succ.Rate, minSuccess, succ.OK, succ.Sent)
+	}
+	series, ok := okSeries(cur, proto)
+	if !ok {
+		return fmt.Errorf("%s has no ok latency series", proto)
+	}
+
+	limit := maxP999
+	rule := fmt.Sprintf("absolute %.1fms", maxP999)
+	if base != nil {
+		bs, ok := okSeries(base, proto)
+		if !ok {
+			return fmt.Errorf("baseline has no %s ok series — refresh the baseline", proto)
+		}
+		baseLimit := bs.P999ms*(1+threshold) + slackMs
+		if limit == 0 || baseLimit < limit {
+			limit = baseLimit
+			rule = fmt.Sprintf("baseline %.2fms × %.1f + %.1fms slack", bs.P999ms, 1+threshold, slackMs)
+		}
+	}
+	if limit > 0 && series.P999ms > limit {
+		return fmt.Errorf("%s ok p999 %.2fms exceeds %.2fms (%s)",
+			proto, series.P999ms, limit, rule)
+	}
+	if limit > 0 {
+		fmt.Fprintf(out, "gate ok: %s success %.4f >= %.4f, p999 %.2fms <= %.2fms (%s)\n",
+			proto, succ.Rate, minSuccess, series.P999ms, limit, rule)
+	} else {
+		fmt.Fprintf(out, "gate ok: %s success %.4f >= %.4f (no latency gate)\n",
+			proto, succ.Rate, minSuccess)
+	}
+	return nil
+}
+
+func okSeries(rep *loadgen.Report, proto string) (loadgen.Series, bool) {
+	for _, s := range rep.Series {
+		if s.Proto == proto && s.Outcome == loadgen.OutcomeOK {
+			return s, true
+		}
+	}
+	return loadgen.Series{}, false
+}
+
+func loadSLO(path string) (*loadgen.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Meta.Schema != loadgen.SchemaSLO {
+		return nil, fmt.Errorf("%s: schema %q is not %q — is this a loadgen -json document?",
+			path, rep.Meta.Schema, loadgen.SchemaSLO)
+	}
+	return &rep, nil
+}

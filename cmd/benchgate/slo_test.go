@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dohpool/internal/loadgen"
+)
+
+// writeSLO serialises a minimal SLO document for one udp run.
+func writeSLO(t *testing.T, dir, name string, p999 float64, sent, okCount uint64) string {
+	t.Helper()
+	rep := loadgen.Report{
+		Meta: loadgen.Meta{Schema: loadgen.SchemaSLO, QPS: 100, Targets: []string{"udp"}},
+		Series: []loadgen.Series{{
+			Proto: "udp", Outcome: loadgen.OutcomeOK, Count: okCount,
+			P50ms: p999 / 10, P90ms: p999 / 4, P99ms: p999 / 2, P999ms: p999, MaxMs: p999 * 2,
+		}},
+		Success: map[string]loadgen.Success{
+			"udp": {Sent: sent, OK: okCount, Rate: float64(okCount) / float64(sent)},
+		},
+	}
+	path := filepath.Join(dir, name)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runSLOArgs(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(append([]string{"slo"}, args...), strings.NewReader(""), &out)
+	return out.String(), err
+}
+
+func TestSLOAbsoluteGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeSLO(t, dir, "cur.json", 2.0, 10000, 10000)
+	out, err := runSLOArgs(t, "-current", cur, "-max-p999-ms", "50")
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "gate ok: udp") {
+		t.Errorf("no gate-ok line:\n%s", out)
+	}
+}
+
+func TestSLOAbsoluteP999Fails(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeSLO(t, dir, "cur.json", 80.0, 10000, 10000)
+	_, err := runSLOArgs(t, "-current", cur, "-max-p999-ms", "50")
+	if err == nil || !strings.Contains(err.Error(), "p999") {
+		t.Fatalf("err = %v, want p999 violation", err)
+	}
+}
+
+func TestSLOSuccessRateFails(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeSLO(t, dir, "cur.json", 2.0, 10000, 9900) // 99.0%
+	_, err := runSLOArgs(t, "-current", cur, "-min-success", "0.999")
+	if err == nil || !strings.Contains(err.Error(), "success rate") {
+		t.Fatalf("err = %v, want success-rate violation", err)
+	}
+}
+
+func TestSLOBaselineRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSLO(t, dir, "base.json", 10.0, 10000, 10000)
+	cur := writeSLO(t, dir, "cur.json", 40.0, 10000, 10000)
+	// Limit = 10 × 1.5 + 5 = 20ms; 40ms must fail even under the 50ms
+	// absolute ceiling.
+	_, err := runSLOArgs(t, "-current", cur, "-baseline", base,
+		"-max-p999-ms", "50", "-threshold", "0.5", "-slack-ms", "5")
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("err = %v, want baseline-derived violation", err)
+	}
+}
+
+func TestSLOBaselineSlackAbsorbsMicroJitter(t *testing.T) {
+	dir := t.TempDir()
+	// 0.04ms baseline tripling to 0.12ms is huge relatively but far
+	// under the additive slack — exactly the loopback-jitter case.
+	base := writeSLO(t, dir, "base.json", 0.04, 10000, 10000)
+	cur := writeSLO(t, dir, "cur.json", 0.12, 10000, 10000)
+	out, err := runSLOArgs(t, "-current", cur, "-baseline", base,
+		"-threshold", "0.5", "-slack-ms", "5")
+	if err != nil {
+		t.Fatalf("slack did not absorb jitter: %v\n%s", err, out)
+	}
+}
+
+func TestSLOMissingProtoFails(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeSLO(t, dir, "cur.json", 2.0, 10000, 10000)
+	_, err := runSLOArgs(t, "-current", cur, "-proto", "dot")
+	if err == nil || !strings.Contains(err.Error(), "dot") {
+		t.Fatalf("err = %v, want missing-transport error", err)
+	}
+}
+
+func TestSLORejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bogus.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runSLOArgs(t, "-current", path)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema rejection", err)
+	}
+}

@@ -56,6 +56,12 @@
 //	-chaos-resolvers    comma-separated resolver indices the chaos
 //	                    adversary compromises (default: 0)
 //	-chaos-prob         per-exchange forge probability (default 1)
+//	-chaos-seed         seed for all chaos randomness (0 uses seed 1)
+//	-net-chaos-*        network-fault layer at the same seam: -net-chaos-drop,
+//	                    -net-chaos-delay/-net-chaos-jitter,
+//	                    -net-chaos-partition-every/-net-chaos-partition-for,
+//	                    -net-chaos-churn-every/-net-chaos-churn-downtime,
+//	                    -net-chaos-resolvers (default: all)
 //	-version            print module version / VCS revision and exit
 //	-hedge-delay        fixed straggler hedge delay (0 = adaptive)
 //	-no-hedge           disable straggler hedging
@@ -74,12 +80,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"dohpool"
+	"dohpool/internal/cliflags"
 	"dohpool/internal/testpki"
 )
 
@@ -103,39 +108,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dohpoold", flag.ContinueOnError)
 	var resolvers resolverList
+	// Library knobs come from the shared registry so every binary spells
+	// them identically; only daemon-local concerns are declared here.
+	groups := cliflags.RegisterAll(fs, cliflags.ServeOptions{AdminDefault: "127.0.0.1:8053"})
 	var (
 		listen      = fs.String("listen", "127.0.0.1:5353", "UDP+TCP listen address for the DNS front-end")
-		dohAddr     = fs.String("doh-addr", "", "additionally serve DNS over HTTPS (RFC 8484) on this address (\"\" disables)")
-		dotAddr     = fs.String("dot-addr", "", "additionally serve DNS over TLS (RFC 7858) on this address (\"\" disables)")
-		tlsCert     = fs.String("tls-cert", "", "PEM certificate chain for the encrypted listeners")
-		tlsKey      = fs.String("tls-key", "", "PEM private key for the encrypted listeners")
-		tlsSelfSign = fs.Bool("tls-self-signed", false, "DEV MODE: generate an ephemeral self-signed serving identity instead of -tls-cert/-tls-key")
 		tlsCAOut    = fs.String("tls-ca-out", "", "write the -tls-self-signed CA certificate (PEM) to this file so clients can trust it")
-		adminAddr   = fs.String("admin", "127.0.0.1:8053", "observability HTTP listen address for /metrics, /healthz, /poolz (\"\" disables)")
 		statsOnExit = fs.Bool("stats-on-exit", false, "print cache and resolver-health stats at shutdown")
-
-		quorum   = fs.Int("quorum", 0, "resolvers that must answer (0 = all)")
-		majority = fs.Bool("majority", false, "answer only majority-confirmed addresses")
-		timeout  = fs.Duration("timeout", 4*time.Second, "per-resolver query timeout")
-
-		cacheSize        = fs.Int("cache-size", 0, "consensus cache capacity in entries (0 = default, -1 = disable)")
-		cacheShards      = fs.Int("cache-shards", 0, "consensus cache lock shards, rounded up to a power of two (0 = from GOMAXPROCS)")
-		maxStale         = fs.Duration("max-stale", 0, "serve expired pools up to this long past TTL while refreshing")
-		swr              = fs.Duration("stale-while-revalidate", 0, "canonical name for -max-stale (wins when both are set)")
-		refreshAhead     = fs.Float64("refresh-ahead", 0, "regenerate cached pools in the background at this fraction of TTL, e.g. 0.8 (0 = disabled)")
-		refreshMinHits   = fs.Uint64("refresh-min-hits", 1, "minimum hits since the last refresh before a pool stays on refresh-ahead (0 uses the default of 1)")
-		trustWindow      = fs.Int("trust-window", 0, "pool generations feeding each resolver's trust score (0 = default 16, negative = disable)")
-		trustMinScore    = fs.Float64("trust-min-score", 0, "quarantine resolvers whose trust score falls below this (0 = observe only; 0.5 recommended)")
-		chaosPayload     = fs.String("chaos-payload", "", "CHAOS MODE: forge targeted resolvers' answers with this payload: replace | inflate | empty (\"\" = off)")
-		chaosResolvers   = fs.String("chaos-resolvers", "", "comma-separated resolver indices the chaos adversary compromises (default \"0\")")
-		chaosProb        = fs.Float64("chaos-prob", 1, "per-exchange probability a targeted exchange is forged")
-		hedgeDelay       = fs.Duration("hedge-delay", 0, "fixed straggler hedge delay (0 = adaptive from EWMA RTT)")
-		noHedge          = fs.Bool("no-hedge", false, "disable straggler hedging")
-		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a resolver's circuit breaker (0 = default, -1 = disable)")
-		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "how long an open breaker rejects attempts (0 = default)")
-		udpWorkers       = fs.Int("udp-workers", 0, "UDP worker pool size (0 = sized from GOMAXPROCS)")
-		udpBatch         = fs.Int("udp-batch", 0, "UDP datagrams moved per syscall via recvmmsg/sendmmsg on Linux (0 = default 16, 1 = portable path)")
-		maxTCPConns      = fs.Int("max-tcp-conns", 0, "max concurrently served TCP connections (0 = default)")
 	)
 	caFile := fs.String("ca", "", "PEM file with additional trusted CA (testbed interop)")
 	showVersion := fs.Bool("version", false, "print the build's module version and VCS revision, then exit")
@@ -161,53 +140,20 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "warning: only %d resolver(s); the paper's analysis assumes >= 3\n", len(resolvers))
 	}
 
-	var chaosIdx []int
-	if *chaosResolvers != "" {
-		for _, s := range strings.Split(*chaosResolvers, ",") {
-			i, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				return fmt.Errorf("bad -chaos-resolvers entry %q: %v", s, err)
-			}
-			chaosIdx = append(chaosIdx, i)
-		}
+	var cfg dohpool.Config
+	if err := groups.Apply(&cfg); err != nil {
+		return err
 	}
-	if *chaosPayload != "" {
-		fmt.Fprintf(os.Stderr, "warning: CHAOS MODE ACTIVE (-chaos-payload=%s): forged answers are injected below the consensus engine; never run this on a production resolver path\n", *chaosPayload)
+	if cfg.Chaos.Payload != "" {
+		fmt.Fprintf(os.Stderr, "warning: CHAOS MODE ACTIVE (-chaos-payload=%s): forged answers are injected below the consensus engine; never run this on a production resolver path\n", cfg.Chaos.Payload)
 	}
-	if (*tlsSelfSign || *tlsCert != "" || *tlsKey != "" || *tlsCAOut != "") && *dohAddr == "" && *dotAddr == "" {
+	if cfg.Chaos.Net.Active() {
+		fmt.Fprintln(os.Stderr, "warning: NET CHAOS ACTIVE: network faults (drop/delay/partition/churn) are injected on the resolver paths; never run this on a production resolver path")
+	}
+	if (cfg.Serve.TLSSelfSigned || cfg.Serve.TLSCert != "" || cfg.Serve.TLSKey != "" || *tlsCAOut != "") && cfg.Serve.DoHAddr == "" && cfg.Serve.DoTAddr == "" {
 		// Without an encrypted listener the TLS identity flags would be
 		// silently ignored — surface the real missing input instead.
 		return fmt.Errorf("TLS serving flags (-tls-self-signed/-tls-cert/-tls-key/-tls-ca-out) require -doh-addr or -dot-addr")
-	}
-
-	cfg := dohpool.Config{
-		DoHAddr:              *dohAddr,
-		DoTAddr:              *dotAddr,
-		TLSCert:              *tlsCert,
-		TLSKey:               *tlsKey,
-		TLSSelfSigned:        *tlsSelfSign,
-		MinResolvers:         *quorum,
-		WithMajority:         *majority,
-		QueryTimeout:         *timeout,
-		CacheSize:            *cacheSize,
-		CacheShards:          *cacheShards,
-		MaxStale:             *maxStale,
-		StaleWhileRevalidate: *swr,
-		RefreshAhead:         *refreshAhead,
-		RefreshMinHits:       *refreshMinHits,
-		TrustWindow:          *trustWindow,
-		TrustMinScore:        *trustMinScore,
-		ChaosPayload:         *chaosPayload,
-		ChaosResolvers:       chaosIdx,
-		ChaosProb:            *chaosProb,
-		HedgeDelay:           *hedgeDelay,
-		DisableHedging:       *noHedge,
-		BreakerThreshold:     *breakerThreshold,
-		BreakerCooldown:      *breakerCooldown,
-		UDPWorkers:           *udpWorkers,
-		UDPBatch:             *udpBatch,
-		MaxTCPConns:          *maxTCPConns,
-		AdminAddr:            *adminAddr,
 	}
 	if *caFile != "" {
 		pemBytes, err := os.ReadFile(*caFile)
@@ -232,8 +178,8 @@ func run(args []string) error {
 		// before the default existed (or a second instance on the same
 		// host) must not be broken by a port conflict it never asked
 		// about. Only an explicit -admin failure is fatal.
-		fmt.Fprintf(os.Stderr, "warning: default admin address %s unavailable (%v); observability disabled — pass -admin explicitly to make this fatal\n", cfg.AdminAddr, err)
-		cfg.AdminAddr = ""
+		fmt.Fprintf(os.Stderr, "warning: default admin address %s unavailable (%v); observability disabled — pass -admin explicitly to make this fatal\n", cfg.Serve.AdminAddr, err)
+		cfg.Serve.AdminAddr = ""
 		client, err = dohpool.New(cfg)
 	}
 	if err != nil {

@@ -94,10 +94,12 @@ func TestRunDirectAgainstServingDaemon(t *testing.T) {
 	t.Cleanup(func() { _ = tb.Close() })
 
 	cfg := dohpool.Config{
-		TLSConfig:     tb.CA.ClientTLS(),
-		DoHAddr:       "127.0.0.1:0",
-		DoTAddr:       "127.0.0.1:0",
-		TLSSelfSigned: true,
+		TLSConfig: tb.CA.ClientTLS(),
+		Serve: dohpool.ServeConfig{
+			DoHAddr:       "127.0.0.1:0",
+			DoTAddr:       "127.0.0.1:0",
+			TLSSelfSigned: true,
+		},
 	}
 	for _, ep := range tb.Endpoints {
 		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})

@@ -1,0 +1,284 @@
+// Command loadgen drives a dohpoold serving plane with an open-loop
+// (coordinated-omission-safe) query schedule and reports per-transport
+// latency percentiles and success rates.
+//
+// The arrival schedule is fixed up front — query i is due at start +
+// i/qps — and every latency is measured from the *scheduled* arrival,
+// so server stalls surface as tail latency instead of quietly slowing
+// the generator down. Domains are drawn zipfian, hottest first, to
+// model real resolver popularity.
+//
+// Two modes:
+//
+//	# Stand-alone: point it at a running dohpoold
+//	loadgen -addr 127.0.0.1:5353 -transports udp,tcp \
+//	  -domains pool.ntp.org,example.com -qps 1000 -duration 10s
+//
+//	# Self-hosted: boot the full Figure 1 testbed plus a dohpoold
+//	# in-process, then load it (the CI SLO smoke job runs this)
+//	loadgen -selfhost -transports udp,tcp,dot,doh -qps 2000 -duration 5s
+//
+// Self-hosted mode accepts the entire shared dohpoold flag surface
+// (cache, refresh, trust, chaos, net-chaos, serving), so a degraded-
+// weather run is one invocation:
+//
+//	loadgen -selfhost -net-chaos-drop 0.05 -net-chaos-delay 3ms ...
+//
+// -json writes the BENCH_slo.json document consumed by `benchgate slo`.
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dohpool"
+	"dohpool/internal/cliflags"
+	"dohpool/internal/doh"
+	"dohpool/internal/loadgen"
+	"dohpool/internal/testbed"
+	"dohpool/internal/testpki"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	groups := cliflags.RegisterAll(fs, cliflags.ServeOptions{})
+	var (
+		transports = fs.String("transports", "udp", "comma-separated serving planes to drive: udp,tcp,dot,doh")
+		addr       = fs.String("addr", "", "dohpoold UDP+TCP address (stand-alone mode)")
+		dotTarget  = fs.String("dot-target", "", "dohpoold DoT address (stand-alone mode)")
+		dohTarget  = fs.String("doh-target", "", "dohpoold DoH URL (stand-alone mode)")
+		caFile     = fs.String("ca", "", "PEM file with the serving CA for dot/doh targets")
+		domains    = fs.String("domains", "", "comma-separated query domains, hottest first (stand-alone mode)")
+
+		qps      = fs.Float64("qps", 500, "total offered load across all transports")
+		duration = fs.Duration("duration", 5*time.Second, "length of the arrival schedule")
+		clients  = fs.Int("clients", 0, "concurrent in-flight queries per transport (0 = default 16)")
+		qTimeout = fs.Duration("query-timeout", 2*time.Second, "per-query timeout")
+		zipfS    = fs.Float64("zipf", 1.1, "zipf exponent over the domain list (> 1; closer to 1 = flatter)")
+		seed     = fs.Int64("seed", 1, "seed for the domain-pick randomness")
+		prewarm  = fs.Bool("prewarm", true, "issue one blocking query per (transport, domain) before the clock starts")
+		jsonOut  = fs.String("json", "", "write the BENCH_slo.json document here (\"\" = skip)")
+
+		selfhost          = fs.Bool("selfhost", false, "boot the loopback testbed and a dohpoold in-process and load that")
+		selfhostResolvers = fs.Int("selfhost-resolvers", 3, "DoH resolvers in the self-hosted testbed")
+		selfhostDomains   = fs.Int("selfhost-domains", 16, "extra pool domains in the self-hosted zone (zipfian targets)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	protos, err := parseTransports(*transports)
+	if err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		QPS:      *qps,
+		Duration: *duration,
+		Clients:  *clients,
+		Timeout:  *qTimeout,
+		ZipfS:    *zipfS,
+		Seed:     *seed,
+		Prewarm:  *prewarm,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *selfhost {
+		cleanup, err := bootSelfhost(groups, protos, *selfhostResolvers, *selfhostDomains, &cfg)
+		if cleanup != nil {
+			defer cleanup()
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		if err := externalTargets(protos, *addr, *dotTarget, *dohTarget, *caFile, *domains, &cfg); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("loadgen: %v qps across %s for %v, %d domains (zipf %.2f)\n",
+		cfg.QPS, strings.Join(protos, "+"), cfg.Duration, len(cfg.Domains), cfg.ZipfS)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	rep.WriteTable(os.Stdout)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: SLO document written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// parseTransports validates the -transports list.
+func parseTransports(s string) ([]string, error) {
+	var protos []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case loadgen.ProtoUDP, loadgen.ProtoTCP, loadgen.ProtoDoT, loadgen.ProtoDoH:
+			protos = append(protos, p)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown transport %q (want udp, tcp, dot, doh)", p)
+		}
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("no transports selected")
+	}
+	return protos, nil
+}
+
+// externalTargets fills cfg for stand-alone mode against a running
+// dohpoold.
+func externalTargets(protos []string, addr, dotTarget, dohTarget, caFile, domains string, cfg *loadgen.Config) error {
+	if domains == "" {
+		return fmt.Errorf("-domains is required without -selfhost")
+	}
+	for _, d := range strings.Split(domains, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			cfg.Domains = append(cfg.Domains, d)
+		}
+	}
+	var serveTLS *tls.Config
+	if caFile != "" {
+		pemBytes, err := os.ReadFile(caFile)
+		if err != nil {
+			return fmt.Errorf("read -ca file: %w", err)
+		}
+		pool, err := testpki.PoolFromPEM(pemBytes)
+		if err != nil {
+			return fmt.Errorf("parse -ca file: %w", err)
+		}
+		serveTLS = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	}
+	for _, p := range protos {
+		switch p {
+		case loadgen.ProtoUDP, loadgen.ProtoTCP:
+			if addr == "" {
+				return fmt.Errorf("transport %s needs -addr", p)
+			}
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: addr})
+		case loadgen.ProtoDoT:
+			if dotTarget == "" {
+				return fmt.Errorf("transport dot needs -dot-target")
+			}
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: dotTarget, TLS: serveTLS})
+		case loadgen.ProtoDoH:
+			if dohTarget == "" {
+				return fmt.Errorf("transport doh needs -doh-target")
+			}
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: dohTarget, TLS: serveTLS})
+		}
+	}
+	return nil
+}
+
+// bootSelfhost starts the loopback Figure 1 testbed plus an in-process
+// dohpoold configured from the shared flag groups, and fills cfg with
+// its addresses and pool domains. The returned cleanup (non-nil even on
+// error) tears the stack down in dependency order.
+func bootSelfhost(groups *cliflags.Set, protos []string, resolvers, extraDomains int, cfg *loadgen.Config) (func(), error) {
+	var poolCfg dohpool.Config
+	if err := groups.Apply(&poolCfg); err != nil {
+		return nil, err
+	}
+
+	tb, err := testbed.Start(testbed.Config{
+		Resolvers:        resolvers,
+		ExtraPoolDomains: extraDomains,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func() { _ = tb.Close() }
+
+	poolCfg.TLSConfig = tb.CA.ClientTLS()
+	for _, ep := range tb.Endpoints {
+		poolCfg.Resolvers = append(poolCfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})
+	}
+	needDoT := contains(protos, loadgen.ProtoDoT)
+	needDoH := contains(protos, loadgen.ProtoDoH)
+	if needDoT && poolCfg.Serve.DoTAddr == "" {
+		poolCfg.Serve.DoTAddr = "127.0.0.1:0"
+	}
+	if needDoH && poolCfg.Serve.DoHAddr == "" {
+		poolCfg.Serve.DoHAddr = "127.0.0.1:0"
+	}
+	if (needDoT || needDoH) && poolCfg.Serve.TLSCert == "" {
+		poolCfg.Serve.TLSSelfSigned = true
+	}
+
+	client, err := dohpool.New(poolCfg)
+	if err != nil {
+		return cleanup, err
+	}
+	cleanup = func() { _ = client.Close(); _ = tb.Close() }
+	fe, err := client.Serve("127.0.0.1:0")
+	if err != nil {
+		return cleanup, err
+	}
+	cleanup = func() { _ = fe.Close(); _ = client.Close(); _ = tb.Close() }
+
+	var serveTLS *tls.Config
+	if needDoT || needDoH {
+		caPEM := client.ServingCAPEM()
+		if caPEM == nil {
+			return cleanup, fmt.Errorf("self-hosted encrypted transports need -tls-self-signed (or -tls-cert/-tls-key and a matching -ca)")
+		}
+		roots, err := testpki.PoolFromPEM(caPEM)
+		if err != nil {
+			return cleanup, err
+		}
+		serveTLS = &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12}
+	}
+	for _, p := range protos {
+		switch p {
+		case loadgen.ProtoUDP, loadgen.ProtoTCP:
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: fe.Addr()})
+		case loadgen.ProtoDoT:
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: fe.DoTAddr(), TLS: serveTLS})
+		case loadgen.ProtoDoH:
+			cfg.Targets = append(cfg.Targets, loadgen.Target{Proto: p, Addr: "https://" + fe.DoHAddr() + doh.DefaultPath, TLS: serveTLS})
+		}
+	}
+	cfg.Domains = tb.PoolDomains()
+	fmt.Printf("loadgen: self-hosted stack up — %d resolvers, frontend %s\n", resolvers, fe.Addr())
+	return cleanup, nil
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dohpool/internal/loadgen"
+)
+
+func TestParseTransports(t *testing.T) {
+	got, err := parseTransports("udp, tcp,doh")
+	if err != nil || strings.Join(got, "+") != "udp+tcp+doh" {
+		t.Fatalf("parseTransports = %v, %v", got, err)
+	}
+	if _, err := parseTransports("smtp"); err == nil {
+		t.Fatal("bad transport accepted")
+	}
+	if _, err := parseTransports(","); err == nil {
+		t.Fatal("empty transport list accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := map[string][]string{
+		"missing domains":    {"-addr", "127.0.0.1:53"},
+		"missing addr":       {"-domains", "pool.test."},
+		"missing dot target": {"-transports", "dot", "-domains", "pool.test."},
+		"missing doh target": {"-transports", "doh", "-domains", "pool.test."},
+		"bad transport":      {"-transports", "quic", "-domains", "pool.test.", "-addr", "x"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: run(%v) accepted", name, args)
+		}
+	}
+}
+
+// TestSelfhostEndToEnd boots the full in-process stack — testbed,
+// consensus client, all four serving planes — and drives a short
+// multi-transport schedule through real sockets, asserting the written
+// SLO document shows every query answered.
+func TestSelfhostEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full testbed")
+	}
+	out := filepath.Join(t.TempDir(), "slo.json")
+	err := run([]string{
+		"-selfhost",
+		"-transports", "udp,tcp,dot,doh",
+		"-selfhost-domains", "4",
+		"-qps", "400",
+		"-duration", "1s",
+		"-clients", "8",
+		"-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("SLO document does not parse: %v\n%s", err, raw)
+	}
+	if rep.Meta.Schema != loadgen.SchemaSLO {
+		t.Errorf("schema = %q", rep.Meta.Schema)
+	}
+	for _, proto := range []string{"udp", "tcp", "dot", "doh"} {
+		s, ok := rep.Success[proto]
+		if !ok {
+			t.Errorf("no success entry for %s", proto)
+			continue
+		}
+		if s.Sent != 100 {
+			t.Errorf("%s sent %d, want its even 100-query share", proto, s.Sent)
+		}
+		// On loopback with a prewarmed cache nothing may fail.
+		if s.Rate != 1 {
+			t.Errorf("%s success rate %.4f (%d/%d ok)", proto, s.Rate, s.OK, s.Sent)
+		}
+	}
+}
+
+// TestSelfhostNetChaosDegradedButBounded turns on network weather
+// (drop + delay on the client → resolver paths) and checks the run
+// completes with every UDP query still answered from the prewarmed
+// cache: upstream faults must degrade refresh latency, not cached
+// serving.
+func TestSelfhostNetChaosDegradedButBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a full testbed")
+	}
+	out := filepath.Join(t.TempDir(), "slo.json")
+	err := run([]string{
+		"-selfhost",
+		"-transports", "udp",
+		"-selfhost-domains", "4",
+		"-net-chaos-drop", "0.2",
+		"-net-chaos-delay", "2ms",
+		"-qps", "300",
+		"-duration", "1s",
+		"-json", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Success["udp"]
+	if s.Sent != 300 || s.Rate != 1 {
+		t.Errorf("under net chaos: %d/%d ok (rate %.4f), want cached serving unharmed", s.OK, s.Sent, s.Rate)
+	}
+}

@@ -18,11 +18,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
 	"dohpool/internal/attack"
+	"dohpool/internal/cliflags"
 	"dohpool/internal/testbed"
 )
 
@@ -41,34 +41,34 @@ func run(args []string) error {
 		poolSize    = fs.Int("pool", 8, "benign addresses in the pool RRset")
 		maxAnswers  = fs.Int("max-answers", 4, "answers per query (pool.ntp.org style)")
 		ttl         = fs.Int("ttl", 150, "TTL on the pool records (seconds; short TTLs drive fast refresh cycles)")
+		extraNames  = fs.Int("extra-domains", 0, "additional pool-<i> names sharing the benign RRset (zipfian load-test targets)")
 		adversary   = fs.String("adversary", "none", "none | resolver | onpath | offpath")
 		compromised = fs.String("compromised", "", "comma-separated compromised resolver indices")
 		offPathProb = fs.Float64("offpath-prob", 0.5, "off-path per-query success probability")
 		payload     = fs.String("payload", "replace", "replace | inflate | empty")
 		caOut       = fs.String("ca-out", "", "write the testbed CA certificate (PEM) to this file")
 		epOut       = fs.String("endpoints-out", "", "write the DoH endpoint URLs (one per line) to this file, for scripting")
-
-		// Chaos aliases, mirroring dohpoold's chaos flags: -chaos-payload
-		// selects a compromised-resolver adversary with that payload,
-		// -chaos-resolvers the compromised subset, and -chaos-prob < 1
-		// switches to the off-path (probabilistic) model.
-		chaosPayload   = fs.String("chaos-payload", "", "alias: compromise resolvers with this payload: replace | inflate | empty")
-		chaosResolvers = fs.String("chaos-resolvers", "", "alias for -compromised (default \"0\" when -chaos-payload is set)")
-		chaosProb      = fs.Float64("chaos-prob", 1, "per-query forge probability; < 1 selects the off-path race model")
 	)
+	// Chaos flags come from the shared registry so they spell exactly like
+	// dohpoold's: -chaos-payload selects a compromised-resolver adversary
+	// with that payload, -chaos-resolvers the compromised subset, and
+	// -chaos-prob < 1 switches to the off-path (probabilistic) model. The
+	// -net-chaos-* group injects network faults on the resolver →
+	// authoritative upstream path.
+	chaos := cliflags.RegisterChaos(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *chaosPayload != "" {
-		*payload = *chaosPayload
-		if *chaosProb < 1 && *chaosProb > 0 {
+	if *chaos.Payload != "" {
+		*payload = *chaos.Payload
+		if *chaos.Prob < 1 && *chaos.Prob > 0 {
 			*adversary = "offpath"
-			*offPathProb = *chaosProb
+			*offPathProb = *chaos.Prob
 		} else {
 			*adversary = "resolver"
 		}
 		if *compromised == "" {
-			*compromised = *chaosResolvers
+			*compromised = *chaos.Resolvers
 			if *compromised == "" {
 				*compromised = "0"
 			}
@@ -76,12 +76,32 @@ func run(args []string) error {
 	}
 
 	cfg := testbed.Config{
-		Resolvers:   *resolvers,
-		AuthServers: *authServers,
-		PoolSize:    *poolSize,
-		MaxAnswers:  *maxAnswers,
-		TTL:         uint32(*ttl),
-		OffPathProb: *offPathProb,
+		Resolvers:        *resolvers,
+		AuthServers:      *authServers,
+		PoolSize:         *poolSize,
+		MaxAnswers:       *maxAnswers,
+		TTL:              uint32(*ttl),
+		OffPathProb:      *offPathProb,
+		ExtraPoolDomains: *extraNames,
+		NetChaos: attack.NetChaosOptions{
+			DropProb:       *chaos.NetDrop,
+			Delay:          *chaos.NetDelay,
+			Jitter:         *chaos.NetJitter,
+			PartitionEvery: *chaos.NetPartitionEvery,
+			PartitionFor:   *chaos.NetPartitionFor,
+			ChurnEvery:     *chaos.NetChurnEvery,
+			ChurnDowntime:  *chaos.NetChurnDowntime,
+			Seed:           *chaos.Seed,
+		},
+	}
+	if *chaos.NetResolvers != "" {
+		// The testbed's fault seam is the shared resolver → authoritative
+		// path, not individual resolvers; per-resolver scoping lives in
+		// dohpoold's -net-chaos-resolvers.
+		fmt.Fprintln(os.Stderr, "warning: -net-chaos-resolvers has no effect on the testbed (faults apply to the shared upstream path)")
+	}
+	if cfg.NetChaos.Active() {
+		fmt.Fprintln(os.Stderr, "warning: NET CHAOS ACTIVE: network faults are injected between the resolvers and the authoritative servers")
 	}
 	switch *adversary {
 	case "none":
@@ -100,13 +120,9 @@ func run(args []string) error {
 		return err
 	}
 	if *compromised != "" {
-		var idx []int
-		for _, s := range strings.Split(*compromised, ",") {
-			i, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				return fmt.Errorf("bad -compromised entry %q: %v", s, err)
-			}
-			idx = append(idx, i)
+		idx, err := cliflags.ParseIndexList(*compromised)
+		if err != nil {
+			return fmt.Errorf("bad -compromised: %w", err)
 		}
 		cfg.Plan = attack.FixedPlan(*resolvers, idx...)
 	}
@@ -136,6 +152,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("testbed: pool domain %s (%d addresses, %d per answer)\n",
 		tb.Domain(), *poolSize, *maxAnswers)
+	if *extraNames > 0 {
+		fmt.Printf("testbed: plus %d extra pool domains (pool-0 … pool-%d)\n", *extraNames, *extraNames-1)
+	}
 	for i, srv := range tb.Auth {
 		fmt.Printf("  authoritative[%d]  %s (udp+tcp)\n", i, srv.Addr())
 	}

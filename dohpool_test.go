@@ -648,3 +648,70 @@ func TestAdminListenFailureIsMatchable(t *testing.T) {
 		t.Fatalf("err = %v, want ErrAdminListen", err)
 	}
 }
+
+func TestNetChaosThroughFacade(t *testing.T) {
+	// Delay-only network chaos: every resolver exchange pays the
+	// injected latency but consensus still succeeds, and the netchaos
+	// counters surface on /metrics-style exposition.
+	tb, client := startTB(t, testbed.Config{}, Config{
+		Chaos: ChaosConfig{Net: NetChaosConfig{Delay: 10 * time.Millisecond}},
+	})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) == 0 {
+		t.Fatal("empty pool under delay-only net chaos")
+	}
+	var b strings.Builder
+	if err := client.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, MetricNetChaosDelayed) {
+		t.Fatalf("exposition missing %s:\n%s", MetricNetChaosDelayed, out)
+	}
+	for _, pr := range pool.PerResolver {
+		if pr.RTT < 10*time.Millisecond {
+			t.Errorf("resolver %s: RTT %v, must include the injected 10ms", pr.Resolver.Name, pr.RTT)
+		}
+	}
+}
+
+func TestNetChaosDropMinorityStillConverges(t *testing.T) {
+	// Hard-drop one resolver of three: its exchanges time out, but with
+	// MinResolvers=2 the remaining majority still generates a pool.
+	tb, client := startTB(t, testbed.Config{}, Config{
+		MinResolvers: 2,
+		QueryTimeout: 500 * time.Millisecond,
+		Chaos: ChaosConfig{
+			Net: NetChaosConfig{DropProb: 1, Resolvers: []int{0}},
+		},
+	})
+	pool, err := client.LookupPool(testCtx(t), tb.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) == 0 {
+		t.Fatal("empty pool")
+	}
+	var sawDrop bool
+	for _, pr := range pool.PerResolver {
+		if pr.Err != nil {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Fatal("no resolver reported the injected drop")
+	}
+}
+
+func TestNetChaosBadResolverIndex(t *testing.T) {
+	_, err := New(Config{
+		Resolvers: []Resolver{{Name: "a", URL: "https://a/dns-query"}},
+		Chaos:     ChaosConfig{Net: NetChaosConfig{DropProb: 1, Resolvers: []int{5}}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range net-chaos resolver index accepted")
+	}
+}

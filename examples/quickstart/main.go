@@ -45,16 +45,17 @@ func run() error {
 
 		// Always-warm knobs: regenerate a cached pool in the background
 		// once it has lived 80% of its TTL, but only pools that were
-		// actually read since generation (RefreshMinHits); keep serving
-		// an expired pool for up to 30s while a refresh is in flight.
-		RefreshAhead:         0.8,
-		RefreshMinHits:       1,
-		StaleWhileRevalidate: 30 * time.Second,
-		// Sharded pool cache: one lock domain per core (0 = automatic).
-		CacheShards: 0,
+		// actually read since generation (MinHits); keep serving an
+		// expired pool for up to 30s while a refresh is in flight.
+		Refresh: dohpool.RefreshConfig{Ahead: 0.8, MinHits: 1},
+		Cache: dohpool.CacheConfig{
+			StaleWhileRevalidate: 30 * time.Second,
+			// Sharded pool cache: one lock domain per core (0 = automatic).
+			Shards: 0,
+		},
 
 		// Observability on an ephemeral loopback port.
-		AdminAddr: "127.0.0.1:0",
+		Serve: dohpool.ServeConfig{AdminAddr: "127.0.0.1:0"},
 	}
 	for _, ep := range tb.Endpoints {
 		cfg.Resolvers = append(cfg.Resolvers, dohpool.Resolver{Name: ep.Name, URL: ep.URL})

@@ -1,0 +1,275 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+)
+
+// The payload chaos layer (ChaosQuerier/Forger) attacks what resolvers
+// *say*; NetChaos attacks whether and when they say it. It models the
+// network between the pool generator and its resolvers: packet loss,
+// added delay, hard partition windows, and resolver churn (a resolver
+// restarting and refusing connections). It interposes at either seam —
+// the engine's Querier (WrapQuerier) or the raw transport Exchanger
+// (WrapExchanger) — so the same fault schedule can hit a live dohpoold
+// or an in-process testbed.
+
+// Errors returned by NetChaos fault injection. Dropped exchanges
+// surface only after the caller's context expires (loss looks like a
+// timeout, never like a fast failure); churn surfaces immediately (a
+// restarting resolver refuses the connection).
+var (
+	ErrNetDropped    = errors.New("netchaos: packet dropped")
+	ErrResolverChurn = errors.New("netchaos: connection refused (resolver restarting)")
+)
+
+// NetChaosOptions configures a NetChaos layer. The zero value injects
+// no faults (Active reports false).
+type NetChaosOptions struct {
+	// DropProb is the probability in [0, 1] that an exchange is
+	// dropped: the call blocks until the caller's context expires, the
+	// way a lost UDP datagram or a blackholed TCP SYN would.
+	DropProb float64
+
+	// Delay is added to every non-dropped exchange before it is
+	// forwarded; Jitter adds a uniform random extra in [0, Jitter).
+	Delay  time.Duration
+	Jitter time.Duration
+
+	// PartitionEvery/PartitionFor cycle a hard partition: for the first
+	// PartitionFor of every PartitionEvery window, every targeted
+	// exchange is dropped regardless of DropProb. Both must be set (and
+	// PartitionFor <= PartitionEvery) for partitioning to engage.
+	PartitionEvery time.Duration
+	PartitionFor   time.Duration
+
+	// ChurnEvery/ChurnDowntime cycle resolver restarts: each
+	// ChurnEvery window one resolver (rotating round-robin over the
+	// targets seen so far) is down for the first ChurnDowntime of the
+	// window and refuses exchanges immediately.
+	ChurnEvery    time.Duration
+	ChurnDowntime time.Duration
+
+	// Targets restricts faults to these resolver URLs/server addresses;
+	// empty means every exchange through the wrapper is eligible.
+	Targets []string
+
+	// Seed drives the drop and jitter rolls so runs are reproducible.
+	Seed int64
+
+	// Clock injects a time source for partition/churn scheduling in
+	// tests. Nil uses time.Now.
+	Clock func() time.Time
+}
+
+// Active reports whether the options inject any fault at all.
+func (o NetChaosOptions) Active() bool {
+	return o.DropProb > 0 ||
+		o.Delay > 0 || o.Jitter > 0 ||
+		(o.PartitionEvery > 0 && o.PartitionFor > 0) ||
+		(o.ChurnEvery > 0 && o.ChurnDowntime > 0)
+}
+
+// NetChaos injects network-level faults into resolver exchanges. Wrap a
+// seam with WrapQuerier or WrapExchanger; one NetChaos can back any
+// number of wrappers and keeps shared fault state (churn rotation,
+// counters) across them.
+type NetChaos struct {
+	opts    NetChaosOptions
+	targets map[string]bool // nil = all
+	start   time.Time
+	now     func() time.Time
+	sleep   func(ctx context.Context, d time.Duration) error
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seen []string // distinct targets observed, sorted; churn rotates over it
+
+	exchanges atomic.Uint64
+	dropped   atomic.Uint64
+	delayed   atomic.Uint64
+	refused   atomic.Uint64
+}
+
+// NewNetChaos builds a fault injector from opts. Returns nil when opts
+// injects nothing, so callers can unconditionally build one and wrap
+// only when it is non-nil.
+func NewNetChaos(opts NetChaosOptions) *NetChaos {
+	if !opts.Active() {
+		return nil
+	}
+	var targets map[string]bool
+	if len(opts.Targets) > 0 {
+		targets = make(map[string]bool, len(opts.Targets))
+		for _, t := range opts.Targets {
+			targets[t] = true
+		}
+	}
+	now := opts.Clock
+	if now == nil {
+		now = time.Now
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &NetChaos{
+		opts:    opts,
+		targets: targets,
+		start:   now(),
+		now:     now,
+		sleep:   sleepCtx,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Exchanges returns how many targeted exchanges were seen.
+func (n *NetChaos) Exchanges() uint64 { return n.exchanges.Load() }
+
+// Dropped returns how many exchanges were dropped (loss + partition).
+func (n *NetChaos) Dropped() uint64 { return n.dropped.Load() }
+
+// Delayed returns how many exchanges had delay injected.
+func (n *NetChaos) Delayed() uint64 { return n.delayed.Load() }
+
+// Refused returns how many exchanges were refused by churn.
+func (n *NetChaos) Refused() uint64 { return n.refused.Load() }
+
+// fate decides what happens to one exchange against target. It returns
+// the verdict as (drop, refuse, delay): drop blocks until ctx death,
+// refuse fails fast, delay sleeps before forwarding.
+func (n *NetChaos) fate(target string) (drop, refuse bool, delay time.Duration) {
+	if n.targets != nil && !n.targets[target] {
+		return false, false, 0
+	}
+	n.exchanges.Add(1)
+	elapsed := n.now().Sub(n.start)
+
+	// Hard partition window: overrides everything.
+	if n.opts.PartitionEvery > 0 && n.opts.PartitionFor > 0 &&
+		elapsed%n.opts.PartitionEvery < n.opts.PartitionFor {
+		return true, false, 0
+	}
+
+	// Churn: the rotating victim refuses during its downtime window.
+	if n.opts.ChurnEvery > 0 && n.opts.ChurnDowntime > 0 &&
+		elapsed%n.opts.ChurnEvery < n.opts.ChurnDowntime &&
+		n.churnVictim(elapsed) == target {
+		return false, true, 0
+	}
+
+	n.mu.Lock()
+	if n.opts.DropProb > 0 && n.rng.Float64() < n.opts.DropProb {
+		n.mu.Unlock()
+		return true, false, 0
+	}
+	delay = n.opts.Delay
+	if n.opts.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+	}
+	n.mu.Unlock()
+	return false, false, delay
+}
+
+// churnVictim returns the target down during the current churn cycle,
+// rotating round-robin over the distinct targets seen so far (sorted,
+// so the rotation order is stable regardless of arrival order).
+func (n *NetChaos) churnVictim(elapsed time.Duration) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.seen) == 0 {
+		return ""
+	}
+	cycle := int(elapsed / n.opts.ChurnEvery)
+	return n.seen[cycle%len(n.seen)]
+}
+
+// observe records target as a churn-rotation candidate.
+func (n *NetChaos) observe(target string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	i := sort.SearchStrings(n.seen, target)
+	if i < len(n.seen) && n.seen[i] == target {
+		return
+	}
+	n.seen = append(n.seen, "")
+	copy(n.seen[i+1:], n.seen[i:])
+	n.seen[i] = target
+}
+
+// apply runs the fault schedule for one exchange against target. A nil
+// error means the exchange should be forwarded to the inner layer.
+func (n *NetChaos) apply(ctx context.Context, target string) error {
+	n.observe(target)
+	drop, refuse, delay := n.fate(target)
+	switch {
+	case drop:
+		n.dropped.Add(1)
+		<-ctx.Done()
+		return fmt.Errorf("%w: %v", ErrNetDropped, ctx.Err())
+	case refuse:
+		n.refused.Add(1)
+		return fmt.Errorf("%w: %s", ErrResolverChurn, target)
+	case delay > 0:
+		n.delayed.Add(1)
+		if err := n.sleep(ctx, delay); err != nil {
+			return fmt.Errorf("%w: delayed past deadline: %v", ErrNetDropped, err)
+		}
+	}
+	return nil
+}
+
+// WrapQuerier interposes the fault schedule at the engine's Querier
+// seam (keyed by resolver URL). A nil NetChaos returns inner unchanged.
+func (n *NetChaos) WrapQuerier(inner Querier) Querier {
+	if n == nil {
+		return inner
+	}
+	return &netChaosQuerier{net: n, inner: inner}
+}
+
+type netChaosQuerier struct {
+	net   *NetChaos
+	inner Querier
+}
+
+func (q *netChaosQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	if err := q.net.apply(ctx, url); err != nil {
+		return nil, err
+	}
+	return q.inner.Query(ctx, url, name, typ)
+}
+
+// WrapExchanger interposes the fault schedule at the raw transport seam
+// (keyed by server address). A nil NetChaos returns inner unchanged.
+func (n *NetChaos) WrapExchanger(inner transport.Exchanger) transport.Exchanger {
+	if n == nil {
+		return inner
+	}
+	return transport.Func(func(ctx context.Context, query *dnswire.Message, server string) (*dnswire.Message, error) {
+		if err := n.apply(ctx, server); err != nil {
+			return nil, err
+		}
+		return inner.Exchange(ctx, query, server)
+	})
+}

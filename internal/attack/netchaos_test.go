@@ -1,0 +1,228 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/transport"
+)
+
+type countingQuerier struct{ calls int }
+
+func (c *countingQuerier) Query(ctx context.Context, url, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	c.calls++
+	q, err := dnswire.NewQuery(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func TestNetChaosInactiveIsNil(t *testing.T) {
+	if n := NewNetChaos(NetChaosOptions{}); n != nil {
+		t.Fatal("zero options must build a nil NetChaos")
+	}
+	var n *NetChaos
+	inner := &countingQuerier{}
+	if got := n.WrapQuerier(inner); got != Querier(inner) {
+		t.Fatal("nil NetChaos must return inner unchanged")
+	}
+	ex := transport.Func(func(ctx context.Context, q *dnswire.Message, s string) (*dnswire.Message, error) { return q, nil })
+	if n.WrapExchanger(ex) == nil {
+		t.Fatal("nil NetChaos WrapExchanger must return inner")
+	}
+}
+
+func TestNetChaosDropBlocksUntilDeadline(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{DropProb: 1})
+	inner := &countingQuerier{}
+	q := n.WrapQuerier(inner)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := q.Query(ctx, "https://r/dns-query", "example.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrNetDropped) {
+		t.Fatalf("err = %v, want ErrNetDropped", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("drop returned after %v, must block until ctx deadline", elapsed)
+	}
+	if inner.calls != 0 {
+		t.Fatal("dropped exchange must not reach inner")
+	}
+	if n.Dropped() != 1 || n.Exchanges() != 1 {
+		t.Fatalf("counters: dropped=%d exchanges=%d", n.Dropped(), n.Exchanges())
+	}
+}
+
+func TestNetChaosDropProbability(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{DropProb: 0.5, Seed: 42})
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		drop, refuse, _ := n.fate("r1")
+		if refuse {
+			t.Fatal("no churn configured, nothing may refuse")
+		}
+		if drop {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drops = %d/1000 at p=0.5, want ~500", drops)
+	}
+	// Same seed, same sequence.
+	n2 := NewNetChaos(NetChaosOptions{DropProb: 0.5, Seed: 42})
+	drops2 := 0
+	for i := 0; i < 1000; i++ {
+		if d, _, _ := n2.fate("r1"); d {
+			drops2++
+		}
+	}
+	if drops2 != drops {
+		t.Fatalf("same seed diverged: %d vs %d", drops, drops2)
+	}
+}
+
+func TestNetChaosDelay(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{Delay: 5 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 7})
+	var slept time.Duration
+	n.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = d
+		return nil
+	}
+	inner := &countingQuerier{}
+	q := n.WrapQuerier(inner)
+	if _, err := q.Query(context.Background(), "https://r/dns-query", "example.test.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 5*time.Millisecond || slept >= 10*time.Millisecond {
+		t.Fatalf("injected delay = %v, want in [5ms, 10ms)", slept)
+	}
+	if inner.calls != 1 {
+		t.Fatal("delayed exchange must still reach inner")
+	}
+	if n.Delayed() != 1 {
+		t.Fatalf("delayed counter = %d", n.Delayed())
+	}
+}
+
+func TestNetChaosDelayPastDeadlineIsDrop(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{Delay: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inner := &countingQuerier{}
+	_, err := n.WrapQuerier(inner).Query(ctx, "https://r/dns-query", "example.test.", dnswire.TypeA)
+	if !errors.Is(err, ErrNetDropped) {
+		t.Fatalf("err = %v, want ErrNetDropped", err)
+	}
+	if inner.calls != 0 {
+		t.Fatal("exchange delayed past deadline must not reach inner")
+	}
+}
+
+func TestNetChaosPartitionWindows(t *testing.T) {
+	now := time.Unix(0, 0)
+	n := NewNetChaos(NetChaosOptions{
+		PartitionEvery: 10 * time.Second,
+		PartitionFor:   3 * time.Second,
+		Clock:          func() time.Time { return now },
+	})
+	at := func(d time.Duration) bool {
+		now = time.Unix(0, 0).Add(d)
+		drop, _, _ := n.fate("r1")
+		return drop
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		drop bool
+	}{
+		{0, true}, {2 * time.Second, true}, {2999 * time.Millisecond, true},
+		{3 * time.Second, false}, {9 * time.Second, false},
+		{10 * time.Second, true}, {12 * time.Second, true}, {13 * time.Second, false},
+	} {
+		if got := at(tc.at); got != tc.drop {
+			t.Fatalf("at %v: drop=%v, want %v", tc.at, got, tc.drop)
+		}
+	}
+}
+
+func TestNetChaosChurnRotatesVictims(t *testing.T) {
+	now := time.Unix(0, 0)
+	n := NewNetChaos(NetChaosOptions{
+		ChurnEvery:    10 * time.Second,
+		ChurnDowntime: 2 * time.Second,
+		Clock:         func() time.Time { return now },
+	})
+	inner := &countingQuerier{}
+	q := n.WrapQuerier(inner)
+	ctx := context.Background()
+	// Teach the rotation both targets while nothing is down.
+	now = time.Unix(0, 0).Add(5 * time.Second)
+	for _, u := range []string{"https://a/dns-query", "https://b/dns-query"} {
+		if _, err := q.Query(ctx, u, "example.test.", dnswire.TypeA); err != nil {
+			t.Fatalf("outside downtime: %v", err)
+		}
+	}
+	query := func(u string) error {
+		_, err := q.Query(ctx, u, "example.test.", dnswire.TypeA)
+		return err
+	}
+	// Cycle 1 downtime: victim is seen[1%2] = "https://b/dns-query".
+	now = time.Unix(0, 0).Add(10*time.Second + time.Second)
+	if err := query("https://a/dns-query"); err != nil {
+		t.Fatalf("cycle 1: a must be up: %v", err)
+	}
+	if err := query("https://b/dns-query"); !errors.Is(err, ErrResolverChurn) {
+		t.Fatalf("cycle 1: b err = %v, want ErrResolverChurn", err)
+	}
+	// Cycle 2 downtime: victim rotates to seen[0] = a.
+	now = time.Unix(0, 0).Add(20*time.Second + time.Second)
+	if err := query("https://a/dns-query"); !errors.Is(err, ErrResolverChurn) {
+		t.Fatalf("cycle 2: a err = %v, want ErrResolverChurn", err)
+	}
+	if err := query("https://b/dns-query"); err != nil {
+		t.Fatalf("cycle 2: b must be up: %v", err)
+	}
+	// After downtime everyone is back.
+	now = time.Unix(0, 0).Add(20*time.Second + 5*time.Second)
+	if err := query("https://a/dns-query"); err != nil {
+		t.Fatalf("post-downtime: %v", err)
+	}
+	if n.Refused() != 2 {
+		t.Fatalf("refused = %d, want 2", n.Refused())
+	}
+}
+
+func TestNetChaosTargetsScopeFaults(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{DropProb: 1, Targets: []string{"https://bad/dns-query"}})
+	if drop, _, _ := n.fate("https://good/dns-query"); drop {
+		t.Fatal("untargeted resolver must not be attacked")
+	}
+	if drop, _, _ := n.fate("https://bad/dns-query"); !drop {
+		t.Fatal("targeted resolver must be attacked")
+	}
+	if n.Exchanges() != 1 {
+		t.Fatalf("exchanges = %d, only targeted exchanges count", n.Exchanges())
+	}
+}
+
+func TestNetChaosWrapExchanger(t *testing.T) {
+	n := NewNetChaos(NetChaosOptions{DropProb: 1})
+	calls := 0
+	ex := n.WrapExchanger(transport.Func(func(ctx context.Context, q *dnswire.Message, s string) (*dnswire.Message, error) {
+		calls++
+		return q, nil
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	q, _ := dnswire.NewQuery("example.test.", dnswire.TypeA)
+	if _, err := ex.Exchange(ctx, q, "192.0.2.1:53"); !errors.Is(err, ErrNetDropped) {
+		t.Fatalf("err = %v, want ErrNetDropped", err)
+	}
+	if calls != 0 {
+		t.Fatal("dropped exchange must not reach inner exchanger")
+	}
+}

@@ -666,7 +666,11 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 func (f *Frontend) respond(parent context.Context, query *dnswire.Message, inst *protoInstruments) *dnswire.Message {
 	inst.queries.Inc()
 	inst.inflight.Inc()
-	defer inst.inflight.Dec()
+	start := time.Now()
+	defer func() {
+		inst.latency.Observe(time.Since(start).Seconds())
+		inst.inflight.Dec()
+	}()
 	if query.Header.Response || query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
 		f.failures.Add(1)
 		return f.errorResponse(query, dnswire.RCodeFormErr)

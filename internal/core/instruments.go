@@ -45,6 +45,7 @@ const (
 	MetricWireCacheHits       = "dohpool_wire_cache_hits_total"
 	MetricWireCacheMisses     = "dohpool_wire_cache_misses_total"
 	MetricWireCacheEntries    = "dohpool_wire_cache_entries"
+	MetricFrontendLatency     = "dohpool_frontend_latency_seconds"
 )
 
 // Frontend transport labels: the values of the `proto` label on the
@@ -256,6 +257,7 @@ type protoInstruments struct {
 	inflight  *metrics.Gauge
 	conns     *metrics.Gauge
 	writeErrs *metrics.Counter
+	latency   *metrics.Histogram
 }
 
 // frontendInstruments holds the DNS frontend's instruments, one series
@@ -282,19 +284,26 @@ func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstru
 		"Currently tracked TCP connections, per transport carried on them (tcp, dot, doh).", "proto")
 	writeErrs := reg.CounterVec(MetricFrontendWriteErrors,
 		"Responses the frontend failed to write back to the client, per transport (udp, tcp, dot).", "proto")
+	// Slow-path serve latency only: queries answered by the UDP
+	// wire-format answer cache never reach respond() and are deliberately
+	// not timed — the fast path's whole budget is ~150ns and a clock read
+	// plus histogram observe would be a measurable fraction of it.
+	latency := reg.HistogramVec(MetricFrontendLatency,
+		"Slow-path serve latency per transport (engine lookup through response build; wire-cache hits excluded).",
+		frontendLatencyBuckets(), "proto")
 	inst := frontendInstruments{
-		udp: protoInstruments{queries: queries.With(ProtoUDP), inflight: inflight.With(ProtoUDP), writeErrs: writeErrs.With(ProtoUDP)},
-		tcp: protoInstruments{queries: queries.With(ProtoTCP), inflight: inflight.With(ProtoTCP), conns: conns.With(ProtoTCP), writeErrs: writeErrs.With(ProtoTCP)},
+		udp: protoInstruments{queries: queries.With(ProtoUDP), inflight: inflight.With(ProtoUDP), writeErrs: writeErrs.With(ProtoUDP), latency: latency.With(ProtoUDP)},
+		tcp: protoInstruments{queries: queries.With(ProtoTCP), inflight: inflight.With(ProtoTCP), conns: conns.With(ProtoTCP), writeErrs: writeErrs.With(ProtoTCP), latency: latency.With(ProtoTCP)},
 		rcodes: reg.CounterVec(MetricFrontendResponses,
 			"DNS responses sent by the frontend, per response code.", "rcode"),
 		dropped: reg.Counter(MetricFrontendDropped,
 			"UDP datagrams shed because the worker queue was full."),
 	}
 	if dot {
-		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT), writeErrs: writeErrs.With(ProtoDoT)}
+		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT), writeErrs: writeErrs.With(ProtoDoT), latency: latency.With(ProtoDoT)}
 	}
 	if doh {
-		inst.doh = protoInstruments{queries: queries.With(ProtoDoH), inflight: inflight.With(ProtoDoH), conns: conns.With(ProtoDoH)}
+		inst.doh = protoInstruments{queries: queries.With(ProtoDoH), inflight: inflight.With(ProtoDoH), conns: conns.With(ProtoDoH), latency: latency.With(ProtoDoH)}
 	}
 	if reg != nil {
 		inst.rcodeOf = make(map[dnswire.RCode]*metrics.Counter)
@@ -306,6 +315,14 @@ func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstru
 		}
 	}
 	return inst
+}
+
+// frontendLatencyBuckets is the serve-latency ladder: log-spaced from
+// 10µs (a warm engine-cache hit through the worker path) to 10s (a
+// full Algorithm 1 fan-out against slow resolvers), 5 buckets per
+// decade so tail quantiles keep constant relative precision.
+func frontendLatencyBuckets() []float64 {
+	return metrics.LogBuckets(10e-6, 10, 5)
 }
 
 // rcode returns the response-code counter, pre-resolved for the codes

@@ -206,6 +206,10 @@ func TestFrontendMetrics(t *testing.T) {
 		MetricFrontendInflight+`{proto="udp"} 0`,
 		MetricFrontendInflight+`{proto="tcp"} 0`,
 		MetricFrontendDropped+" 0",
+		// Every query above took the slow path (no wire cache in this
+		// frontend), so each is timed in the per-proto latency series.
+		MetricFrontendLatency+`_count{proto="udp"} 2`,
+		MetricFrontendLatency+`_count{proto="tcp"} 1`,
 	)
 	// Without encrypted listeners configured, no dot/doh series may
 	// appear in the exposition.

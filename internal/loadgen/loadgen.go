@@ -1,0 +1,589 @@
+// Package loadgen is an open-loop DNS load generator for the dohpoold
+// serving planes (UDP, TCP, DoT, DoH).
+//
+// Open-loop means the arrival schedule is fixed before the run: query i
+// of a target is due at start + i/qps, no matter how the server is
+// doing. A worker that finds itself past an arrival's due time sends
+// anyway and the latency is still measured from the *scheduled* time,
+// so queue build-up during a stall shows up in the tail percentiles
+// instead of silently stretching the send schedule. Closed-loop
+// generators (send, wait, send) suffer coordinated omission: every
+// slow answer delays subsequent sends, so the server is probed least
+// exactly when it is slowest, and the recorded tail is fiction.
+//
+// Latencies land in log-bucketed histograms (internal/metrics) per
+// transport and outcome; Report renders them as a human table or as
+// the BENCH_slo.json document consumed by `benchgate slo`.
+package loadgen
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohpool/internal/dnswire"
+	"dohpool/internal/doh"
+	"dohpool/internal/metrics"
+	"dohpool/internal/transport"
+)
+
+// Transport names, matching the frontend's proto labels.
+const (
+	ProtoUDP = "udp"
+	ProtoTCP = "tcp"
+	ProtoDoT = "dot"
+	ProtoDoH = "doh"
+)
+
+// Query outcomes.
+const (
+	OutcomeOK       = "ok"       // NOERROR response
+	OutcomeServfail = "servfail" // any non-NOERROR rcode
+	OutcomeTimeout  = "timeout"  // query deadline elapsed
+	OutcomeError    = "error"    // transport-level failure
+)
+
+var outcomes = []string{OutcomeOK, OutcomeServfail, OutcomeTimeout, OutcomeError}
+
+// Target is one serving plane to drive.
+type Target struct {
+	// Proto is one of ProtoUDP, ProtoTCP, ProtoDoT, ProtoDoH.
+	Proto string
+	// Addr is the host:port for udp/tcp/dot, or the full RFC 8484 URL
+	// for doh.
+	Addr string
+	// TLS authenticates dot/doh targets (nil = system trust store).
+	TLS *tls.Config
+}
+
+// Config parameterises one load run.
+type Config struct {
+	// Targets are the serving planes to drive. The total QPS is split
+	// evenly across them.
+	Targets []Target
+	// Domains is the query population; picks follow a zipfian
+	// popularity distribution over the slice order (index 0 hottest).
+	Domains []string
+	// QPS is the total offered load across all targets.
+	QPS float64
+	// Duration is how long the arrival schedule runs.
+	Duration time.Duration
+	// Clients is the worker (concurrent in-flight query) bound per
+	// target; it must exceed qps × worst-case latency or late arrivals
+	// queue behind busy workers. Default 16.
+	Clients int
+	// Timeout bounds one query from its send. Default 2s.
+	Timeout time.Duration
+	// ZipfS is the zipf exponent (must be > 1; closer to 1 = flatter).
+	// Default 1.1.
+	ZipfS float64
+	// Seed makes domain picks reproducible. 0 means seed 1.
+	Seed int64
+	// Prewarm issues one blocking query per (target, domain) pair
+	// before the clock starts, so the run measures steady-state cache
+	// hits rather than cold-start consensus fan-outs.
+	Prewarm bool
+
+	// exchange overrides the wire exchange (tests inject stalls and
+	// canned rcodes here). nil uses the real per-proto clients.
+	exchange func(ctx context.Context, tgt Target, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// dist aggregates one (proto, outcome) latency series.
+type dist struct {
+	hist   *metrics.Histogram
+	maxNum atomic.Int64 // max observed latency in nanoseconds
+}
+
+func (d *dist) observe(lat time.Duration) {
+	d.hist.Observe(lat.Seconds())
+	for {
+		cur := d.maxNum.Load()
+		if int64(lat) <= cur || d.maxNum.CompareAndSwap(cur, int64(lat)) {
+			return
+		}
+	}
+}
+
+// latencyBuckets spans 10µs to 100s at 10 buckets per decade: loopback
+// wire-cache hits sit near the bottom, stalled open-loop arrivals that
+// waited out a deep queue near the top.
+func latencyBuckets() []float64 { return metrics.LogBuckets(10e-6, 100, 10) }
+
+// targetRun aggregates one target's full run.
+type targetRun struct {
+	target Target
+	dists  map[string]*dist
+	sent   atomic.Uint64
+	late   atomic.Uint64 // arrivals dispatched past their scheduled time
+}
+
+// Series is one (proto, outcome) row of a Report.
+type Series struct {
+	Proto   string  `json:"proto"`
+	Outcome string  `json:"outcome"`
+	Count   uint64  `json:"count"`
+	P50ms   float64 `json:"p50_ms"`
+	P90ms   float64 `json:"p90_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	P999ms  float64 `json:"p999_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// Success summarises one target's outcome split.
+type Success struct {
+	Sent uint64  `json:"sent"`
+	OK   uint64  `json:"ok"`
+	Late uint64  `json:"late"`
+	Rate float64 `json:"rate"`
+}
+
+// Meta records the run parameters alongside the results.
+type Meta struct {
+	Schema    string   `json:"schema"`
+	QPS       float64  `json:"qps"`
+	DurationS float64  `json:"duration_s"`
+	Clients   int      `json:"clients"`
+	Targets   []string `json:"targets"`
+	Domains   int      `json:"domains"`
+	ZipfS     float64  `json:"zipf_s"`
+	Seed      int64    `json:"seed"`
+	Unix      int64    `json:"unix"`
+}
+
+// Report is the full result of a run, serialisable as BENCH_slo.json.
+type Report struct {
+	Meta    Meta               `json:"meta"`
+	Series  []Series           `json:"series"`
+	Success map[string]Success `json:"success"`
+}
+
+// SchemaSLO identifies the Report JSON document.
+const SchemaSLO = "dohpool-slo/1"
+
+// Run executes the configured load and blocks until the schedule is
+// drained or ctx is cancelled (partial results are still reported).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("loadgen: no targets")
+	}
+	if len(cfg.Domains) == 0 {
+		return nil, errors.New("loadgen: no domains")
+	}
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need positive qps and duration (got %v, %v)", cfg.QPS, cfg.Duration)
+	}
+	for _, t := range cfg.Targets {
+		switch t.Proto {
+		case ProtoUDP, ProtoTCP, ProtoDoT, ProtoDoH:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown proto %q", t.Proto)
+		}
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf exponent must be > 1 (got %v)", cfg.ZipfS)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	share := cfg.QPS / float64(len(cfg.Targets))
+	perTarget := int(share * cfg.Duration.Seconds())
+	if perTarget < 1 {
+		return nil, fmt.Errorf("loadgen: schedule is empty (%.1f qps per target over %v)", share, cfg.Duration)
+	}
+
+	runs := make([]*targetRun, len(cfg.Targets))
+	for i, t := range cfg.Targets {
+		tr := &targetRun{target: t, dists: make(map[string]*dist, len(outcomes))}
+		for _, o := range outcomes {
+			tr.dists[o] = &dist{hist: metrics.NewHistogram(latencyBuckets())}
+		}
+		runs[i] = tr
+	}
+
+	if cfg.Prewarm {
+		if err := prewarm(ctx, cfg); err != nil {
+			return nil, fmt.Errorf("loadgen: prewarm: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti, tr := range runs {
+		var next atomic.Int64
+		// Clone: the HTTP/2 setup inside the DoH transport mutates its
+		// tls.Config (NextProtos) on first use, which would race with
+		// DoT dialers sharing the same pointer.
+		sharedDoH := doh.NewClient(doh.WithTLSConfig(tr.target.TLS.Clone()), doh.WithTimeout(cfg.Timeout))
+		for w := 0; w < cfg.Clients; w++ {
+			wg.Add(1)
+			go func(ti int, tr *targetRun, next *atomic.Int64, w int) {
+				defer wg.Done()
+				worker(ctx, cfg, tr, next, sharedDoH, start, share, perTarget, cfg.Seed+int64(ti*10007+w))
+			}(ti, tr, &next, w)
+		}
+	}
+	wg.Wait()
+
+	return buildReport(cfg, runs, share), nil
+}
+
+// worker pulls arrival indices off the target's shared counter and
+// serves each at (or as soon as possible after) its scheduled time.
+func worker(ctx context.Context, cfg Config, tr *targetRun, next *atomic.Int64, sharedDoH *doh.Client, start time.Time, share float64, total int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Domains)-1))
+	ex := newExchange(tr.target, sharedDoH, cfg.exchange)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	for {
+		i := next.Add(1) - 1
+		if i >= int64(total) {
+			return
+		}
+		sched := start.Add(time.Duration(float64(i) / share * float64(time.Second)))
+		if wait := time.Until(sched); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else {
+			tr.late.Add(1)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+
+		domain := cfg.Domains[zipf.Uint64()]
+		q, err := dnswire.NewQuery(domain, dnswire.TypeA)
+		if err != nil {
+			// Domains are validated by prewarm/config in practice; count
+			// a build failure as an error outcome rather than aborting.
+			tr.sent.Add(1)
+			tr.dists[OutcomeError].observe(time.Since(sched))
+			continue
+		}
+		qctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+		resp, err := ex(qctx, q)
+		cancel()
+		tr.sent.Add(1)
+		tr.dists[classify(resp, err)].observe(time.Since(sched))
+	}
+}
+
+// classify maps one exchange result to an outcome label.
+func classify(resp *dnswire.Message, err error) string {
+	switch {
+	case err == nil && resp.Header.RCode == dnswire.RCodeSuccess:
+		return OutcomeOK
+	case err == nil:
+		return OutcomeServfail
+	default:
+		var nerr net.Error
+		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &nerr) && nerr.Timeout()) {
+			return OutcomeTimeout
+		}
+		return OutcomeError
+	}
+}
+
+// prewarm issues one blocking query per (target, domain) pair so the
+// measured run starts against hot consensus and wire caches.
+func prewarm(ctx context.Context, cfg Config) error {
+	for _, t := range cfg.Targets {
+		sharedDoH := doh.NewClient(doh.WithTLSConfig(t.TLS.Clone()), doh.WithTimeout(cfg.Timeout))
+		ex := newExchange(t, sharedDoH, cfg.exchange)
+		for _, d := range cfg.Domains {
+			q, err := dnswire.NewQuery(d, dnswire.TypeA)
+			if err != nil {
+				return fmt.Errorf("domain %q: %w", d, err)
+			}
+			// The first query per domain runs a full consensus fan-out;
+			// give it more room than the steady-state timeout.
+			qctx, cancel := context.WithTimeout(ctx, 2*cfg.Timeout+2*time.Second)
+			_, err = ex(qctx, q)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", t.Proto, d, err)
+			}
+		}
+	}
+	return nil
+}
+
+// exchangeFn performs one query against a fixed target.
+type exchangeFn func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+
+// newExchange builds the per-worker exchange for a target. UDP workers
+// hold one connected socket; TCP and DoT workers hold one stream and
+// reconnect after any error (a timed-out framed stream is out of sync);
+// DoH workers share the target's pooled HTTP client.
+func newExchange(t Target, sharedDoH *doh.Client, override func(context.Context, Target, *dnswire.Message) (*dnswire.Message, error)) exchangeFn {
+	if override != nil {
+		return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return override(ctx, t, q)
+		}
+	}
+	switch t.Proto {
+	case ProtoUDP:
+		u := &udpConn{addr: t.Addr}
+		return u.exchange
+	case ProtoTCP:
+		s := &streamConn{dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", t.Addr)
+		}}
+		return s.exchange
+	case ProtoDoT:
+		// Clone so this dialer never shares a mutable tls.Config with
+		// the DoH transport (whose HTTP/2 setup writes NextProtos).
+		tcfg := t.TLS.Clone()
+		s := &streamConn{dial: func(ctx context.Context) (net.Conn, error) {
+			d := &tls.Dialer{Config: tcfg}
+			return d.DialContext(ctx, "tcp", t.Addr)
+		}}
+		return s.exchange
+	default: // ProtoDoH, validated by Run
+		return func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return sharedDoH.Exchange(ctx, q, t.Addr)
+		}
+	}
+}
+
+// udpConn is a persistent connected UDP socket. Responses that fail
+// validation (stale answers to a previously timed-out query still
+// sitting in the socket buffer) are skipped, not fatal.
+type udpConn struct {
+	addr string
+	conn net.Conn
+	buf  []byte
+}
+
+func (u *udpConn) exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if u.conn == nil {
+		conn, err := net.Dial("udp", u.addr)
+		if err != nil {
+			return nil, err
+		}
+		u.conn = conn
+		u.buf = make([]byte, dnswire.DefaultEDNSSize)
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	deadline, _ := ctx.Deadline()
+	if err := u.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := u.conn.Write(wire); err != nil {
+		u.close()
+		return nil, err
+	}
+	for {
+		n, err := u.conn.Read(u.buf)
+		if err != nil {
+			// Timeouts leave the socket usable; real errors do not.
+			var nerr net.Error
+			if !(errors.As(err, &nerr) && nerr.Timeout()) {
+				u.close()
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Decode(u.buf[:n])
+		if err != nil || transport.Validate(q, resp) != nil {
+			continue
+		}
+		return resp, nil
+	}
+}
+
+func (u *udpConn) close() {
+	if u.conn != nil {
+		_ = u.conn.Close()
+		u.conn = nil
+	}
+}
+
+// streamConn is a persistent length-prefixed DNS stream (TCP or DoT)
+// that reconnects lazily after any failure.
+type streamConn struct {
+	dial func(ctx context.Context) (net.Conn, error)
+	conn net.Conn
+}
+
+func (s *streamConn) exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if s.conn == nil {
+		conn, err := s.dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.conn = conn
+	}
+	deadline, _ := ctx.Deadline()
+	if err := s.conn.SetDeadline(deadline); err != nil {
+		s.close()
+		return nil, err
+	}
+	if err := transport.WriteTCPMessage(s.conn, q); err != nil {
+		s.close()
+		return nil, err
+	}
+	resp, err := transport.ReadTCPMessage(s.conn)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	if err := transport.Validate(q, resp); err != nil {
+		s.close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *streamConn) close() {
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// buildReport freezes the per-target histograms into a Report.
+func buildReport(cfg Config, runs []*targetRun, share float64) *Report {
+	rep := &Report{
+		Meta: Meta{
+			Schema:    SchemaSLO,
+			QPS:       cfg.QPS,
+			DurationS: cfg.Duration.Seconds(),
+			Clients:   cfg.Clients,
+			Domains:   len(cfg.Domains),
+			ZipfS:     cfg.ZipfS,
+			Seed:      cfg.Seed,
+			Unix:      time.Now().Unix(),
+		},
+		Success: make(map[string]Success, len(runs)),
+	}
+	for _, tr := range runs {
+		rep.Meta.Targets = append(rep.Meta.Targets, tr.target.Proto)
+		var ok uint64
+		for _, outcome := range outcomes {
+			d := tr.dists[outcome]
+			count := d.hist.Count()
+			if outcome == OutcomeOK {
+				ok = count
+			}
+			if count == 0 {
+				continue
+			}
+			maxMs := float64(d.maxNum.Load()) / 1e6
+			rep.Series = append(rep.Series, Series{
+				Proto:   tr.target.Proto,
+				Outcome: outcome,
+				Count:   count,
+				P50ms:   quantileMs(d, 0.50, maxMs),
+				P90ms:   quantileMs(d, 0.90, maxMs),
+				P99ms:   quantileMs(d, 0.99, maxMs),
+				P999ms:  quantileMs(d, 0.999, maxMs),
+				MaxMs:   maxMs,
+			})
+		}
+		sent := tr.sent.Load()
+		var rate float64
+		if sent > 0 {
+			rate = float64(ok) / float64(sent)
+		}
+		rep.Success[tr.target.Proto] = Success{
+			Sent: sent, OK: ok, Late: tr.late.Load(), Rate: rate,
+		}
+	}
+	sort.Slice(rep.Series, func(i, j int) bool {
+		if rep.Series[i].Proto != rep.Series[j].Proto {
+			return rep.Series[i].Proto < rep.Series[j].Proto
+		}
+		return outcomeRank(rep.Series[i].Outcome) < outcomeRank(rep.Series[j].Outcome)
+	})
+	return rep
+}
+
+func outcomeRank(o string) int {
+	for i, v := range outcomes {
+		if v == o {
+			return i
+		}
+	}
+	return len(outcomes)
+}
+
+// quantileMs converts a histogram quantile to milliseconds, pinning an
+// overflow-bucket (+Inf) answer to the exactly-tracked maximum so the
+// JSON stays finite and the gate still sees the honest worst case.
+func quantileMs(d *dist, q, maxMs float64) float64 {
+	v := d.hist.Quantile(q) * 1e3
+	if math.IsInf(v, 1) {
+		return maxMs
+	}
+	return v
+}
+
+// WriteJSON emits the BENCH_slo.json document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report for humans.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %-9s %10s %10s %10s %10s %10s %10s\n",
+		"proto", "outcome", "count", "p50", "p90", "p99", "p999", "max")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%-6s %-9s %10d %10s %10s %10s %10s %10s\n",
+			s.Proto, s.Outcome, s.Count,
+			fmtMs(s.P50ms), fmtMs(s.P90ms), fmtMs(s.P99ms), fmtMs(s.P999ms), fmtMs(s.MaxMs))
+	}
+	protos := make([]string, 0, len(r.Success))
+	for p := range r.Success {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		s := r.Success[p]
+		fmt.Fprintf(w, "%-6s success %d/%d (%.3f%%), %d late sends\n",
+			p, s.OK, s.Sent, 100*s.Rate, s.Late)
+	}
+}
+
+// fmtMs renders a millisecond value at a width-stable precision.
+func fmtMs(ms float64) string {
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	case ms >= 1:
+		return fmt.Sprintf("%.2fms", ms)
+	default:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	}
+}

@@ -1,0 +1,282 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dohpool/internal/dnswire"
+)
+
+// okAnswer builds a NOERROR response to q.
+func okAnswer(q *dnswire.Message) *dnswire.Message {
+	resp := q.Copy()
+	resp.Header.Response = true
+	return resp
+}
+
+func runCfg(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func seriesFor(rep *Report, proto, outcome string) (Series, bool) {
+	for _, s := range rep.Series {
+		if s.Proto == proto && s.Outcome == outcome {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// TestOpenLoopIsCoordinatedOmissionSafe is the defining property test:
+// one worker, one 300ms server stall on the very first query, then an
+// instant server. A closed-loop generator would record one 300ms
+// sample and dozens of instant ones; open-loop accounting must charge
+// the queueing delay behind the stall to every arrival that was due
+// while the worker was stuck.
+func TestOpenLoopIsCoordinatedOmissionSafe(t *testing.T) {
+	var calls atomic.Int64
+	cfg := Config{
+		Targets:  []Target{{Proto: ProtoUDP, Addr: "ignored"}},
+		Domains:  []string{"pool.test."},
+		QPS:      100,
+		Duration: 500 * time.Millisecond,
+		Clients:  1,
+		Timeout:  time.Second,
+		exchange: func(ctx context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			if calls.Add(1) == 1 {
+				time.Sleep(300 * time.Millisecond)
+			}
+			return okAnswer(q), nil
+		},
+	}
+	rep := runCfg(t, cfg)
+
+	s, ok := seriesFor(rep, ProtoUDP, OutcomeOK)
+	if !ok || s.Count != 50 {
+		t.Fatalf("ok series = %+v (found=%v), want 50 samples", s, ok)
+	}
+	if s.MaxMs < 250 {
+		t.Errorf("max latency %.1fms does not reflect the 300ms stall", s.MaxMs)
+	}
+	// Arrivals due during the stall (~30 of 50) were served late; the
+	// p50 of the whole run must show queueing, not instant service.
+	if s.P50ms < 5 {
+		t.Errorf("p50 %.3fms hides the queue built during the stall (coordinated omission)", s.P50ms)
+	}
+	if succ := rep.Success[ProtoUDP]; succ.Late < 20 {
+		t.Errorf("late sends = %d, want the ~30 arrivals due during the stall", succ.Late)
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		exchange func(ctx context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error)
+		outcome  string
+	}{
+		{"noerror", func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			return okAnswer(q), nil
+		}, OutcomeOK},
+		{"servfail", func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			return dnswire.NewErrorResponse(q, dnswire.RCodeServFail), nil
+		}, OutcomeServfail},
+		{"deadline", func(ctx context.Context, _ Target, _ *dnswire.Message) (*dnswire.Message, error) {
+			return nil, fmt.Errorf("exchange: %w", context.DeadlineExceeded)
+		}, OutcomeTimeout},
+		{"net-timeout", func(_ context.Context, _ Target, _ *dnswire.Message) (*dnswire.Message, error) {
+			return nil, &net.OpError{Op: "read", Err: &timeoutErr{}}
+		}, OutcomeTimeout},
+		{"refused", func(_ context.Context, _ Target, _ *dnswire.Message) (*dnswire.Message, error) {
+			return nil, errors.New("connection refused")
+		}, OutcomeError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := runCfg(t, Config{
+				Targets:  []Target{{Proto: ProtoTCP, Addr: "ignored"}},
+				Domains:  []string{"pool.test."},
+				QPS:      200,
+				Duration: 100 * time.Millisecond,
+				Clients:  2,
+				exchange: tc.exchange,
+			})
+			s, ok := seriesFor(rep, ProtoTCP, tc.outcome)
+			if !ok || s.Count != 20 {
+				t.Fatalf("outcome %s series = %+v (found=%v), want all 20 samples", tc.outcome, s, ok)
+			}
+			wantRate := 0.0
+			if tc.outcome == OutcomeOK {
+				wantRate = 1.0
+			}
+			if got := rep.Success[ProtoTCP].Rate; got != wantRate {
+				t.Errorf("success rate = %v, want %v", got, wantRate)
+			}
+		})
+	}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string   { return "i/o timeout" }
+func (*timeoutErr) Timeout() bool   { return true }
+func (*timeoutErr) Temporary() bool { return true }
+
+func TestZipfianDomainSkew(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	domains := make([]string, 50)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("pool-%d.test.", i)
+	}
+	rep := runCfg(t, Config{
+		Targets:  []Target{{Proto: ProtoUDP, Addr: "ignored"}},
+		Domains:  domains,
+		QPS:      2000,
+		Duration: 500 * time.Millisecond,
+		Clients:  4,
+		Seed:     7,
+		exchange: func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			mu.Lock()
+			counts[q.Questions[0].Name]++
+			mu.Unlock()
+			return okAnswer(q), nil
+		},
+	})
+	if got := rep.Success[ProtoUDP].Sent; got != 1000 {
+		t.Fatalf("sent = %d, want the full 1000-arrival schedule", got)
+	}
+	head := counts["pool-0.test."]
+	if head < 200 {
+		t.Errorf("hottest domain drew %d of 1000 queries; zipf skew missing", head)
+	}
+	var tail int
+	for i := 25; i < 50; i++ {
+		tail += counts[fmt.Sprintf("pool-%d.test.", i)]
+	}
+	if tail >= head {
+		t.Errorf("cold half drew %d >= hottest domain's %d", tail, head)
+	}
+}
+
+func TestQPSSplitAcrossTargets(t *testing.T) {
+	rep := runCfg(t, Config{
+		Targets: []Target{
+			{Proto: ProtoUDP, Addr: "ignored"},
+			{Proto: ProtoTCP, Addr: "ignored"},
+		},
+		Domains:  []string{"pool.test."},
+		QPS:      400,
+		Duration: 250 * time.Millisecond,
+		Clients:  2,
+		exchange: func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			return okAnswer(q), nil
+		},
+	})
+	for _, proto := range []string{ProtoUDP, ProtoTCP} {
+		if got := rep.Success[proto].Sent; got != 50 {
+			t.Errorf("%s sent %d, want an even 50-query share", proto, got)
+		}
+	}
+	if len(rep.Meta.Targets) != 2 {
+		t.Errorf("meta targets = %v", rep.Meta.Targets)
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep := runCfg(t, Config{
+		Targets:  []Target{{Proto: ProtoDoH, Addr: "https://ignored/dns-query"}},
+		Domains:  []string{"pool.test."},
+		QPS:      100,
+		Duration: 100 * time.Millisecond,
+		exchange: func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+			return okAnswer(q), nil
+		},
+	})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if decoded.Meta.Schema != SchemaSLO {
+		t.Errorf("schema = %q", decoded.Meta.Schema)
+	}
+	if decoded.Success[ProtoDoH].Rate != 1 {
+		t.Errorf("success = %+v", decoded.Success[ProtoDoH])
+	}
+	var table strings.Builder
+	rep.WriteTable(&table)
+	for _, want := range []string{"proto", "doh", "ok", "success 10/10"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := []Config{
+		{},
+		{Targets: []Target{{Proto: ProtoUDP}}},
+		{Targets: []Target{{Proto: "smtp"}}, Domains: []string{"d."}, QPS: 1, Duration: time.Second},
+		{Targets: []Target{{Proto: ProtoUDP}}, Domains: []string{"d."}, QPS: -1, Duration: time.Second},
+		{Targets: []Target{{Proto: ProtoUDP}}, Domains: []string{"d."}, QPS: 1, Duration: time.Second, ZipfS: 0.5},
+		{Targets: []Target{{Proto: ProtoUDP}}, Domains: []string{"d."}, QPS: 0.5, Duration: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(ctx, Config{
+			Targets:  []Target{{Proto: ProtoUDP, Addr: "ignored"}},
+			Domains:  []string{"pool.test."},
+			QPS:      10,
+			Duration: time.Hour,
+			Clients:  1,
+			exchange: func(_ context.Context, _ Target, q *dnswire.Message) (*dnswire.Message, error) {
+				calls.Add(1)
+				return okAnswer(q), nil
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(250 * time.Millisecond)
+	cancel()
+	select {
+	case rep := <-done:
+		if sent := rep.Success[ProtoUDP].Sent; sent >= 36000 {
+			t.Errorf("cancelled hour-long run sent %d queries", sent)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop on cancellation")
+	}
+}

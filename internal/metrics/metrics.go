@@ -310,6 +310,86 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Sum returns the sum of all observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Snapshot copies the histogram's state: the bucket upper bounds and the
+// per-bucket (non-cumulative) counts, with counts one longer than bounds
+// — the final element is the +Inf overflow bucket. Nil-safe.
+func (h *Histogram) Snapshot() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts. Within the winning bucket the
+// estimate interpolates geometrically between the bucket's bounds — the
+// right interpolation for log-spaced ladders like LogBuckets, and a
+// conservative one for linear ladders. Values landing in the +Inf
+// overflow bucket return +Inf: a p999 beyond the histogram's range must
+// fail a gate loudly, not report the last finite bound as if measured.
+// Returns 0 when the histogram is nil or empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				return math.Inf(1)
+			}
+			upper := h.bounds[i]
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			// Position of the target observation inside this bucket.
+			frac := float64(rank-cum) / float64(n)
+			if lower <= 0 {
+				// First bucket (or a ladder starting at/below 0): no
+				// geometric span to interpolate over; linear from lower.
+				return lower + (upper-lower)*frac
+			}
+			return lower * math.Pow(upper/lower, frac)
+		}
+		cum += n
+	}
+	return math.Inf(1) // unreachable: total > 0 guarantees a bucket hits
+}
+
 // Histogram returns the histogram registered under name with the given
 // bucket upper bounds (must be sorted ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -318,18 +398,77 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	}
 	f := r.familyFor(name, help, typeHistogram)
 	s := f.seriesFor("", func() *series {
-		return &series{histogram: &Histogram{
-			bounds: append([]float64(nil), buckets...),
-			counts: make([]atomic.Uint64, len(buckets)+1),
-		}}
+		return &series{histogram: NewHistogram(buckets)}
 	})
 	return s.histogram
+}
+
+// NewHistogram builds a standalone (unregistered) histogram with the
+// given bucket upper bounds — for consumers like the load generator that
+// want the lock-free observation path and Quantile extraction without
+// Prometheus exposition.
+func NewHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// HistogramVec is a histogram family partitioned by label values; every
+// series shares one bucket ladder.
+type HistogramVec struct {
+	fam     *family
+	labels  []string
+	buckets []float64
+}
+
+// HistogramVec returns the labeled histogram family registered under
+// name.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{
+		fam:     r.familyFor(name, help, typeHistogram),
+		labels:  labelNames,
+		buckets: append([]float64(nil), buckets...),
+	}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := renderLabels(v.labels, values)
+	return v.fam.seriesFor(key, func() *series {
+		return &series{histogram: NewHistogram(v.buckets)}
+	}).histogram
 }
 
 // DurationBuckets is a general-purpose latency bucket ladder in seconds,
 // from 100µs to 10s.
 func DurationBuckets() []float64 {
 	return []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// LogBuckets returns log-spaced bucket upper bounds from min to at least
+// max, with perBucket bounds per decade (HDR-histogram style: constant
+// relative error, so a p999 read keeps its precision across orders of
+// magnitude where a linear ladder collapses the tail into one bucket).
+// min must be positive and max greater than min; perDecade at least 1.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		panic("metrics: LogBuckets wants 0 < min < max and perDecade >= 1")
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for b := min; ; b *= ratio {
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
 }
 
 // --- exposition -------------------------------------------------------

@@ -262,3 +262,154 @@ func TestInfinityFormatting(t *testing.T) {
 		t.Fatalf("formatFloat(+Inf) = %q", got)
 	}
 }
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.0001, 10, 10)
+	if b[0] != 0.0001 {
+		t.Fatalf("first bound = %v, want 0.0001", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound = %v, must cover max 10", last)
+	}
+	ratio := math.Pow(10, 0.1)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v <= %v", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-ratio) > 1e-9 {
+			t.Fatalf("bucket ratio at %d = %v, want %v", i, r, ratio)
+		}
+	}
+	// 5 decades x 10 per decade, plus the starting bound.
+	if len(b) != 51 {
+		t.Fatalf("len = %d, want 51", len(b))
+	}
+	for _, bad := range []func(){
+		func() { LogBuckets(0, 1, 10) },
+		func() { LogBuckets(1, 1, 10) },
+		func() { LogBuckets(0.001, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid LogBuckets args must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(LogBuckets(0.0001, 10, 10))
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 1000 observations at ~1ms, 10 at ~100ms: p50 near 1ms, p999+ near 100ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 0.05 || p999 > 0.2 {
+		t.Fatalf("p999 = %v, want ~100ms", p999)
+	}
+	if p50 > p999 {
+		t.Fatalf("quantiles not monotone: p50=%v p999=%v", p50, p999)
+	}
+	if got := h.Quantile(-1); got > p50 {
+		t.Fatalf("clamped q<0 = %v, should be at or below p50", got)
+	}
+	if got := h.Quantile(2); math.IsInf(got, 1) || got < p999 {
+		t.Fatalf("clamped q>1 = %v, want max finite bucket estimate >= p999", got)
+	}
+}
+
+func TestQuantileOverflowIsInf(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf overflow bucket
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("overflow-bucket quantile = %v, want +Inf", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileFirstBucketLinear(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	got := h.Quantile(0.5)
+	if got <= 0 || got > 10 {
+		t.Fatalf("first-bucket quantile = %v, want in (0, 10]", got)
+	}
+}
+
+func TestHistogramSnapshotAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	bounds, counts := h.Snapshot()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("snapshot shape = %d bounds / %d counts", len(bounds), len(counts))
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := h.Sum(); math.Abs(got-101) > 1e-9 {
+		t.Fatalf("sum = %v, want 101", got)
+	}
+	var nilH *Histogram
+	if b, c := nilH.Snapshot(); b != nil || c != nil {
+		t.Fatal("nil snapshot must be nil")
+	}
+	if nilH.Sum() != 0 {
+		t.Fatal("nil sum must be 0")
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("lat_seconds", "per-proto latency", []float64{0.001, 0.01}, "proto")
+	v.With("udp").Observe(0.0005)
+	v.With("udp").Observe(0.005)
+	v.With("tcp").Observe(0.5)
+	if a, b := v.With("udp"), v.With("udp"); a != b {
+		t.Fatal("same label values must return the same histogram")
+	}
+	if got := v.With("udp").Count(); got != 2 {
+		t.Fatalf("udp count = %d, want 2", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{proto="udp",le="0.001"} 1`,
+		`lat_seconds_bucket{proto="udp",le="+Inf"} 2`,
+		`lat_seconds_bucket{proto="tcp",le="+Inf"} 1`,
+		`lat_seconds_count{proto="udp"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheusText(out); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, out)
+	}
+	var nilV *HistogramVec
+	nilV.With("x").Observe(1) // must not panic
+	var nilR *Registry
+	nilR.HistogramVec("n", "", nil, "l").With("x").Observe(1)
+}

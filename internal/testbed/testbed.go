@@ -94,6 +94,20 @@ type Config struct {
 	// WANLatencyBase/4 when WANLatencyBase is set).
 	WANLatencyStep time.Duration
 
+	// NetChaos, when active, interposes network-level faults (packet
+	// loss, delay, partition windows, resolver churn) on every
+	// resolver's upstream exchanger — the path between the recursive
+	// resolvers and the authoritative servers — complementing the
+	// payload adversaries above, which attack what resolvers answer
+	// rather than whether the network delivers it.
+	NetChaos attack.NetChaosOptions
+
+	// ExtraPoolDomains adds this many extra pool names to the zone —
+	// pool-0.<origin> … pool-(n-1).<origin>, each holding the same
+	// benign RRset — so load generators can spread queries over a
+	// zipfian domain population instead of hammering one cache key.
+	ExtraPoolDomains int
+
 	// Iterative switches the resolvers from stub/forward configuration to
 	// full iterative resolution: a root zone ("test.") is served by its
 	// own nameserver and delegates the pool zone to the pool's
@@ -324,10 +338,15 @@ func Start(cfg Config) (*Testbed, error) {
 
 	tb.gate.set(cfg.Plan)
 
+	// One shared fault injector across all resolvers, so churn rotates
+	// over the fleet rather than each resolver churning independently.
+	netChaos := attack.NewNetChaos(cfg.NetChaos)
+
 	// DoH resolvers. Attack wrappers are installed on every resolver but
 	// gated on the current plan, so plans can change at runtime.
 	for i := 0; i < cfg.Resolvers; i++ {
 		var ex transport.Exchanger = &transport.Auto{}
+		ex = netChaos.WrapExchanger(ex) // no-op when NetChaos is inactive
 		switch cfg.Adversary {
 		case AdversaryOnPath:
 			ex = gatedExchanger{idx: i, gate: &tb.gate,
@@ -406,7 +425,23 @@ func addZoneData(z *zone.Zone, cfg Config, pool []netip.Addr) error {
 			return err
 		}
 	}
+	for _, name := range extraPoolDomains(cfg) {
+		for _, a := range pool {
+			if err := z.AddAddress(name, a, cfg.TTL); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// extraPoolDomains enumerates the Config.ExtraPoolDomains names.
+func extraPoolDomains(cfg Config) []string {
+	names := make([]string, 0, cfg.ExtraPoolDomains)
+	for i := 0; i < cfg.ExtraPoolDomains; i++ {
+		names = append(names, fmt.Sprintf("pool-%d.%s", i, dnswire.CanonicalName(cfg.ZoneOrigin)))
+	}
+	return names
 }
 
 // resolverResponder adapts resolver.Resolver to doh.QueryResponder.
@@ -470,6 +505,13 @@ func (tb *Testbed) Engine(opts GeneratorOptions, ecfg core.EngineConfig) (*core.
 
 // Domain returns the pool domain under test.
 func (tb *Testbed) Domain() string { return tb.cfg.Domain }
+
+// PoolDomains returns every pool name the zone serves: the primary
+// Domain plus the Config.ExtraPoolDomains names — the domain population
+// a load generator draws from.
+func (tb *Testbed) PoolDomains() []string {
+	return append([]string{tb.cfg.Domain}, extraPoolDomains(tb.cfg)...)
+}
 
 // SetPlan swaps the attack plan at runtime (Monte-Carlo trials draw a
 // fresh plan per trial without rebuilding the testbed).

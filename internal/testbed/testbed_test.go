@@ -381,3 +381,49 @@ func TestEndToEndChronosOverDoHPool(t *testing.T) {
 		t.Fatalf("Chronos over poisoned-minority pool accepted offset %v", res.Offset)
 	}
 }
+
+func TestExtraPoolDomainsResolve(t *testing.T) {
+	tb := startClean(t, Config{ExtraPoolDomains: 3})
+	domains := tb.PoolDomains()
+	if len(domains) != 4 {
+		t.Fatalf("PoolDomains = %v, want primary + 3 extras", domains)
+	}
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range domains {
+		pool, err := gen.Lookup(testCtx(t), d, dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", d, err)
+		}
+		if len(pool.Addrs) == 0 {
+			t.Fatalf("lookup %s: empty pool", d)
+		}
+	}
+}
+
+func TestNetChaosDelayAtExchangerSeam(t *testing.T) {
+	// Delay on the resolver→authoritative path: resolution still works,
+	// and the shared injector records the delayed exchanges.
+	tb := startClean(t, Config{
+		NetChaos:             attack.NetChaosOptions{Delay: 5 * time.Millisecond},
+		DisableResolverCache: true,
+	})
+	gen, err := tb.Generator(GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Lookup(testCtx(t), tb.Domain(), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Addrs) == 0 {
+		t.Fatal("empty pool under delay-only net chaos")
+	}
+	for _, r := range pool.Results {
+		if r.Err == nil && r.RTT < 5*time.Millisecond {
+			t.Errorf("resolver %s RTT %v, must include the injected delay", r.Endpoint.Name, r.RTT)
+		}
+	}
+}

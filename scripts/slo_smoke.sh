@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# SLO smoke: prove the serving fast path under offered load, twice.
+#
+#   1. Clean run: loadgen boots the self-hosted stack (testbed
+#      resolvers + in-process dohpoold) and drives a fixed open-loop
+#      UDP schedule against the prewarmed cache. `benchgate slo` gates
+#      the cached-hit p999 (absolute ceiling + checked-in baseline with
+#      slack) and the success rate (>= 99.9%).
+#   2. Degraded run: the same schedule with network chaos on the
+#      client -> resolver paths (drop + delay). Cached serving must not
+#      care — success stays >= 99.9% under a looser latency bound.
+#
+# Artifacts BENCH_slo.json / BENCH_slo_chaos.json are left in the repo
+# root for CI upload.
+#
+# Requires: go.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QPS=${QPS:-2000}
+DURATION=${DURATION:-5s}
+DOMAINS=${DOMAINS:-16}
+
+echo "=== clean run: ${QPS} qps UDP for ${DURATION} ==="
+go run ./cmd/loadgen -selfhost -transports udp \
+  -selfhost-domains "$DOMAINS" \
+  -qps "$QPS" -duration "$DURATION" \
+  -json BENCH_slo.json
+
+echo "=== gate: cached-hit p999 + success rate ==="
+go run ./cmd/benchgate slo \
+  -current BENCH_slo.json \
+  -baseline BENCH_slo_baseline.json \
+  -proto udp \
+  -min-success 0.999 \
+  -max-p999-ms 100 \
+  -threshold 2.0 -slack-ms 40
+
+echo "=== degraded run: +10% drop, +3ms delay on resolver paths ==="
+go run ./cmd/loadgen -selfhost -transports udp \
+  -selfhost-domains "$DOMAINS" \
+  -net-chaos-drop 0.1 -net-chaos-delay 3ms \
+  -qps "$QPS" -duration "$DURATION" \
+  -json BENCH_slo_chaos.json
+
+echo "=== gate: degraded but bounded ==="
+go run ./cmd/benchgate slo \
+  -current BENCH_slo_chaos.json \
+  -proto udp \
+  -min-success 0.999 \
+  -max-p999-ms 200
+
+echo "slo smoke ok: cached-hit SLO held on the clean and net-chaos runs"
