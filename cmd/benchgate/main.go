@@ -37,25 +37,60 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark's aggregated measurement. AllocsPerOp is a
-// pointer because a measured zero — the whole point of an
-// allocation-free serve path — must survive JSON round-trips, while an
-// un-instrumented benchmark (no -benchmem/ReportAllocs) stays absent
-// and ungated.
+// Result is one benchmark's aggregated measurement. BPerOp and
+// AllocsPerOp are pointers because a measured zero — the whole point of
+// an allocation-free serve path — must survive JSON round-trips and win
+// the fastest-sample collapse, while an un-instrumented benchmark (no
+// -benchmem/ReportAllocs) stays absent and ungated.
 type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
-	BPerOp      float64  `json:"b_per_op,omitempty"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	Samples     int      `json:"samples"`
 }
 
-// File is the BENCH_*.json schema.
+// Machine identifies the runtime that produced a benchmark file.
+// ns/op numbers are only comparable between runs on the same machine
+// shape, so the gate's delta table leads with both sides' identity —
+// a baseline regenerated on different hardware announces itself.
+type Machine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// String renders the one-line form printed in compare headers.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s %s/%s, %d cpu, gomaxprocs %d",
+		m.GoVersion, m.GOOS, m.GOARCH, m.NumCPU, m.GOMAXPROCS)
+}
+
+// currentMachine snapshots the runtime parse executes on — the same
+// machine that ran the piped `go test -bench`, since parse consumes
+// its output in the same CI step.
+func currentMachine() *Machine {
+	return &Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// File is the BENCH_*.json schema. Meta is nil in files written before
+// the field existed; the gate treats an unknown machine as unknowable
+// rather than mismatched.
 type File struct {
+	Meta       *Machine          `json:"meta,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -105,6 +140,7 @@ func runParse(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(parsed.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines found")
 	}
+	parsed.Meta = currentMachine()
 	blob, err := json.MarshalIndent(parsed, "", "  ")
 	if err != nil {
 		return err
@@ -159,6 +195,12 @@ func runCompare(args []string, stdout io.Writer) error {
 		}
 	}
 	sort.Strings(names)
+	if base.Meta != nil {
+		fmt.Fprintf(stdout, "baseline machine: %s\n", base.Meta)
+	}
+	if cur.Meta != nil {
+		fmt.Fprintf(stdout, "current machine:  %s\n", cur.Meta)
+	}
 	fmt.Fprintf(stdout, "benchmark delta table (baseline -> current, fastest samples):\n")
 	for _, name := range names {
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
@@ -216,10 +258,10 @@ func Gate(base, cur *File, bench string, threshold float64, out io.Writer) error
 		return fmt.Errorf("%s regressed %.1f%% (%.1f -> %.1f ns/op), threshold %.0f%%",
 			bench, 100*change, b.NsPerOp, c.NsPerOp, 100*threshold)
 	}
-	if b.BPerOp > 0 {
-		if limit := b.BPerOp*(1+threshold) + bPerOpSlack; c.BPerOp > limit {
+	if b.BPerOp != nil && c.BPerOp != nil {
+		if limit := *b.BPerOp*(1+threshold) + bPerOpSlack; *c.BPerOp > limit {
 			return fmt.Errorf("%s regressed allocation bytes (%.0f -> %.0f B/op, limit %.0f)",
-				bench, b.BPerOp, c.BPerOp, limit)
+				bench, *b.BPerOp, *c.BPerOp, limit)
 		}
 	}
 	if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
@@ -271,7 +313,8 @@ func Parse(r io.Reader) (*File, error) {
 		}
 		res := Result{NsPerOp: ns, Samples: 1}
 		if bm := bPerOp.FindStringSubmatch(m[3]); bm != nil {
-			res.BPerOp, _ = strconv.ParseFloat(bm[1], 64)
+			v, _ := strconv.ParseFloat(bm[1], 64)
+			res.BPerOp = &v
 		}
 		if am := allocsPerOp.FindStringSubmatch(m[3]); am != nil {
 			v, _ := strconv.ParseFloat(am[1], 64)
@@ -282,7 +325,7 @@ func Parse(r io.Reader) (*File, error) {
 			if prev.NsPerOp < res.NsPerOp {
 				res.NsPerOp = prev.NsPerOp
 			}
-			if prev.BPerOp != 0 && (res.BPerOp == 0 || prev.BPerOp < res.BPerOp) {
+			if prev.BPerOp != nil && (res.BPerOp == nil || *prev.BPerOp < *res.BPerOp) {
 				res.BPerOp = prev.BPerOp
 			}
 			if prev.AllocsPerOp != nil && (res.AllocsPerOp == nil || *prev.AllocsPerOp < *res.AllocsPerOp) {

@@ -34,7 +34,7 @@ func TestParseAggregatesMinimum(t *testing.T) {
 	if got.NsPerOp != 798.1 {
 		t.Errorf("ns/op = %v, want fastest sample 798.1", got.NsPerOp)
 	}
-	if got.BPerOp != 440 {
+	if got.BPerOp == nil || *got.BPerOp != 440 {
 		t.Errorf("B/op = %v, want 440", got.BPerOp)
 	}
 	if got.AllocsPerOp == nil || *got.AllocsPerOp != 2 {
@@ -46,7 +46,7 @@ func TestParseAggregatesMinimum(t *testing.T) {
 	if _, ok := f.Benchmarks["BenchmarkFrontendThroughput/udp"]; !ok {
 		t.Error("sub-benchmark name not parsed")
 	}
-	if un := f.Benchmarks["BenchmarkEngineUncachedLookup"]; un.NsPerOp != 392817 || un.BPerOp != 0 || un.AllocsPerOp != nil {
+	if un := f.Benchmarks["BenchmarkEngineUncachedLookup"]; un.NsPerOp != 392817 || un.BPerOp != nil || un.AllocsPerOp != nil {
 		t.Errorf("uncached = %+v", un)
 	}
 }
@@ -70,6 +70,25 @@ func TestParseMeasuredZeroAllocs(t *testing.T) {
 	}
 	if !strings.Contains(string(blob), `"allocs_per_op":0`) {
 		t.Fatalf("measured zero dropped from JSON: %s", blob)
+	}
+}
+
+// TestParseMeasuredZeroBytesWinsCollapse: a measured 0 B/op sample must
+// win the collapse against a noisier sibling (short fixed-iteration runs
+// charge client setup to B/op), not be mistaken for "unmeasured".
+func TestParseMeasuredZeroBytesWinsCollapse(t *testing.T) {
+	f, err := Parse(strings.NewReader(
+		"BenchmarkFrontendThroughput/udp_sockets-8\t2000\t3433 ns/op\t146 B/op\t0 allocs/op\n" +
+			"BenchmarkFrontendThroughput/udp_sockets-8\t423874\t2832 ns/op\t0 B/op\t0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Benchmarks["BenchmarkFrontendThroughput/udp_sockets"]
+	if got.NsPerOp != 2832 {
+		t.Errorf("ns/op = %v, want fastest sample 2832", got.NsPerOp)
+	}
+	if got.BPerOp == nil || *got.BPerOp != 0 {
+		t.Errorf("B/op = %v, want measured 0", got.BPerOp)
 	}
 }
 
@@ -104,14 +123,14 @@ func TestGateImprovementPasses(t *testing.T) {
 func fp(v float64) *float64 { return &v }
 
 func TestGateAllocBytesRegressionFails(t *testing.T) {
-	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: 1000}}}
-	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: 1500}}}
+	base := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: fp(1000)}}}
+	cur := &File{Benchmarks: map[string]Result{"B": {NsPerOp: 1000, BPerOp: fp(1500)}}}
 	err := Gate(base, cur, "B", 0.30, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "B/op") {
 		t.Fatalf("+50%% B/op passed a 30%% gate: %v", err)
 	}
 	// Within threshold+slack passes.
-	cur.Benchmarks["B"] = Result{NsPerOp: 1000, BPerOp: 1400}
+	cur.Benchmarks["B"] = Result{NsPerOp: 1000, BPerOp: fp(1400)}
 	if err := Gate(base, cur, "B", 0.30, &strings.Builder{}); err != nil {
 		t.Fatalf("+40%% of slack-covered B/op failed: %v", err)
 	}

@@ -70,6 +70,8 @@
 //	-udp-workers        bounded UDP worker pool size (0 = from GOMAXPROCS)
 //	-udp-batch          UDP datagrams per syscall (recvmmsg/sendmmsg on
 //	                    Linux; 1 = portable one-per-syscall path)
+//	-udp-sockets        SO_REUSEPORT UDP sockets sharing the serving port
+//	                    (Linux; 0 = from NumCPU, 1 = single socket)
 //	-max-tcp-conns      concurrent TCP connection bound
 package main
 

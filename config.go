@@ -143,6 +143,12 @@ type ServeConfig struct {
 	// UDPBatch is how many UDP datagrams move per syscall (0 = default
 	// of 16).
 	UDPBatch int
+	// UDPSockets is how many SO_REUSEPORT UDP sockets share the serving
+	// port, each with its own reader loop and batch state (0 sizes from
+	// NumCPU, 1 = classic single-socket serving; clamped to 1 on
+	// platforms without SO_REUSEPORT). Grouped-only knob — it has no
+	// flat alias.
+	UDPSockets int
 	// MaxTCPConns bounds concurrently served TCP connections (0 =
 	// default of 256; DoT shares the bound).
 	MaxTCPConns int

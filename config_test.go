@@ -347,7 +347,7 @@ var configSurface = map[string][]string{
 		"ChurnEvery", "ChurnDowntime", "Resolvers",
 	},
 	"ServeConfig": {
-		"UDPWorkers", "UDPBatch", "MaxTCPConns", "DoHAddr", "DoTAddr",
+		"UDPWorkers", "UDPBatch", "UDPSockets", "MaxTCPConns", "DoHAddr", "DoTAddr",
 		"TLSCert", "TLSKey", "TLSSelfSigned", "AdminAddr",
 	},
 }

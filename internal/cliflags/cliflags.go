@@ -240,6 +240,7 @@ type ServeOptions struct {
 type Serve struct {
 	UDPWorkers    *int
 	UDPBatch      *int
+	UDPSockets    *int
 	MaxTCPConns   *int
 	DoHAddr       *string
 	DoTAddr       *string
@@ -250,12 +251,13 @@ type Serve struct {
 }
 
 // RegisterServe declares the serving-plane flags: -udp-workers,
-// -udp-batch, -max-tcp-conns, -doh-addr, -dot-addr, -tls-cert,
-// -tls-key, -tls-self-signed and -admin.
+// -udp-batch, -udp-sockets, -max-tcp-conns, -doh-addr, -dot-addr,
+// -tls-cert, -tls-key, -tls-self-signed and -admin.
 func RegisterServe(fs *flag.FlagSet, opts ServeOptions) *Serve {
 	return &Serve{
 		UDPWorkers:    fs.Int("udp-workers", 0, "UDP worker pool size (0 = sized from GOMAXPROCS)"),
 		UDPBatch:      fs.Int("udp-batch", 0, "UDP datagrams moved per syscall via recvmmsg/sendmmsg on Linux (0 = default 16, 1 = portable path)"),
+		UDPSockets:    fs.Int("udp-sockets", 0, "SO_REUSEPORT UDP sockets sharing the serving port on Linux (0 = sized from NumCPU, 1 = single socket)"),
 		MaxTCPConns:   fs.Int("max-tcp-conns", 0, "max concurrently served TCP connections (0 = default)"),
 		DoHAddr:       fs.String("doh-addr", "", "additionally serve DNS over HTTPS (RFC 8484) on this address (\"\" disables)"),
 		DoTAddr:       fs.String("dot-addr", "", "additionally serve DNS over TLS (RFC 7858) on this address (\"\" disables)"),
@@ -270,6 +272,7 @@ func RegisterServe(fs *flag.FlagSet, opts ServeOptions) *Serve {
 func (s *Serve) Apply(cfg *dohpool.Config) {
 	cfg.Serve.UDPWorkers = *s.UDPWorkers
 	cfg.Serve.UDPBatch = *s.UDPBatch
+	cfg.Serve.UDPSockets = *s.UDPSockets
 	cfg.Serve.MaxTCPConns = *s.MaxTCPConns
 	cfg.Serve.DoHAddr = *s.DoHAddr
 	cfg.Serve.DoTAddr = *s.DoTAddr

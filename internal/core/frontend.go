@@ -16,6 +16,7 @@ import (
 	"dohpool/internal/dnswire"
 	"dohpool/internal/doh"
 	"dohpool/internal/metrics"
+	"dohpool/internal/reuseport"
 	"dohpool/internal/transport"
 	"dohpool/internal/udpbatch"
 )
@@ -62,6 +63,15 @@ type FrontendConfig struct {
 	// per-syscall path everywhere. Batching only changes syscall
 	// amortisation, never per-query semantics.
 	UDPBatch int
+	// UDPSockets is how many SO_REUSEPORT UDP sockets share the serving
+	// port, each with its own reader loop, batch state and buffers —
+	// kernel flow steering spreads inbound load across them with no
+	// shared lock or channel on the fast path. 0 sizes from NumCPU;
+	// 1 is classic single-socket serving. On platforms without
+	// SO_REUSEPORT (anything but Linux) the value is clamped to 1.
+	// Per-query semantics never change: every socket serves the same
+	// wire cache and feeds the same worker pool.
+	UDPSockets int
 	// MaxTCPConns bounds concurrently served TCP connections (default
 	// DefaultMaxTCPConns).
 	MaxTCPConns int
@@ -100,6 +110,12 @@ func (c *FrontendConfig) setDefaults() {
 	if c.UDPQueue <= 0 {
 		c.UDPQueue = DefaultUDPQueue
 	}
+	if c.UDPSockets <= 0 {
+		c.UDPSockets = runtime.NumCPU()
+	}
+	if !reuseport.Supported {
+		c.UDPSockets = 1
+	}
 	if c.MaxTCPConns <= 0 {
 		c.MaxTCPConns = DefaultMaxTCPConns
 	}
@@ -128,8 +144,7 @@ type Frontend struct {
 	wire    wireBackend // backend's fast-path extension; nil when absent
 	cfg     FrontendConfig
 	inst    frontendInstruments
-	conn    *net.UDPConn
-	uconn   *udpbatch.Conn
+	socks   []*udpSocket // SO_REUSEPORT siblings on one port; len 1 without reuseport
 	tcpLn   net.Listener
 	dotLn   net.Listener // nil unless DoTAddr was set
 	dohLn   net.Listener // nil unless DoHAddr was set
@@ -137,9 +152,15 @@ type Frontend struct {
 
 	packets chan *udpPacket
 	pktPool sync.Pool
+	// streamPool recycles the per-connection scratch (read buffer, key
+	// scratch, response copy target) the stream fast path serves from.
+	streamPool sync.Pool
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	// readerWG tracks the per-socket UDP reader loops; the last one out
+	// closes the worker queue.
+	readerWG sync.WaitGroup
 
 	tcpMu    sync.Mutex
 	tcpConns map[net.Conn]struct{}
@@ -147,6 +168,18 @@ type Frontend struct {
 	served   atomic.Uint64
 	failures atomic.Uint64
 	dropped  atomic.Uint64
+}
+
+// udpSocket is one of the frontend's SO_REUSEPORT UDP sockets: the
+// socket itself, its batch I/O state, and its pre-resolved counters.
+// Each socket is owned by exactly one reader goroutine, so the batch
+// state needs no locking; the kernel steers every client flow to a
+// consistent socket, so slow-path replies also leave through the socket
+// that read the query (the worker writes via pkt.sock).
+type udpSocket struct {
+	conn  *net.UDPConn
+	uconn *udpbatch.Conn
+	inst  udpSocketInstruments
 }
 
 // udpPacket is one pooled datagram: a fixed buffer, the peer address
@@ -159,6 +192,9 @@ type Frontend struct {
 type udpPacket struct {
 	dg   udpbatch.Datagram
 	addr net.UDPAddr
+	// sock is the socket whose reader pulled this packet, so the slow
+	// path answers through the same socket (flow affinity preserved).
+	sock *udpSocket
 	buf  [udpPacketBuf]byte
 	// key is answerWire's cache-key scratch. It lives here rather than on
 	// answerWire's stack because the key slice crosses the wireBackend
@@ -195,28 +231,33 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 	if err != nil {
 		return nil, err
 	}
-	conn, tcpLn, err := listenSamePort(udpAddr)
+	conns, tcpLn, err := listenSamePort(udpAddr, cfg.UDPSockets)
 	if err != nil {
-		return nil, err
-	}
-	uconn, err := udpbatch.New(conn, cfg.UDPBatch)
-	if err != nil {
-		conn.Close()
-		tcpLn.Close()
 		return nil, err
 	}
 	f := &Frontend{
 		backend:  backend,
 		cfg:      cfg,
-		inst:     newFrontendInstruments(cfg.Metrics, cfg.DoTAddr != "", cfg.DoHAddr != ""),
-		conn:     conn,
-		uconn:    uconn,
+		inst:     newFrontendInstruments(cfg.Metrics, cfg.DoTAddr != "", cfg.DoHAddr != "", len(conns)),
+		socks:    make([]*udpSocket, len(conns)),
 		tcpLn:    tcpLn,
 		packets:  make(chan *udpPacket, cfg.UDPQueue),
 		tcpConns: make(map[net.Conn]struct{}),
 	}
+	for i, conn := range conns {
+		uconn, err := udpbatch.New(conn, cfg.UDPBatch)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			tcpLn.Close()
+			return nil, err
+		}
+		f.socks[i] = &udpSocket{conn: conn, uconn: uconn, inst: f.inst.udpSockets[i]}
+	}
 	f.wire, _ = backend.(wireBackend)
 	f.pktPool.New = func() any { return newUDPPacket() }
+	f.streamPool.New = func() any { return &streamScratch{} }
 	if cfg.DoTAddr != "" {
 		// RFC 7858 is the RFC 7766 message stream behind a TLS
 		// handshake: wrap the listener and reuse the TCP serving loop
@@ -244,7 +285,13 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 		// failure mode the frontend exists to prevent.
 		f.dohLn = newLimitListener(ln, f.cfg.MaxTCPConns)
 		mux := http.NewServeMux()
-		mux.Handle(doh.DefaultPath, doh.NewHandler(frontendResponder{f}))
+		dohHandler := doh.NewHandler(frontendResponder{f})
+		// Wire-cache hit path: answered from the raw query bytes before
+		// the message decoder runs, same bytes the UDP/TCP fast paths
+		// serve. Padded or otherwise EDNS-optioned queries fall through
+		// so the slow path can honour RFC 8467 response padding.
+		dohHandler.Wire = f.answerDoHWire
+		mux.Handle(doh.DefaultPath, dohHandler)
 		f.dohSrv = &http.Server{
 			Handler:           mux,
 			TLSConfig:         tlsWithALPN(cfg.TLSConfig, "h2", "http/1.1"),
@@ -265,8 +312,18 @@ func NewFrontendWithConfig(addr string, backend Backend, cfg FrontendConfig) (*F
 			},
 		}
 	}
-	f.wg.Add(2 + cfg.UDPWorkers)
-	go f.readUDP()
+	f.wg.Add(2 + len(f.socks) + cfg.UDPWorkers)
+	f.readerWG.Add(len(f.socks))
+	for _, s := range f.socks {
+		go f.readUDP(s)
+	}
+	go func() {
+		// The worker queue has many producers now; it closes when the
+		// last reader exits, not when any one of them does.
+		defer f.wg.Done()
+		f.readerWG.Wait()
+		close(f.packets)
+	}()
 	for i := 0; i < cfg.UDPWorkers; i++ {
 		go f.udpWorker()
 	}
@@ -297,7 +354,9 @@ func tlsWithALPN(cfg *tls.Config, protos ...string) *tls.Config {
 // closeListeners releases whatever listeners a partially constructed
 // frontend has bound (startup error paths only).
 func (f *Frontend) closeListeners() {
-	f.conn.Close()
+	for _, s := range f.socks {
+		s.conn.Close()
+	}
 	f.tcpLn.Close()
 	if f.dotLn != nil {
 		f.dotLn.Close()
@@ -357,33 +416,62 @@ func (r frontendResponder) Respond(ctx context.Context, query *dnswire.Message) 
 	return r.f.respond(ctx, query, &r.f.inst.doh), nil
 }
 
-// listenSamePort binds UDP and TCP to one port number. With an ephemeral
-// request (port 0) the kernel picks the UDP port without regard for TCP,
-// so the TCP bind can collide with an unrelated listener — retry with a
-// fresh UDP port instead of failing startup.
-func listenSamePort(udpAddr *net.UDPAddr) (*net.UDPConn, net.Listener, error) {
+// listenSamePort binds sockets UDP sockets and one TCP listener to one
+// port number. With an ephemeral request (port 0) the kernel picks the
+// UDP port without regard for TCP, so the TCP bind can collide with an
+// unrelated listener — retry with a fresh UDP port instead of failing
+// startup. With sockets > 1 every UDP socket (including the first) is
+// bound with SO_REUSEPORT — the option must be on all of a port's
+// sockets for the kernel to admit the shared bind; the siblings bind
+// the port the first socket resolved, which cannot collide because the
+// first socket already owns it with the same option.
+func listenSamePort(udpAddr *net.UDPAddr, sockets int) ([]*net.UDPConn, net.Listener, error) {
 	const attempts = 5
+	listenFirst := func() (*net.UDPConn, error) {
+		if sockets > 1 {
+			return reuseport.ListenUDP("udp", udpAddr.String())
+		}
+		return net.ListenUDP("udp", udpAddr)
+	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		conn, err := net.ListenUDP("udp", udpAddr)
+		first, err := listenFirst()
 		if err != nil {
 			return nil, nil, err
 		}
-		tcpLn, err := net.Listen("tcp", conn.LocalAddr().String())
-		if err == nil {
-			return conn, tcpLn, nil
+		resolved := first.LocalAddr().String()
+		tcpLn, err := net.Listen("tcp", resolved)
+		if err != nil {
+			lastErr = err
+			first.Close()
+			if udpAddr.Port != 0 {
+				break // a fixed port will not change on retry
+			}
+			continue
 		}
-		lastErr = err
-		conn.Close()
-		if udpAddr.Port != 0 {
-			break // a fixed port will not change on retry
+		conns := []*net.UDPConn{first}
+		for len(conns) < sockets {
+			c, err := reuseport.ListenUDP("udp", resolved)
+			if err != nil {
+				for _, cc := range conns {
+					cc.Close()
+				}
+				tcpLn.Close()
+				return nil, nil, err
+			}
+			conns = append(conns, c)
 		}
+		return conns, tcpLn, nil
 	}
 	return nil, nil, lastErr
 }
 
 // Addr returns the frontend's plain-DNS host:port (UDP and TCP).
-func (f *Frontend) Addr() string { return f.conn.LocalAddr().String() }
+func (f *Frontend) Addr() string { return f.socks[0].conn.LocalAddr().String() }
+
+// UDPSockets returns how many SO_REUSEPORT UDP sockets are serving the
+// plain-DNS port (1 on platforms without SO_REUSEPORT).
+func (f *Frontend) UDPSockets() int { return len(f.socks) }
 
 // DoTAddr returns the DoT listener's host:port, or "" when DoT serving
 // is disabled.
@@ -445,7 +533,9 @@ func (f *Frontend) Close() error {
 	if f.closed.Swap(true) {
 		return ErrFrontendClosed
 	}
-	f.conn.Close()
+	for _, s := range f.socks {
+		s.conn.Close()
+	}
 	f.tcpLn.Close()
 	if f.dotLn != nil {
 		f.dotLn.Close()
@@ -470,37 +560,42 @@ func (f *Frontend) Close() error {
 	return nil
 }
 
-// readUDP is the single reader loop. Each pass moves up to one batch of
+// readUDP is one socket's reader loop; with SO_REUSEPORT serving there
+// is one per socket, each fully independent — own batch arrays, own
+// pooled packets, own sendmmsg flush — so nothing is locked or shared
+// between sockets on the fast path. Each pass moves up to one batch of
 // datagrams in one recvmmsg, serves every wire-cache hit inline (the
 // answer is built in the packet's own buffer, so a cached hit is a
 // memcpy plus an ID/flags/TTL patch with zero allocations and no
 // goroutine handoff), flushes all inline answers in one sendmmsg, and
-// hands everything else to the bounded worker pool. On platforms
-// without the batch syscalls — or with UDPBatch 1 — the same loop runs
-// with a batch of one datagram per portable syscall. Packets served
-// inline never leave their batch slots, so the steady-state hot path
-// recycles the same buffers forever; only slow-path packets cycle
-// through the pool (fixing the old reader's per-datagram buffer +
-// address allocation pair).
-func (f *Frontend) readUDP() {
+// hands everything else to the bounded worker pool shared by all
+// sockets. On platforms without the batch syscalls — or with UDPBatch
+// 1 — the same loop runs with a batch of one datagram per portable
+// syscall. Packets served inline never leave their batch slots, so the
+// steady-state hot path recycles the same buffers forever; only
+// slow-path packets cycle through the pool (fixing the old reader's
+// per-datagram buffer + address allocation pair).
+func (f *Frontend) readUDP(s *udpSocket) {
 	defer f.wg.Done()
-	defer close(f.packets)
-	batch := f.uconn.BatchSize()
+	defer f.readerWG.Done()
+	batch := s.uconn.BatchSize()
 	pkts := make([]*udpPacket, batch)
 	dgs := make([]*udpbatch.Datagram, batch)
 	for i := range pkts {
 		pkts[i] = f.getPacket()
+		pkts[i].sock = s
 		dgs[i] = &pkts[i].dg
 	}
 	out := make([]*udpbatch.Datagram, 0, batch)
 	for {
-		n, err := f.uconn.ReadBatch(dgs)
+		n, err := s.uconn.ReadBatch(dgs)
 		if err != nil {
 			if f.closed.Load() {
 				return
 			}
 			continue
 		}
+		s.inst.packets.Add(uint64(n))
 		out = out[:0]
 		for i := 0; i < n; i++ {
 			pkt := pkts[i]
@@ -512,6 +607,7 @@ func (f *Frontend) readUDP() {
 			case f.packets <- pkt:
 				// The worker owns pkt now; restock the batch slot.
 				np := f.getPacket()
+				np.sock = s
 				pkts[i] = np
 				dgs[i] = &np.dg
 			default:
@@ -519,18 +615,19 @@ func (f *Frontend) readUDP() {
 				// by then the answer is usually a wire-cache hit.
 				f.dropped.Add(1)
 				f.inst.dropped.Inc()
+				s.inst.drops.Inc()
 			}
 		}
-		f.writeUDPBatch(out)
+		f.writeUDPBatch(s, out)
 	}
 }
 
-// writeUDPBatch flushes the reader's inline answers, counting (and
-// skipping past) per-datagram send failures so one bad peer address
-// cannot stall the batch.
-func (f *Frontend) writeUDPBatch(out []*udpbatch.Datagram) {
+// writeUDPBatch flushes a reader's inline answers through its own
+// socket, counting (and skipping past) per-datagram send failures so
+// one bad peer address cannot stall the batch.
+func (f *Frontend) writeUDPBatch(s *udpSocket, out []*udpbatch.Datagram) {
 	for off := 0; off < len(out); {
-		sent, err := f.uconn.WriteBatch(out[off:])
+		sent, err := s.uconn.WriteBatch(out[off:])
 		off += sent
 		if err != nil {
 			if f.closed.Load() {
@@ -545,7 +642,7 @@ func (f *Frontend) writeUDPBatch(out []*udpbatch.Datagram) {
 func (f *Frontend) udpWorker() {
 	defer f.wg.Done()
 	for pkt := range f.packets {
-		f.handleUDP(pkt.dg.Buf[:pkt.dg.N], &pkt.addr)
+		f.handleUDP(pkt)
 		f.putPacket(pkt)
 	}
 }
@@ -608,25 +705,46 @@ func (f *Frontend) trackStream(conn net.Conn, inst *protoInstruments, add bool) 
 // serveStreamConn answers queries on one RFC 7766 persistent connection
 // (plain TCP or DoT) until the peer disconnects or goes idle. On a DoT
 // connection the first read also drives the TLS handshake, so the idle
-// deadline bounds handshake time too.
+// deadline bounds handshake time too. With a wire-capable backend the
+// connection is served by the zero-alloc fast loop in frontend_stream.go;
+// without one (bare Generator backends) it falls back to the classic
+// decode-respond-encode loop.
 func (f *Frontend) serveStreamConn(conn net.Conn, inst *protoInstruments) {
+	if f.wire != nil {
+		f.serveStreamConnFast(conn, inst)
+		return
+	}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(f.cfg.TCPIdleTimeout))
 		query, err := transport.ReadTCPMessage(conn)
 		if err != nil {
 			return
 		}
-		resp := f.respond(context.Background(), query, inst)
-		if err := transport.WriteTCPMessage(conn, resp); err != nil {
-			if !f.closed.Load() {
-				inst.writeErrs.Inc()
-			}
+		if !f.respondStream(conn, query, inst) {
 			return
 		}
 	}
 }
 
-func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
+// respondStream runs one slow-path query/response exchange on a stream
+// connection, reporting whether the connection is still good for more.
+func (f *Frontend) respondStream(conn net.Conn, query *dnswire.Message, inst *protoInstruments) bool {
+	resp := f.respond(context.Background(), query, inst)
+	if err := transport.WriteTCPMessage(conn, resp); err != nil {
+		if !f.closed.Load() {
+			inst.writeErrs.Inc()
+		}
+		return false
+	}
+	return true
+}
+
+// handleUDP is the slow path for one queued datagram: full decode,
+// backend lookup, encode, truncation. The reply leaves through the
+// socket whose reader pulled the query (pkt.sock), preserving the
+// kernel's flow→socket affinity for the peer.
+func (f *Frontend) handleUDP(pkt *udpPacket) {
+	wire, client := pkt.dg.Buf[:pkt.dg.N], &pkt.addr
 	query, err := dnswire.Decode(wire)
 	if err != nil {
 		return // drop undecodable datagrams
@@ -653,7 +771,7 @@ func (f *Frontend) handleUDP(wire []byte, client *net.UDPAddr) {
 			return
 		}
 	}
-	if _, err := f.conn.WriteToUDP(respWire, client); err != nil && !f.closed.Load() {
+	if _, err := pkt.sock.conn.WriteToUDP(respWire, client); err != nil && !f.closed.Load() {
 		f.inst.udp.writeErrs.Inc()
 	}
 }

@@ -38,28 +38,30 @@ const udpPacketBuf = 4096
 // stack: a maximal 254-byte presentation-form name plus "|28".
 const wireKeyMax = 260
 
-// answerWire serves pkt from the pre-encoded wire cache, returning true
-// when pkt.dg now holds the complete response (the query bytes are
-// overwritten in place). It allocates nothing on any path.
-func (f *Frontend) answerWire(pkt *udpPacket) bool {
-	if f.wire == nil {
-		return false
-	}
-	b := pkt.dg.Buf[:pkt.dg.N]
+// parseWireQuery strictly parses raw query bytes b into the engine
+// cache key (appended to keyScratch, which the caller sizes wireKeyMax
+// so no path grows it), the EDNS-honoured maximum response size and the
+// OPT rdata length (0 when no options rode along — the DoH fast path
+// bails on any, because the slow path's RFC 8467 padding reacts to
+// them). ok is false whenever the query has any feature the fast paths
+// do not prove — unusual flags, extra records, compression pointers,
+// non-address types, trailing bytes — leaving it to the strict decoder.
+// It allocates nothing.
+func parseWireQuery(b, keyScratch []byte) (key []byte, maxSize, optData int, ok bool) {
 	if len(b) < 12 {
-		return false
+		return nil, 0, 0, false
 	}
 	// Flags: must be a standard query (QR clear, opcode QUERY). AA/TC/RD
 	// and the byte-3 bits are ignored by the slow path's response builder
 	// (RD/CD are echoed, the rest forced to the response's own values),
 	// so they do not gate the fast path.
 	if b[2]&0x80 != 0 || (b[2]>>3)&0x0F != 0 {
-		return false
+		return nil, 0, 0, false
 	}
 	// Counts: exactly one question, no answer/authority records, at most
 	// one additional (the EDNS OPT).
 	if b[4] != 0 || b[5] != 1 || b[6] != 0 || b[7] != 0 || b[8] != 0 || b[9] != 0 || b[10] != 0 || b[11] > 1 {
-		return false
+		return nil, 0, 0, false
 	}
 	hasOPT := b[11] == 1
 
@@ -67,14 +69,14 @@ func (f *Frontend) answerWire(pkt *udpPacket) bool {
 	// with trailing dot (decodeName's output, hence Lookup's key
 	// spelling). Compression pointers, non-printable or '.' label bytes
 	// and over-long names all bail out — the strict decoder is the
-	// authority on those. The key builds into the packet's own scratch
-	// field: a stack array would escape through the wireBackend
-	// interface call and cost one allocation per datagram.
-	key := pkt.key[:0]
+	// authority on those. The key builds into caller-provided scratch: a
+	// stack array would escape through the wireBackend interface call
+	// and cost one allocation per query.
+	key = keyScratch[:0]
 	off := 12
 	for {
 		if off >= len(b) {
-			return false
+			return nil, 0, 0, false
 		}
 		l := int(b[off])
 		if l == 0 {
@@ -82,11 +84,11 @@ func (f *Frontend) answerWire(pkt *udpPacket) bool {
 			break
 		}
 		if l >= 0x40 || off+1+l > len(b) || len(key)+l+1 > 254 {
-			return false
+			return nil, 0, 0, false
 		}
 		for _, c := range b[off+1 : off+1+l] {
 			if c < 0x21 || c > 0x7E || c == '.' {
-				return false
+				return nil, 0, 0, false
 			}
 			if 'A' <= c && c <= 'Z' {
 				c += 'a' - 'A'
@@ -100,13 +102,13 @@ func (f *Frontend) answerWire(pkt *udpPacket) bool {
 		key = append(key, '.') // root
 	}
 	if off+4 > len(b) {
-		return false
+		return nil, 0, 0, false
 	}
 	qtype := uint16(b[off])<<8 | uint16(b[off+1])
 	qclass := uint16(b[off+2])<<8 | uint16(b[off+3])
 	off += 4
 	if qclass != uint16(dnswire.ClassINET) {
-		return false
+		return nil, 0, 0, false
 	}
 	switch dnswire.Type(qtype) {
 	case dnswire.TypeA:
@@ -114,25 +116,54 @@ func (f *Frontend) answerWire(pkt *udpPacket) bool {
 	case dnswire.TypeAAAA:
 		key = append(key, '|', '2', '8')
 	default:
-		return false
+		return nil, 0, 0, false
 	}
 
 	// EDNS: honour the advertised payload size exactly as handleUDP does
 	// (never below 512). The OPT rdata (options, version, DO bit) is
-	// opaque to the slow path too, so only the fixed fields are checked.
-	maxSize := dnswire.MaxUDPSize
+	// opaque to the slow path too, so only the fixed fields are checked;
+	// its length is reported so option-sensitive callers can bail.
+	maxSize = dnswire.MaxUDPSize
 	if hasOPT {
 		if off+11 > len(b) || b[off] != 0 || b[off+1] != 0 || b[off+2] != byte(dnswire.TypeOPT) {
-			return false
+			return nil, 0, 0, false
 		}
 		if adv := int(b[off+3])<<8 | int(b[off+4]); adv > maxSize {
 			maxSize = adv
 		}
-		rdlen := int(b[off+9])<<8 | int(b[off+10])
-		off += 11 + rdlen
+		optData = int(b[off+9])<<8 | int(b[off+10])
+		off += 11 + optData
 	}
 	if off != len(b) {
-		// Trailing bytes: leave the datagram to the strict decoder.
+		// Trailing bytes: leave the query to the strict decoder.
+		return nil, 0, 0, false
+	}
+	return key, maxSize, optData, true
+}
+
+// agedTTL ages a wire entry's answer TTL exactly as snapshotPool does
+// for the slow path: subtract whole elapsed seconds, floor at 1 while
+// still serving.
+func agedTTL(ttl uint32, age time.Duration) uint32 {
+	if aged := uint32(age / time.Second); aged < ttl {
+		return ttl - aged
+	}
+	if ttl > 0 {
+		return 1
+	}
+	return 0
+}
+
+// answerWire serves pkt from the pre-encoded wire cache, returning true
+// when pkt.dg now holds the complete response (the query bytes are
+// overwritten in place). It allocates nothing on any path.
+func (f *Frontend) answerWire(pkt *udpPacket) bool {
+	if f.wire == nil {
+		return false
+	}
+	b := pkt.dg.Buf[:pkt.dg.N]
+	key, maxSize, _, ok := parseWireQuery(b, pkt.key[:])
+	if !ok {
 		return false
 	}
 
@@ -156,16 +187,7 @@ func (f *Frontend) answerWire(pkt *udpPacket) bool {
 	dnswire.PatchID(out, id)
 	dnswire.EchoFlags(out, qflags[:])
 	if !truncated {
-		// Age the answer TTLs exactly as snapshotPool does for the slow
-		// path: subtract whole elapsed seconds, floor at 1 while still
-		// serving.
-		ttl := we.TTL
-		if aged := uint32(age / time.Second); aged < ttl {
-			ttl -= aged
-		} else if ttl > 0 {
-			ttl = 1
-		}
-		dnswire.PatchAnswerTTLs(out, we.TTLOffsets, ttl)
+		dnswire.PatchAnswerTTLs(out, we.TTLOffsets, agedTTL(we.TTL, age))
 	}
 	pkt.dg.N = n
 	f.served.Add(1)

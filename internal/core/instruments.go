@@ -12,40 +12,42 @@ import (
 // Metric names exposed by the core package. Kept as constants so the
 // admin tests and README reference table cannot drift from the code.
 const (
-	MetricEngineLookups       = "dohpool_engine_lookups_total"
-	MetricEngineErrors        = "dohpool_engine_lookup_errors_total"
-	MetricEngineGenSeconds    = "dohpool_engine_pool_generation_seconds"
-	MetricEngineQuorum        = "dohpool_engine_quorum_size"
-	MetricEngineGenerations   = "dohpool_engine_generations_total"
-	MetricRefreshAttempts     = "dohpool_refresh_attempts_total"
-	MetricRefreshWins         = "dohpool_refresh_wins_total"
-	MetricRefreshFailures     = "dohpool_refresh_failures_total"
-	MetricCacheShardHits      = "dohpool_cache_shard_hits_total"
-	MetricCacheHits           = "dohpool_cache_hits_total"
-	MetricCacheMisses         = "dohpool_cache_misses_total"
-	MetricCacheEvictions      = "dohpool_cache_evictions_total"
-	MetricCacheExpirations    = "dohpool_cache_expirations_total"
-	MetricCacheStaleServes    = "dohpool_cache_stale_serves_total"
-	MetricCacheEntries        = "dohpool_cache_entries"
-	MetricResolverTrust       = "dohpool_resolver_trust"
-	MetricPoolAttackerEntries = "dohpool_pool_attacker_entries"
-	MetricGenerationsFiltered = "dohpool_generations_filtered_total"
-	MetricResolverRTT         = "dohpool_resolver_rtt_seconds"
-	MetricResolverExchanges   = "dohpool_resolver_exchanges_total"
-	MetricResolverHedges      = "dohpool_resolver_hedges_total"
-	MetricResolverHedgeWins   = "dohpool_resolver_hedge_wins_total"
-	MetricBreakerState        = "dohpool_resolver_breaker_open"
-	MetricBreakerTransitions  = "dohpool_resolver_breaker_transitions_total"
-	MetricFrontendQueries     = "dohpool_frontend_queries_total"
-	MetricFrontendResponses   = "dohpool_frontend_responses_total"
-	MetricFrontendInflight    = "dohpool_frontend_inflight_queries"
-	MetricFrontendTCPConns    = "dohpool_frontend_tcp_connections"
-	MetricFrontendDropped     = "dohpool_frontend_dropped_total"
-	MetricFrontendWriteErrors = "dohpool_frontend_write_errors_total"
-	MetricWireCacheHits       = "dohpool_wire_cache_hits_total"
-	MetricWireCacheMisses     = "dohpool_wire_cache_misses_total"
-	MetricWireCacheEntries    = "dohpool_wire_cache_entries"
-	MetricFrontendLatency     = "dohpool_frontend_latency_seconds"
+	MetricEngineLookups            = "dohpool_engine_lookups_total"
+	MetricEngineErrors             = "dohpool_engine_lookup_errors_total"
+	MetricEngineGenSeconds         = "dohpool_engine_pool_generation_seconds"
+	MetricEngineQuorum             = "dohpool_engine_quorum_size"
+	MetricEngineGenerations        = "dohpool_engine_generations_total"
+	MetricRefreshAttempts          = "dohpool_refresh_attempts_total"
+	MetricRefreshWins              = "dohpool_refresh_wins_total"
+	MetricRefreshFailures          = "dohpool_refresh_failures_total"
+	MetricCacheShardHits           = "dohpool_cache_shard_hits_total"
+	MetricCacheHits                = "dohpool_cache_hits_total"
+	MetricCacheMisses              = "dohpool_cache_misses_total"
+	MetricCacheEvictions           = "dohpool_cache_evictions_total"
+	MetricCacheExpirations         = "dohpool_cache_expirations_total"
+	MetricCacheStaleServes         = "dohpool_cache_stale_serves_total"
+	MetricCacheEntries             = "dohpool_cache_entries"
+	MetricResolverTrust            = "dohpool_resolver_trust"
+	MetricPoolAttackerEntries      = "dohpool_pool_attacker_entries"
+	MetricGenerationsFiltered      = "dohpool_generations_filtered_total"
+	MetricResolverRTT              = "dohpool_resolver_rtt_seconds"
+	MetricResolverExchanges        = "dohpool_resolver_exchanges_total"
+	MetricResolverHedges           = "dohpool_resolver_hedges_total"
+	MetricResolverHedgeWins        = "dohpool_resolver_hedge_wins_total"
+	MetricBreakerState             = "dohpool_resolver_breaker_open"
+	MetricBreakerTransitions       = "dohpool_resolver_breaker_transitions_total"
+	MetricFrontendQueries          = "dohpool_frontend_queries_total"
+	MetricFrontendResponses        = "dohpool_frontend_responses_total"
+	MetricFrontendInflight         = "dohpool_frontend_inflight_queries"
+	MetricFrontendTCPConns         = "dohpool_frontend_tcp_connections"
+	MetricFrontendDropped          = "dohpool_frontend_dropped_total"
+	MetricFrontendWriteErrors      = "dohpool_frontend_write_errors_total"
+	MetricFrontendUDPSocketPackets = "dohpool_frontend_udp_socket_packets_total"
+	MetricFrontendUDPSocketDrops   = "dohpool_frontend_udp_socket_drops_total"
+	MetricWireCacheHits            = "dohpool_wire_cache_hits_total"
+	MetricWireCacheMisses          = "dohpool_wire_cache_misses_total"
+	MetricWireCacheEntries         = "dohpool_wire_cache_entries"
+	MetricFrontendLatency          = "dohpool_frontend_latency_seconds"
 )
 
 // Frontend transport labels: the values of the `proto` label on the
@@ -260,6 +262,17 @@ type protoInstruments struct {
 	latency   *metrics.Histogram
 }
 
+// udpSocketInstruments is one SO_REUSEPORT socket's pre-resolved
+// counters: datagrams its reader pulled from the kernel and datagrams
+// it shed to the full worker queue. Together with the socket label they
+// make kernel flow-steering imbalance observable — a hot socket shows
+// up as a skewed packets distribution, not as an unexplained latency
+// tail. Nil members no-op.
+type udpSocketInstruments struct {
+	packets *metrics.Counter
+	drops   *metrics.Counter
+}
+
 // frontendInstruments holds the DNS frontend's instruments, one series
 // set per serving transport. The zero value no-ops.
 type frontendInstruments struct {
@@ -269,13 +282,18 @@ type frontendInstruments struct {
 	// per-response path is one map read plus an atomic add.
 	rcodeOf map[dnswire.RCode]*metrics.Counter
 	dropped *metrics.Counter
+	// udpSockets holds one counter pair per SO_REUSEPORT reader, indexed
+	// like Frontend.socks.
+	udpSockets []udpSocketInstruments
 }
 
 // newFrontendInstruments pre-resolves the per-transport series. The
 // plaintext udp/tcp pair always serves; dot/doh series are registered
 // only when the corresponding encrypted listener is configured, so a
 // plaintext-only frontend's exposition stays free of dead series.
-func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstruments {
+// udpSockets is the frontend's reader-socket count; each socket gets a
+// pre-resolved packets/drops counter pair labelled by its index.
+func newFrontendInstruments(reg *metrics.Registry, dot, doh bool, udpSockets int) frontendInstruments {
 	queries := reg.CounterVec(MetricFrontendQueries,
 		"DNS queries received by the frontend, per transport (udp, tcp, dot, doh).", "proto")
 	inflight := reg.GaugeVec(MetricFrontendInflight,
@@ -298,6 +316,18 @@ func newFrontendInstruments(reg *metrics.Registry, dot, doh bool) frontendInstru
 			"DNS responses sent by the frontend, per response code.", "rcode"),
 		dropped: reg.Counter(MetricFrontendDropped,
 			"UDP datagrams shed because the worker queue was full."),
+	}
+	sockPackets := reg.CounterVec(MetricFrontendUDPSocketPackets,
+		"Datagrams read per SO_REUSEPORT UDP socket, for flow-steering balance introspection.", "socket")
+	sockDrops := reg.CounterVec(MetricFrontendUDPSocketDrops,
+		"Datagrams shed per SO_REUSEPORT UDP socket because the worker queue was full.", "socket")
+	inst.udpSockets = make([]udpSocketInstruments, udpSockets)
+	for i := range inst.udpSockets {
+		label := strconv.Itoa(i)
+		inst.udpSockets[i] = udpSocketInstruments{
+			packets: sockPackets.With(label),
+			drops:   sockDrops.With(label),
+		}
 	}
 	if dot {
 		inst.dot = protoInstruments{queries: queries.With(ProtoDoT), inflight: inflight.With(ProtoDoT), conns: conns.With(ProtoDoT), writeErrs: writeErrs.With(ProtoDoT), latency: latency.With(ProtoDoT)}

@@ -63,8 +63,16 @@ func buildWireEntry(spec wireSpec, p *Pool, majority bool, now time.Time) *dnsca
 	if err != nil {
 		return nil
 	}
+	// Store the full form once, behind its RFC 7766 length prefix: the
+	// stream fast path serves framed[0:] whole, the datagram fast path
+	// serves framed[2:]. Encode already caps messages at 64 KiB, so the
+	// length always fits the 2-byte prefix.
+	framed := make([]byte, 2+len(full))
+	framed[0], framed[1] = byte(len(full)>>8), byte(len(full))
+	copy(framed[2:], full)
 	return &dnscache.WireEntry{
-		Full:       full,
+		Full:       framed[2:],
+		FullFramed: framed,
 		Truncated:  trunc,
 		TTLOffsets: offsets,
 		TTL:        ttl,

@@ -17,6 +17,14 @@ import (
 type WireEntry struct {
 	// Full is the complete encoded response.
 	Full []byte
+	// FullFramed is Full behind a pre-encoded RFC 7766 2-byte length
+	// prefix, so the stream transports (TCP, DoT) serve a cached hit
+	// with one copy and one write — no per-response prefix assembly.
+	// Full aliases FullFramed[2:]: the bytes are stored once.
+	// TTLOffsets index into Full, so stream patches apply them at +2.
+	// Truncation is a UDP-only concept (a stream never outgrows its
+	// 64 KiB frame), so the truncated form has no framed twin.
+	FullFramed []byte
 	// Truncated is the encoded TC form: same header and question,
 	// empty answer/authority/additional sections, TC bit set.
 	Truncated []byte

@@ -67,6 +67,13 @@ var (
 type Handler struct {
 	responder QueryResponder
 
+	// Wire, when non-nil, gets first crack at every extracted query with
+	// its raw bytes, before the message decoder runs. Returning true
+	// means Wire wrote the complete HTTP response (headers and body);
+	// returning false falls through to the regular decode → respond →
+	// encode path. The frontend installs its wire-cache fast path here.
+	Wire func(w http.ResponseWriter, query []byte) bool
+
 	requests atomic.Uint64
 	failures atomic.Uint64
 }
@@ -89,6 +96,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		h.failures.Add(1)
 		http.Error(w, err.Error(), status)
+		return
+	}
+	if h.Wire != nil && h.Wire(w, wire) {
 		return
 	}
 	query, err := dnswire.Decode(wire)

@@ -26,6 +26,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -148,7 +149,9 @@ type Success struct {
 	Rate float64 `json:"rate"`
 }
 
-// Meta records the run parameters alongside the results.
+// Meta records the run parameters alongside the results, plus the
+// runtime the run executed on — latency and throughput numbers are
+// meaningless without knowing the machine shape they came from.
 type Meta struct {
 	Schema    string   `json:"schema"`
 	QPS       float64  `json:"qps"`
@@ -159,6 +162,12 @@ type Meta struct {
 	ZipfS     float64  `json:"zipf_s"`
 	Seed      int64    `json:"seed"`
 	Unix      int64    `json:"unix"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
 // Report is the full result of a run, serialisable as BENCH_slo.json.
@@ -483,6 +492,12 @@ func buildReport(cfg Config, runs []*targetRun, share float64) *Report {
 			ZipfS:     cfg.ZipfS,
 			Seed:      cfg.Seed,
 			Unix:      time.Now().Unix(),
+
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 		Success: make(map[string]Success, len(runs)),
 	}

@@ -1,0 +1,14 @@
+// Package reuseport binds multiple UDP sockets to one local port via
+// SO_REUSEPORT, so a server can run N independent reader loops on the
+// same address and let the kernel's flow steering spread inbound
+// datagrams across them — no shared socket lock, no userspace fan-out
+// channel, and per-flow affinity (one client 4-tuple always hashes to
+// the same socket) for free.
+//
+// The platform split mirrors internal/udpbatch: the Linux
+// implementation sets the socket option through syscall.RawConn.Control
+// before bind, and everywhere else a portable stub reports the feature
+// unsupported so callers fall back to single-socket serving. Supported
+// is a compile-time constant, so the fallback branch is dead code on
+// Linux and vice versa.
+package reuseport

@@ -1,0 +1,44 @@
+//go:build linux
+
+package reuseport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// Supported reports whether this platform can bind multiple sockets to
+// one port. True on Linux, where SO_REUSEPORT (since 3.9) both permits
+// the shared bind and steers each flow to a consistent socket.
+const Supported = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package
+// (golang.org/x/sys/unix.SO_REUSEPORT). The value is 15 on every Linux
+// architecture.
+const soReusePort = 0xf
+
+// ListenUDP binds one UDP socket to address with SO_REUSEPORT set
+// before bind, so any number of calls with the same address succeed and
+// share the port. network is "udp", "udp4" or "udp6".
+func ListenUDP(network, address string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: setReusePort}
+	pc, err := lc.ListenPacket(context.Background(), network, address)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
+
+// setReusePort is the pre-bind socket-option hook: ListenConfig invokes
+// it after socket creation and before bind, which is the only window in
+// which SO_REUSEPORT may be set for it to affect bind conflict checks.
+func setReusePort(_, _ string, c syscall.RawConn) error {
+	var sockErr error
+	if err := c.Control(func(fd uintptr) {
+		sockErr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return sockErr
+}

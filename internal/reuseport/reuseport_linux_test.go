@@ -1,0 +1,86 @@
+//go:build linux
+
+package reuseport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSharedBindAndSteering binds several sockets to one port and
+// sprays datagrams from many distinct source sockets: every datagram
+// must arrive on exactly one of the shared sockets (nothing lost,
+// nothing duplicated), which is the whole contract multi-socket serving
+// rests on. Per-socket distribution is the kernel's hash to choose, so
+// only the sum is asserted.
+func TestSharedBindAndSteering(t *testing.T) {
+	const sockets = 4
+	first, err := ListenUDP("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	conns := []*net.UDPConn{first}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	addr := first.LocalAddr().String()
+	for len(conns) < sockets {
+		c, err := ListenUDP("udp", addr)
+		if err != nil {
+			t.Fatalf("shared bind %d on %s: %v", len(conns), addr, err)
+		}
+		conns = append(conns, c)
+	}
+
+	const senders = 32
+	for i := 0; i < senders; i++ {
+		s, err := net.Dial("udp", addr)
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
+		if _, err := s.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		s.Close()
+	}
+
+	got := make(map[byte]int)
+	deadline := time.Now().Add(2 * time.Second)
+	buf := make([]byte, 16)
+	for len(got) < senders && time.Now().Before(deadline) {
+		for _, c := range conns {
+			_ = c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+			n, _, err := c.ReadFromUDP(buf)
+			if err != nil || n == 0 {
+				continue
+			}
+			got[buf[0]]++
+		}
+	}
+	if len(got) != senders {
+		t.Fatalf("received %d distinct datagrams across %d shared sockets, want %d", len(got), sockets, senders)
+	}
+	for b, n := range got {
+		if n != 1 {
+			t.Fatalf("datagram %d received %d times, want exactly once", b, n)
+		}
+	}
+}
+
+// TestSharedBindRequiresOption proves the port is genuinely shared, not
+// leaked through SO_REUSEADDR: a plain bind against a reuseport-held
+// port must fail.
+func TestSharedBindRequiresOption(t *testing.T) {
+	held, err := ListenUDP("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	if c, err := net.ListenPacket("udp", held.LocalAddr().String()); err == nil {
+		c.Close()
+		t.Fatal("plain bind on a reuseport-held port succeeded")
+	}
+}

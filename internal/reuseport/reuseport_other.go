@@ -1,0 +1,24 @@
+//go:build !linux
+
+package reuseport
+
+import (
+	"errors"
+	"net"
+)
+
+// Supported reports whether this platform can bind multiple sockets to
+// one port. False here: SO_REUSEPORT semantics differ or are absent off
+// Linux (Darwin steers nothing, Windows' SO_REUSEADDR is a different
+// feature), so callers must serve from a single socket.
+const Supported = false
+
+// ErrUnsupported is returned by ListenUDP on platforms without
+// SO_REUSEPORT flow steering.
+var ErrUnsupported = errors.New("reuseport: SO_REUSEPORT is not supported on this platform")
+
+// ListenUDP always fails on this platform; callers gate on Supported
+// and keep their single net.ListenUDP socket instead.
+func ListenUDP(network, address string) (*net.UDPConn, error) {
+	return nil, ErrUnsupported
+}

@@ -58,13 +58,15 @@ func newMMsgHalf(batch int, sysnum uintptr) *mmsgHalf {
 		h.hdrs[i].hdr.Iovlen = 1
 	}
 	h.fn = func(fd uintptr) bool {
+		// Partial sends retry here: sendmmsg may accept fewer datagrams
+		// than staged (socket buffer pressure), and each acceptance
+		// advances done so the next pass resubmits exactly the remainder
+		// — nothing staged is ever silently dropped.
 		for h.done < h.n {
-			r1, _, errno := syscall.Syscall6(sysnum, fd,
-				uintptr(unsafe.Pointer(&h.hdrs[h.done])), uintptr(h.n-h.done),
-				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			accepted, errno := mmsgSyscall(sysnum, fd, &h.hdrs[h.done], h.n-h.done)
 			switch errno {
 			case 0:
-				h.done += int(r1)
+				h.done += accepted
 				if sysnum == sysRecvmmsg {
 					// One recvmmsg per batch: whatever was immediately
 					// readable is the batch; don't block for more.
@@ -82,6 +84,18 @@ func newMMsgHalf(batch int, sysnum uintptr) *mmsgHalf {
 		return true
 	}
 	return h
+}
+
+// mmsgSyscall performs one raw recvmmsg/sendmmsg call for the batch
+// slice starting at hdr. A variable rather than a direct call so the
+// short-write unit test can interpose a kernel that accepts fewer
+// datagrams than offered; the indirection is noise next to the syscall
+// itself.
+var mmsgSyscall = func(sysnum, fd uintptr, hdr *mmsghdr, n int) (int, syscall.Errno) {
+	r1, _, errno := syscall.Syscall6(sysnum, fd,
+		uintptr(unsafe.Pointer(hdr)), uintptr(n),
+		uintptr(syscall.MSG_DONTWAIT), 0, 0)
+	return int(r1), errno
 }
 
 // stage resets the per-call fields for a batch of n datagrams.
@@ -173,20 +187,34 @@ func (s *mmsgState) writeBatch(dgs []*Datagram) (int, error) {
 
 func (s *mmsgState) writeChunk(dgs []*Datagram) (int, error) {
 	h := s.w
+	staged := 0
+	var stageErr error
 	for i, dg := range dgs {
 		h.iovs[i].Base = &dg.Buf[0]
 		h.iovs[i].SetLen(dg.N)
 		namelen, err := s.addrToRaw(dg.Addr, &h.names[i])
 		if err != nil {
-			return 0, err
+			// An unconvertible destination must not sink the datagrams
+			// staged before it: send the good prefix, then report the
+			// error with the sent count pointing exactly at the bad
+			// datagram, so a skip-one-and-retry caller drops only it.
+			stageErr = err
+			break
 		}
 		h.hdrs[i].hdr.Namelen = namelen
+		staged = i + 1
 	}
-	h.stage(len(dgs))
+	if staged == 0 {
+		return 0, stageErr
+	}
+	h.stage(staged)
 	err := s.rc.Write(h.fn)
 	runtime.KeepAlive(dgs)
 	if err == nil && h.sysErr != 0 {
 		err = h.sysErr
+	}
+	if err == nil {
+		err = stageErr
 	}
 	return h.done, err
 }

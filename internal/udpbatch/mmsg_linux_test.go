@@ -1,0 +1,124 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// hookMMsgSyscall swaps the raw mmsg syscall for fn and restores the
+// real one when the test ends.
+func hookMMsgSyscall(t *testing.T, fn func(sysnum, fd uintptr, hdr *mmsghdr, n int) (int, syscall.Errno)) {
+	t.Helper()
+	real := mmsgSyscall
+	mmsgSyscall = fn
+	t.Cleanup(func() { mmsgSyscall = real })
+}
+
+// TestSendmmsgShortWriteRetries forces the kernel-accepts-fewer path:
+// every sendmmsg is clamped to one datagram, so a batched WriteBatch
+// only completes if the send loop resubmits the remainder after each
+// short acceptance. Before the retry loop, this scenario silently
+// dropped everything past the first accepted datagram.
+func TestSendmmsgShortWriteRetries(t *testing.T) {
+	ca, cb := listenPair(t, "udp4", "127.0.0.1")
+	sender, err := New(ca, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sender.Batching() {
+		t.Skip("mmsg path unavailable")
+	}
+
+	real := mmsgSyscall
+	sendCalls := 0
+	hookMMsgSyscall(t, func(sysnum, fd uintptr, hdr *mmsghdr, n int) (int, syscall.Errno) {
+		if sysnum == sysSendmmsg {
+			sendCalls++
+			if n > 1 {
+				n = 1 // the kernel "accepts" one datagram per call
+			}
+		}
+		return real(sysnum, fd, hdr, n)
+	})
+
+	const total = 8
+	out := newTestDatagrams(total, 64)
+	dst := cb.LocalAddr().(*net.UDPAddr)
+	for i, dg := range out {
+		dg.N = copy(dg.Buf, fmt.Sprintf("short-%d", i))
+		dg.Addr = dst
+	}
+	sent, err := sender.WriteBatch(out)
+	if err != nil || sent != total {
+		t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", sent, err, total)
+	}
+	if sendCalls < total {
+		t.Fatalf("sendmmsg invoked %d times; %d short acceptances require >= %d", sendCalls, total, total)
+	}
+
+	got := map[string]bool{}
+	buf := make([]byte, 64)
+	cb.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < total {
+		n, _, err := cb.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("after %d datagrams: %v", len(got), err)
+		}
+		got[string(buf[:n])] = true
+	}
+}
+
+// TestWriteBatchBadAddressSendsStagedPrefix plants an unconvertible
+// destination mid-batch on an AF_INET socket: the datagrams staged
+// before it must still be sent and counted, and the returned count must
+// point exactly at the bad datagram so a skip-one caller drops only it.
+func TestWriteBatchBadAddressSendsStagedPrefix(t *testing.T) {
+	ca, cb := listenPair(t, "udp4", "127.0.0.1")
+	sender, err := New(ca, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sender.Batching() {
+		t.Skip("mmsg path unavailable")
+	}
+
+	const total = 5
+	const bad = 2
+	out := newTestDatagrams(total, 64)
+	dst := cb.LocalAddr().(*net.UDPAddr)
+	for i, dg := range out {
+		dg.N = copy(dg.Buf, fmt.Sprintf("prefix-%d", i))
+		dg.Addr = dst
+	}
+	// A pure IPv6 destination cannot be expressed on an AF_INET socket.
+	out[bad].Addr = &net.UDPAddr{IP: net.ParseIP("2001:db8::1"), Port: dst.Port}
+
+	sent, err := sender.WriteBatch(out)
+	if err == nil {
+		t.Fatal("WriteBatch succeeded with an unconvertible destination")
+	}
+	if sent != bad {
+		t.Fatalf("WriteBatch sent %d, want the staged prefix %d (error must point at the bad datagram)", sent, bad)
+	}
+
+	got := map[string]bool{}
+	buf := make([]byte, 64)
+	cb.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < bad {
+		n, _, err := cb.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("after %d datagrams: %v", len(got), err)
+		}
+		got[string(buf[:n])] = true
+	}
+	for i := 0; i < bad; i++ {
+		if !got[fmt.Sprintf("prefix-%d", i)] {
+			t.Fatalf("staged datagram %d was never sent", i)
+		}
+	}
+}

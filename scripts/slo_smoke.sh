@@ -23,8 +23,12 @@ DURATION=${DURATION:-5s}
 DOMAINS=${DOMAINS:-16}
 
 echo "=== clean run: ${QPS} qps UDP for ${DURATION} ==="
+# -udp-sockets 0 sizes the SO_REUSEPORT socket count from NumCPU, so the
+# clean run exercises multi-socket serving wherever the runner has >1
+# core (single-socket elsewhere — the portable clamp).
 go run ./cmd/loadgen -selfhost -transports udp \
   -selfhost-domains "$DOMAINS" \
+  -udp-sockets 0 \
   -qps "$QPS" -duration "$DURATION" \
   -json BENCH_slo.json
 
