@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDohlint compiles the dohlint binary once per test binary into a
+// temp dir and returns its path.
+func buildDohlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dohlint")
+	cmd := exec.Command("go", "build", "-o", bin, "dohpool/cmd/dohlint")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building dohlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// writeModule materialises a throwaway single-package module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpfix\n\ngo 1.23\n"
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestVetToolProtocol drives the full cmd/go integration: go vet
+// invokes dohlint with -V=full, -flags and a vet.cfg per unit, and must
+// surface a seeded buildtag violation with its precise position.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildDohlint(t)
+
+	t.Run("seeded violation", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"a.go": "package tmpfix\n\nconst sysDemo = 299\n",
+		})
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("go vet passed on a seeded violation:\n%s", out)
+		}
+		if !strings.Contains(string(out), "pins syscall numbers but has no explicit //go:build constraint") {
+			t.Fatalf("diagnostic missing from vet output:\n%s", out)
+		}
+		if !strings.Contains(string(out), "a.go:3:7") {
+			t.Fatalf("vet output lacks the precise position a.go:3:7:\n%s", out)
+		}
+	})
+
+	t.Run("clean module", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"a.go": "package tmpfix\n\nfunc ok() int { return 1 }\n",
+		})
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}
+
+// TestStandaloneCleanTree runs the standalone mode over the repository
+// itself: the tree must stay dohlint-clean.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and analyzes the whole module")
+	}
+	bin := buildDohlint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("dohlint found diagnostics in the tree: %v\n%s", err, out)
+	}
+}
+
+// TestVersionHandshake checks the -V=full contract cmd/go keys its
+// analysis cache on.
+func TestVersionHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildDohlint(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" || !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("-V=full output %q does not match the vet handshake shape", out)
+	}
+}

@@ -625,6 +625,8 @@ func (f *Frontend) readUDP(s *udpSocket) {
 // writeUDPBatch flushes a reader's inline answers through its own
 // socket, counting (and skipping past) per-datagram send failures so
 // one bad peer address cannot stall the batch.
+//
+//dohlint:noalloc
 func (f *Frontend) writeUDPBatch(s *udpSocket, out []*udpbatch.Datagram) {
 	for off := 0; off < len(out); {
 		sent, err := s.uconn.WriteBatch(out[off:])

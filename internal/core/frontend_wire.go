@@ -47,6 +47,8 @@ const wireKeyMax = 260
 // do not prove — unusual flags, extra records, compression pointers,
 // non-address types, trailing bytes — leaving it to the strict decoder.
 // It allocates nothing.
+//
+//dohlint:noalloc
 func parseWireQuery(b, keyScratch []byte) (key []byte, maxSize, optData int, ok bool) {
 	if len(b) < 12 {
 		return nil, 0, 0, false
@@ -144,6 +146,8 @@ func parseWireQuery(b, keyScratch []byte) (key []byte, maxSize, optData int, ok 
 // agedTTL ages a wire entry's answer TTL exactly as snapshotPool does
 // for the slow path: subtract whole elapsed seconds, floor at 1 while
 // still serving.
+//
+//dohlint:noalloc
 func agedTTL(ttl uint32, age time.Duration) uint32 {
 	if aged := uint32(age / time.Second); aged < ttl {
 		return ttl - aged
@@ -157,6 +161,8 @@ func agedTTL(ttl uint32, age time.Duration) uint32 {
 // answerWire serves pkt from the pre-encoded wire cache, returning true
 // when pkt.dg now holds the complete response (the query bytes are
 // overwritten in place). It allocates nothing on any path.
+//
+//dohlint:noalloc
 func (f *Frontend) answerWire(pkt *udpPacket) bool {
 	if f.wire == nil {
 		return false

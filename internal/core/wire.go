@@ -85,6 +85,8 @@ func buildWireEntry(spec wireSpec, p *Pool, majority bool, now time.Time) *dnsca
 // key (built by the frontend directly from query bytes) together with
 // the entry's age, for TTL patching. It allocates nothing — this is the
 // frontend's per-datagram fast path.
+//
+//dohlint:noalloc
 func (e *Engine) WireLookup(key []byte) (*dnscache.WireEntry, time.Duration, bool) {
 	if e.wire == nil {
 		return nil, 0, false

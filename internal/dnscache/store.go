@@ -200,6 +200,8 @@ func (s *Store[V]) shardFor(key string) *shard[V] {
 
 // shardForBytes is shardFor for a byte-view key (same FNV-1a, so both
 // spellings of a key land on the same shard).
+//
+//dohlint:noalloc
 func (s *Store[V]) shardForBytes(key []byte) *shard[V] {
 	const (
 		offset32 = 2166136261
@@ -321,6 +323,8 @@ func (s *Store[V]) GetStale(key string, maxStale time.Duration) (val V, age time
 // key is a byte view so the caller's per-datagram path stays
 // allocation-free (the map index compiles to a no-copy lookup). A key
 // not present is a no-op.
+//
+//dohlint:noalloc
 func (s *Store[V]) Touch(key []byte) {
 	sh := s.shardForBytes(key)
 	sh.mu.RLock()

@@ -44,6 +44,8 @@ type WireEntry struct {
 // Form picks the stored form that fits within limit octets, reporting
 // whether it is the truncated one. This mirrors the slow path's
 // truncation rule exactly: the full form is served iff it fits.
+//
+//dohlint:noalloc
 func (e *WireEntry) Form(limit int) (wire []byte, truncated bool) {
 	if len(e.Full) <= limit {
 		return e.Full, false
@@ -114,6 +116,8 @@ func NewWireCache(capacity, shards int, clock func() time.Time) *WireCache {
 }
 
 // shardFor hashes key bytes (FNV-1a, identical to Store's) onto a shard.
+//
+//dohlint:noalloc
 func (c *WireCache) shardFor(key []byte) *wireShard {
 	const (
 		offset32 = 2166136261
@@ -131,6 +135,8 @@ func (c *WireCache) shardFor(key []byte) *wireShard {
 // nothing: key stays a []byte end to end and the map index converts it
 // without a heap string. An expired entry counts as a miss and is
 // removed on the spot.
+//
+//dohlint:noalloc
 func (c *WireCache) Get(key []byte) (*WireEntry, bool) {
 	sh := c.shardFor(key)
 	sh.mu.RLock()

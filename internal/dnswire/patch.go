@@ -19,12 +19,16 @@ const (
 
 // PatchID overwrites the transaction ID of an encoded message in place.
 // The slice must hold at least the 12-octet header.
+//
+//dohlint:noalloc
 func PatchID(wire []byte, id uint16) {
 	wire[0] = byte(id >> 8)
 	wire[1] = byte(id)
 }
 
 // WireID returns the transaction ID of an encoded message.
+//
+//dohlint:noalloc
 func WireID(wire []byte) uint16 {
 	return uint16(wire[0])<<8 | uint16(wire[1])
 }
@@ -35,12 +39,16 @@ func WireID(wire []byte) uint16 {
 // from its query (RFC 1035 §4.1.1 for RD, RFC 4035 §3.2.2 for CD), so
 // together with PatchID they make one stored response form serve every
 // client.
+//
+//dohlint:noalloc
 func EchoFlags(resp, query []byte) {
 	resp[2] = resp[2]&^flagByteRD | query[2]&flagByteRD
 	resp[3] = resp[3]&^flagByteCD | query[3]&flagByteCD
 }
 
 // WireTruncated reports whether an encoded message has the TC bit set.
+//
+//dohlint:noalloc
 func WireTruncated(wire []byte) bool {
 	return wire[2]&flagByteTC != 0
 }
@@ -112,6 +120,8 @@ func AnswerTTLOffsets(wire []byte) ([]int, error) {
 
 // PatchAnswerTTLs writes ttl into wire at each offset previously found
 // by AnswerTTLOffsets.
+//
+//dohlint:noalloc
 func PatchAnswerTTLs(wire []byte, offsets []int, ttl uint32) {
 	for _, off := range offsets {
 		wire[off] = byte(ttl >> 24)

@@ -1,0 +1,480 @@
+package lint
+
+import (
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BuildTag checks platform-constraint hygiene in packages that pin
+// syscall or socket-option numbers (internal/udpbatch,
+// internal/reuseport — but the rules are generic):
+//
+//   - a file declaring a pinned syscall number (an integer const named
+//     sys* or SYS_*) must carry an explicit //go:build line pinning
+//     both GOOS and GOARCH — syscall numbers vary per kernel *and* per
+//     architecture;
+//   - a file declaring a pinned socket-option number (so*) or invoking
+//     syscall.Syscall*/RawSyscall* must pin at least GOOS;
+//   - for every package-scope name, the platforms on which some file
+//     references it must be a subset of the platforms on which some
+//     file declares it — which is exactly the "every _linux.go needs a
+//     portable sibling exporting the same names" rule, generalised,
+//     and catches the cross-compile break before a GOOS=windows CI leg
+//     does.
+//
+// Unlike the other analyzers this one is purely syntactic: it parses
+// every .go file in the package directory, including files excluded
+// from the current build configuration (which is the whole point), so
+// it needs no type information and does not skip test files (a test
+// file with a wrong tag breaks `go test` on the platforms it leaks
+// onto).
+var BuildTag = &Analyzer{
+	Name: "buildtag",
+	Doc:  "pinned syscall tables carry exact //go:build constraints; platform-constrained names have full-coverage siblings",
+	Run:  runBuildTag,
+}
+
+// The platform matrix constraints are evaluated over. Wide enough to
+// include every port the project cross-compiles in CI, small enough to
+// stay exhaustive-checkable.
+var (
+	matrixGOOS   = []string{"linux", "darwin", "windows", "freebsd"}
+	matrixGOARCH = []string{"amd64", "arm64", "386", "arm", "riscv64"}
+)
+
+// knownGOOS/knownGOARCH drive filename-implied constraints
+// (foo_linux_amd64.go) and tag evaluation; supersets of the matrix.
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixGOOS evaluates the "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// platformSet is a bitset over the matrixGOOS × matrixGOARCH grid.
+type platformSet uint32
+
+func platformBit(osIdx, archIdx int) platformSet {
+	return 1 << (osIdx*len(matrixGOARCH) + archIdx)
+}
+
+var universalSet platformSet = 1<<(len(matrixGOOS)*len(matrixGOARCH)) - 1
+
+// describe renders the platforms in set \ within, for diagnostics.
+func (s platformSet) describe() string {
+	var out []string
+	for i, goos := range matrixGOOS {
+		for j, goarch := range matrixGOARCH {
+			if s&platformBit(i, j) != 0 {
+				out = append(out, goos+"/"+goarch)
+			}
+		}
+	}
+	if len(out) > 4 {
+		out = append(out[:4], "…")
+	}
+	return strings.Join(out, ", ")
+}
+
+// pinsGOOS reports whether the set excludes at least one matrix GOOS
+// entirely (i.e. the constraint actually constrains the OS).
+func (s platformSet) pinsGOOS() bool {
+	for i := range matrixGOOS {
+		all := true
+		for j := range matrixGOARCH {
+			if s&platformBit(i, j) == 0 {
+				all = false
+				break
+			}
+		}
+		if !all {
+			return true
+		}
+	}
+	return false
+}
+
+// pinsGOARCH reports whether, on some GOOS the set includes, at least
+// one GOARCH is excluded — the constraint distinguishes architectures.
+func (s platformSet) pinsGOARCH() bool {
+	for i := range matrixGOOS {
+		var have, miss bool
+		for j := range matrixGOARCH {
+			if s&platformBit(i, j) != 0 {
+				have = true
+			} else {
+				miss = true
+			}
+		}
+		if have && miss {
+			return true
+		}
+	}
+	return false
+}
+
+// taggedFile is one parsed file plus its resolved platform coverage.
+type taggedFile struct {
+	name     string // base name
+	file     *ast.File
+	coverage platformSet
+	// explicit is the parsed //go:build expression, nil if the file has
+	// none (filename constraints may still apply).
+	explicit constraint.Expr
+}
+
+func runBuildTag(pass *Pass) error {
+	files, err := parsePackageDir(pass)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	for _, tf := range files {
+		checkPinnedNumbers(pass, tf)
+	}
+	checkNameCoverage(pass, files)
+	return nil
+}
+
+// parsePackageDir parses every .go file in the package directory —
+// including ones the current build configuration excludes — grouped to
+// the package under analysis (external foo_test packages ride along;
+// their bare identifiers cannot name this package's decls).
+func parsePackageDir(pass *Pass) ([]*taggedFile, error) {
+	if pass.Dir == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(pass.Dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var files []*taggedFile
+	for _, path := range paths {
+		f, err := parser.ParseFile(pass.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			continue // files that don't parse are the compiler's problem, not buildtag's
+		}
+		pass.noteAllowComments(f)
+		tf := &taggedFile{name: filepath.Base(path), file: f}
+		tf.explicit = explicitConstraint(f)
+		tf.coverage = fileCoverage(tf.name, tf.explicit)
+		files = append(files, tf)
+	}
+	return files, nil
+}
+
+// explicitConstraint returns the file's parsed //go:build expression,
+// or nil. Only comments above the package clause count, per the spec.
+func explicitConstraint(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fileCoverage computes which matrix platforms build the file, from
+// the explicit constraint AND the filename-implied one.
+func fileCoverage(name string, expr constraint.Expr) platformSet {
+	implOS, implArch := filenameConstraint(name)
+	var set platformSet
+	for i, goos := range matrixGOOS {
+		if implOS != "" && implOS != goos {
+			continue
+		}
+		for j, goarch := range matrixGOARCH {
+			if implArch != "" && implArch != goarch {
+				continue
+			}
+			if expr == nil || expr.Eval(tagEvaluator(goos, goarch)) {
+				set |= platformBit(i, j)
+			}
+		}
+	}
+	return set
+}
+
+// filenameConstraint extracts the GOOS/GOARCH a file name implies:
+// foo_linux.go, foo_amd64.go, foo_linux_amd64.go (with an optional
+// _test suffix before .go).
+func filenameConstraint(name string) (goos, goarch string) {
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return "", ""
+	}
+	last := parts[len(parts)-1]
+	if knownGOARCH[last] {
+		goarch = last
+		if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] {
+			goos = parts[len(parts)-2]
+		}
+		return goos, goarch
+	}
+	if knownGOOS[last] {
+		return last, ""
+	}
+	return "", ""
+}
+
+// tagEvaluator returns the build-tag truth function for one platform.
+func tagEvaluator(goos, goarch string) func(string) bool {
+	return func(tag string) bool {
+		switch {
+		case tag == goos || tag == goarch:
+			return true
+		case tag == "unix":
+			return unixGOOS[goos]
+		case strings.HasPrefix(tag, "go1"):
+			return true // language-version tags: assume current toolchain
+		case tag == "cgo":
+			return false
+		}
+		return false
+	}
+}
+
+// checkPinnedNumbers applies the pinned-number rules to one file.
+func checkPinnedNumbers(pass *Pass, tf *taggedFile) {
+	var syscallConst, sockoptConst token.Pos = token.NoPos, token.NoPos
+	for _, decl := range tf.file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) || !isIntLiteral(vs.Values[i]) {
+					continue
+				}
+				switch {
+				case isPinnedSyscallName(name.Name):
+					if syscallConst == token.NoPos {
+						syscallConst = name.Pos()
+					}
+				case isPinnedSockoptName(name.Name):
+					if sockoptConst == token.NoPos {
+						sockoptConst = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	rawSyscall := findRawSyscallCall(tf.file)
+
+	if syscallConst != token.NoPos {
+		switch {
+		case tf.explicit == nil:
+			pass.Reportf(syscallConst, "file %s pins syscall numbers but has no explicit //go:build constraint", tf.name)
+		case !tf.coverage.pinsGOOS() || !tf.coverage.pinsGOARCH():
+			pass.Reportf(syscallConst, "file %s pins syscall numbers but its //go:build constraint does not pin both GOOS and GOARCH (covers %s)", tf.name, tf.coverage.describe())
+		}
+	}
+	for pos, what := range map[token.Pos]string{sockoptConst: "socket-option numbers", rawSyscall: "raw syscalls by number"} {
+		if pos == token.NoPos {
+			continue
+		}
+		switch {
+		case tf.explicit == nil:
+			pass.Reportf(pos, "file %s uses %s but has no explicit //go:build constraint", tf.name, what)
+		case !tf.coverage.pinsGOOS():
+			pass.Reportf(pos, "file %s uses %s but its //go:build constraint does not pin GOOS (covers %s)", tf.name, what, tf.coverage.describe())
+		}
+	}
+}
+
+// isPinnedSyscallName matches syscall-number const names: sysRecvmmsg,
+// SYS_RECVMMSG.
+func isPinnedSyscallName(name string) bool {
+	return strings.HasPrefix(name, "SYS_") ||
+		(strings.HasPrefix(name, "sys") && len(name) > 3 && name[3] >= 'A' && name[3] <= 'Z')
+}
+
+// isPinnedSockoptName matches socket-option const names: soReusePort,
+// soDomain, SO_REUSEPORT.
+func isPinnedSockoptName(name string) bool {
+	return strings.HasPrefix(name, "SO_") ||
+		(strings.HasPrefix(name, "so") && len(name) > 2 && name[2] >= 'A' && name[2] <= 'Z')
+}
+
+// findRawSyscallCall returns the position of the first
+// syscall.Syscall*/RawSyscall* call in the file, or NoPos.
+func findRawSyscallCall(f *ast.File) token.Pos {
+	found := token.NoPos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "syscall" {
+			return true
+		}
+		if strings.HasPrefix(sel.Sel.Name, "Syscall") || strings.HasPrefix(sel.Sel.Name, "RawSyscall") {
+			found = call.Pos()
+		}
+		return true
+	})
+	return found
+}
+
+// isIntLiteral reports whether e is (possibly a parenthesised or
+// unary-negated) integer literal.
+func isIntLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.UnaryExpr:
+		return isIntLiteral(e.X)
+	}
+	return false
+}
+
+// checkNameCoverage enforces the declaration-coverage rule: a file must
+// not reference a package-scope name on platforms where no file
+// declares it.
+func checkNameCoverage(pass *Pass, files []*taggedFile) {
+	pkgName := files[0].file.Name.Name
+	// declCoverage: package-scope name → union of declaring files' platforms.
+	declCoverage := make(map[string]platformSet)
+	declaredIn := make(map[string]map[*taggedFile]bool)
+	for _, tf := range files {
+		if tf.file.Name.Name != pkgName {
+			continue
+		}
+		for _, name := range packageScopeNames(tf.file) {
+			declCoverage[name] |= tf.coverage
+			if declaredIn[name] == nil {
+				declaredIn[name] = make(map[*taggedFile]bool)
+			}
+			declaredIn[name][tf] = true
+		}
+	}
+	for _, tf := range files {
+		if tf.file.Name.Name != pkgName {
+			continue
+		}
+		reported := make(map[string]bool)
+		forEachBareIdent(tf.file, func(id *ast.Ident) {
+			name := id.Name
+			decl, known := declCoverage[name]
+			if !known || declaredIn[name][tf] || reported[name] {
+				return
+			}
+			if decl == universalSet {
+				return // declared everywhere: can't break a build
+			}
+			if missing := tf.coverage &^ decl; missing != 0 {
+				reported[name] = true
+				pass.Reportf(id.Pos(), "%s references %s, which no file declares on %s — add a portable sibling or tighten this file's //go:build",
+					tf.name, name, missing.describe())
+			}
+		})
+	}
+}
+
+// packageScopeNames lists the package-scope names a file declares
+// (functions without receivers, types, vars, consts).
+func packageScopeNames(f *ast.File) []string {
+	var names []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name.Name != "init" {
+				names = append(names, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					names = append(names, s.Name.Name)
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.Name != "_" {
+							names = append(names, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// forEachBareIdent visits identifiers that could resolve to
+// package-scope declarations: not selector fields, not the blank
+// identifier, not declaration names themselves (those are handled by
+// declCoverage union).
+func forEachBareIdent(f *ast.File, fn func(*ast.Ident)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			ast.Inspect(n.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					fn(id)
+				}
+				return true
+			})
+			return false // skip Sel
+		case *ast.KeyValueExpr:
+			// Keys in composite literals are usually field names; skip
+			// them, visit the value.
+			ast.Inspect(n.Value, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					fn(id)
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if n.Name != "_" {
+				fn(n)
+			}
+		case *ast.ImportSpec:
+			return false
+		}
+		return true
+	})
+}

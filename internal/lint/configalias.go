@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ConfigAlias turns PR 7's reflection-based config drift tests into a
+// compile-time check, from both ends of the alias contract:
+//
+// In the package declaring `type Config struct` with a `resolved()`
+// method (the dohpool root), every flat field marked `Deprecated: use
+// Group.Field`:
+//
+//   - must name a grouped counterpart that actually exists, with an
+//     identical type;
+//   - must be consumed in resolved() — a deprecated knob that
+//     resolved() ignores is silently dead;
+//   - its grouped counterpart must be consumed in resolved() too, or
+//     the precedence fold cannot be happening.
+//
+// In a package named cliflags, every leaf field of every grouped
+// sub-struct of the imported Config must be written by some
+// assignment — `cfg.Group.Field = …`, or a wholesale `cfg.Group = …` /
+// `cfg.Group.Sub = Composite{…}`. A grouped knob with no flag entry is
+// unreachable from the CLI, which is exactly the drift the old
+// reflection test caught at run time.
+var ConfigAlias = &Analyzer{
+	Name: "configalias",
+	Doc:  "deprecated flat Config fields keep grouped counterparts consumed in resolved() and reachable from cliflags",
+	Run:  runConfigAlias,
+}
+
+// deprecatedUseRE extracts the grouped counterpart from a field's
+// deprecation notice: "Deprecated: use Cache.Size."
+var deprecatedUseRE = regexp.MustCompile(`Deprecated: use ([A-Z][A-Za-z0-9]*)\.([A-Z][A-Za-z0-9]*)`)
+
+func runConfigAlias(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "cliflags" {
+		checkCliflagsCoverage(pass)
+		return nil
+	}
+	checkConfigResolved(pass)
+	return nil
+}
+
+// --- Config/resolved() side ---
+
+func checkConfigResolved(pass *Pass) {
+	configDecl, resolvedDecl := findConfigAndResolved(pass)
+	if configDecl == nil {
+		return
+	}
+	flat := deprecatedFields(configDecl)
+	if len(flat) == 0 {
+		return
+	}
+	if resolvedDecl == nil {
+		pass.Reportf(configDecl.Pos(), "Config has %d deprecated flat fields but no resolved() method to fold them", len(flat))
+		return
+	}
+	consumed := fieldsConsumedIn(pass, resolvedDecl)
+	for _, f := range flat {
+		checkFlatField(pass, configDecl, f, consumed)
+	}
+}
+
+// deprecatedField is one flat alias: the struct field plus the grouped
+// counterpart its deprecation notice names.
+type deprecatedField struct {
+	field        *ast.Field
+	name         string
+	group, leaf  string
+	noticeBroken bool
+}
+
+// findConfigAndResolved locates `type Config struct` and its resolved()
+// method in the package under analysis (test files excluded).
+func findConfigAndResolved(pass *Pass) (*ast.StructType, *ast.FuncDecl) {
+	var cfg *ast.StructType
+	var resolved *ast.FuncDecl
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "Config" {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						cfg = st
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "resolved" && d.Recv != nil && recvTypeName(d) == "Config" {
+					resolved = d
+				}
+			}
+		}
+	}
+	return cfg, resolved
+}
+
+// recvTypeName returns the bare receiver type name of a method
+// declaration ("Config" for both `(c Config)` and `(c *Config)`).
+func recvTypeName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// deprecatedFields collects Config's flat alias fields: those whose doc
+// comment carries a "Deprecated: use …" notice.
+func deprecatedFields(cfg *ast.StructType) []deprecatedField {
+	var out []deprecatedField
+	for _, field := range cfg.Fields.List {
+		if field.Doc == nil || len(field.Names) == 0 {
+			continue
+		}
+		doc := field.Doc.Text()
+		if !strings.Contains(doc, "Deprecated:") {
+			continue
+		}
+		for _, name := range field.Names {
+			df := deprecatedField{field: field, name: name.Name}
+			// A multi-name field ("TLSCert, TLSKey string" style, or the
+			// real tree's separate fields sharing one notice) may name
+			// several counterparts; pair them positionally when possible.
+			matches := deprecatedUseRE.FindAllStringSubmatch(doc, -1)
+			switch {
+			case len(matches) == 0:
+				df.noticeBroken = true
+			case len(matches) >= len(field.Names):
+				m := matches[indexOfIdent(field.Names, name)]
+				df.group, df.leaf = m[1], m[2]
+			default:
+				df.group, df.leaf = matches[0][1], matches[0][2]
+			}
+			out = append(out, df)
+		}
+	}
+	return out
+}
+
+func indexOfIdent(names []*ast.Ident, target *ast.Ident) int {
+	for i, n := range names {
+		if n == target {
+			return i
+		}
+	}
+	return 0
+}
+
+// fieldsConsumedIn returns the set of struct fields (as types.Object)
+// selected anywhere inside fn's body.
+func fieldsConsumedIn(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	consumed := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			consumed[s.Obj()] = true
+		}
+		return true
+	})
+	return consumed
+}
+
+// checkFlatField verifies one flat alias against its grouped
+// counterpart and resolved()'s consumption of both.
+func checkFlatField(pass *Pass, cfg *ast.StructType, f deprecatedField, consumed map[types.Object]bool) {
+	if f.noticeBroken {
+		pass.Reportf(f.field.Pos(), "deprecated Config field %s: deprecation notice names no Group.Field counterpart", f.name)
+		return
+	}
+	groupField := structFieldByName(cfg, f.group)
+	if groupField == nil {
+		pass.Reportf(f.field.Pos(), "deprecated Config field %s: grouped counterpart %s.%s does not exist (no %s field)", f.name, f.group, f.leaf, f.group)
+		return
+	}
+	flatObj := fieldObject(pass, cfg, f.name)
+	leafObj := groupLeafObject(pass, groupField, f.leaf)
+	if leafObj == nil {
+		pass.Reportf(f.field.Pos(), "deprecated Config field %s: grouped counterpart %s.%s does not exist", f.name, f.group, f.leaf)
+		return
+	}
+	if flatObj != nil && !types.Identical(flatObj.Type(), leafObj.Type()) {
+		pass.Reportf(f.field.Pos(), "deprecated Config field %s has type %s but grouped counterpart %s.%s has type %s",
+			f.name, flatObj.Type(), f.group, f.leaf, leafObj.Type())
+	}
+	if flatObj != nil && !consumed[flatObj] {
+		pass.Reportf(f.field.Pos(), "deprecated Config field %s is not consumed in resolved(): the flat spelling is silently ignored", f.name)
+	}
+	if !consumed[leafObj] {
+		pass.Reportf(f.field.Pos(), "grouped counterpart %s.%s of deprecated field %s is not consumed in resolved()", f.group, f.leaf, f.name)
+	}
+}
+
+// structFieldByName finds a field of the syntactic struct by name.
+func structFieldByName(st *ast.StructType, name string) *ast.Field {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				return field
+			}
+		}
+	}
+	return nil
+}
+
+// fieldObject resolves a field of the syntactic struct to its
+// types.Object.
+func fieldObject(pass *Pass, st *ast.StructType, name string) types.Object {
+	f := structFieldByName(st, name)
+	if f == nil {
+		return nil
+	}
+	for _, n := range f.Names {
+		if n.Name == name {
+			return pass.TypesInfo.Defs[n]
+		}
+	}
+	return nil
+}
+
+// groupLeafObject resolves Group.Leaf: groupField's type must be a
+// struct with a field named leaf.
+func groupLeafObject(pass *Pass, groupField *ast.Field, leaf string) types.Object {
+	t := pass.TypesInfo.Types[groupField.Type].Type
+	if t == nil {
+		return nil
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == leaf {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// --- cliflags side ---
+
+// checkCliflagsCoverage verifies that every leaf of every grouped
+// sub-struct of the imported Config type is written somewhere in the
+// cliflags package.
+func checkCliflagsCoverage(pass *Pass) {
+	cfgType := importedConfigType(pass)
+	if cfgType == nil {
+		return
+	}
+	required := groupedLeaves(cfgType)
+	if len(required) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				noteConfigWrite(pass, cfgType, lhs, covered)
+			}
+			return true
+		})
+	}
+	var missing []string
+	for leaf := range required {
+		group := leaf[:strings.Index(leaf, ".")]
+		if !covered[leaf] && !covered[group] {
+			missing = append(missing, leaf)
+		}
+	}
+	sort.Strings(missing)
+	for _, leaf := range missing {
+		pass.Reportf(pass.Files[0].Name.Pos(), "grouped Config field %s has no cliflags assignment: the knob is unreachable from the CLI", leaf)
+	}
+}
+
+// importedConfigType finds the Config struct type in the packages
+// cliflags imports.
+func importedConfigType(pass *Pass) *types.Named {
+	if pass.Pkg == nil {
+		return nil
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		obj := imp.Scope().Lookup("Config")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); ok {
+			return named
+		}
+	}
+	return nil
+}
+
+// groupedLeaves enumerates "Group.Leaf" for every field of Config whose
+// type is a named struct ending in "Config" — the grouped sub-structs.
+func groupedLeaves(cfg *types.Named) map[string]bool {
+	st, ok := cfg.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	leaves := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		group := st.Field(i)
+		named, ok := group.Type().(*types.Named)
+		if !ok || !strings.HasSuffix(named.Obj().Name(), "Config") {
+			continue
+		}
+		gst, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for j := 0; j < gst.NumFields(); j++ {
+			leaves[fmt.Sprintf("%s.%s", group.Name(), gst.Field(j).Name())] = true
+		}
+	}
+	return leaves
+}
+
+// noteConfigWrite records which Group[.Leaf] path an assignment LHS
+// writes, when the selector chain roots at a (pointer to) Config value.
+// A wholesale `cfg.Group = …` covers the whole group; a deeper write
+// (`cfg.Chaos.Net.DropProb = …`) still covers its depth-2 leaf.
+func noteConfigWrite(pass *Pass, cfg *types.Named, lhs ast.Expr, covered map[string]bool) {
+	var path []string
+	for {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		path = append([]string{sel.Sel.Name}, path...)
+		lhs = sel.X
+	}
+	if len(path) == 0 {
+		return
+	}
+	t := pass.TypesInfo.Types[lhs].Type
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() != cfg.Obj() {
+		return
+	}
+	if len(path) == 1 {
+		covered[path[0]] = true
+		return
+	}
+	covered[path[0]+"."+path[1]] = true
+}

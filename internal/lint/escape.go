@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the escape gate: the half of the noalloc contract the
+// compiler itself proves. The noalloc analyzer rejects constructs that
+// always allocate; the gate runs the gc compiler with -m=1 over each
+// package containing //dohlint:noalloc annotations and fails if any
+// escape diagnostic ("escapes to heap", "moved to heap") lands inside
+// an annotated function — including diagnostics attributed to the
+// caller's line when an inlined callee allocates.
+//
+// The compiler is invoked directly (`go tool compile -importcfg … -m=1`)
+// rather than through `go build -gcflags=-m`, because the build cache
+// swallows diagnostics on cache hits: a cached `go build` prints
+// nothing and would green-light anything. A direct compile runs every
+// time and is cheap — one compiler invocation per annotated package,
+// with dependencies resolved from the export data `go list -export`
+// already materialised.
+
+// EscapeDiag is one -m escape diagnostic at a source position.
+type EscapeDiag struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+// escapeLineRE matches one compiler diagnostic line: file:line:col: msg.
+// The file part is non-greedy up to the first :digits:digits: so
+// absolute paths survive.
+var escapeLineRE = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*)$`)
+
+// ParseEscapeOutput extracts escape diagnostics from gc -m output,
+// ignoring the inlining/bounds-check chatter -m also emits. Exposed
+// (and unit-tested) separately from the compile invocation so the
+// parser is provable against canned compiler output.
+func ParseEscapeOutput(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimRight(line, "\r"))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		lineNo, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		diags = append(diags, EscapeDiag{File: m[1], Line: lineNo, Col: col, Message: msg})
+	}
+	return diags
+}
+
+// funcRange is one annotated function's line extent in a file.
+type funcRange struct {
+	name       string
+	start, end int
+}
+
+// EscapeGate compiles every package matched by patterns (default
+// "./...") that contains //dohlint:noalloc annotations with -m=1 and
+// returns a Diagnostic for each heap escape inside an annotated
+// function, honouring dohlint:allow(noalloc) waivers. dir is the
+// module root the patterns resolve against.
+func EscapeGate(dir string, patterns ...string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "dohlint-escape")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	importcfg := filepath.Join(tmp, "importcfg")
+	if err := writeImportcfg(importcfg, exports); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkgDiags, err := escapeCheckPackage(t, importcfg, tmp)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, pkgDiags...)
+	}
+	return diags, nil
+}
+
+// writeImportcfg renders the packagefile lines `go tool compile`
+// resolves imports from.
+func writeImportcfg(path string, exports map[string]string) error {
+	var b bytes.Buffer
+	for imp, file := range exports {
+		fmt.Fprintf(&b, "packagefile %s=%s\n", imp, file)
+	}
+	return os.WriteFile(path, b.Bytes(), 0o644)
+}
+
+// escapeCheckPackage runs the gate over one package: parse for
+// annotations, compile with -m=1 if any, map escapes into annotated
+// ranges.
+func escapeCheckPackage(t *listedPackage, importcfg, tmp string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	// ranges[absfile] = annotated function extents; allowPass indexes
+	// the dohlint:allow waivers shared with the noalloc analyzer.
+	ranges := make(map[string][]funcRange)
+	allowPass := &Pass{Analyzer: NoAlloc, Fset: fset}
+	var absFiles []string
+	annotated := false
+	for _, name := range t.GoFiles {
+		abs := filepath.Join(t.Dir, name)
+		absFiles = append(absFiles, abs)
+		f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		allowPass.noteAllowComments(f)
+		for _, fn := range noallocFuncs(f) {
+			annotated = true
+			ranges[abs] = append(ranges[abs], funcRange{
+				name:  fn.Name.Name,
+				start: fset.Position(fn.Pos()).Line,
+				end:   fset.Position(fn.End()).Line,
+			})
+		}
+	}
+	if !annotated {
+		return nil, nil
+	}
+	args := []string{"tool", "compile",
+		"-importcfg", importcfg,
+		"-p", t.ImportPath,
+		"-m=1",
+		"-o", filepath.Join(tmp, "escape-check.a"),
+	}
+	args = append(args, absFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = t.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// -m diagnostics go to stderr with exit 0; a non-zero exit means
+		// the package didn't compile, which the gate must surface rather
+		// than pass silently.
+		return nil, fmt.Errorf("go tool compile %s: %v\n%s", t.ImportPath, err, out.String())
+	}
+	var diags []Diagnostic
+	for _, ed := range ParseEscapeOutput(out.String()) {
+		file := ed.File
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(t.Dir, file)
+		}
+		fr, ok := insideRange(ranges[file], ed.Line)
+		if !ok {
+			continue
+		}
+		if escapeWaived(allowPass, file, ed.Line) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      token.Position{Filename: file, Line: ed.Line, Column: ed.Col},
+			Analyzer: "escape",
+			Message:  fmt.Sprintf("%s inside //dohlint:noalloc function %s", ed.Message, fr.name),
+		})
+	}
+	return diags, nil
+}
+
+// insideRange finds the annotated function covering line, if any.
+func insideRange(ranges []funcRange, line int) (funcRange, bool) {
+	for _, r := range ranges {
+		if line >= r.start && line <= r.end {
+			return r, true
+		}
+	}
+	return funcRange{}, false
+}
+
+// escapeWaived reports whether a dohlint:allow waiver covers the line
+// for the escape gate: an unscoped allow, or one scoped to noalloc or
+// escape (the gate is the compiler-backed half of the noalloc
+// contract, so either scope silences both halves).
+func escapeWaived(p *Pass, file string, line int) bool {
+	scopes, ok := p.allow[file][line]
+	if !ok {
+		return false
+	}
+	if scopes == nil {
+		return true
+	}
+	for _, s := range scopes {
+		if s == "noalloc" || s == "escape" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cannedEscapeOutput is real-shaped gc -m=1 output: inline decisions,
+// non-escaping parameter notes, and the two diagnostic forms the gate
+// acts on.
+const cannedEscapeOutput = `# dohpool/internal/core
+internal/core/frontend_wire.go:53:22: b does not escape
+internal/core/frontend_wire.go:53:25: leaking param: keyScratch to result key level=0
+internal/core/frontend_wire.go:150:6: can inline agedTTL
+internal/core/frontend_stream.go:47:12: make([]byte, 0, n + 512) escapes to heap
+internal/core/frontend_stream.go:99:14: moved to heap: buf
+internal/core/frontend_stream.go:60:26: inlining call to readStreamFrame
+not a diagnostic line at all
+internal/core/frontend_wire.go:bad:1: malformed position survives parsing
+`
+
+func TestParseEscapeOutput(t *testing.T) {
+	diags := ParseEscapeOutput(cannedEscapeOutput)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	first := diags[0]
+	if first.File != "internal/core/frontend_stream.go" || first.Line != 47 || first.Col != 12 {
+		t.Errorf("first diagnostic position = %s:%d:%d, want internal/core/frontend_stream.go:47:12",
+			first.File, first.Line, first.Col)
+	}
+	if !strings.Contains(first.Message, "escapes to heap") {
+		t.Errorf("first diagnostic message = %q, want an escapes-to-heap note", first.Message)
+	}
+	second := diags[1]
+	if second.Line != 99 || !strings.Contains(second.Message, "moved to heap: buf") {
+		t.Errorf("second diagnostic = %+v, want moved-to-heap at line 99", second)
+	}
+}
+
+func TestParseEscapeOutputEmpty(t *testing.T) {
+	if diags := ParseEscapeOutput(""); len(diags) != 0 {
+		t.Fatalf("empty output produced %d diagnostics", len(diags))
+	}
+	if diags := ParseEscapeOutput("# pkg\ncan inline f\n"); len(diags) != 0 {
+		t.Fatalf("chatter-only output produced %d diagnostics", len(diags))
+	}
+}
+
+// TestEscapeGateFixture proves the gate end to end against a package
+// whose annotated function leaks a local through a returned pointer —
+// invisible to the syntax-level analyzer, caught by the compiler.
+func TestEscapeGateFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list and go tool compile")
+	}
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := EscapeGate(moduleRoot, "./internal/lint/testdata/escapepkg")
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "escapepkg.go" {
+		t.Errorf("diagnostic file = %s, want escapepkg.go", d.Pos.Filename)
+	}
+	if !strings.Contains(d.Message, "moved to heap: x") || !strings.Contains(d.Message, "Leak") {
+		t.Errorf("diagnostic %q, want moved-to-heap inside Leak", d.Message)
+	}
+	if strings.Contains(d.Message, "Stay") {
+		t.Errorf("diagnostic blames the allocation-free function: %q", d.Message)
+	}
+}
+
+// TestEscapeGateCleanTree mirrors the CI gate: the production tree's
+// annotated fast paths must compile with zero heap escapes.
+func TestEscapeGateCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles every annotated package")
+	}
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := EscapeGate(moduleRoot)
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,260 @@
+// Package loading for dohlint's standalone mode, fixture tests and the
+// escape gate. The module deliberately has no dependency on
+// golang.org/x/tools, so instead of go/packages this loader drives the
+// go command directly: `go list -json` names the target packages and
+// `go list -deps -export -json` yields compiled export data for every
+// dependency, which go/importer consumes while the targets themselves
+// are type-checked from source (the analyzers need syntax trees with
+// type information, not just export summaries).
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// LoadedPackage is one target package ready for analysis: parsed
+// syntax, type information and its on-disk location.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	// GoFiles are the build-selected source file names (no directory).
+	GoFiles []string
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+}
+
+// goList runs `go list` with args from dir and decodes the JSON object
+// stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap runs `go list -deps -export` over patterns and returns
+// importpath → export-data file for every package that has one.
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter resolves imports through compiled export data files,
+// with optional import-path canonicalisation (the vet config's
+// ImportMap).
+type exportImporter struct {
+	gc        types.Importer
+	canonical map[string]string
+}
+
+// newExportImporter builds a types.Importer over path → export-file
+// packageFile, canonicalising paths through importMap first (nil for
+// the identity mapping).
+func newExportImporter(fset *token.FileSet, packageFile map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc:        importer.ForCompiler(token.NewFileSet(), "gc", lookup),
+		canonical: importMap,
+	}
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if c, ok := im.canonical[path]; ok {
+		path = c
+	}
+	return im.gc.Import(path)
+}
+
+// TypeCheck parses and type-checks one package from source files,
+// resolving imports through export data. files are absolute paths;
+// importMap may be nil.
+func TypeCheck(fset *token.FileSet, importPath, dir string, files []string, packageFile, importMap map[string]string) (*LoadedPackage, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: newExportImporter(fset, packageFile, importMap),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	lp := &LoadedPackage{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}
+	for _, f := range files {
+		lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+	}
+	return lp, nil
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir and returns
+// every matched package parsed and type-checked, test files excluded
+// (the go vet -vettool path covers those; see the package doc).
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,Name,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*LoadedPackage
+	fset := token.NewFileSet()
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		lp, err := TypeCheck(fset, t.ImportPath, t.Dir, files, exports, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// (which may live under testdata, invisible to `go list` wildcards),
+// using moduleDir's build context to resolve its imports. Files not
+// matching the current build constraints are excluded from
+// type-checking, mirroring a real build.
+func LoadDir(moduleDir, dir string) (*LoadedPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		match, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	// Collect the fixture's imports and materialise export data for
+	// them (and their dependency closure) through the module proper.
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range af.Imports {
+			path := imp.Path.Value
+			importSet[path[1:len(path)-1]] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		if p != "unsafe" {
+			imports = append(imports, p)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		if exports, err = exportMap(moduleDir, imports); err != nil {
+			return nil, err
+		}
+	}
+	return TypeCheck(fset, filepath.Base(dir), dir, files, exports, nil)
+}

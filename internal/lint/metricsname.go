@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricsName polices the Prometheus metric surface:
+//
+//   - every registration on *metrics.Registry passes a compile-time
+//     constant name (a const or literal — never a value assembled at
+//     runtime, which would defeat grep and dashboards alike);
+//   - names match dohpool_[a-z0-9_]+ — one namespace, lower snake case;
+//   - counters end in _total; histograms end in _seconds or _bytes
+//     (the openmetrics unit conventions scrapers assume);
+//   - no registration happens inside a //dohlint:noalloc function:
+//     registering takes a lock and allocates family state, so it
+//     belongs in constructors, not the serving path.
+//
+// The internal/metrics package itself is exempt (it implements the
+// registry), as are test files (throwaway metrics are fine there).
+var MetricsName = &Analyzer{
+	Name: "metricsname",
+	Doc:  "metric registrations use const dohpool_* names with conventional type suffixes, off the hot path",
+	Run:  runMetricsName,
+}
+
+// metricNameRE is the required shape of every registered metric name.
+var metricNameRE = regexp.MustCompile(`^dohpool_[a-z0-9_]+$`)
+
+// registryMethods maps each *metrics.Registry registration method to
+// the metric kind it creates, for suffix checking.
+var registryMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"CounterFunc":  "counter",
+	"Gauge":        "gauge",
+	"GaugeVec":     "gauge",
+	"GaugeFunc":    "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+func runMetricsName(pass *Pass) error {
+	if pass.Pkg != nil && strings.HasSuffix(pass.Pkg.Path(), "internal/metrics") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		noalloc := make(map[*ast.FuncDecl]bool)
+		for _, fn := range noallocFuncs(file) {
+			noalloc[fn] = true
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := noalloc[fn]
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryCall(pass, call)
+				if !ok {
+					return true
+				}
+				if hot {
+					pass.Reportf(call.Pos(), "metric registration inside //dohlint:noalloc function %s: registering locks and allocates; move it to a constructor", fn.Name.Name)
+				}
+				checkMetricName(pass, call, kind)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// registryCall reports whether call is a registration method on
+// *metrics.Registry (matched by receiver type name and package suffix,
+// so fixtures with their own metrics package exercise the rule) and,
+// if so, which metric kind it registers.
+func registryCall(pass *Pass, call *ast.CallExpr) (kind string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok = registryMethods[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	return kind, pkg != nil && strings.HasSuffix(pkg.Path(), "metrics")
+}
+
+// checkMetricName validates the registration's name argument: constant,
+// namespaced, conventionally suffixed.
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv := pass.TypesInfo.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time constant string, got %s", types.ExprString(arg))
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q must match %s", name, metricNameRE)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter name %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(arg.Pos(), "histogram name %q must end in _seconds or _bytes", name)
+		}
+	}
+}

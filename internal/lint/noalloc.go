@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the //dohlint:noalloc annotation contract: the
+// serving fast path's functions must not contain constructs the
+// compiler is known to lower to heap allocations. The check is
+// deliberately lexical and conservative — it catches the obvious
+// regressions (a stray fmt.Sprintf, a closure, string concatenation)
+// at vet time with a precise position; the escape gate (`dohlint
+// escape`) then has the compiler itself prove the remainder, including
+// the cases no syntax-level rule can decide (appends that grow,
+// variables that leak through interfaces).
+//
+// Reported inside an annotated function:
+//
+//   - any call into package fmt (formatting allocates);
+//   - string concatenation with a non-constant operand;
+//   - make and new (use pooled or caller-provided buffers);
+//   - function literals (closure capture escapes);
+//   - go statements (goroutine start allocates its stack frame);
+//   - string([]byte), []byte(string) and their rune twins, except as a
+//     map index, delete key or comparison operand, which the compiler
+//     rewrites allocation-free;
+//   - taking the address of a composite literal;
+//   - implicitly boxing a non-pointer value into an interface at a
+//     call argument or return value.
+//
+// A line-scoped `// dohlint:allow(noalloc) — why` waiver documents the
+// sanctioned exceptions: amortised growth paths, error returns that
+// only box after a syscall already failed.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //dohlint:noalloc must not contain allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, fn := range noallocFuncs(file) {
+			if fn.Body == nil {
+				pass.Reportf(fn.Pos(), "function %s is annotated //dohlint:noalloc but has no body to check", fn.Name.Name)
+				continue
+			}
+			checkNoAllocBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkNoAllocBody walks one annotated function body. The walk tracks
+// enough ancestry to recognise the allocation-free conversion forms
+// (map index, delete, comparison).
+func checkNoAllocBody(pass *Pass, fn *ast.FuncDecl) {
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //dohlint:noalloc function %s allocates", fn.Name.Name)
+			return false // don't descend: the closure body is its own scope
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //dohlint:noalloc function %s allocates", fn.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal in //dohlint:noalloc function %s allocates", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass, n) && !isConstant(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation in //dohlint:noalloc function %s allocates", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, fn, n, stack)
+		case *ast.ReturnStmt:
+			checkBoxedReturns(pass, fn, n)
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// checkNoAllocCall handles the call-shaped rules: builtin allocators,
+// fmt, conversions, and interface boxing of arguments.
+func checkNoAllocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	switch target := calleeOf(pass, call).(type) {
+	case *types.Builtin:
+		switch target.Name() {
+		case "make":
+			pass.Reportf(call.Pos(), "make in //dohlint:noalloc function %s allocates", fn.Name.Name)
+		case "new":
+			pass.Reportf(call.Pos(), "new in //dohlint:noalloc function %s allocates", fn.Name.Name)
+		}
+		return
+	case *types.TypeName, *types.Nil:
+		// Conversion: T(x). Only the string/byte-slice family allocates
+		// in ways this analyzer polices.
+		checkConversion(pass, fn, call, stack)
+		return
+	case *types.Func:
+		pkg := target.Pkg()
+		if pkg != nil && pkg.Path() == "fmt" {
+			pass.Reportf(call.Pos(), "call to %s.%s in //dohlint:noalloc function %s allocates",
+				pkg.Name(), target.Name(), fn.Name.Name)
+			return
+		}
+		if pkg != nil && pkg.Path() == "runtime" && target.Name() == "KeepAlive" {
+			return // compiler intrinsic: its any parameter never boxes
+		}
+	}
+	checkBoxedArgs(pass, fn, call)
+}
+
+// calleeOf resolves what a call expression invokes: a *types.Func for
+// ordinary and method calls, *types.Builtin for builtins, a
+// *types.TypeName when the "call" is a conversion, nil when unknown
+// (calls through function-typed values).
+func calleeOf(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StructType, *ast.FuncType:
+		// Composite type conversion like []byte(s): report through the
+		// conversion path by synthesising a TypeName-shaped answer.
+		return conversionMarker
+	case *ast.IndexExpr:
+		// Generic instantiation: resolve the underlying identifier.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return pass.TypesInfo.Uses[id]
+		}
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			return pass.TypesInfo.Uses[sel.Sel]
+		}
+	}
+	return nil
+}
+
+// conversionMarker is calleeOf's sentinel for conversions written with
+// composite type syntax ([]byte(s)), which have no object to resolve.
+var conversionMarker = types.NewTypeName(token.NoPos, nil, "<conversion>", nil)
+
+// checkConversion reports string ↔ byte/rune-slice conversions outside
+// the compiler's allocation-free contexts: indexing a map, the key of
+// delete, or either side of a comparison.
+func checkConversion(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	src := pass.TypesInfo.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	dst := tv.Type
+	if !conversionAllocates(src, dst) {
+		return
+	}
+	if inAllocationFreeContext(pass, call, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(), "conversion %s → %s in //dohlint:noalloc function %s allocates (outside map-index/delete/comparison contexts)",
+		src, dst, fn.Name.Name)
+}
+
+// conversionAllocates reports whether a conversion from src to dst
+// copies its operand onto the heap: string([]byte), []byte(string) and
+// the rune variants.
+func conversionAllocates(src, dst types.Type) bool {
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(src) && isByteOrRuneSlice(dst)) || (isByteOrRuneSlice(src) && isString(dst))
+}
+
+// inAllocationFreeContext reports whether the conversion's immediate
+// use is one the compiler rewrites without allocating: m[string(b)],
+// delete(m, string(b)), or string(b) == x.
+func inAllocationFreeContext(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.IndexExpr:
+		if parent.Index == call {
+			_, isMap := pass.TypesInfo.Types[parent.X].Type.Underlying().(*types.Map)
+			return isMap
+		}
+	case *ast.BinaryExpr:
+		return parent.Op == token.EQL || parent.Op == token.NEQ
+	case *ast.CallExpr:
+		if b, ok := calleeOf(pass, parent).(*types.Builtin); ok && b.Name() == "delete" {
+			return len(parent.Args) == 2 && parent.Args[1] == call
+		}
+	}
+	return false
+}
+
+// checkBoxedArgs reports call arguments implicitly converted to an
+// interface parameter from a non-pointer concrete type — the boxing
+// the runtime services with a heap allocation. Pointer-shaped values
+// (pointers, maps, channels, funcs, unsafe.Pointer) box for free.
+func checkBoxedArgs(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			param = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if s, okSlice := params.At(params.Len() - 1).Type().(*types.Slice); okSlice {
+				param = s.Elem()
+			}
+		}
+		if param == nil {
+			continue
+		}
+		if boxingAllocates(pass.TypesInfo.Types[arg].Type, param) && !isConstant(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a non-pointer value into %s in //dohlint:noalloc function %s, which allocates",
+				param, fn.Name.Name)
+		}
+	}
+}
+
+// checkBoxedReturns applies the boxing rule to return values against
+// the function's result types (error results being the common case).
+func checkBoxedReturns(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // bare return or single multi-value call: nothing implicit to box here
+	}
+	for i, expr := range ret.Results {
+		if boxingAllocates(pass.TypesInfo.Types[expr].Type, results.At(i).Type()) && !isConstant(pass, expr) {
+			pass.Reportf(expr.Pos(), "return value boxes a non-pointer value into %s in //dohlint:noalloc function %s, which allocates",
+				results.At(i).Type(), fn.Name.Name)
+		}
+	}
+}
+
+// boxingAllocates reports whether implicitly converting a value of
+// type from into parameter/result type to heap-allocates: to must be
+// an interface, from a concrete type that is not pointer-shaped.
+func boxingAllocates(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if _, isIface := from.Underlying().(*types.Interface); isIface {
+		return false // interface → interface: no new allocation
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: the interface word holds it directly
+	case *types.Basic:
+		if b := from.Underlying().(*types.Basic); b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	if sz := types.SizesFor("gc", "amd64"); sz != nil && sz.Sizeof(from) == 0 {
+		return false // zero-size values box to a static sentinel
+	}
+	return true
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() != constant.Unknown
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package buildtagfix
+
+// A socket-option number under an explicit OS pin: compliant.
+const soFixture = 15
+
+// impl has no portable sibling — referencing it from an unconstrained
+// file is the seeded coverage break.
+func impl() int { return soFixture }

@@ -1,0 +1,6 @@
+// Package buildtagfix seeds build-constraint violations around pinned
+// syscall tables and platform-coverage drift.
+package buildtagfix
+
+// A pinned syscall number in a file with no //go:build line at all.
+const sysFixture = 299 // want `pins syscall numbers but has no explicit //go:build constraint`

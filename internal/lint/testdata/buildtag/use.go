@@ -1,0 +1,5 @@
+package buildtagfix
+
+func use() int {
+	return impl() // want `references impl, which no file declares on`
+}

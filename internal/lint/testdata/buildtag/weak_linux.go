@@ -1,0 +1,7 @@
+//go:build linux
+
+package buildtagfix
+
+// Pinned per-arch syscall number under an OS-only constraint: valid on
+// linux/amd64, silently wrong on linux/arm64.
+const sysWeak = 307 // want `does not pin both GOOS and GOARCH`

@@ -1,0 +1,55 @@
+// Package cfgfix seeds flat/grouped Config alias drift: a deprecated
+// field whose counterpart is gone, one with a type mismatch, one the
+// resolved() fold ignores, and one with a malformed notice.
+package cfgfix
+
+// SubConfig is the grouped spelling of the flat knobs below.
+type SubConfig struct {
+	Size  int
+	Level int
+}
+
+// Config mirrors the dohpool root surface: grouped sub-structs plus
+// deprecated flat aliases.
+type Config struct {
+	Sub SubConfig
+
+	// Size is the working alias: counterpart exists, types agree,
+	// resolved() folds it.
+	//
+	// Deprecated: use Sub.Size.
+	Size int
+	// Level drifted: the grouped field became an int.
+	//
+	// Deprecated: use Sub.Level.
+	Level float64 // want `deprecated Config field Level has type float64 but grouped counterpart Sub\.Level has type int`
+	// Gone points at a counterpart nobody declares.
+	//
+	// Deprecated: use Sub.Missing.
+	Gone int // want `grouped counterpart Sub\.Missing does not exist`
+	// Stray has a notice that names nothing.
+	//
+	// Deprecated: use the grouped spelling instead.
+	Stray int // want `deprecation notice names no Group\.Field counterpart`
+	// Ignored has a healthy counterpart but resolved() never reads it.
+	//
+	// Deprecated: use Sub.Size.
+	Ignored int // want `deprecated Config field Ignored is not consumed in resolved\(\)`
+}
+
+func pickInt(grouped, flat int) int {
+	if grouped != 0 {
+		return grouped
+	}
+	return flat
+}
+
+func (c Config) resolved() Config {
+	out := c
+	out.Sub.Size = pickInt(c.Sub.Size, c.Size)
+	out.Size = out.Sub.Size
+	// Level and its counterpart are both read, so only the type
+	// mismatch is reported for them.
+	out.Sub.Level = pickInt(c.Sub.Level, int(c.Level))
+	return out
+}

@@ -1,0 +1,25 @@
+// Package escapepkg compiles cleanly and passes the syntax-level
+// noalloc analyzer — no make, no conversions, no boxing — but breaks
+// the contract in a way only the compiler's escape analysis proves:
+// a local variable leaks through the returned pointer.
+package escapepkg
+
+// Leak returns the address of a local, which -m reports as
+// "moved to heap: x". No syntax rule fires on this function.
+//
+//dohlint:noalloc
+func Leak(n int) *int {
+	x := n * 2
+	return &x
+}
+
+// Stay keeps everything on the stack: the gate must not flag it.
+//
+//dohlint:noalloc
+func Stay(n int) int {
+	var buf [64]byte
+	for i := range buf {
+		buf[i] = byte(n + i)
+	}
+	return int(buf[n&63])
+}

@@ -1,0 +1,75 @@
+// Package noallocfix seeds one violation of every noalloc rule, plus
+// the negative cases the analyzer must leave alone.
+package noallocfix
+
+import (
+	"fmt"
+	"runtime"
+)
+
+var seen = map[string]int{}
+
+func helper() {}
+
+func consume(x any) { _ = x }
+
+// bad trips every construct rule, one per line.
+//
+//dohlint:noalloc
+func bad(b []byte, s string) string {
+	formatted := fmt.Sprintf("%d", len(b)) // want `call to fmt\.Sprintf in //dohlint:noalloc function bad allocates`
+	buf := make([]byte, 8)                 // want `make in //dohlint:noalloc function bad allocates`
+	_ = buf
+	p := new(int) // want `new in //dohlint:noalloc function bad allocates`
+	_ = p
+	f := func() {} // want `closure in //dohlint:noalloc function bad allocates`
+	f()
+	go helper()        // want `go statement in //dohlint:noalloc function bad allocates`
+	joined := s + "-x" // want `string concatenation in //dohlint:noalloc function bad allocates`
+	_ = joined
+	t := &struct{ n int }{1} // want `address of composite literal in //dohlint:noalloc function bad allocates`
+	_ = t
+	copied := string(b) // want `conversion .* allocates`
+	_ = copied
+	return formatted
+}
+
+// boxed trips the interface-boxing rules at a call argument and a
+// return value.
+//
+//dohlint:noalloc
+func boxed(v int) any {
+	consume(v) // want `argument boxes a non-pointer value`
+	return v   // want `return value boxes a non-pointer value`
+}
+
+// good exercises every allocation-free form the analyzer must accept:
+// map index, delete and comparison conversions, pointer boxing, and the
+// runtime.KeepAlive intrinsic.
+//
+//dohlint:noalloc
+func good(b []byte) int {
+	if _, ok := seen[string(b)]; ok {
+		delete(seen, string(b))
+	}
+	if string(b) == "done" {
+		return 1
+	}
+	consume(&seen)
+	runtime.KeepAlive(b)
+	return len(b)
+}
+
+// waived shows the documented escape hatch: the allocation is
+// sanctioned by a scoped allow comment.
+//
+//dohlint:noalloc
+func waived() []byte {
+	// dohlint:allow(noalloc) — fixture: amortised growth stand-in
+	return make([]byte, 1)
+}
+
+// unannotated may allocate freely — no directive, no checks.
+func unannotated() string {
+	return fmt.Sprintf("%v", make([]int, 4))
+}
