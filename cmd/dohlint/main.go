@@ -1,6 +1,7 @@
 // Command dohlint is dohpool's project-specific static-analysis tool:
-// the four internal/lint analyzers (noalloc, metricsname, configalias,
-// buildtag) plus the escape-analysis allocation gate.
+// the seven internal/lint analyzers (noalloc, metricsname, configalias,
+// buildtag, lockcheck, atomiccheck, golifecycle) plus the
+// escape-analysis allocation gate.
 //
 // Three modes:
 //
@@ -13,8 +14,11 @@
 //	                             then one invocation per package unit
 //	                             with a vet.cfg)
 //
-// Diagnostics print as file:line:col: analyzer: message. Exit status:
-// 0 clean, 1 operational error, 2 diagnostics reported.
+// Diagnostics print as file:line:col: analyzer: message, or — with
+// -json anywhere on the command line — as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout, so CI can attach
+// findings as a greppable artifact. Exit status: 0 clean, 1
+// operational error, 2 diagnostics reported.
 package main
 
 import (
@@ -45,6 +49,17 @@ func run(args []string) int {
 			return 0
 		}
 	}
+	// -json switches report() to machine-readable output; it can sit
+	// anywhere before the patterns.
+	filtered := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOutput = true
+			continue
+		}
+		filtered = append(filtered, a)
+	}
+	args = filtered
 	// A .cfg argument means cmd/go invoked us as a vet tool.
 	for _, a := range args {
 		if strings.HasSuffix(a, ".cfg") {
@@ -205,10 +220,47 @@ func runEscape(patterns []string) int {
 	return report(diags)
 }
 
-// report prints diagnostics to stderr and returns the process exit
-// code: 2 with findings (the conventional vet-tool diagnostic exit), 0
-// clean.
+// jsonOutput makes report emit a JSON array on stdout instead of the
+// human file:line:col lines on stderr.
+var jsonOutput bool
+
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by
+// `dohlint -json` and archived by the CI lint job.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report prints diagnostics and returns the process exit code: 2 with
+// findings (the conventional vet-tool diagnostic exit), 0 clean. Human
+// output goes to stderr; -json always writes a well-formed (possibly
+// empty) array to stdout so the artifact exists even on a clean run.
 func report(diags []lint.Diagnostic) int {
+	if jsonOutput {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dohlint:", err)
+			return 1
+		}
+		if len(diags) == 0 {
+			return 0
+		}
+		return 2
+	}
 	if len(diags) == 0 {
 		return 0
 	}

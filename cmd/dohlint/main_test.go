@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -111,4 +112,60 @@ func TestVersionHandshake(t *testing.T) {
 	if len(fields) < 3 || fields[1] != "version" || !strings.Contains(string(out), "buildID=") {
 		t.Fatalf("-V=full output %q does not match the vet handshake shape", out)
 	}
+}
+
+// TestJSONOutput drives the -json mode: findings come back as a parsed
+// JSON array on stdout (the CI artifact contract), and a clean run
+// still emits a well-formed empty array.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildDohlint(t)
+
+	t.Run("seeded violation", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"a.go": "package tmpfix\n\nconst sysDemo = 299\n",
+		})
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = dir
+		out, err := cmd.Output()
+		exitErr, isExit := err.(*exec.ExitError)
+		if !isExit || exitErr.ExitCode() != 2 {
+			t.Fatalf("want exit 2 on findings, got %v\n%s", err, out)
+		}
+		var diags []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(out, &diags); err != nil {
+			t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out)
+		}
+		if len(diags) == 0 {
+			t.Fatal("no diagnostics decoded for a seeded violation")
+		}
+		d := diags[0]
+		if filepath.Base(d.File) != "a.go" || d.Line != 3 || d.Analyzer != "buildtag" ||
+			!strings.Contains(d.Message, "no explicit //go:build constraint") {
+			t.Fatalf("unexpected diagnostic fields: %+v", d)
+		}
+	})
+
+	t.Run("clean module", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"a.go": "package tmpfix\n\nfunc ok() int { return 1 }\n",
+		})
+		cmd := exec.Command(bin, "-json", "./...")
+		cmd.Dir = dir
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("clean module: %v\n%s", err, out)
+		}
+		if strings.TrimSpace(string(out)) != "[]" {
+			t.Fatalf("clean -json run must emit an empty array, got %q", out)
+		}
+	})
 }

@@ -130,7 +130,8 @@ type Engine struct {
 
 	// refreshMu orders refreshWG.Add against Close's Wait: a refresh
 	// either starts before Close observes the engine closed, or not at
-	// all.
+	// all. Lookups cross it on every refresh decision.
+	//dohlint:hotlock
 	refreshMu sync.Mutex
 	refreshWG sync.WaitGroup
 	closed    bool
@@ -552,6 +553,8 @@ func snapshotPool(p *Pool, age time.Duration) *Pool {
 // key share one execution of fn. Waiters honour their own context; the
 // executing call does not (fn detaches itself).
 type flightGroup struct {
+	// Every cache-missing lookup serialises on this lock.
+	//dohlint:hotlock
 	mu    sync.Mutex
 	calls map[string]*flightCall
 }

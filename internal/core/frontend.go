@@ -162,6 +162,8 @@ type Frontend struct {
 	// closes the worker queue.
 	readerWG sync.WaitGroup
 
+	// Per-connection stream tracking, taken on every accept and close.
+	//dohlint:hotlock
 	tcpMu    sync.Mutex
 	tcpConns map[net.Conn]struct{}
 

@@ -261,7 +261,10 @@ func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire
 		resp, err := h.inner.Query(ctx, url, name, typ)
 		results <- outcome{resp, err, backup}
 	}
-	go attempt(false)
+	// Hedged attempts are bounded fire-and-forget: the inner Query
+	// carries ctx's deadline and the results channel is buffered for
+	// both attempts, so a loser can never block or outlive the timeout.
+	go attempt(false) // dohlint:allow(golifecycle) — bounded by ctx deadline, buffered channel
 	outstanding := 1
 
 	timer := time.NewTimer(delay)
@@ -287,7 +290,7 @@ func (h *hedgedQuerier) query(ctx context.Context, url, name string, typ dnswire
 			timerC = nil
 			h.health.recordHedge(url)
 			outstanding++
-			go attempt(true)
+			go attempt(true) // dohlint:allow(golifecycle) — bounded by ctx deadline, buffered channel
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

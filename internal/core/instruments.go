@@ -15,7 +15,7 @@ const (
 	MetricEngineLookups            = "dohpool_engine_lookups_total"
 	MetricEngineErrors             = "dohpool_engine_lookup_errors_total"
 	MetricEngineGenSeconds         = "dohpool_engine_pool_generation_seconds"
-	MetricEngineQuorum             = "dohpool_engine_quorum_size"
+	MetricEngineQuorum             = "dohpool_engine_quorum_resolvers"
 	MetricEngineGenerations        = "dohpool_engine_generations_total"
 	MetricRefreshAttempts          = "dohpool_refresh_attempts_total"
 	MetricRefreshWins              = "dohpool_refresh_wins_total"
@@ -101,10 +101,6 @@ func newEngineInstruments(reg *metrics.Registry) engineInstruments {
 		genLatency: reg.Histogram(MetricEngineGenSeconds,
 			"Latency of one full Algorithm 1 pool generation (N-resolver DoH fan-out).",
 			metrics.DurationBuckets()),
-		// Grandfathered: the _size suffix is a documented metric name
-		// (dashboards, README); renaming would break every scraper for a
-		// unit-suffix convention adopted after the metric shipped.
-		// dohlint:allow(metricsname)
 		quorum: reg.Histogram(MetricEngineQuorum,
 			"Resolvers that contributed to each generated pool.",
 			[]float64{1, 2, 3, 5, 7, 9, 11, 15}),

@@ -52,6 +52,8 @@ type refresher struct {
 	wins     atomic.Uint64
 	failures atomic.Uint64
 
+	// Claim/settle bookkeeping shared with every lookup's refresh check.
+	//dohlint:hotlock
 	mu       sync.Mutex
 	inflight int // refreshes currently running, bounded by maxInflight
 	state    map[string]*refreshState

@@ -85,6 +85,8 @@ type ResolverTrust struct {
 // concurrent use. The tracker sits entirely on the generation path —
 // cached lookups never touch it.
 type TrustTracker struct {
+	// Scoring and recording run under this lock on every generation.
+	//dohlint:hotlock
 	mu       sync.Mutex
 	window   int
 	minScore float64

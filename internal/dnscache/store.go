@@ -84,6 +84,8 @@ type Store[V any] struct {
 // store's capacity. Counters are atomics so the read-locked hit path can
 // update them without lock promotion.
 type shard[V any] struct {
+	// The shard lock guards every cached-hit lookup.
+	//dohlint:hotlock
 	mu      sync.RWMutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recent

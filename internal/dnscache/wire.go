@@ -62,6 +62,8 @@ type WireStats struct {
 
 // wireShard is one lock domain of a WireCache.
 type wireShard struct {
+	// The shard lock sits on the allocation-free UDP serve path.
+	//dohlint:hotlock
 	mu  sync.RWMutex
 	m   map[string]*WireEntry
 	cap int

@@ -2,6 +2,7 @@ package dnswire
 
 import (
 	"bytes"
+	"net/netip"
 	"testing"
 )
 
@@ -98,6 +99,164 @@ func FuzzEDNSOptions(f *testing.F) {
 		re := EncodeEDNSOptions(opts)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("options not canonical: %x -> %x", data, re)
+		}
+	})
+}
+
+// FuzzHeaderPatch covers the in-place header patchers the wire cache
+// serves with: PatchID/WireID must round-trip and touch only the ID
+// octets, and EchoFlags must copy exactly the RD and CD bits from the
+// query, leaving every other bit — TC included — alone.
+func FuzzHeaderPatch(f *testing.F) {
+	q, err := NewQuery("pool.ntp.org.", TypeA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qWire, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qWire, uint16(0xBEEF), byte(0xFF), byte(0xFF))
+	f.Add(make([]byte, 12), uint16(0), byte(0x01), byte(0x10))
+
+	f.Fuzz(func(t *testing.T, data []byte, id uint16, q2, q3 byte) {
+		if len(data) < 12 {
+			return // the patchers' documented contract starts at a full header
+		}
+		orig := append([]byte(nil), data...)
+
+		patched := append([]byte(nil), data...)
+		PatchID(patched, id)
+		if got := WireID(patched); got != id {
+			t.Fatalf("WireID after PatchID = %#x, want %#x", got, id)
+		}
+		if !bytes.Equal(patched[2:], orig[2:]) {
+			t.Fatal("PatchID modified bytes beyond the ID field")
+		}
+		PatchID(patched, WireID(orig))
+		if !bytes.Equal(patched, orig) {
+			t.Fatal("PatchID does not round-trip")
+		}
+
+		query := []byte{0, 0, q2, q3}
+		EchoFlags(patched, query)
+		wantB2 := orig[2]&^byte(0x01) | q2&0x01
+		wantB3 := orig[3]&^byte(0x10) | q3&0x10
+		if patched[2] != wantB2 || patched[3] != wantB3 {
+			t.Fatalf("EchoFlags bytes = %#x %#x, want %#x %#x", patched[2], patched[3], wantB2, wantB3)
+		}
+		if patched[2]&0x02 != orig[2]&0x02 {
+			t.Fatal("EchoFlags changed the TC bit")
+		}
+		if !bytes.Equal(patched[4:], orig[4:]) || !bytes.Equal(patched[:2], orig[:2]) {
+			t.Fatal("EchoFlags modified bytes beyond the flag octets")
+		}
+
+		// Decoder agreement: if the original decodes, the patched form
+		// must still decode, carrying the patched ID and echoed bits.
+		if _, err := Decode(orig); err != nil {
+			return
+		}
+		PatchID(patched, id)
+		msg, err := Decode(patched)
+		if err != nil {
+			t.Fatalf("patched message no longer decodes: %v", err)
+		}
+		if msg.Header.ID != id {
+			t.Fatalf("decoded ID = %#x, want %#x", msg.Header.ID, id)
+		}
+		if msg.Header.RecursionDesired != (q2&0x01 != 0) || msg.Header.CheckingDisabled != (q3&0x10 != 0) {
+			t.Fatal("decoded RD/CD do not match the echoed query bits")
+		}
+	})
+}
+
+// FuzzAnswerTTLPatch holds the TTL-aging patcher against the full
+// decoder: offsets must stay inside the message and inside the answer
+// section, patching must touch only those four-octet windows, and a
+// decodable message must still decode afterwards with every answer TTL
+// rewritten — exactly what the wire cache relies on when it ages served
+// copies without re-encoding.
+func FuzzAnswerTTLPatch(f *testing.F) {
+	q, err := NewQuery("pool.ntp.org.", TypeA)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qWire, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	resp := NewResponse(q)
+	resp.Answers = append(resp.Answers,
+		AddressRecord("pool.ntp.org.", netip.MustParseAddr("192.0.2.1"), 300),
+		AddressRecord("pool.ntp.org.", netip.MustParseAddr("192.0.2.2"), 60),
+	)
+	rWire, err := resp.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rWire, uint32(120))
+	f.Add(qWire, uint32(0))
+	f.Add([]byte{}, uint32(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, ttl uint32) {
+		msg, decErr := Decode(data)
+		offsets, err := AnswerTTLOffsets(data)
+		if err != nil {
+			if decErr == nil {
+				t.Fatalf("message decodes but AnswerTTLOffsets rejects it: %v", err)
+			}
+			return
+		}
+		prevEnd := 12
+		for i, off := range offsets {
+			if off < prevEnd || off+4 > len(data) {
+				t.Fatalf("offset %d (#%d of %d) outside the message or out of order", off, i, len(offsets))
+			}
+			prevEnd = off + 4
+		}
+
+		patched := append([]byte(nil), data...)
+		PatchAnswerTTLs(patched, offsets, ttl)
+		inWindow := make([]bool, len(data))
+		for _, off := range offsets {
+			for i := off; i < off+4; i++ {
+				inWindow[i] = true
+			}
+		}
+		for i := range data {
+			if !inWindow[i] && patched[i] != data[i] {
+				t.Fatalf("PatchAnswerTTLs modified byte %d outside every TTL window", i)
+			}
+		}
+
+		// Offsets are documented to survive byte-for-byte copies; they
+		// must therefore survive their own patch.
+		again, err := AnswerTTLOffsets(patched)
+		if err != nil || len(again) != len(offsets) {
+			t.Fatalf("offsets unstable after patching: %v (%d -> %d)", err, len(offsets), len(again))
+		}
+		for i := range again {
+			if again[i] != offsets[i] {
+				t.Fatalf("offset %d moved: %d -> %d", i, offsets[i], again[i])
+			}
+		}
+
+		if decErr != nil {
+			return
+		}
+		msgP, err := Decode(patched)
+		if err != nil {
+			t.Fatalf("patched message no longer decodes: %v", err)
+		}
+		if len(msgP.Answers) != len(msg.Answers) || len(offsets) != len(msg.Answers) {
+			t.Fatalf("answer counts diverged: %d offsets, %d answers before, %d after",
+				len(offsets), len(msg.Answers), len(msgP.Answers))
+		}
+		for i, a := range msgP.Answers {
+			if a.TTL != ttl {
+				t.Fatalf("answer %d TTL = %d after patch, want %d", i, a.TTL, ttl)
+			}
 		}
 	})
 }

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicCheck enforces atomic-access discipline: once any site in the
+// package touches a variable through the package-level sync/atomic
+// functions, every other access to that variable must be atomic too —
+// a single plain load next to atomic stores is a data race the race
+// detector only catches when the schedule cooperates, and on weak
+// memory models it reads torn values silently.
+//
+// Identity follows the same scheme as lockcheck: struct fields are
+// "Type.field" (instance-independent — if one shard's counter is
+// atomic, all are), package-level variables are tracked by name.
+// Composite-literal keys and the declaration itself are exempt
+// (initialisation before the value is shared is the standard idiom).
+//
+// The analyzer also proves 64-bit alignment: a field passed to a
+// 64-bit atomic must sit at an 8-byte-aligned offset under 32-bit
+// layout rules (GOARCH=386), where the compiler only guarantees 4-byte
+// alignment and a misaligned atomic faults at runtime. The typed
+// wrappers (atomic.Int64, atomic.Uint64) carry their own alignment and
+// access discipline and are always safe; preferring them is the fix
+// this analyzer usually points at.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "fields touched via sync/atomic must be accessed atomically everywhere, with 32-bit-safe alignment",
+	Run:  runAtomicCheck,
+}
+
+// atomicUse records where and how a variable is accessed atomically.
+type atomicUse struct {
+	firstPos token.Pos
+	// field and recv support the alignment check; nil for package vars.
+	field *types.Var
+	index []int
+	recv  types.Type
+}
+
+func runAtomicCheck(pass *Pass) error {
+	tracked := make(map[string]*atomicUse)
+	// insideAtomic marks the &x operands of atomic calls so the second
+	// sweep does not report the atomic sites themselves.
+	insideAtomic := make(map[ast.Node]bool)
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPackageCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				id := syncIdentity(pass, u.X)
+				if id == "" {
+					continue
+				}
+				insideAtomic[u] = true
+				use := tracked[id]
+				if use == nil {
+					use = &atomicUse{firstPos: u.X.Pos()}
+					tracked[id] = use
+				}
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok && use.field == nil {
+					if selInfo, ok := pass.TypesInfo.Selections[sel]; ok {
+						use.field, _ = selInfo.Obj().(*types.Var)
+						use.index = selInfo.Index()
+						use.recv = selInfo.Recv()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	checkAtomicAlignment(pass, tracked)
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if insideAtomic[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				id := syncIdentity(pass, n)
+				if use, ok := tracked[id]; ok {
+					pass.Reportf(n.Pos(), "%s is accessed atomically at %s but non-atomically here",
+						id, pass.Fset.Position(use.firstPos))
+					return false
+				}
+			case *ast.Ident:
+				v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+				if !ok || pass.Pkg == nil || v.Parent() != pass.Pkg.Scope() {
+					return true
+				}
+				if use, ok := tracked["var:"+v.Name()]; ok {
+					pass.Reportf(n.Pos(), "var:%s is accessed atomically at %s but non-atomically here",
+						v.Name(), pass.Fset.Position(use.firstPos))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicPackageCall reports whether call invokes one of the
+// package-level sync/atomic functions (AddInt64, LoadUint32, ...).
+// Methods of the typed wrappers have a receiver and are excluded: they
+// cannot be mixed with plain access in the first place.
+func isAtomicPackageCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkAtomicAlignment verifies every tracked 64-bit struct field sits
+// at an 8-byte-aligned offset under 32-bit (GOARCH=386) layout, where
+// the spec only guarantees word alignment and a misaligned 64-bit
+// atomic panics at runtime.
+func checkAtomicAlignment(pass *Pass, tracked map[string]*atomicUse) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	ids := make([]string, 0, len(tracked))
+	for id := range tracked {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		use := tracked[id]
+		if use.field == nil || use.recv == nil || !is64BitInt(use.field.Type()) {
+			continue
+		}
+		offset, ok := fieldOffset32(sizes, use.recv, use.index)
+		if !ok {
+			continue
+		}
+		if offset%8 != 0 {
+			pass.Reportf(use.field.Pos(),
+				"64-bit atomic field %s sits at offset %d under 32-bit alignment rules; move it to the front of the struct or use the atomic.Int64/Uint64 types", id, offset)
+		}
+	}
+}
+
+func is64BitInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int64 || b.Kind() == types.Uint64
+}
+
+// fieldOffset32 computes a field's byte offset from the start of its
+// outermost struct under the given Sizes, following the selection's
+// (possibly embedded) index path.
+func fieldOffset32(sizes types.Sizes, recv types.Type, index []int) (int64, bool) {
+	for {
+		p, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = p.Elem()
+	}
+	var total int64
+	for _, idx := range index {
+		st, ok := recv.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes.Offsetsof(fields)
+		total += offsets[idx]
+		recv = st.Field(idx).Type()
+	}
+	return total, true
+}

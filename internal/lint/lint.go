@@ -1,7 +1,7 @@
 // Package lint is dohpool's in-tree static-analysis suite: a small,
 // dependency-free analyzer framework in the shape of
 // golang.org/x/tools/go/analysis (which this module cannot depend on),
-// plus the four project-specific analyzers that prove the serving fast
+// plus the seven project-specific analyzers that prove the serving fast
 // path's invariants at compile time:
 //
 //   - noalloc: functions annotated //dohlint:noalloc must not contain
@@ -18,14 +18,26 @@
 //   - buildtag: files pinning syscall numbers carry explicit //go:build
 //     constraints, and no file references a platform-constrained name
 //     on a platform where nothing declares it.
+//   - lockcheck: builds a per-package lock-acquisition graph from
+//     sync.Mutex/RWMutex call sites, reports acquisition-order cycles,
+//     and forbids blocking operations (network I/O, channel operations,
+//     Querier/Exchanger invocations, time.Sleep) while a mutex
+//     annotated //dohlint:hotlock is held.
+//   - atomiccheck: a field touched anywhere via sync/atomic must be
+//     accessed atomically at every other site, and 64-bit atomics must
+//     sit at 8-byte-aligned offsets for 32-bit platforms.
+//   - golifecycle: every go statement in the long-lived packages
+//     (core, admin, udpbatch, loadgen) must be joined by a shutdown
+//     path — a WaitGroup.Done matched by a Wait, or a close matched by
+//     a receive — unless waived line-by-line as fire-and-forget.
 //
 // Diagnostics on a given line can be waived with a trailing (or
 // immediately preceding) comment containing `dohlint:allow`, optionally
 // scoped to specific analyzers: `dohlint:allow(noalloc,metricsname)`.
 // An unscoped `dohlint:allow` waives every analyzer on that line. Each
 // waiver should say why — the escape hatch is for documented,
-// understood exceptions (an amortised growth path, a grandfathered
-// metric name), not for silencing.
+// understood exceptions (an amortised growth path, a daemon-lifetime
+// goroutine reaped by Close), not for silencing.
 package lint
 
 import (
@@ -51,7 +63,7 @@ type Analyzer struct {
 
 // All returns the full dohlint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoAlloc, MetricsName, ConfigAlias, BuildTag}
+	return []*Analyzer{NoAlloc, MetricsName, ConfigAlias, BuildTag, LockCheck, AtomicCheck, GoLifecycle}
 }
 
 // Diagnostic is one finding at a resolved source position.
@@ -169,14 +181,19 @@ func (p *Pass) noteAllowComments(f *ast.File) {
 const noallocDirective = "//dohlint:noalloc"
 
 // hasNoallocDirective reports whether doc contains the directive.
-// Directive comments are excluded from (*ast.CommentGroup).Text, so the
-// raw list is inspected.
 func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	return hasDirective(doc, noallocDirective)
+}
+
+// hasDirective reports whether a comment group carries the given
+// //dohlint: directive. Directive comments are excluded from
+// (*ast.CommentGroup).Text, so the raw list is inspected.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, noallocDirective) {
+		if strings.HasPrefix(c.Text, directive) {
 			return true
 		}
 	}

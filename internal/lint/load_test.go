@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader edge cases: directories with nothing buildable, files the
+// build context excludes, imports with no export data behind them, and
+// patterns go list cannot resolve. These are the failure modes the
+// fixture harness and the escape gate lean on without exercising.
+
+func lintModuleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirEmptyPackage(t *testing.T) {
+	root := lintModuleRoot(t)
+
+	t.Run("no files at all", func(t *testing.T) {
+		dir := t.TempDir()
+		_, err := LoadDir(root, dir)
+		if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+			t.Fatalf("want 'no buildable Go files' error, got %v", err)
+		}
+	})
+
+	t.Run("only non-Go files", func(t *testing.T) {
+		dir := writeFiles(t, map[string]string{
+			"README.md": "prose\n",
+			"notes.txt": "notes\n",
+		})
+		_, err := LoadDir(root, dir)
+		if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+			t.Fatalf("want 'no buildable Go files' error, got %v", err)
+		}
+	})
+
+	t.Run("only build-excluded files", func(t *testing.T) {
+		dir := writeFiles(t, map[string]string{
+			"ignored.go": "//go:build neverbuildme\n\npackage empty\n",
+		})
+		_, err := LoadDir(root, dir)
+		if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+			t.Fatalf("want 'no buildable Go files' error, got %v", err)
+		}
+	})
+}
+
+func TestLoadDirExcludesConstrainedFiles(t *testing.T) {
+	root := lintModuleRoot(t)
+	dir := writeFiles(t, map[string]string{
+		"keep.go":    "package mixed\n\nfunc keep() int { return 1 }\n",
+		"skipped.go": "//go:build neverbuildme\n\npackage mixed\n\nfunc clash() int { return broken }\n",
+	})
+	pkg, err := LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("LoadDir must ignore constrained files entirely: %v", err)
+	}
+	if len(pkg.Files) != 1 || pkg.GoFiles[0] != "keep.go" {
+		t.Fatalf("want exactly keep.go selected, got %v", pkg.GoFiles)
+	}
+}
+
+// TestLoadDirMissingDependency covers the vendored-or-absent-deps case:
+// an import no export data can be materialised for must surface as a
+// load error naming the import, not a panic or a silently partial
+// package.
+func TestLoadDirMissingDependency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	root := lintModuleRoot(t)
+	dir := writeFiles(t, map[string]string{
+		"dep.go": "package deps\n\nimport \"dohpool/internal/doesnotexist\"\n\nvar _ = doesnotexist.Thing\n",
+	})
+	_, err := LoadDir(root, dir)
+	if err == nil {
+		t.Fatal("want an error for an unresolvable import")
+	}
+	if !strings.Contains(err.Error(), "doesnotexist") {
+		t.Fatalf("error should name the missing import: %v", err)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	root := lintModuleRoot(t)
+	_, err := Load(root, "./internal/nosuchpackage/...")
+	if err == nil {
+		t.Fatal("want an error for a pattern matching nothing")
+	}
+}
+
+// TestLoadSinglePackage pins the happy path Load contract the vet-tool
+// and standalone modes build on: syntax, types and file lists all
+// populated for a real package.
+func TestLoadSinglePackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list and type-checks")
+	}
+	root := lintModuleRoot(t)
+	pkgs, err := Load(root, "./internal/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want one package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "dohpool/internal/metrics" || pkg.Pkg == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+		t.Fatalf("incomplete load: %+v", pkg)
+	}
+}

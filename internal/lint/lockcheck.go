@@ -1,0 +1,907 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck is the concurrency-ordering analyzer: it builds a
+// per-package lock-acquisition graph from sync.Mutex/sync.RWMutex call
+// sites and reports
+//
+//   - acquisition-order cycles (lock A taken while B is held in one
+//     function, B taken while A is held in another — the classic
+//     AB/BA inversion that deadlocks only under contention);
+//   - re-acquisition of a lock the current path already holds (Go
+//     mutexes are not reentrant; this self-deadlocks deterministically);
+//   - blocking operations — network I/O, channel send/receive,
+//     select without default, Querier/Exchanger invocations,
+//     time.Sleep, WaitGroup.Wait — reached while a mutex annotated
+//     //dohlint:hotlock is held, directly or through a same-package
+//     call chain.
+//
+// Lock identity is the owning named type plus field name ("shard.mu"),
+// so the rule generalises over instances: every element of a shard
+// array shares one identity, which is exactly the granularity lock
+// ordering is designed at. Package-level mutexes use their variable
+// name; function-local mutexes are keyed by declaration site.
+//
+// The walk is flow-sensitive per function: early-unlock branches drop
+// the lock for the code that follows (branch exits are intersected),
+// a terminating branch (return, panic, select whose cases all return)
+// does not leak its held set past the join, and defer X.Unlock() keeps
+// the lock held to the end of the function, as it really is.
+// Summaries of same-package callees propagate both acquisitions and
+// blocking behaviour one level deep per call edge, to a fixpoint.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "lock-acquisition ordering cycles and blocking calls under //dohlint:hotlock mutexes",
+	Run:  runLockCheck,
+}
+
+// hotlockDirective marks a mutex whose critical sections are on the
+// serving hot path: nothing that can block is allowed while it is held.
+const hotlockDirective = "//dohlint:hotlock"
+
+type mutexOpKind int
+
+const (
+	mutexAcquire mutexOpKind = iota
+	mutexRelease
+)
+
+// lockSummary is what one function contributes to its callers: the
+// lock identities it may acquire anywhere inside, and a description of
+// a blocking operation it may perform ("" when none).
+type lockSummary struct {
+	acquires map[string]bool
+	blocking string
+	callees  map[*types.Func]bool
+}
+
+type lockChecker struct {
+	pass *Pass
+	// hot is the set of //dohlint:hotlock lock identities.
+	hot map[string]bool
+	// decls maps same-package function objects to their declarations.
+	decls map[*types.Func]*ast.FuncDecl
+	// summaries holds the per-function fixpoint results.
+	summaries map[*types.Func]*lockSummary
+	// edges[A][B] is the first position where B was acquired while A
+	// was held.
+	edges map[string]map[string]token.Pos
+	// reported dedupes diagnostics by position+message.
+	reported map[string]bool
+}
+
+func runLockCheck(pass *Pass) error {
+	c := &lockChecker{
+		pass:      pass,
+		hot:       make(map[string]bool),
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		summaries: make(map[*types.Func]*lockSummary),
+		edges:     make(map[string]map[string]token.Pos),
+		reported:  make(map[string]bool),
+	}
+	c.collectHotLocks()
+	c.collectDecls()
+	c.computeSummaries()
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.walkFunc(fn.Body)
+		}
+	}
+	c.reportCycles()
+	return nil
+}
+
+func (c *lockChecker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+// collectHotLocks indexes //dohlint:hotlock annotations on struct
+// fields and package-level variables, rejecting the directive anywhere
+// it does not name a mutex.
+func (c *lockChecker) collectHotLocks() {
+	for _, file := range c.pass.Files {
+		if isTestFile(c.pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !hasDirective(field.Doc, hotlockDirective) && !hasDirective(field.Comment, hotlockDirective) {
+						continue
+					}
+					if len(field.Names) == 0 || !c.isMutexExprType(field.Type) {
+						c.reportf(field.Pos(), "hotlock directive on something other than a named sync.Mutex/sync.RWMutex field")
+						continue
+					}
+					for _, name := range field.Names {
+						c.hot[n.Name.Name+"."+name.Name] = true
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if !hasDirective(n.Doc, hotlockDirective) && !hasDirective(vs.Doc, hotlockDirective) && !hasDirective(vs.Comment, hotlockDirective) {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := c.pass.TypesInfo.Defs[name]
+						if obj == nil || !isMutexType(obj.Type()) {
+							c.reportf(name.Pos(), "hotlock directive on something other than a named sync.Mutex/sync.RWMutex field")
+							continue
+						}
+						c.hot["var:"+name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *lockChecker) isMutexExprType(typeExpr ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[typeExpr]
+	return ok && isMutexType(tv.Type)
+}
+
+// isMutexType reports whether t (possibly behind pointers) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isPkgNamed(t, "sync", "Mutex", "RWMutex")
+}
+
+// isPkgNamed reports whether t (behind any pointers) is one of the
+// named types pkgPath.names.
+func isPkgNamed(t types.Type, pkgPath string, names ...string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// syncIdentity names a lock/channel/WaitGroup-holding expression in a
+// way that is stable across methods and instances: "Type.field" for
+// struct fields (via the origin named type, so methods of generic
+// types agree), "var:name" for package-level variables, and a
+// declaration-site key for locals. "" means untrackable.
+func syncIdentity(pass *Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		fieldObj, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				return "var:" + fieldObj.Name()
+			}
+		}
+		bt := pass.TypesInfo.Types[e.X].Type
+		for {
+			p, ok := bt.(*types.Pointer)
+			if !ok {
+				break
+			}
+			bt = p.Elem()
+		}
+		if named, ok := bt.(*types.Named); ok {
+			return named.Origin().Obj().Name() + "." + e.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if pass.Pkg != nil && v.Parent() == pass.Pkg.Scope() {
+			return "var:" + v.Name()
+		}
+		return fmt.Sprintf("local:%d:%s", v.Pos(), v.Name())
+	}
+	return ""
+}
+
+// mutexOp recognises calls of the form X.Lock(), X.RLock(),
+// X.TryLock(), X.Unlock(), X.RUnlock() on sync.Mutex/RWMutex values
+// and returns the lock identity and operation kind.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (id string, op mutexOpKind, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", 0, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = mutexAcquire
+	case "Unlock", "RUnlock":
+		op = mutexRelease
+	default:
+		return "", 0, false
+	}
+	return syncIdentity(c.pass, sel.X), op, true
+}
+
+// netBlockAllowlist names the members of the net/net\/http/crypto\/tls
+// packages that never wait on the network: teardown, address
+// accessors, deadline setters, pure parsing and header manipulation.
+var netBlockAllowlist = map[string]bool{
+	"Close": true, "CloseRead": true, "CloseWrite": true,
+	"LocalAddr": true, "RemoteAddr": true, "Addr": true,
+	"Network": true, "String": true, "Error": true,
+	"Timeout": true, "Temporary": true, "Unwrap": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	"SetReadBuffer": true, "SetWriteBuffer": true,
+	"SetKeepAlive": true, "SetKeepAlivePeriod": true,
+	"SetNoDelay": true, "SetLinger": true, "SetReuseAddr": true,
+	"JoinHostPort": true, "SplitHostPort": true,
+	"ParseIP": true, "ParseCIDR": true, "ParseMAC": true,
+	"IPv4": true, "IPv4Mask": true, "CIDRMask": true, "Pipe": true,
+	"Set": true, "Get": true, "Add": true, "Del": true,
+	"Values": true, "Clone": true, "Context": true, "WithContext": true,
+	"File": true, "SyscallConn": true, "ConnectionState": true,
+	"NetConn": true, "VerifyHostname": true,
+}
+
+// blockingCallDesc classifies a call as a blocking operation and
+// returns a short description, or "" when the call is not known to
+// block. Same-package calls are handled separately through summaries.
+func (c *lockChecker) blockingCallDesc(call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	pkg := fn.Pkg()
+	sig, _ := fn.Type().(*types.Signature)
+	isIface := false
+	if sig != nil && sig.Recv() != nil {
+		isIface = types.IsInterface(sig.Recv().Type())
+	}
+	if pkg != nil {
+		switch pkg.Path() {
+		case "time":
+			if fn.Name() == "Sleep" {
+				return "time.Sleep"
+			}
+		case "sync":
+			if fn.Name() == "Wait" && sig != nil && sig.Recv() != nil {
+				if isPkgNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+					return "sync.WaitGroup.Wait"
+				}
+				if isPkgNamed(sig.Recv().Type(), "sync", "Cond") {
+					return "sync.Cond.Wait"
+				}
+			}
+		case "net", "net/http", "crypto/tls":
+			if !netBlockAllowlist[fn.Name()] {
+				return fmt.Sprintf("network I/O (%s.%s)", pkg.Name(), fn.Name())
+			}
+		}
+	}
+	if isIface && (fn.Name() == "Query" || fn.Name() == "Exchange") {
+		return fmt.Sprintf("Querier/Exchanger call (%s)", fn.Name())
+	}
+	return ""
+}
+
+// staticCallee resolves a call to a function declared in this package.
+func (c *lockChecker) staticCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || c.pass.Pkg == nil || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	if orig := fn.Origin(); orig != nil {
+		fn = orig
+	}
+	if _, declared := c.decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+func (c *lockChecker) collectDecls() {
+	for _, file := range c.pass.Files {
+		if isTestFile(c.pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := c.pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				c.decls[obj] = fn
+			}
+		}
+	}
+}
+
+// computeSummaries derives per-function acquire sets and blocking
+// flags, then closes them over same-package calls to a fixpoint.
+// Bodies of go statements are excluded: the spawner does not hold what
+// its goroutine later takes, nor does it wait on what the goroutine
+// waits on.
+func (c *lockChecker) computeSummaries() {
+	for obj, fn := range c.decls {
+		c.summaries[obj] = c.directSummary(fn.Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range c.summaries {
+			for callee := range sum.callees {
+				csum := c.summaries[callee]
+				if csum == nil {
+					continue
+				}
+				for id := range csum.acquires {
+					if !sum.acquires[id] {
+						sum.acquires[id] = true
+						changed = true
+					}
+				}
+				if sum.blocking == "" && csum.blocking != "" {
+					sum.blocking = csum.blocking
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (c *lockChecker) directSummary(body *ast.BlockStmt) *lockSummary {
+	sum := &lockSummary{
+		acquires: make(map[string]bool),
+		callees:  make(map[*types.Func]bool),
+	}
+	block := func(desc string) {
+		if sum.blocking == "" {
+			sum.blocking = desc
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // concurrent: not the caller's business
+		case *ast.SendStmt:
+			block("channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				block("channel receive")
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				block("select without default")
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					block("range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if id, op, ok := c.mutexOp(n); ok {
+				if op == mutexAcquire && id != "" {
+					sum.acquires[id] = true
+				}
+				return true
+			}
+			if desc := c.blockingCallDesc(n); desc != "" {
+				block(desc)
+				return true
+			}
+			if callee := c.staticCallee(n); callee != nil {
+				sum.callees[callee] = true
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// ── the flow-sensitive reporting walk ────────────────────────────────
+
+// heldSet maps a held lock identity to the position it was acquired.
+type heldSet map[string]token.Pos
+
+func copyHeld(h heldSet) heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectHeld(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	c *lockChecker
+	// funcLits queues literal bodies for their own walks: a closure
+	// does not necessarily run where it is written, so it starts from
+	// an empty held set.
+	funcLits []*ast.FuncLit
+	// suppressBlocking silences blocking-op reports while walking a
+	// select's comm clauses — the select itself was already reported.
+	suppressBlocking bool
+}
+
+func (c *lockChecker) walkFunc(body *ast.BlockStmt) {
+	w := &lockWalker{c: c}
+	w.stmts(body.List, make(heldSet))
+	for i := 0; i < len(w.funcLits); i++ {
+		w.stmts(w.funcLits[i].Body.List, make(heldSet))
+	}
+}
+
+func (w *lockWalker) blockingOp(pos token.Pos, desc string, held heldSet) {
+	if w.suppressBlocking {
+		return
+	}
+	var hot []string
+	for id := range held {
+		if w.c.hot[id] {
+			hot = append(hot, id)
+		}
+	}
+	sort.Strings(hot)
+	if len(hot) > 0 {
+		w.c.reportf(pos, "blocking %s while hot lock %s is held", desc, strings.Join(hot, ", "))
+	}
+}
+
+// addEdges records held→id acquisition edges, reporting an immediate
+// self-deadlock when id is already held.
+func (w *lockWalker) acquire(pos token.Pos, id string, held heldSet) {
+	if id == "" {
+		return
+	}
+	if _, already := held[id]; already {
+		w.c.reportf(pos, "lock %s acquired while already held (sync mutexes are not reentrant)", id)
+		return
+	}
+	for from := range held {
+		w.c.addEdge(from, id, pos)
+	}
+	held[id] = pos
+}
+
+func (c *lockChecker) addEdge(from, to string, pos token.Pos) {
+	m := c.edges[from]
+	if m == nil {
+		m = make(map[string]token.Pos)
+		c.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// call applies one call expression's effects to held.
+func (w *lockWalker) call(call *ast.CallExpr, held heldSet) {
+	if id, op, ok := w.c.mutexOp(call); ok {
+		switch op {
+		case mutexAcquire:
+			w.acquire(call.Pos(), id, held)
+		case mutexRelease:
+			delete(held, id)
+		}
+		return
+	}
+	if desc := w.c.blockingCallDesc(call); desc != "" {
+		w.blockingOp(call.Pos(), desc, held)
+		return
+	}
+	callee := w.c.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	sum := w.c.summaries[callee]
+	if sum == nil {
+		return
+	}
+	for to := range sum.acquires {
+		if _, already := held[to]; already {
+			w.c.reportf(call.Pos(), "call to %s may acquire lock %s, which is already held", callee.Name(), to)
+			continue
+		}
+		for from := range held {
+			w.c.addEdge(from, to, call.Pos())
+		}
+	}
+	if sum.blocking != "" {
+		w.blockingOp(call.Pos(), fmt.Sprintf("call to %s (%s)", callee.Name(), sum.blocking), held)
+	}
+}
+
+// scanExpr walks an expression for call effects and channel receives,
+// queueing function literals for separate walks.
+func (w *lockWalker) scanExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.funcLits = append(w.funcLits, n)
+			return false
+		case *ast.CallExpr:
+			w.call(n, held)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingOp(n.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+// isTerminalCall recognises calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal*.
+func (w *lockWalker) isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := w.c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := w.c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal")
+		}
+	}
+	return false
+}
+
+// stmts walks a statement list, returning the held set at the fall-off
+// point and whether control never reaches it.
+func (w *lockWalker) stmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, s := range list {
+		var terminated bool
+		held, terminated = w.stmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+		return held, w.isTerminalCall(s.X)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+		w.blockingOp(s.Arrow, "channel send", held)
+		return held, false
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; fallthrough continues
+		// into the next case body, which the switch walk joins anyway.
+		return held, s.Tok != token.FALLTHROUGH
+	case *ast.DeferStmt:
+		if _, op, ok := w.c.mutexOp(s.Call); ok && op == mutexRelease {
+			// Deferred unlock: the lock genuinely stays held until the
+			// function returns, so keep it in the set.
+			return held, false
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLits = append(w.funcLits, lit)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLits = append(w.funcLits, lit)
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held)
+		}
+		return held, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		bodyHeld, bodyTerm := w.stmts(s.Body.List, copyHeld(held))
+		if s.Else == nil {
+			if bodyTerm {
+				return held, false
+			}
+			return intersectHeld(held, bodyHeld), false
+		}
+		elseHeld, elseTerm := w.stmt(s.Else, copyHeld(held))
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return intersectHeld(bodyHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		bodyHeld, bodyTerm := w.stmts(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, bodyHeld)
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyHeld), false
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		if t := w.c.pass.TypesInfo.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.blockingOp(s.Pos(), "range over channel", held)
+			}
+		}
+		bodyHeld, bodyTerm := w.stmts(s.Body.List, copyHeld(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyHeld), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.scanExpr(s.Tag, held)
+		return w.clauses(s.Body.List, held, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		return w.clauses(s.Body.List, held, false)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blockingOp(s.Pos(), "select without default", held)
+		}
+		return w.clauses(s.Body.List, held, true)
+	}
+	return held, false
+}
+
+// clauses joins the bodies of switch/select cases: the continuation
+// held set is the intersection of every non-terminating clause exit,
+// plus the entry set when no clause need run (a switch without
+// default). exhaustive means exactly one clause always executes
+// (select, or switch with default).
+func (w *lockWalker) clauses(list []ast.Stmt, held heldSet, isSelect bool) (heldSet, bool) {
+	hasDefault := false
+	var exits []heldSet
+	allTerm := true
+	for _, clause := range list {
+		var body []ast.Stmt
+		ch := copyHeld(held)
+		switch cc := clause.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.scanExpr(e, held)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				// The comm op is the select's own blocking point,
+				// already reported on the select statement.
+				prev := w.suppressBlocking
+				w.suppressBlocking = true
+				ch, _ = w.stmt(cc.Comm, ch)
+				w.suppressBlocking = prev
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		exit, term := w.stmts(body, ch)
+		if !term {
+			exits = append(exits, exit)
+			allTerm = false
+		}
+	}
+	exhaustive := isSelect || hasDefault
+	if exhaustive && allTerm && len(list) > 0 {
+		return held, true
+	}
+	var acc heldSet
+	if !exhaustive {
+		acc = copyHeld(held)
+	}
+	for _, e := range exits {
+		if acc == nil {
+			acc = e
+		} else {
+			acc = intersectHeld(acc, e)
+		}
+	}
+	if acc == nil {
+		acc = held
+	}
+	return acc, false
+}
+
+// reportCycles reports every acquisition edge that closes a cycle in
+// the package lock graph. Both directions of an inversion are
+// reported, each at the acquisition site that creates its edge.
+func (c *lockChecker) reportCycles() {
+	froms := make([]string, 0, len(c.edges))
+	for from := range c.edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		tos := make([]string, 0, len(c.edges[from]))
+		for to := range c.edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if c.pathExists(to, from, map[string]bool{}) {
+				c.reportf(c.edges[from][to],
+					"lock ordering inversion: %s acquired while %s is held, but elsewhere %s is acquired while %s is held",
+					to, from, from, to)
+			}
+		}
+	}
+}
+
+func (c *lockChecker) pathExists(from, to string, seen map[string]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for next := range c.edges[from] {
+		if c.pathExists(next, to, seen) {
+			return true
+		}
+	}
+	return false
+}

@@ -14,7 +14,8 @@ import (
 //     constant name (a const or literal — never a value assembled at
 //     runtime, which would defeat grep and dashboards alike);
 //   - names match dohpool_[a-z0-9_]+ — one namespace, lower snake case;
-//   - counters end in _total; histograms end in _seconds or _bytes
+//   - counters end in _total; histograms end in a unit suffix
+//     (_seconds, _bytes, _resolvers)
 //     (the openmetrics unit conventions scrapers assume);
 //   - no registration happens inside a //dohlint:noalloc function:
 //     registering takes a lock and allocates family state, so it
@@ -115,6 +116,21 @@ func registryCall(pass *Pass, call *ast.CallExpr) (kind string, ok bool) {
 	return kind, pkg != nil && strings.HasSuffix(pkg.Path(), "metrics")
 }
 
+// histogramUnitSuffixes are the recognised histogram units. A
+// histogram's name must say what it counts; base units only (seconds,
+// not milliseconds), per the Prometheus naming conventions, plus the
+// domain unit _resolvers for per-pool resolver distributions.
+var histogramUnitSuffixes = []string{"_seconds", "_bytes", "_resolvers"}
+
+func hasHistogramUnitSuffix(name string) bool {
+	for _, s := range histogramUnitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // checkMetricName validates the registration's name argument: constant,
 // namespaced, conventionally suffixed.
 func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
@@ -138,8 +154,8 @@ func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
 			pass.Reportf(arg.Pos(), "counter name %q must end in _total", name)
 		}
 	case "histogram":
-		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
-			pass.Reportf(arg.Pos(), "histogram name %q must end in _seconds or _bytes", name)
+		if !hasHistogramUnitSuffix(name) {
+			pass.Reportf(arg.Pos(), "histogram name %q must end in a unit suffix (%s)", name, strings.Join(histogramUnitSuffixes, ", "))
 		}
 	}
 }

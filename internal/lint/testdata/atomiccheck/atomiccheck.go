@@ -1,0 +1,67 @@
+// Package atomicfix seeds the atomiccheck fixture: mixed
+// atomic/plain access to fields and package variables, a 64-bit field
+// misaligned under 32-bit layout, and the always-safe typed wrappers.
+package atomicfix
+
+import "sync/atomic"
+
+type counters struct {
+	pad  uint32
+	hits int64 // want `64-bit atomic field counters.hits sits at offset 4 under 32-bit alignment rules`
+	ok   uint32
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddUint32(&c.ok, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want `counters.hits is accessed atomically at .* but non-atomically here`
+}
+
+func (c *counters) readOK() uint32 {
+	return atomic.LoadUint32(&c.ok)
+}
+
+type aligned struct {
+	hits uint64
+	pad  uint32
+}
+
+func (a *aligned) bump() {
+	atomic.AddUint64(&a.hits, 1)
+}
+
+func (a *aligned) mixed() {
+	a.hits++ // want `aligned.hits is accessed atomically at .* but non-atomically here`
+}
+
+var global int32
+
+func bumpGlobal() {
+	atomic.AddInt32(&global, 1)
+}
+
+func readGlobal() int32 {
+	return global // want `var:global is accessed atomically at .* but non-atomically here`
+}
+
+// typed wrappers carry their own discipline: never reported.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) ok() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// initialisation in a composite literal happens before the value is
+// shared and stays exempt.
+func fresh() *counters {
+	return &counters{hits: 0}
+}
+
+// waived documents a sanctioned pre-publication read.
+func (c *counters) waived() int64 {
+	return c.hits // dohlint:allow(atomiccheck) — fixture: pre-publication read
+}

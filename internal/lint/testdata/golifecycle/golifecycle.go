@@ -1,0 +1,75 @@
+// Package golifecycle fixes the goroutine-lifecycle contract: spawns
+// joined through a waited WaitGroup or a closed-then-received channel
+// stay silent, leaks and unresolvable spawn targets are reported, and
+// fire-and-forget survives only behind a scoped waiver. The package
+// name doubles as the analyzer's fixture gate (see lifecycleGated).
+package golifecycle
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// startJoined is joined through the WaitGroup Close waits on.
+func (w *worker) startJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+// startClosed is joined through the done channel Close receives from.
+func (w *worker) startClosed() {
+	go w.run()
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+}
+
+func (w *worker) Close() {
+	w.wg.Wait()
+	<-w.done
+}
+
+func (w *worker) leak() {
+	go func() {}() // want `goroutine is not joined by any shutdown path`
+}
+
+func (w *worker) leakNamed() {
+	go orphan() // want `goroutine is not joined by any shutdown path`
+}
+
+func orphan() {}
+
+// localJoin joins a fan-out on a function-local WaitGroup.
+func (w *worker) localJoin() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// localLeak resolves the spawn target through the local literal — and
+// finds no join inside it.
+func (w *worker) localLeak() {
+	attempt := func() {}
+	go attempt() // want `goroutine is not joined by any shutdown path`
+}
+
+// dynamic spawns through a parameter the analyzer cannot resolve.
+func (w *worker) dynamic(f func()) {
+	go f() // want `cannot statically resolve the goroutine target`
+}
+
+// waived is the documented fire-and-forget escape hatch.
+func (w *worker) waived() {
+	// dohlint:allow(golifecycle) — fixture: sanctioned fire-and-forget
+	go func() {}()
+}

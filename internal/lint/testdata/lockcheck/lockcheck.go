@@ -1,0 +1,143 @@
+// Package lockfix seeds the lockcheck fixture: a lock-order inversion
+// between two mutexes, blocking operations of every recognised kind
+// under //dohlint:hotlock mutexes, and the negative cases the analyzer
+// must stay silent on (early-unlock branches, cold locks, waivers).
+package lockfix
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Querier mirrors the production resolver-invocation interface.
+type Querier interface {
+	Query(name string) error
+}
+
+type server struct {
+	//dohlint:hotlock
+	mu sync.Mutex
+	//dohlint:hotlock
+	rw   sync.RWMutex
+	cold sync.Mutex
+	q    Querier
+	out  chan int
+	in   chan int
+}
+
+// ab and ba seed the lock-order inversion: mu→cold here, cold→mu below.
+func (s *server) ab() {
+	s.mu.Lock()
+	s.cold.Lock() // want `lock ordering inversion: server.cold acquired while server.mu is held`
+	s.cold.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) ba() {
+	s.cold.Lock()
+	s.mu.Lock() // want `lock ordering inversion: server.mu acquired while server.cold is held`
+	s.mu.Unlock()
+	s.cold.Unlock()
+}
+
+func (s *server) sleepy() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep while hot lock server.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) sends() {
+	s.rw.RLock()
+	s.out <- 1 // want `blocking channel send while hot lock server.rw is held`
+	s.rw.RUnlock()
+}
+
+func (s *server) recvs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.in // want `blocking channel receive while hot lock server.mu is held`
+}
+
+func (s *server) dials() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = net.Dial("udp", "127.0.0.1:53") // want `blocking network I/O \(net.Dial\) while hot lock server.mu is held`
+}
+
+func (s *server) queries() {
+	s.mu.Lock()
+	_ = s.q.Query("example.org.") // want `blocking Querier/Exchanger call \(Query\) while hot lock server.mu is held`
+	s.mu.Unlock()
+}
+
+// helperBlocks is clean on its own: the sleep happens with nothing
+// held. Its blocking behaviour must still reach callers via summaries.
+func (s *server) helperBlocks() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) callsHelper() {
+	s.mu.Lock()
+	s.helperBlocks() // want `blocking call to helperBlocks \(time.Sleep\) while hot lock server.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) reacquires() {
+	s.mu.Lock()
+	s.mu.Lock() // want `lock server.mu acquired while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// branchy must stay silent: the early branch unlocks before it sleeps
+// and terminates, so neither sleep runs with the lock held.
+func (s *server) branchy(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// selectDone must stay silent too: every select case returns, so code
+// after the if never runs with the lock released twice, and the
+// blocking select happens only after the unlock.
+func (s *server) selectDone(done chan struct{}) int {
+	s.mu.Lock()
+	if s.out != nil {
+		s.mu.Unlock()
+		select {
+		case <-done:
+			return 1
+		case v := <-s.in:
+			return v
+		}
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// coldSleep is not reported: cold is not a hot lock.
+func (s *server) coldSleep() {
+	s.cold.Lock()
+	time.Sleep(time.Millisecond)
+	s.cold.Unlock()
+}
+
+// waived shows the escape hatch for a sanctioned exception.
+func (s *server) waived() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // dohlint:allow(lockcheck) — fixture: sanctioned sleep
+	s.mu.Unlock()
+}
+
+type misuse struct {
+	//dohlint:hotlock
+	n int // want `hotlock directive on something other than a named sync.Mutex/sync.RWMutex field`
+}
+
+func (m *misuse) use() int { return m.n }

@@ -10,13 +10,14 @@ const reads = "dohpool_fixture_reads_total"
 func register(reg *metrics.Registry, dyn string) {
 	reg.Counter(reads, "const name: ok")
 	reg.Counter("dohpool_fixture_writes_total", "literal name: ok")
-	reg.Counter(dyn, "dynamic name")                        // want `metric name must be a compile-time constant string`
-	reg.Counter("dohpool_fixture_writes", "bad suffix")     // want `counter name "dohpool_fixture_writes" must end in _total`
-	reg.Histogram("dohpool_fixture_sizes", "bad", nil)      // want `histogram name "dohpool_fixture_sizes" must end in _seconds or _bytes`
-	reg.Histogram("dohpool_fixture_wait_seconds", "", nil)  // ok
-	reg.Histogram("dohpool_fixture_frame_bytes", "ok", nil) // ok
-	reg.Gauge("Dohpool_Fixture_Bad", "bad namespace")       // want `metric name "Dohpool_Fixture_Bad" must match`
-	reg.Gauge("fixture_depth", "bad namespace")             // want `metric name "fixture_depth" must match`
+	reg.Counter(dyn, "dynamic name")                             // want `metric name must be a compile-time constant string`
+	reg.Counter("dohpool_fixture_writes", "bad suffix")          // want `counter name "dohpool_fixture_writes" must end in _total`
+	reg.Histogram("dohpool_fixture_sizes", "bad", nil)           // want `histogram name "dohpool_fixture_sizes" must end in a unit suffix`
+	reg.Histogram("dohpool_fixture_wait_seconds", "", nil)       // ok
+	reg.Histogram("dohpool_fixture_frame_bytes", "ok", nil)      // ok
+	reg.Histogram("dohpool_fixture_quorum_resolvers", "ok", nil) // ok: domain unit
+	reg.Gauge("Dohpool_Fixture_Bad", "bad namespace")            // want `metric name "Dohpool_Fixture_Bad" must match`
+	reg.Gauge("fixture_depth", "bad namespace")                  // want `metric name "fixture_depth" must match`
 	// dohlint:allow(metricsname) — fixture: grandfathered suffix
 	reg.Histogram("dohpool_fixture_quorum_size", "waived", nil)
 }

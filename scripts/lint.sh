@@ -6,7 +6,8 @@
 #   3. staticcheck, when installed (CI always installs it; locally the
 #      sweep degrades gracefully rather than requiring a download),
 #   4. dohlint, the project analyzer suite (noalloc, metricsname,
-#      configalias, buildtag) driven through go vet's vettool protocol,
+#      configalias, buildtag, lockcheck, atomiccheck, golifecycle)
+#      driven through go vet's vettool protocol,
 #   5. the dohlint escape gate: recompile every package containing
 #      //dohlint:noalloc functions with -m and fail on any heap escape
 #      inside an annotated fast path.
